@@ -1,0 +1,1 @@
+bench/ablation.ml: App Bench_common Ccd Driver Energy Evaluator Exec Float Graph Heft List Mapping Online Placement Presets Printf Report Stats Table

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Evaluator Filename List Printf Stats Svg_plot Unix

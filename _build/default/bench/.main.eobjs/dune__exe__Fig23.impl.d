@@ -1,0 +1,1 @@
+bench/fig23.ml: App Bench_common Driver List Mapping Presets Printf Report

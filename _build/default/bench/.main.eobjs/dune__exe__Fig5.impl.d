@@ -1,0 +1,1 @@
+bench/fig5.ml: App Bench_common Driver Graph List Presets Printf Space Table

@@ -1,0 +1,1 @@
+bench/fig6.ml: App Automap_api Bench_common List Presets Printf String Svg_plot Table

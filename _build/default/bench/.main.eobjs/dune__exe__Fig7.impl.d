@@ -1,0 +1,1 @@
+bench/fig7.ml: Bench_common Driver Float List Maestro Mapping Presets Printf Svg_plot Table

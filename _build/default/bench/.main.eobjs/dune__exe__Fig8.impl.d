@@ -1,0 +1,1 @@
+bench/fig8.ml: Bench_common Driver Graph Kinds List Machine Mapping Option Pennant Presets Printf Report String Svg_plot Table

@@ -1,0 +1,1 @@
+bench/fig9.ml: App Bench_common Driver List Presets Printf String Svg_plot Table

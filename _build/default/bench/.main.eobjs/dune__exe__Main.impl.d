@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Bench_common Fig23 Fig5 Fig6 Fig7 Fig8 Fig9 List Micro Printf Sensitivity String Sys T53 Unix

@@ -1,0 +1,1 @@
+bench/sensitivity.ml: App Bench_common Driver Graph List Machine Mapping Presets Printf Report Table

@@ -1,0 +1,1 @@
+bench/t53.ml: App Bench_common Driver Presets Printf Table

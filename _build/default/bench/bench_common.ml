@@ -1,0 +1,47 @@
+(* Shared configuration and helpers for the experiment harness.
+
+   Every experiment prints the rows of the corresponding paper figure
+   or table.  The default scale is reduced but shape-preserving so the
+   whole harness completes in minutes; [--full] runs the paper-scale
+   protocol (all node counts, every input, 7 search runs per candidate
+   and top-5 x 30 final evaluation). *)
+
+type scale = { full : bool; seed : int }
+
+let scale = ref { full = false; seed = 0 }
+
+(* when set (--plots DIR), experiments additionally render their figure
+   as an SVG file in DIR *)
+let plots_dir : string option ref = ref None
+
+let save_plot name svg =
+  match !plots_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (name ^ ".svg") in
+      Svg_plot.save path svg;
+      Printf.printf "(plot written to %s)\n%!" path
+
+let runs () = if !scale.full then 7 else 3
+let final_runs () = if !scale.full then 30 else 7
+let node_counts () = if !scale.full then [ 1; 2; 4; 8 ] else [ 1; 4 ]
+
+let thin_inputs inputs =
+  (* keep every input in full mode, every other one otherwise *)
+  if !scale.full then inputs
+  else List.filteri (fun i _ -> i mod 2 = 0 || i = List.length inputs - 1) inputs
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+(* Measure a fixed mapping with the §5 protocol. *)
+let measure_mapping ?(runs = 7) machine graph mapping ~seed =
+  let ev = Evaluator.create ~runs ~seed machine graph in
+  try Some (Stats.mean (Evaluator.measure ev mapping)) with Failure _ -> None
+
+let speedup_cell baseline = function
+  | Some t when t > 0.0 -> Printf.sprintf "%.2f" (baseline /. t)
+  | Some _ | None -> "OOM"

@@ -1,0 +1,33 @@
+(* Figures 2 and 3: visualize the best mappings AutoMap discovers for
+   HTR — the per-task processor kinds and per-argument memory kinds,
+   with bars showing each argument's size relative to the largest
+   (Figure 3's rectangles) — plus the diff against the default
+   strategy and the placement counts §5 quotes ("9 collection
+   arguments on Zero-Copy, 2 tasks on CPU"). *)
+
+let configs () =
+  if !Bench_common.scale.full then
+    [ (1, "8x8y9z"); (2, "8x16y9z"); (4, "8x32y9z"); (4, "64x256y72z") ]
+  else [ (1, "8x8y9z"); (4, "64x256y72z") ]
+
+let run () =
+  List.iter
+    (fun (nodes, input) ->
+      Bench_common.section
+        (Printf.sprintf "Figures 2-3: best HTR mapping, %s on %d node%s" input nodes
+           (if nodes = 1 then "" else "s"));
+      let machine = Presets.shepard ~nodes in
+      let g = App.htr.App.graph ~nodes ~input in
+      let r =
+        Driver.run ~runs:(Bench_common.runs ())
+          ~final_runs:(Bench_common.final_runs ())
+          ~seed:!Bench_common.scale.seed
+          (Driver.Ccd { rotations = 5 })
+          machine g
+      in
+      Bench_common.note "%s" (Report.placement_summary g r.Driver.best);
+      let diff = Report.mapping_diff g (Mapping.default_start g machine) r.Driver.best in
+      if diff = "" then Bench_common.note "(identical to the default mapping)"
+      else Bench_common.note "changes vs default mapping:\n%s" diff;
+      print_string (Report.mapping g r.Driver.best))
+    (configs ())

@@ -1,0 +1,40 @@
+(* Figure 5: description of the five benchmark applications — task
+   count, collection-argument count, search-space size.  The paper also
+   quotes wall-clock CCD search hours on the physical clusters; we
+   report the corresponding virtual search time measured by one CCD run
+   on the smallest input (full mode: the canonical input). *)
+
+let run () =
+  Bench_common.section "Figure 5: benchmark applications";
+  let t =
+    Table.create
+      [ "Application"; "Tasks"; "Collection Args"; "Search Space (log2)";
+        "CCD virtual search time (s)" ]
+  in
+  let machine_for app =
+    if app.App.app_name = "Maestro" then Presets.lassen ~nodes:1
+    else Presets.shepard ~nodes:1
+  in
+  List.iter
+    (fun app ->
+      let machine = machine_for app in
+      let input = List.hd (app.App.inputs ~nodes:1) in
+      let g = app.App.graph ~nodes:1 ~input in
+      let space = Space.make g machine in
+      let r =
+        Driver.run ~runs:(Bench_common.runs ()) ~final_runs:1 ~seed:!Bench_common.scale.seed
+          (Driver.Ccd { rotations = 5 })
+          machine g
+      in
+      Table.add_row t
+        [
+          app.App.app_name;
+          string_of_int (Graph.n_tasks g);
+          string_of_int (Graph.n_collections g);
+          Printf.sprintf "~2^%.0f" (Space.log2_size space);
+          Printf.sprintf "%.1f" r.Driver.virtual_search_time;
+        ])
+    App.all;
+  Table.print t;
+  Bench_common.note
+    "(paper: Circuit 3/15/2^18, Stencil 2/12/2^14, Pennant 31/97/2^128, HTR 28/72/2^100, Maestro 13(LF)/30/2^43)"

@@ -1,0 +1,64 @@
+(* Figure 6 (a-d): speedup of the custom mapper and AutoMap-CCD over
+   the Legion default mapper, per application, across weak-scaled
+   inputs and node counts, on the Shepard machine model. *)
+
+let run_app (app : App.t) =
+  List.iter
+    (fun nodes ->
+      Bench_common.section
+        (Printf.sprintf "Figure 6 (%s, %d node%s): speedup over default mapper"
+           app.App.app_name nodes
+           (if nodes = 1 then "" else "s"));
+      let t = Table.create [ "input"; "default (ms)"; "custom"; "AM-CCD" ] in
+      let machine = Presets.shepard ~nodes in
+      let inputs = Bench_common.thin_inputs (app.App.inputs ~nodes) in
+      let rows =
+        List.map
+          (fun input ->
+            let seed = !Bench_common.scale.seed in
+            let tuning =
+              Automap_api.tune ~app ~machine ~input ~seed
+                ~runs:(Bench_common.runs ())
+                ~final_runs:(Bench_common.final_runs ())
+                ()
+            in
+            let find l =
+              List.find (fun c -> c.Automap_api.label = l) tuning.Automap_api.comparisons
+            in
+            ( input,
+              tuning.Automap_api.default_perf,
+              (find "custom").Automap_api.speedup_vs_default,
+              (find "automap").Automap_api.speedup_vs_default ))
+          inputs
+      in
+      List.iter
+        (fun (input, dflt, custom, am) ->
+          Table.add_row t
+            [
+              input;
+              Printf.sprintf "%.3f" (dflt *. 1e3);
+              Printf.sprintf "%.2f" custom;
+              Printf.sprintf "%.2f" am;
+            ])
+        rows;
+      Table.print t;
+      let series label f =
+        { Svg_plot.label; points = List.mapi (fun i r -> (float_of_int i, f r)) rows }
+      in
+      Bench_common.save_plot
+        (Printf.sprintf "fig6_%s_%dn" (String.lowercase_ascii app.App.app_name) nodes)
+        (Svg_plot.line_chart ~x_categories:inputs ~y_min:0.0
+           ~title:
+             (Printf.sprintf "%s, %d node(s): speedup over default mapper"
+                app.App.app_name nodes)
+           ~xlabel:"input" ~ylabel:"speedup"
+           [
+             series "Custom Mapper" (fun (_, _, c, _) -> c);
+             series "AM-CCD" (fun (_, _, _, a) -> a);
+           ]))
+    (Bench_common.node_counts ())
+
+let run_circuit () = run_app App.circuit
+let run_stencil () = run_app App.stencil
+let run_pennant () = run_app App.pennant
+let run_htr () = run_app App.htr

@@ -1,0 +1,111 @@
+(* Figure 8: memory-constrained Pennant.  Inputs are sized 1.3 %,
+   7.1 % and 14.3 % over the largest zone count whose working set fits
+   the Frame-Buffer.  The straightforward strategy places everything in
+   GPU Zero-Copy; AutoMap keeps a subset of the collections in FB and
+   demotes the rest, and must be several times faster (the paper
+   reports at least 4x and up to 50x).
+
+   On the Lassen model the four 16 GB Frame-Buffers exceed the 60 GB
+   Zero-Copy pool, so the all-ZC strategy itself goes out of memory;
+   the harness also reports the all-CPU+System strategy and computes
+   AutoMap's speedup against the best *feasible* simple strategy. *)
+
+let overs = [ 0.013; 0.071; 0.143 ]
+
+let run_cluster name machine_of =
+  List.iter
+    (fun nodes ->
+      Bench_common.section
+        (Printf.sprintf "Figure 8: Pennant over-capacity inputs (%s, %d node%s)" name
+           nodes (if nodes = 1 then "" else "s"));
+      let machine = machine_of ~nodes in
+      let seed = !Bench_common.scale.seed in
+      let fb = Machine.mem_kind_capacity machine Kinds.Frame_buffer in
+      let gpus = Machine.procs_of_kind_per_node machine Kinds.Gpu in
+      let t =
+        Table.create
+          [ "input"; "default"; "GPU+ZC (ms)"; "CPU+SYS (ms)"; "AutoMap (ms)";
+            "speedup"; "AM placement" ]
+      in
+      let plot_rows = ref [] in
+      List.iter
+        (fun over ->
+          let zones =
+            (1.0 +. over) *. fb /. Pennant.bytes_per_zone
+            *. float_of_int (gpus * nodes)
+          in
+          let g = Pennant.graph_of_zones ~nodes ~zones in
+          let default = Mapping.default_start g machine in
+          let default_cell =
+            match Bench_common.measure_mapping ~runs:1 machine g default ~seed with
+            | Some _ -> "fits?!"
+            | None -> "OOM"
+          in
+          let strategy mem =
+            Mapping.make g
+              ~distribute:(fun _ -> true)
+              ~proc:(fun task ->
+                if
+                  Kinds.accessible Kinds.Gpu mem
+                  && Graph.has_variant task Kinds.Gpu
+                then Kinds.Gpu
+                else Kinds.Cpu)
+              ~mem:(fun _ -> mem)
+          in
+          let measure mem =
+            Bench_common.measure_mapping ~runs:(Bench_common.runs ()) machine g
+              (strategy mem) ~seed
+          in
+          let p_zc = measure Kinds.Zero_copy in
+          let p_sys = measure Kinds.System in
+          let r =
+            Driver.run ~runs:(Bench_common.runs ())
+              ~final_runs:(Bench_common.final_runs ()) ~seed
+              (Driver.Ccd { rotations = 5 })
+              machine g
+          in
+          let cell = function Some v -> Printf.sprintf "%.1f" (v *. 1e3) | None -> "OOM" in
+          let baseline =
+            match (p_zc, p_sys) with
+            | Some v, _ -> Some v
+            | None, Some v -> Some v
+            | None, None -> None
+          in
+          plot_rows :=
+            ( Printf.sprintf "+%.1f%%" (over *. 100.0),
+              Option.value ~default:nan p_zc,
+              Option.value ~default:nan p_sys,
+              r.Driver.perf )
+            :: !plot_rows;
+          Table.add_row t
+            [
+              Printf.sprintf "+%.1f%%" (over *. 100.0);
+              default_cell;
+              cell p_zc;
+              cell p_sys;
+              Printf.sprintf "%.1f" (r.Driver.perf *. 1e3);
+              (match baseline with
+              | Some v -> Printf.sprintf "%.1fx" (v /. r.Driver.perf)
+              | None -> "-");
+              Report.placement_summary g r.Driver.best;
+            ])
+        overs;
+      Table.print t;
+      let rows = List.rev !plot_rows in
+      Bench_common.save_plot
+        (Printf.sprintf "fig8_%s_%dn" (String.lowercase_ascii name) nodes)
+        (Svg_plot.bar_chart
+           ~title:
+             (Printf.sprintf "Pennant over-capacity inputs (%s, %d node(s))" name nodes)
+           ~ylabel:"execution time (ms)"
+           ~categories:(List.map (fun (c, _, _, _) -> c) rows)
+           [
+             ("GPU+ZC", List.map (fun (_, v, _, _) -> v *. 1e3) rows);
+             ("CPU+SYS", List.map (fun (_, _, v, _) -> v *. 1e3) rows);
+             ("AutoMap", List.map (fun (_, _, _, v) -> v *. 1e3) rows);
+           ]))
+    (Bench_common.node_counts ())
+
+let run () =
+  run_cluster "Shepard" (fun ~nodes -> Presets.shepard ~nodes);
+  run_cluster "Lassen" (fun ~nodes -> Presets.lassen ~nodes)

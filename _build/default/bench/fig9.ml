@@ -1,0 +1,93 @@
+(* Figure 9: best-found execution time as a function of search time
+   for the three search algorithms (CCD, CD, Ensemble/OpenTuner) on
+   Pennant and HTR, all given the same virtual-time budget.
+
+   We print each algorithm's improvement trace — (virtual search
+   seconds, best execution time per iteration) — which is exactly the
+   data the paper plots, followed by the §5.3 search-efficiency
+   summary (suggested vs. evaluated counts and the useful fraction of
+   search time). *)
+
+let algos = [ Driver.Ccd { rotations = 5 }; Driver.Cd; Driver.Ensemble_tuner ]
+
+let configs () =
+  let pennant = if !Bench_common.scale.full then [ "320x90"; "320x180" ] else [ "320x90" ] in
+  let htr = if !Bench_common.scale.full then [ "8x8y9z"; "16x16y18z" ] else [ "8x8y9z" ] in
+  List.map (fun i -> (App.pennant, i)) pennant @ List.map (fun i -> (App.htr, i)) htr
+
+type outcome = { algo : Driver.algo; r : Driver.result }
+
+let run_config (app, input) =
+  Bench_common.section
+    (Printf.sprintf "Figure 9: search-time traces, %s %s (Shepard, 1 node)"
+       app.App.app_name input);
+  let machine = Presets.shepard ~nodes:1 in
+  let g = app.App.graph ~nodes:1 ~input in
+  let seed = !Bench_common.scale.seed in
+  (* budget: whatever CCD needs, measured first, then granted to all *)
+  let ccd =
+    Driver.run ~runs:(Bench_common.runs ()) ~final_runs:1 ~seed
+      (List.hd algos) machine g
+  in
+  let budget = ccd.Driver.virtual_search_time in
+  Bench_common.note "shared virtual-time budget: %.1f s" budget;
+  let outcomes =
+    { algo = List.hd algos; r = ccd }
+    :: List.map
+         (fun algo ->
+           { algo; r = Driver.run ~runs:(Bench_common.runs ()) ~final_runs:1 ~seed ~budget algo machine g })
+         (List.tl algos)
+  in
+  let t = Table.create [ "search time (s)"; "algorithm"; "best exec time (ms/iter)" ] in
+  List.iter
+    (fun { algo; r } ->
+      List.iter
+        (fun (vt, perf) ->
+          Table.add_row t
+            [
+              Printf.sprintf "%8.2f" vt;
+              Driver.algo_name algo;
+              Printf.sprintf "%.3f" (perf *. 1e3);
+            ])
+        r.Driver.trace)
+    outcomes;
+  Table.print t;
+  Bench_common.save_plot
+    (Printf.sprintf "fig9_%s_%s" (String.lowercase_ascii app.App.app_name) input)
+    (Svg_plot.line_chart
+       ~title:
+         (Printf.sprintf "%s %s: best mapping vs search time" app.App.app_name input)
+       ~xlabel:"virtual search time (s)" ~ylabel:"best exec time (ms/iter)"
+       (List.map
+          (fun { algo; r } ->
+            (* step-extend each trace to the full budget so the flat
+               tail is visible, like the paper's staircase plots *)
+            let pts = List.map (fun (vt, p) -> (vt, p *. 1e3)) r.Driver.trace in
+            let pts =
+              match List.rev pts with
+              | (_, last) :: _ -> pts @ [ (r.Driver.virtual_search_time, last) ]
+              | [] -> pts
+            in
+            { Svg_plot.label = Driver.algo_name algo; points = pts })
+          outcomes));
+  Bench_common.section "  search efficiency (§5.3)";
+  let t2 =
+    Table.create
+      [ "algorithm"; "suggested"; "evaluated"; "cache hits"; "invalid"; "useful time" ]
+  in
+  List.iter
+    (fun { algo; r } ->
+      Table.add_row t2
+        [
+          Driver.algo_name algo;
+          string_of_int r.Driver.suggested;
+          string_of_int r.Driver.evaluated;
+          string_of_int r.Driver.cache_hits;
+          string_of_int r.Driver.invalid;
+          Printf.sprintf "%.0f%%" (100.0 *. r.Driver.eval_time_fraction);
+        ])
+    outcomes;
+  Table.print t2;
+  outcomes
+
+let run () = List.iter (fun c -> ignore (run_config c)) (configs ())

@@ -1,0 +1,61 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (see DESIGN.md's per-experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments, reduced scale
+     dune exec bench/main.exe -- --full       -- paper-scale protocol
+     dune exec bench/main.exe -- fig6a fig8   -- selected experiments
+     dune exec bench/main.exe -- --seed 3 fig9
+     dune exec bench/main.exe -- --plots figures fig6a fig8
+
+   Experiments: fig5 fig6a fig6b fig6c fig6d fig7 fig8 fig9 t53 fig23 ablation sensitivity micro *)
+
+let experiments =
+  [
+    ("fig5", Fig5.run);
+    ("fig6a", Fig6.run_circuit);
+    ("fig6b", Fig6.run_stencil);
+    ("fig6c", Fig6.run_pennant);
+    ("fig6d", Fig6.run_htr);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8.run);
+    ("fig9", Fig9.run);
+    ("t53", T53.run);
+    ("fig23", Fig23.run);
+    ("ablation", Ablation.run);
+    ("sensitivity", Sensitivity.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let selected = ref [] in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        Bench_common.scale := { !Bench_common.scale with full = true };
+        parse rest
+    | "--seed" :: v :: rest ->
+        Bench_common.scale := { !Bench_common.scale with seed = int_of_string v };
+        parse rest
+    | "--plots" :: dir :: rest ->
+        Bench_common.plots_dir := Some dir;
+        parse rest
+    | name :: rest when List.mem_assoc name experiments ->
+        selected := name :: !selected;
+        parse rest
+    | unknown :: _ ->
+        Printf.eprintf "unknown argument %S\nexperiments: %s\n" unknown
+          (String.concat " " (List.map fst experiments));
+        exit 2
+  in
+  parse args;
+  let to_run =
+    match List.rev !selected with [] -> List.map fst experiments | l -> l
+  in
+  Printf.printf "AutoMap experiment harness (%s scale, seed %d)\n%!"
+    (if !Bench_common.scale.full then "paper" else "reduced")
+    !Bench_common.scale.seed;
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  Printf.printf "\nall experiments done in %.1f s (wall clock)\n" (Unix.gettimeofday () -. t0)

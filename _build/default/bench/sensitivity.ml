@@ -1,0 +1,121 @@
+(* Mapping-sensitivity experiments — the claim that motivates AutoMap
+   in §1: "fast mappings are sensitive to the machine, application,
+   and input.  Porting to a new machine, modifying the application, or
+   using a different input size may necessitate re-tuning the mapping
+   to maintain the best possible performance."
+
+   - machine sensitivity: tune Pennant separately on the Shepard and
+     Lassen models, then run each discovered mapping on the *other*
+     machine and compare against that machine's own tuned mapping;
+   - input sensitivity: tune on a small and a large input and
+     cross-apply (the small-input mapping is CPU-heavy, which is
+     exactly wrong at scale, and vice versa);
+   - parameter sensitivity: sweep one machine parameter (the GPU's
+     Zero-Copy bandwidth) and report how the best mapping's placement
+     counts change — the trade-off frontier CCD navigates. *)
+
+let seed () = !Bench_common.scale.seed
+
+let tune machine g =
+  Driver.run ~runs:(Bench_common.runs ()) ~final_runs:(Bench_common.final_runs ())
+    ~seed:(seed ()) (Driver.Ccd { rotations = 5 }) machine g
+
+let measure machine g mapping =
+  Bench_common.measure_mapping ~runs:(Bench_common.runs ()) machine g mapping
+    ~seed:(seed ())
+
+let machine_sensitivity () =
+  Bench_common.section "Sensitivity: machine (Pennant 320x180, tuned on A, run on B)";
+  let input = "320x180" in
+  let shepard = Presets.shepard ~nodes:1 and lassen = Presets.lassen ~nodes:1 in
+  let g = App.pennant.App.graph ~nodes:1 ~input in
+  let r_shep = tune shepard g and r_lass = tune lassen g in
+  let t = Table.create [ "run on"; "own tuned (ms)"; "other's mapping (ms)"; "penalty" ] in
+  let row name machine own foreign =
+    let own_ms = own.Driver.perf *. 1e3 in
+    let foreign_ms =
+      match measure machine g foreign.Driver.best with
+      | Some v -> v *. 1e3
+      | None -> nan
+    in
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.3f" own_ms;
+        Printf.sprintf "%.3f" foreign_ms;
+        Printf.sprintf "%.2fx" (foreign_ms /. own_ms);
+      ]
+  in
+  row "Shepard" shepard r_shep r_lass;
+  row "Lassen" lassen r_lass r_shep;
+  Table.print t
+
+let input_sensitivity () =
+  Bench_common.section "Sensitivity: input size (Circuit, tuned on A, run on B)";
+  let machine = Presets.shepard ~nodes:1 in
+  let small = "n100w400" and large = "n6400w25600" in
+  let g_small = App.circuit.App.graph ~nodes:1 ~input:small in
+  let g_large = App.circuit.App.graph ~nodes:1 ~input:large in
+  (* the graphs share structure, so a mapping transfers by task/arg ids *)
+  let transfer src =
+    Mapping.make g_large
+      ~strategy:(fun task -> Mapping.strategy_of src task.Graph.tid)
+      ~distribute:(fun task -> Mapping.distribute_of src task.Graph.tid)
+      ~proc:(fun task -> Mapping.proc_of src task.Graph.tid)
+      ~mem:(fun c -> Mapping.mem_of src c.Graph.cid)
+  in
+  let r_small = tune machine g_small and r_large = tune machine g_large in
+  let t = Table.create [ "mapping"; "on small (ms)"; "on large (ms)" ] in
+  let cell = function Some v -> Printf.sprintf "%.3f" (v *. 1e3) | None -> "OOM" in
+  Table.add_row t
+    [
+      "tuned on small";
+      Printf.sprintf "%.3f" (r_small.Driver.perf *. 1e3);
+      cell (measure machine g_large (transfer r_small.Driver.best));
+    ];
+  let small_of src =
+    Mapping.make g_small
+      ~strategy:(fun task -> Mapping.strategy_of src task.Graph.tid)
+      ~distribute:(fun task -> Mapping.distribute_of src task.Graph.tid)
+      ~proc:(fun task -> Mapping.proc_of src task.Graph.tid)
+      ~mem:(fun c -> Mapping.mem_of src c.Graph.cid)
+  in
+  Table.add_row t
+    [
+      "tuned on large";
+      cell (measure machine g_small (small_of r_large.Driver.best));
+      Printf.sprintf "%.3f" (r_large.Driver.perf *. 1e3);
+    ];
+  Table.print t;
+  Bench_common.note
+    "(each mapping is best on the input it was tuned for — the §1 re-tuning claim)"
+
+let parameter_sensitivity () =
+  Bench_common.section
+    "Sensitivity: GPU Zero-Copy bandwidth sweep (HTR 16x16y18z, placement of best mapping)";
+  let base = Presets.shepard ~nodes:1 in
+  let t = Table.create [ "gpu_zc (GB/s)"; "best (ms/iter)"; "placement" ] in
+  List.iter
+    (fun zc_gbs ->
+      let machine =
+        Machine.make ~name:"Shepard-sweep" ~nodes:1 ~node:base.Machine.node
+          ~exec_bw:{ base.Machine.exec_bw with Machine.gpu_zc = zc_gbs *. 1e9 }
+          ~compute:base.Machine.compute ~copy:base.Machine.copy
+      in
+      let g = App.htr.App.graph ~nodes:1 ~input:"16x16y18z" in
+      let r = tune machine g in
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f" zc_gbs;
+          Printf.sprintf "%.3f" (r.Driver.perf *. 1e3);
+          Report.placement_summary g r.Driver.best;
+        ])
+    [ 2.0; 10.0; 50.0; 200.0 ];
+  Table.print t;
+  Bench_common.note
+    "(as the ZC path speeds up, the best mapping shifts more arguments into Zero-Copy)"
+
+let run () =
+  machine_sensitivity ();
+  input_sensitivity ();
+  parameter_sensitivity ()

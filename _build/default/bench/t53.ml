@@ -1,0 +1,35 @@
+(* §5.3 prose numbers: mappings suggested vs. evaluated per algorithm
+   on Pennant (the paper reports CCD 1941/460, CD 389/226, OpenTuner
+   157202/273 — two orders of magnitude more suggestions than
+   evaluations for the generic tuner). *)
+
+let run () =
+  Bench_common.section "§5.3: suggested vs evaluated mappings (Pennant 320x90, 1 node)";
+  let machine = Presets.shepard ~nodes:1 in
+  let g = App.pennant.App.graph ~nodes:1 ~input:"320x90" in
+  let seed = !Bench_common.scale.seed in
+  let ccd =
+    Driver.run ~runs:(Bench_common.runs ()) ~final_runs:1 ~seed
+      (Driver.Ccd { rotations = 5 }) machine g
+  in
+  let budget = ccd.Driver.virtual_search_time in
+  let t = Table.create [ "algorithm"; "suggested"; "evaluated"; "suggested/evaluated" ] in
+  let row name (r : Driver.result) =
+    Table.add_row t
+      [
+        name;
+        string_of_int r.Driver.suggested;
+        string_of_int r.Driver.evaluated;
+        Printf.sprintf "%.0fx"
+          (float_of_int r.Driver.suggested /. float_of_int (max 1 r.Driver.evaluated));
+      ]
+  in
+  row "CCD" ccd;
+  row "CD"
+    (Driver.run ~runs:(Bench_common.runs ()) ~final_runs:1 ~seed ~budget Driver.Cd
+       machine g);
+  row "Ensemble(OT)"
+    (Driver.run ~runs:(Bench_common.runs ()) ~final_runs:1 ~seed ~budget
+       Driver.Ensemble_tuner machine g);
+  Table.print t;
+  Bench_common.note "(paper: CCD 1941/460, CD 389/226, OpenTuner 157202/273)"

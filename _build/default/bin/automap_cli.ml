@@ -1,0 +1,318 @@
+(* AutoMap command-line interface.
+
+   Subcommands:
+     apps                      -- list the bundled benchmark applications
+     tune                      -- search for a fast mapping and report it
+     compare                   -- measure default/custom/HEFT/a saved mapping
+     simulate                  -- run one mapping and export its execution trace
+
+   The workload can be a bundled benchmark (-a/--app with -i/--input)
+   or external description files (--graph FILE, and --machine FILE in
+   place of the -c preset) as produced by Graph_codec / Machine_codec —
+   the §3.3 "search space and machine model representation" input.
+
+   Examples:
+     automap_cli profile -a pennant -i 320x90 -o pennant      # emit .tg/.mach
+     automap_cli tune -a pennant -i 320x90 -n 1
+     automap_cli tune -a htr -i 8x8y9z --algo cd --runs 3 -o mapping.txt
+     automap_cli tune --graph app.tg --machine cluster.mach --objective energy
+     automap_cli compare -a pennant -i 320x90 -m mapping.txt
+     automap_cli simulate -a circuit -i n100w400 --trace trace.json *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let machine_preset ~cluster ~nodes =
+  match String.lowercase_ascii cluster with
+  | "shepard" -> Presets.shepard ~nodes
+  | "lassen" -> Presets.lassen ~nodes
+  | "testbed" -> Presets.testbed ~nodes
+  | other -> failwith (Printf.sprintf "unknown cluster %S (shepard|lassen|testbed)" other)
+
+let app_of name =
+  match App.find name with
+  | Some app -> app
+  | None ->
+      failwith
+        (Printf.sprintf "unknown application %S (%s)" name
+           (String.concat "|" (List.map (fun a -> a.App.app_name) App.all)))
+
+(* Resolve the workload: either --graph/--machine files or a bundled
+   app on a preset cluster.  Returns (machine, graph, custom mapping
+   generator if any). *)
+let resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file =
+  let machine =
+    match machine_file with
+    | Some f -> (
+        match Machine_codec.of_string (read_file f) with
+        | Ok m -> m
+        | Error e -> failwith (Printf.sprintf "%s: %s" f e))
+    | None -> machine_preset ~cluster ~nodes
+  in
+  match graph_file with
+  | Some f -> (
+      match Graph_codec.of_string (read_file f) with
+      | Ok g -> (machine, g, None)
+      | Error e -> failwith (Printf.sprintf "%s: %s" f e))
+  | None -> (
+      match (app, input) with
+      | Some a, Some i ->
+          let a = app_of a in
+          (machine, a.App.graph ~nodes:machine.Machine.nodes ~input:i, Some a.App.custom)
+      | _ -> failwith "either --graph FILE or both --app and --input are required")
+
+let objective_of = function
+  | "time" -> None
+  | "energy" ->
+      Some (fun machine r -> Energy.joules_per_iteration machine Energy.default_power r)
+  | "edp" ->
+      Some (fun machine r -> Energy.edp_per_iteration machine Energy.default_power r)
+  | other -> failwith (Printf.sprintf "unknown objective %S (time|energy|edp)" other)
+
+let algo_of = function
+  | "ccd" -> Driver.Ccd { rotations = 5 }
+  | "cd" -> Driver.Cd
+  | "ensemble" | "opentuner" | "ot" -> Driver.Ensemble_tuner
+  | "random" -> Driver.Random_walk { max_evals = 1000 }
+  | "annealing" -> Driver.Annealing { max_evals = 2000 }
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+(* common options *)
+let app_arg =
+  Arg.(value & opt (some string) None & info [ "a"; "app" ] ~docv:"APP" ~doc:"Bundled application name.")
+
+let input_arg =
+  Arg.(value & opt (some string) None & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input name (application-specific syntax).")
+
+let nodes_arg =
+  Arg.(value & opt int 1 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Machine nodes (ignored with --machine).")
+
+let cluster_arg =
+  Arg.(value & opt string "shepard" & info [ "c"; "cluster" ] ~docv:"CLUSTER" ~doc:"Machine preset: shepard, lassen or testbed.")
+
+let graph_file_arg =
+  Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"FILE" ~doc:"Task-graph description file (Graph_codec format).")
+
+let machine_file_arg =
+  Arg.(value & opt (some string) None & info [ "machine" ] ~docv:"FILE" ~doc:"Machine description file (Machine_codec format).")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+
+let apps_cmd =
+  let doc = "List the bundled benchmark applications and their inputs." in
+  let run () =
+    List.iter
+      (fun app ->
+        Printf.printf "%-8s inputs (1 node): %s\n" app.App.app_name
+          (String.concat " " (app.App.inputs ~nodes:1)))
+      App.all
+  in
+  Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
+
+let tune_cmd =
+  let doc = "Search for a fast mapping (offline autotuning, §3.3)." in
+  let algo_arg =
+    Arg.(value & opt string "ccd" & info [ "algo" ] ~docv:"ALGO" ~doc:"Search algorithm: ccd, cd, ensemble, random, annealing.")
+  in
+  let objective_arg =
+    Arg.(value & opt string "time" & info [ "objective" ] ~docv:"OBJ" ~doc:"Metric to minimize: time, energy or edp.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 7 & info [ "runs" ] ~doc:"Executions per candidate mapping.")
+  in
+  let final_runs_arg =
+    Arg.(value & opt int 30 & info [ "final-runs" ] ~doc:"Executions per top-5 mapping in the final re-evaluation.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECONDS" ~doc:"Virtual search-time budget.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the best mapping to FILE.")
+  in
+  let extended_arg =
+    Arg.(value & flag & info [ "extended" ] ~doc:"Also search the group-task distribution strategy (blocked vs cyclic across nodes).")
+  in
+  let db_arg =
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc:"Profiles-database checkpoint: reloaded before the search if it exists, rewritten afterwards (warm restart across sessions).")
+  in
+  let run app input nodes cluster graph_file machine_file seed algo objective runs
+      final_runs budget output extended db_file =
+    let machine, g, custom =
+      resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
+    in
+    let objective = objective_of objective in
+    let db =
+      match db_file with
+      | Some f when Sys.file_exists f -> (
+          match Profiles_db.load g (read_file f) with
+          | Ok db ->
+              Printf.printf "(warm start: %d mappings reloaded from %s)\n"
+                (Profiles_db.size db) f;
+              Some db
+          | Error e -> failwith (Printf.sprintf "%s: %s" f e))
+      | _ -> None
+    in
+    let r =
+      Driver.run ~runs ~final_runs ~seed ?budget ?objective ~extended ?db
+        (algo_of algo) machine g
+    in
+    Option.iter
+      (fun f ->
+        write_file f (Profiles_db.save r.Driver.db);
+        Printf.printf "(profiles database saved to %s: %d mappings)\n" f
+          (Profiles_db.size r.Driver.db))
+      db_file;
+    Format.printf "%a@.%a@.@." Machine.pp machine Graph.pp_summary g;
+    let describe label mapping =
+      match Exec.run ~noise_sigma:0.0 machine g mapping with
+      | Ok res ->
+          Printf.printf "%-8s %10.4f ms/iter  %8.4f J/iter\n" label
+            (res.Exec.per_iteration *. 1e3)
+            (Energy.joules_per_iteration machine Energy.default_power res)
+      | Error e -> Printf.printf "%-8s %s\n" label (Placement.error_to_string e)
+    in
+    describe "default" (Mapping.default_start g machine);
+    Option.iter (fun c -> describe "custom" (c g machine)) custom;
+    describe "automap" r.Driver.best;
+    Printf.printf "\nsearch: %d suggested, %d evaluated, %d cache hits, %d invalid, %d OOM\n"
+      r.Driver.suggested r.Driver.evaluated r.Driver.cache_hits r.Driver.invalid
+      r.Driver.oom;
+    Printf.printf "best mapping: %s\n" (Report.placement_summary g r.Driver.best);
+    match output with
+    | None -> ()
+    | Some file ->
+        write_file file (Codec.to_string g r.Driver.best);
+        Printf.printf "mapping written to %s\n" file
+  in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(
+      const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
+      $ machine_file_arg $ seed_arg $ algo_arg $ objective_arg $ runs_arg
+      $ final_runs_arg $ budget_arg $ out_arg $ extended_arg $ db_arg)
+
+let compare_cmd =
+  let doc = "Measure the default, custom, HEFT and (optionally) a saved mapping." in
+  let mapping_arg =
+    Arg.(value & opt (some string) None & info [ "m"; "mapping" ] ~docv:"FILE" ~doc:"Mapping file produced by tune -o.")
+  in
+  let run app input nodes cluster graph_file machine_file seed mapping_file =
+    let machine, g, custom =
+      resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
+    in
+    let measure label mapping =
+      match Automap_api.measure_mapping ~seed machine g mapping with
+      | v -> Printf.printf "%-8s %10.4f ms/iter\n" label (v *. 1e3)
+      | exception Failure e -> Printf.printf "%-8s failed: %s\n" label e
+    in
+    measure "default" (Mapping.default_start g machine);
+    Option.iter (fun c -> measure "custom" (c g machine)) custom;
+    measure "heft" (Heft.mapping machine g);
+    match mapping_file with
+    | None -> ()
+    | Some file -> (
+        match Codec.of_string g (read_file file) with
+        | Ok m -> measure "file" m
+        | Error e -> Printf.printf "file     unparsable: %s\n" e)
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
+      $ machine_file_arg $ seed_arg $ mapping_arg)
+
+let simulate_cmd =
+  let doc = "Execute one mapping in the simulator; optionally export its trace." in
+  let mapping_arg =
+    Arg.(value & opt (some string) None & info [ "m"; "mapping" ] ~docv:"FILE" ~doc:"Mapping file (default: the runtime default mapping).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome trace-event JSON of the run.")
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of the run.")
+  in
+  let run app input nodes cluster graph_file machine_file seed mapping_file trace_file
+      gantt =
+    let machine, g, _ =
+      resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
+    in
+    let mapping =
+      match mapping_file with
+      | None -> Mapping.default_start g machine
+      | Some file -> (
+          match Codec.of_string g (read_file file) with
+          | Ok m -> m
+          | Error e -> failwith e)
+    in
+    let collector = Trace.create () in
+    match Exec.run ~noise_sigma:0.0 ~seed ~trace:collector machine g mapping with
+    | Error e -> failwith (Placement.error_to_string e)
+    | Ok r ->
+        Printf.printf "makespan %.4f ms (%.4f ms/iter), %d copies, %.3f MB moved\n"
+          (r.Exec.makespan *. 1e3)
+          (r.Exec.per_iteration *. 1e3)
+          r.Exec.n_copies (r.Exec.bytes_moved /. 1e6);
+        Printf.printf "energy %.4f J/iter\n"
+          (Energy.joules_per_iteration machine Energy.default_power r);
+        if gantt then print_string (Trace.gantt collector);
+        Option.iter
+          (fun f ->
+            write_file f (Trace.to_chrome_json collector);
+            Printf.printf "trace written to %s (load in chrome://tracing)\n" f)
+          trace_file
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
+      $ machine_file_arg $ seed_arg $ mapping_arg $ trace_arg $ gantt_arg)
+
+let profile_cmd =
+  let doc =
+    "Run the application once and emit the search-space input files (§3.3): the \
+     task-graph and machine descriptions plus the measured per-task profile."
+  in
+  let out_arg =
+    Arg.(value & opt string "profile_out" & info [ "o"; "output" ] ~docv:"PREFIX" ~doc:"Output prefix: writes PREFIX.tg, PREFIX.mach and PREFIX.profile.")
+  in
+  let run app input nodes cluster graph_file machine_file seed prefix =
+    ignore seed;
+    let machine, g, _ =
+      resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
+    in
+    (* one profiling run under the runtime-default strategy *)
+    let default = Mapping.default_start g machine in
+    let profile = Exec.profile machine g default in
+    write_file (prefix ^ ".tg") (Graph_codec.to_string g);
+    write_file (prefix ^ ".mach") (Machine_codec.to_string machine);
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "# per-task seconds under the default mapping\n";
+    List.iter
+      (fun (tid, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %.17g\n" (Graph.task g tid).Graph.tname s))
+      profile;
+    write_file (prefix ^ ".profile") (Buffer.contents buf);
+    Printf.printf "wrote %s.tg, %s.mach, %s.profile\n" prefix prefix prefix;
+    Printf.printf "tune it with: automap_cli tune --graph %s.tg --machine %s.mach\n"
+      prefix prefix
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
+      $ machine_file_arg $ seed_arg $ out_arg)
+
+let () =
+  let doc = "AutoMap: automated mapping of task-based programs" in
+  let info = Cmd.info "automap_cli" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ apps_cmd; tune_cmd; compare_cmd; simulate_cmd; profile_cmd ]))

@@ -1,0 +1,1 @@
+examples/checkpointed_search.ml: App Ccd Evaluator List Portfolio Presets Printf Profiles_db Report String

@@ -1,0 +1,1 @@
+examples/checkpointed_search.mli:

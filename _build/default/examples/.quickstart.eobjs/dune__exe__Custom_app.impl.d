@@ -1,0 +1,1 @@
+examples/custom_app.ml: Automap_api Codec Driver Format Graph Machine Mapping Printf Report Workload

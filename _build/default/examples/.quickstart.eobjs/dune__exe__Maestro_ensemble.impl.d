@@ -1,0 +1,1 @@
+examples/maestro_ensemble.ml: Automap_api Driver Format List Machine Maestro Mapping Presets Printf Report

@@ -1,0 +1,1 @@
+examples/maestro_ensemble.mli:

@@ -1,0 +1,1 @@
+examples/memory_constrained.ml: Automap_api Driver Exec Graph Kinds Machine Mapping Pennant Placement Presets Printf Report

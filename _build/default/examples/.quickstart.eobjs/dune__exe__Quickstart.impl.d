@@ -1,0 +1,1 @@
+examples/quickstart.ml: App Automap_api Codec Driver Format Graph List Machine Mapping Presets Printf Report

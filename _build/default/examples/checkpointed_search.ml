@@ -1,0 +1,43 @@
+(* Checkpointed and portfolio search.
+
+     dune exec examples/checkpointed_search.exe
+
+   Long offline searches (the paper's Pennant/HTR searches ran for
+   hours, Figure 5) benefit from two framework features:
+
+   - the profiles database persists to disk, so an interrupted search
+     warm-restarts without re-executing anything it already measured;
+   - the algorithm portfolio shares one evaluator across CCD,
+     simulated annealing and random sampling, so members deduplicate
+     against each other's measurements. *)
+
+let () =
+  let machine = Presets.shepard ~nodes:1 in
+  let g = App.pennant.App.graph ~nodes:1 ~input:"320x90" in
+
+  (* session 1: run CCD and persist everything it measured *)
+  let ev1 = Evaluator.create ~runs:3 ~noise_sigma:0.02 ~seed:0 machine g in
+  let _, p1 = Ccd.search ev1 in
+  let checkpoint = Profiles_db.save (Evaluator.db ev1) in
+  Printf.printf "session 1 (CCD): best %.3f ms after %d executions; %d mappings checkpointed\n"
+    (p1 *. 1e3) (Evaluator.evaluated ev1)
+    (Profiles_db.size (Evaluator.db ev1));
+
+  (* session 2: reload and run again — everything answers from cache *)
+  (match Profiles_db.load g checkpoint with
+  | Error e -> failwith e
+  | Ok db ->
+      let ev2 = Evaluator.create ~runs:3 ~noise_sigma:0.02 ~seed:0 ~db machine g in
+      let _, p2 = Ccd.search ev2 in
+      Printf.printf
+        "session 2 (warm restart): best %.3f ms after %d executions (%d cache hits)\n"
+        (p2 *. 1e3) (Evaluator.evaluated ev2) (Evaluator.cache_hits ev2));
+
+  (* portfolio: CCD + annealing + random over one shared evaluator,
+     under a 30-virtual-second budget split equally *)
+  let ev3 = Evaluator.create ~runs:3 ~noise_sigma:0.02 ~seed:1 machine g in
+  let best, p3 = Portfolio.search ~seed:1 ~budget:30.0 ev3 in
+  Printf.printf "portfolio (%s): best %.3f ms — %s\n"
+    (String.concat "+" (List.map Portfolio.member_name Portfolio.default_members))
+    (p3 *. 1e3)
+    (Report.placement_summary g best)

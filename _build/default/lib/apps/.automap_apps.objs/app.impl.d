@@ -1,0 +1,1 @@
+lib/apps/app.ml: Circuit Graph Htr List Machine Maestro Mapping Pennant Stencil String

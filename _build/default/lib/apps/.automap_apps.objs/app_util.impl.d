@@ -1,0 +1,1 @@
+lib/apps/app_util.ml: Graph Kinds List Mapping String

@@ -1,0 +1,1 @@
+lib/apps/circuit.ml: App_util Float List Printf Workload

@@ -1,0 +1,1 @@
+lib/apps/htr.ml: App_util Float List Printf Workload

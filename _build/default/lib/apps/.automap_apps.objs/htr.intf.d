@@ -1,0 +1,1 @@
+lib/apps/htr.mli: Graph Machine Mapping

@@ -1,0 +1,1 @@
+lib/apps/maestro.ml: App_util Float Graph Kinds List Mapping Printf String Workload

@@ -1,0 +1,1 @@
+lib/apps/maestro.mli: Graph Machine Mapping

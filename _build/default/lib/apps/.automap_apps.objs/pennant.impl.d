@@ -1,0 +1,1 @@
+lib/apps/pennant.ml: App_util Float List Printf Workload

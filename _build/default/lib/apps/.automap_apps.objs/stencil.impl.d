@@ -1,0 +1,1 @@
+lib/apps/stencil.ml: App_util Float List Printf Workload

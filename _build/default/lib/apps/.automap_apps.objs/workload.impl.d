@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Float Graph Hashtbl Kinds List Mode Option Pattern Printf

@@ -1,0 +1,47 @@
+type t = {
+  app_name : string;
+  graph : nodes:int -> input:string -> Graph.t;
+  inputs : nodes:int -> string list;
+  custom : Graph.t -> Machine.t -> Mapping.t;
+}
+
+let circuit =
+  {
+    app_name = Circuit.name;
+    graph = Circuit.graph;
+    inputs = Circuit.inputs;
+    custom = Circuit.custom_mapping;
+  }
+
+let stencil =
+  {
+    app_name = Stencil.name;
+    graph = Stencil.graph;
+    inputs = Stencil.inputs;
+    custom = Stencil.custom_mapping;
+  }
+
+let pennant =
+  {
+    app_name = Pennant.name;
+    graph = Pennant.graph;
+    inputs = Pennant.inputs;
+    custom = Pennant.custom_mapping;
+  }
+
+let htr =
+  { app_name = Htr.name; graph = Htr.graph; inputs = Htr.inputs; custom = Htr.custom_mapping }
+
+let maestro =
+  {
+    app_name = Maestro.name;
+    graph = (fun ~nodes ~input -> Maestro.graph_of_input ~nodes ~input);
+    inputs = Maestro.inputs;
+    custom = Maestro.custom_mapping;
+  }
+
+let all = [ circuit; stencil; pennant; htr; maestro ]
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun a -> String.lowercase_ascii a.app_name = name) all

@@ -1,0 +1,21 @@
+(** Registry of the five benchmark applications (Figure 5) behind a
+    uniform interface, for the benchmark harness and the CLI. *)
+
+type t = {
+  app_name : string;
+  graph : nodes:int -> input:string -> Graph.t;
+  inputs : nodes:int -> string list;  (** the paper's input sweep *)
+  custom : Graph.t -> Machine.t -> Mapping.t;  (** hand-written mapper *)
+}
+
+val circuit : t
+val stencil : t
+val pennant : t
+val htr : t
+val maestro : t
+
+val all : t list
+(** In Figure 5 order. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by name. *)

@@ -1,0 +1,80 @@
+let name = "Circuit"
+
+let base_inputs =
+  [ (50, 200); (100, 400); (200, 800); (400, 1600); (800, 3200); (1600, 6400);
+    (6400, 25600); (12800, 51200) ]
+
+let inputs ~nodes =
+  List.map (fun (n, w) -> Printf.sprintf "n%dw%d" (n * nodes) (w * nodes)) base_inputs
+
+let graph ~nodes ~input =
+  match App_util.parse_pair ~tag1:'n' ~tag2:'w' input with
+  | None -> invalid_arg ("Circuit.graph: bad input " ^ input)
+  | Some (cnodes, wires) ->
+      let shards = App_util.pieces_per_node * nodes in
+      (* Input counts name circuit nodes/wires; each wire is modelled
+         with ~100 segments (elements), matching the workload scale of
+         the original Legion application. *)
+      let n = 100.0 *. float_of_int cnodes and w = 100.0 *. float_of_int wires in
+      (* Ghost fraction of a piece's node arrays: the boundary nodes
+         shared with neighbouring pieces. *)
+      (* Boundary nodes shared with neighbouring pieces: the cut of a
+         near-planar circuit graph grows like sqrt of the piece size. *)
+      let halo = Float.min 0.3 (4.0 *. float_of_int shards /. sqrt n) in
+      let arrays =
+        [
+          Workload.array_decl ~name:"wires" ~elems:w ~comps:16 ();
+          Workload.array_decl ~name:"wire_params" ~elems:w ~comps:4 ();
+          Workload.array_decl ~name:"volt" ~elems:n ~comps:2 ~halo_frac:halo ();
+          Workload.array_decl ~name:"charge" ~elems:n ~comps:1 ~halo_frac:halo ();
+          Workload.array_decl ~name:"node_params" ~elems:n ~comps:2 ();
+          Workload.array_decl ~name:"node_state" ~elems:n ~comps:2 ();
+          Workload.array_decl ~name:"node_hist" ~elems:n ~comps:1 ();
+        ]
+      in
+      let tasks =
+        [
+          (* inner Newton loop over wire segments: flop-heavy, dense *)
+          Workload.task_decl ~name:"calc_new_currents" ~work_elems:w
+            ~flops_per_elem:600.0 ~group_size:shards ~gpu_eff:1.0 ~cpu_eff:0.9
+            ~accesses:
+              [
+                Workload.read_write "wires";
+                Workload.read "wire_params";
+                Workload.read ~ghosted:true "volt";
+                Workload.read "node_params";
+                Workload.read "node_state";
+              ]
+            ();
+          (* scatter currents into charge: ghosted accumulation *)
+          Workload.task_decl ~name:"distribute_charge" ~work_elems:w
+            ~flops_per_elem:40.0 ~group_size:shards ~gpu_eff:0.6 ~cpu_eff:0.9
+            ~accesses:
+              [
+                Workload.read "wires";
+                Workload.read "wire_params";
+                Workload.read_write ~ghosted:true "charge";
+                Workload.read "node_params";
+                Workload.read "volt";
+              ]
+            ();
+          (* per-node voltage update: light *)
+          Workload.task_decl ~name:"update_voltages" ~work_elems:n
+            ~flops_per_elem:60.0 ~group_size:shards ~gpu_eff:0.5 ~cpu_eff:1.0
+            ~accesses:
+              [
+                Workload.read_write "volt";
+                Workload.read_write "charge";
+                Workload.read "node_params";
+                Workload.read_write "node_state";
+                Workload.read_write "node_hist";
+              ]
+            ();
+        ]
+      in
+      Workload.build ~name:(Printf.sprintf "Circuit-%s" input) ~iterations:3 ~arrays
+        ~tasks
+
+let custom_mapping g machine =
+  App_util.custom_mapping ~cpu_tasks:[ "update_voltages" ]
+    ~zc_arrays:[ "volt"; "charge" ] g machine

@@ -1,0 +1,23 @@
+(** Circuit: electrical circuit simulation (Bauer et al., the original
+    Legion application) — 3 group tasks, 15 collection arguments
+    (Figure 5).
+
+    Per time step: [calc_new_currents] solves each wire's currents with
+    an inner iterative loop (flop-heavy, reads the neighbouring pieces'
+    node voltages through a ghost region), [distribute_charge]
+    scatters wire currents into node charge (ghosted accumulation),
+    and [update_voltages] advances node voltages (light, per-node).
+    Inputs are named [n<nodes>w<wires>] with the totals of circuit
+    nodes and wires (the paper's Figure 6a x-axis; weak-scaled with
+    machine nodes). *)
+
+val name : string
+val graph : nodes:int -> input:string -> Graph.t
+(** @raise Invalid_argument on unparsable input names. *)
+
+val inputs : nodes:int -> string list
+(** The eight weak-scaled inputs of Figure 6a for this node count. *)
+
+val custom_mapping : Graph.t -> Machine.t -> Mapping.t
+(** The hand-written mapper: compute tasks on GPU, the scatter phase's
+    shared node state in Zero-Copy, [update_voltages] on CPU. *)

@@ -1,0 +1,92 @@
+let name = "HTR"
+
+let base_inputs = [ (8, 8, 9); (16, 16, 18); (32, 32, 36); (64, 64, 72); (128, 128, 144) ]
+
+(* Weak scaling doubles Y per doubling of nodes (the paper's 2-node
+   list is 8x16y9z..., 4-node 8x32y9z..., 8-node 8x64y9z...). *)
+let inputs ~nodes =
+  List.map (fun (x, y, z) -> Printf.sprintf "%dx%dy%dz" x (y * nodes) z) base_inputs
+
+(* (name, work scale, flops/elem, gpu_eff, cpu_eff, accesses) *)
+let phases =
+  let r ?(g = false) a = Workload.read ~ghosted:g a in
+  let w a = Workload.write a in
+  let rw a = Workload.read_write a in
+  [
+    ("bc_x_lo", 0.02, 40.0, 0.2, 1.0, [ r "prim"; rw "bc_x" ]);
+    ("bc_x_hi", 0.02, 40.0, 0.2, 1.0, [ r "prim"; rw "bc_x" ]);
+    ("bc_y_lo", 0.02, 40.0, 0.2, 1.0, [ r "prim"; rw "bc_y" ]);
+    ("bc_y_hi", 0.02, 40.0, 0.2, 1.0, [ r "prim"; rw "bc_y" ]);
+    ("bc_z_lo", 0.02, 40.0, 0.2, 1.0, [ r "prim"; rw "bc_z" ]);
+    ("bc_z_hi", 0.02, 40.0, 0.2, 1.0, [ r "prim"; rw "bc_z" ]);
+    ("update_props", 1.0, 60.0, 0.8, 1.0, [ r "prim"; w "props"; w "temp" ]);
+    ("compute_eos", 1.0, 100.0, 0.9, 1.0, [ r "cons"; w "prim"; r "props" ]);
+    ("gradients", 1.0, 80.0, 0.9, 1.0, [ r ~g:true "prim"; w "grad"; r "metrics" ]);
+    ("visc_props", 1.0, 30.0, 0.8, 1.0, [ r "temp"; rw "props" ]);
+    ("flux_x", 1.0, 150.0, 0.9, 1.0, [ r ~g:true "prim"; r "grad"; r "metrics"; w "flux_x" ]);
+    ("flux_y", 1.0, 150.0, 0.9, 1.0, [ r ~g:true "prim"; r "grad"; r "metrics"; w "flux_y" ]);
+    ("flux_z", 1.0, 150.0, 0.9, 1.0, [ r ~g:true "prim"; r "grad"; r "metrics"; w "flux_z" ]);
+    ("riemann_x", 1.0, 60.0, 0.9, 1.0, [ rw "flux_x"; r "prim" ]);
+    ("riemann_y", 1.0, 60.0, 0.9, 1.0, [ rw "flux_y"; r "prim" ]);
+    ("riemann_z", 1.0, 60.0, 0.9, 1.0, [ rw "flux_z"; r "prim" ]);
+    ("sum_fluxes", 1.0, 40.0, 0.8, 1.0, [ r "flux_x"; r "flux_y"; r "flux_z"; w "rhs" ]);
+    ("chemistry", 1.0, 20000.0, 1.0, 0.8, [ r "prim"; r "temp"; w "chem_src" ]);
+    ("add_chem", 1.0, 20.0, 0.7, 1.0, [ r "chem_src"; rw "rhs" ]);
+    ("rk_stage1", 1.0, 20.0, 0.8, 1.0, [ r "rhs"; rw "cons" ]);
+    ("rk_stage2", 1.0, 20.0, 0.8, 1.0, [ r "rhs"; rw "cons" ]);
+    ("rk_stage3", 1.0, 20.0, 0.8, 1.0, [ r "rhs"; rw "cons" ]);
+    ("update_prim", 1.0, 100.0, 0.9, 1.0, [ r "cons"; w "prim"; r "props" ]);
+    ("compute_dt", 1.0, 30.0, 0.5, 1.0, [ r "prim"; r "temp"; w "diag" ]);
+    ("avg_diag", 0.1, 20.0, 0.3, 1.0, [ rw "diag"; r "cons" ]);
+    ("probe_output", 0.05, 10.0, 0.3, 1.0, [ r "prim"; r "temp"; w "diag" ]);
+    ("stats_x", 0.1, 25.0, 0.4, 1.0, [ r "cons"; r "prim"; w "diag" ]);
+    ("sync_step", 0.01, 5.0, 0.2, 1.0, [ r "diag"; rw "cons" ]);
+  ]
+
+let graph ~nodes ~input =
+  match App_util.parse_xyz input with
+  | None -> invalid_arg ("HTR.graph: bad input " ^ input)
+  | Some (x, y, z) ->
+      let shards = App_util.pieces_per_node * nodes in
+      let cells = float_of_int (x * y * z) in
+      (* pieces split along Y: two ghost planes per interface *)
+      let halo =
+        Float.min 0.4 (2.0 *. float_of_int shards /. float_of_int (max 1 y))
+      in
+      let surface = cells /. float_of_int (max 1 z) in
+      let a ?(comps = 1) ?(halo_frac = 0.0) n elems =
+        Workload.array_decl ~name:n ~elems ~comps ~halo_frac ()
+      in
+      let arrays =
+        [
+          a "cons" cells ~comps:10;
+          a "prim" cells ~comps:12 ~halo_frac:halo;
+          a "grad" cells ~comps:9;
+          a "flux_x" cells ~comps:10;
+          a "flux_y" cells ~comps:10;
+          a "flux_z" cells ~comps:10;
+          a "rhs" cells ~comps:10;
+          a "chem_src" cells ~comps:10;
+          a "props" cells ~comps:4;
+          a "temp" cells ~comps:1;
+          a "metrics" cells ~comps:9;
+          a "bc_x" surface ~comps:4;
+          a "bc_y" surface ~comps:4;
+          a "bc_z" surface ~comps:4;
+          a "diag" (float_of_int shards *. 16.0);
+        ]
+      in
+      let tasks =
+        List.map
+          (fun (tname, scale, flops, gpu_eff, cpu_eff, accesses) ->
+            Workload.task_decl ~name:tname ~work_elems:(scale *. cells)
+              ~flops_per_elem:flops ~group_size:shards ~gpu_eff ~cpu_eff
+              ~accesses ())
+          phases
+      in
+      Workload.build ~name:(Printf.sprintf "HTR-%s" input) ~iterations:3 ~arrays ~tasks
+
+let custom_mapping g machine =
+  App_util.custom_mapping
+    ~cpu_tasks:[ "bc_x_lo"; "bc_x_hi"; "bc_y_lo"; "bc_y_hi"; "bc_z_lo"; "bc_z_hi" ]
+    ~zc_arrays:[ "prim" ] g machine

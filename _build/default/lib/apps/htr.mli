@@ -1,0 +1,19 @@
+(** HTR: hypersonic aerothermodynamics multi-physics solver (Di Renzo,
+    Fu & Urzay) — 28 group tasks, 72 collection arguments (Figure 5),
+    and the application behind the paper's Figures 2 and 3.
+
+    Each step runs boundary conditions on the six faces (tiny,
+    launch-bound tasks), property/EOS updates, gradient and flux
+    sweeps per direction (ghosted reads of the shared primitive
+    state), the stiff finite-rate chemistry integration (the dominant,
+    compute-bound task), and the Runge–Kutta update chain.  The widely
+    shared primitive/conserved arrays are what AutoMap places in
+    Zero-Copy on the best mappings (Figure 3).  Inputs use HTR's
+    [<X>x<Y>y<Z>z] tile syntax. *)
+
+val name : string
+val graph : nodes:int -> input:string -> Graph.t
+val inputs : nodes:int -> string list
+val custom_mapping : Graph.t -> Machine.t -> Mapping.t
+(** Hand-written mapper: everything on GPU; the shared primitive state
+    in Zero-Copy; boundary tasks on CPU. *)

@@ -1,0 +1,110 @@
+let name = "Pennant"
+
+let base_inputs =
+  [ (320, 90); (320, 180); (320, 360); (320, 720); (320, 1440); (320, 2880);
+    (320, 5760) ]
+
+let inputs ~nodes =
+  List.map (fun (x, y) -> Printf.sprintf "%dx%d" x (y * nodes)) base_inputs
+
+(* Component counts of every logical array, grouped by mesh entity.
+   Points are shared at piece boundaries (halo); sides are 4x zones. *)
+let point_arrays = [ ("px", 4); ("pu", 4); ("pf", 4); ("pmass", 2); ("pap", 4) ]
+
+let zone_arrays =
+  [ ("zm", 2); ("zr", 2); ("ze", 2); ("zp", 2); ("zw", 2); ("zvol", 2);
+    ("zdu", 4); ("zx", 4); ("zchar", 2) ]
+
+let side_arrays = [ ("sf", 6); ("sarea", 3); ("svol", 3) ]
+
+let sides_per_zone = 4.0
+
+let bytes_per_zone =
+  let sum l = List.fold_left (fun acc (_, c) -> acc +. float_of_int c) 0.0 l in
+  8.0 *. (sum point_arrays +. sum zone_arrays +. (sides_per_zone *. sum side_arrays))
+
+(* (task name, entity, work scale, flops/elem, gpu_eff, cpu_eff, accesses).
+   Entity selects the element count the task iterates over; accesses
+   are (array, mode, ghosted). *)
+type entity = Z | P | S
+
+let phases =
+  let r ?(g = false) a = Workload.read ~ghosted:g a in
+  let w a = Workload.write a in
+  let rw ?(g = false) a = Workload.read_write ~ghosted:g a in
+  [
+    ("init_step", Z, 1.0, 5.0, 0.5, 1.0, [ rw "zdu"; r "zm"; r "zvol" ]);
+    ("calc_ctrs", S, 1.0, 30.0, 0.9, 1.0, [ r ~g:true "px"; w "zx" ]);
+    ("calc_vols", S, 1.0, 45.0, 0.9, 1.0, [ r ~g:true "px"; r "zx"; w "zvol"; w "svol" ]);
+    ("calc_surf_vecs", S, 1.0, 30.0, 0.9, 1.0, [ r "zx"; r "px"; w "sf" ]);
+    ("calc_edge_len", S, 1.0, 25.0, 0.9, 1.0, [ r ~g:true "px"; w "sarea" ]);
+    ("calc_char_len", Z, 1.0, 20.0, 0.8, 1.0, [ r "sarea"; r "svol"; w "zchar" ]);
+    ("calc_rho", Z, 1.0, 10.0, 0.8, 1.0, [ r "zm"; r "zvol"; w "zr" ]);
+    ("calc_crnr_mass", S, 1.0, 25.0, 0.4, 1.0, [ r "zr"; r "sarea"; rw ~g:true "pmass" ]);
+    ("calc_state_gas", Z, 1.0, 400.0, 1.0, 0.9, [ r "zr"; r "ze"; w "zp"; w "zw" ]);
+    ("calc_force_pgas", S, 1.0, 30.0, 0.9, 1.0, [ r "zp"; rw "sf" ]);
+    ("calc_force_tts", S, 1.0, 35.0, 0.9, 1.0, [ r "zr"; r "svol"; rw "sf" ]);
+    ("qcs_zone_center", Z, 1.0, 60.0, 0.9, 1.0, [ r "pu"; r "px"; w "zdu" ]);
+    ("qcs_corner_div", S, 1.0, 80.0, 0.8, 1.0,
+     [ r ~g:true "pu"; r ~g:true "px"; r "zx"; rw "sf" ]);
+    ("qcs_qcn_force", S, 1.0, 70.0, 0.9, 1.0, [ r "zr"; r "zdu"; r "zchar"; rw "sf" ]);
+    ("qcs_force", S, 1.0, 40.0, 0.9, 1.0, [ rw "sf"; r "sarea"; r "zchar" ]);
+    ("sum_crnr_force", S, 1.0, 30.0, 0.4, 1.0, [ r "sf"; rw ~g:true "pf" ]);
+    ("apply_fixed_bc", P, 0.05, 10.0, 0.3, 1.0, [ rw "pf"; rw "pu"; r "px"; r "pmass" ]);
+    ("calc_accel", P, 1.0, 10.0, 0.7, 1.0, [ r "pf"; r "pmass"; w "pap" ]);
+    ("adv_nodes_half", P, 1.0, 15.0, 0.7, 1.0, [ r "pu"; r "pap"; rw "px" ]);
+    ("adv_nodes_full", P, 1.0, 15.0, 0.7, 1.0, [ rw "pu"; r "pap"; rw "px" ]);
+    ("calc_ctrs_full", S, 1.0, 30.0, 0.9, 1.0, [ r ~g:true "px"; rw "zx" ]);
+    ("calc_vols_full", S, 1.0, 45.0, 0.9, 1.0,
+     [ r ~g:true "px"; r "zx"; rw "zvol"; rw "svol" ]);
+    ("calc_work", S, 1.0, 50.0, 0.8, 1.0, [ r "sf"; r "pu"; r "px"; rw "zw" ]);
+    ("calc_work_rate", Z, 1.0, 20.0, 0.8, 1.0, [ r "zvol"; r "zw"; rw "ze" ]);
+    ("calc_energy", Z, 1.0, 25.0, 0.8, 1.0, [ r "zw"; rw "ze"; r "zm" ]);
+    ("calc_rho_full", Z, 1.0, 10.0, 0.8, 1.0, [ r "zm"; r "zvol"; rw "zr" ]);
+    ("sum_energy", Z, 1.0, 15.0, 0.4, 1.0, [ r "ze"; r "zm"; w "diag" ]);
+    ("calc_dt_courant", Z, 1.0, 30.0, 0.5, 1.0, [ r "zdu"; r "zchar"; w "diag" ]);
+    ("calc_dt_volume", Z, 1.0, 20.0, 0.5, 1.0, [ r "zvol"; r "svol"; w "diag" ]);
+    ("calc_dt_hydro", Z, 1.0, 10.0, 0.3, 1.0, [ r "diag"; rw "zdu" ]);
+    ("write_output", Z, 0.2, 5.0, 0.3, 1.0,
+     [ r "zr"; r "ze"; r "zp"; r "pu"; r "px"; w "diag" ]);
+  ]
+
+let graph_of_zones ~nodes ~zones =
+  let shards = App_util.pieces_per_node * nodes in
+  let z = zones in
+  let p = z in
+  let s = sides_per_zone *. z in
+  (* Boundary points shared between vertically adjacent pieces: the
+     inputs are 320-wide strips partitioned along Y, so each piece
+     shares two 320-point rows with its neighbours. *)
+  let halo = Float.min 0.4 (640.0 *. float_of_int shards /. z) in
+  let decl (n, comps) ~elems ~halo_frac =
+    Workload.array_decl ~name:n ~elems ~comps ~halo_frac ()
+  in
+  let arrays =
+    List.map (decl ~elems:p ~halo_frac:halo) point_arrays
+    @ List.map (decl ~elems:z ~halo_frac:0.0) zone_arrays
+    @ List.map (decl ~elems:s ~halo_frac:0.0) side_arrays
+    @ [ Workload.array_decl ~name:"diag" ~elems:(float_of_int shards *. 8.0) () ]
+  in
+  let elems_of = function Z -> z | P -> p | S -> s in
+  let tasks =
+    List.map
+      (fun (tname, entity, scale, flops, gpu_eff, cpu_eff, accesses) ->
+        Workload.task_decl ~name:tname
+          ~work_elems:(scale *. elems_of entity)
+          ~flops_per_elem:flops ~group_size:shards ~gpu_eff ~cpu_eff
+          ~accesses ())
+      phases
+  in
+  Workload.build
+    ~name:(Printf.sprintf "Pennant-%.0fz" z)
+    ~iterations:3 ~arrays ~tasks
+
+let graph ~nodes ~input =
+  match App_util.parse_cross input with
+  | None -> invalid_arg ("Pennant.graph: bad input " ^ input)
+  | Some (x, y) -> graph_of_zones ~nodes ~zones:(float_of_int x *. float_of_int y)
+
+let custom_mapping g machine =
+  App_util.custom_mapping ~zc_arrays:[ "px"; "pu"; "pf"; "pmass" ] g machine

@@ -1,0 +1,28 @@
+(** Pennant: Lagrangian staggered-grid hydrodynamics mini-app
+    (Ferenbaugh) — the paper's most complex benchmark: 31 group tasks
+    and 97 collection arguments per cycle (Figure 5).
+
+    The cycle follows the real mini-app's phase structure: geometry
+    (corner/volume calculations over sides), state (EOS — the
+    flop-heavy [calc_state_gas]), artificial viscosity (the QCS
+    tasks), force accumulation with ghosted corner-to-point scatters,
+    point advancement, work/energy updates, and the dt reductions.
+    Zones, points (shared at piece boundaries → overlap edges), and
+    sides (4× zones) size the collections; inputs are [<X>x<Y>] zone
+    grids. *)
+
+val name : string
+val graph : nodes:int -> input:string -> Graph.t
+val graph_of_zones : nodes:int -> zones:float -> Graph.t
+(** Direct control of the zone count — used by the memory-constrained
+    experiment (Figure 8) to construct inputs a fixed percentage above
+    the Frame-Buffer capacity. *)
+
+val inputs : nodes:int -> string list
+val bytes_per_zone : float
+(** Total resident bytes per zone across all collections (for
+    capacity arithmetic in the Figure 8 harness). *)
+
+val custom_mapping : Graph.t -> Machine.t -> Mapping.t
+(** Hand-written mapper: everything on GPU with the shared point
+    arrays in Zero-Copy. *)

@@ -1,0 +1,67 @@
+let name = "Stencil"
+
+let base_inputs =
+  [ (500, 500); (1000, 1000); (1500, 1500); (2000, 2000); (2500, 2500);
+    (3000, 3000); (3500, 3500); (4000, 4000); (4500, 4500); (5000, 5000);
+    (5500, 5500) ]
+
+(* Weak scaling doubles the X dimension per doubling of nodes, as in
+   Figure 6b's per-node-count input lists. *)
+let inputs ~nodes =
+  List.map (fun (x, y) -> Printf.sprintf "%dx%d" (x * nodes) y) base_inputs
+
+let graph ~nodes ~input =
+  match App_util.parse_cross input with
+  | None -> invalid_arg ("Stencil.graph: bad input " ^ input)
+  | Some (x, y) ->
+      let shards = App_util.pieces_per_node * nodes in
+      let cells = float_of_int x *. float_of_int y in
+      let rows_per_shard = Float.max 1.0 (float_of_int y /. float_of_int shards) in
+      (* radius-2 ghost rows on both sides of a piece *)
+      let halo = Float.min 0.5 (4.0 /. rows_per_shard) in
+      let perimeter = 2.0 *. float_of_int (x + y) in
+      let arrays =
+        [
+          Workload.array_decl ~name:"grid_a" ~elems:cells ~halo_frac:halo ();
+          Workload.array_decl ~name:"grid_b" ~elems:cells ();
+          Workload.array_decl ~name:"wx" ~elems:25.0 ();
+          Workload.array_decl ~name:"wy" ~elems:25.0 ();
+          Workload.array_decl ~name:"bc_x" ~elems:perimeter ();
+          Workload.array_decl ~name:"bc_y" ~elems:perimeter ();
+          Workload.array_decl ~name:"mask" ~elems:cells ();
+          Workload.array_decl ~name:"norm" ~elems:(float_of_int shards) ();
+        ]
+      in
+      let tasks =
+        [
+          Workload.task_decl ~name:"stencil" ~work_elems:cells ~flops_per_elem:18.0
+            ~group_size:shards ~gpu_eff:0.9 ~cpu_eff:1.0
+            ~accesses:
+              [
+                Workload.read ~ghosted:true "grid_a";
+                Workload.read_write "grid_b";
+                Workload.read "wx";
+                Workload.read "wy";
+                Workload.read "bc_x";
+                Workload.read "bc_y";
+              ]
+            ();
+          Workload.task_decl ~name:"increment" ~work_elems:cells ~flops_per_elem:2.0
+            ~group_size:shards ~gpu_eff:0.8 ~cpu_eff:1.0
+            ~accesses:
+              [
+                Workload.read_write "grid_a";
+                Workload.read "grid_b";
+                Workload.read "mask";
+                Workload.read_write "bc_x";
+                Workload.read_write "bc_y";
+                Workload.write "norm";
+              ]
+            ();
+        ]
+      in
+      Workload.build ~name:(Printf.sprintf "Stencil-%s" input) ~iterations:3 ~arrays
+        ~tasks
+
+let custom_mapping g machine =
+  App_util.custom_mapping ~zc_arrays:[ "bc_x"; "bc_y"; "norm" ] g machine

@@ -1,0 +1,18 @@
+(** Stencil: 2D structured stencil from the Parallel Research Kernels
+    (Figure 5: 2 group tasks, 12 collection arguments).
+
+    Per time step, [stencil] applies a radius-2 star stencil to grid A
+    producing B (reading A's ghost rows from neighbouring pieces) and
+    [increment] bumps A.  Both tasks are bandwidth-bound (≈ 2 flops per
+    touched byte), which is what lets socket-aggregate CPU mappings and
+    System/Zero-Copy data placements compete with the GPU at small and
+    medium grids (§5, Figure 6b discussion).  Inputs are named
+    [<X>x<Y>] grid dimensions. *)
+
+val name : string
+val graph : nodes:int -> input:string -> Graph.t
+val inputs : nodes:int -> string list
+val custom_mapping : Graph.t -> Machine.t -> Mapping.t
+(** The hand-written mapper follows the default strategy (it matches
+    the default within noise in Figure 6b), with the small boundary
+    arrays in Zero-Copy. *)

@@ -1,0 +1,141 @@
+type array_decl = {
+  aname : string;
+  elems : float;
+  comps : int;
+  halo_frac : float;
+}
+
+let array_decl ?(comps = 1) ?(halo_frac = 0.0) ~name ~elems () =
+  if elems <= 0.0 then raise (Graph.Invalid_graph ("array " ^ name ^ ": elems must be positive"));
+  if comps <= 0 then raise (Graph.Invalid_graph ("array " ^ name ^ ": comps must be positive"));
+  if halo_frac < 0.0 || halo_frac >= 1.0 then
+    raise (Graph.Invalid_graph ("array " ^ name ^ ": halo_frac must be in [0,1)"));
+  { aname = name; elems; comps; halo_frac }
+
+type access = { array : string; amode : Mode.t; ghosted : bool }
+
+let read ?(ghosted = false) array = { array; amode = Mode.Read; ghosted }
+let write array = { array; amode = Mode.Write; ghosted = false }
+let read_write ?(ghosted = false) array = { array; amode = Mode.Read_write; ghosted }
+
+type task_decl = {
+  dname : string;
+  work_elems : float;
+  flops_per_elem : float;
+  variants : Kinds.proc_kind list;
+  cpu_eff : float;
+  gpu_eff : float;
+  group_size : int;
+  accesses : access list;
+}
+
+let task_decl ?(variants = Kinds.all_proc_kinds) ?(cpu_eff = 1.0) ?(gpu_eff = 1.0) ~name
+    ~work_elems ~flops_per_elem ~group_size ~accesses () =
+  {
+    dname = name;
+    work_elems;
+    flops_per_elem;
+    variants;
+    cpu_eff;
+    gpu_eff;
+    group_size;
+    accesses;
+  }
+
+let bytes_per_elem comps = 8.0 *. float_of_int comps
+
+(* One concrete collection argument created for an access. *)
+type placed_access = { order : int; tid : int; cid : int; acc : access }
+
+let build ~name ~iterations ~arrays ~tasks =
+  if arrays = [] then raise (Graph.Invalid_graph (name ^ ": no arrays declared"));
+  if tasks = [] then raise (Graph.Invalid_graph (name ^ ": no tasks declared"));
+  let array_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem array_tbl a.aname then
+        raise (Graph.Invalid_graph (name ^ ": duplicate array " ^ a.aname));
+      Hashtbl.replace array_tbl a.aname a)
+    arrays;
+  let find_array n =
+    match Hashtbl.find_opt array_tbl n with
+    | Some a -> a
+    | None -> raise (Graph.Invalid_graph (name ^ ": unknown array " ^ n))
+  in
+  let b = Graph.Builder.create ~iterations ~name () in
+  (* accesses of each array, in task-declaration order *)
+  let by_array : (string, placed_access list) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun order (t : task_decl) ->
+      let flops = t.work_elems *. t.flops_per_elem /. float_of_int t.group_size in
+      let tid =
+        Graph.Builder.add_task b ~name:t.dname ~group_size:t.group_size
+          ~variants:t.variants ~flops ~cpu_efficiency:t.cpu_eff
+          ~gpu_efficiency:t.gpu_eff ()
+      in
+      List.iter
+        (fun acc ->
+          let a = find_array acc.array in
+          let bytes =
+            a.elems *. bytes_per_elem a.comps /. float_of_int t.group_size
+          in
+          let cid =
+            Graph.Builder.add_arg b ~task:tid
+              ~name:(Printf.sprintf "%s.%s" t.dname a.aname)
+              ~bytes ~mode:acc.amode
+          in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_array a.aname) in
+          Hashtbl.replace by_array a.aname ({ order; tid; cid; acc } :: prev))
+        t.accesses)
+    tasks;
+  (* Dependence edges per array. *)
+  Hashtbl.iter
+    (fun aname placed_rev ->
+      let a = find_array aname in
+      let placed = List.rev placed_rev in
+      let writers = List.filter (fun p -> Mode.writes p.acc.amode) placed in
+      let readers = List.filter (fun p -> Mode.reads p.acc.amode) placed in
+      let last_writer =
+        List.fold_left (fun _ w -> Some w) None writers
+      in
+      List.iter
+        (fun r ->
+          let prior =
+            List.fold_left
+              (fun best w -> if w.order < r.order && w.cid <> r.cid then Some w else best)
+              None writers
+          in
+          let connect w ~carried =
+            let pattern =
+              if r.acc.ghosted && a.halo_frac > 0.0 then Pattern.halo ~frac:a.halo_frac
+              else Pattern.Same_shard
+            in
+            Graph.Builder.add_dep b ~src:w.cid ~dst:r.cid ~pattern ~carried
+          in
+          match prior with
+          | Some w -> connect w ~carried:false
+          | None -> (
+              (* fed by the previous iteration's last writer, if any *)
+              match last_writer with
+              | Some w when w.cid <> r.cid -> connect w ~carried:true
+              | Some _ | None -> ()))
+        readers;
+      (* Overlap clique: arguments naming the same array reference the
+         same logical data; |c1 ∩ c2| is the smaller partition. *)
+      let rec pairs = function
+        | [] -> ()
+        | p :: rest ->
+            List.iter
+              (fun q ->
+                let bytes_of (x : placed_access) =
+                  let t = List.nth tasks x.order in
+                  a.elems *. bytes_per_elem a.comps /. float_of_int t.group_size
+                in
+                let w = Float.min (bytes_of p) (bytes_of q) in
+                Graph.Builder.add_overlap b p.cid q.cid ~bytes:w)
+              rest;
+            pairs rest
+      in
+      pairs placed)
+    by_array;
+  Graph.Builder.build b

@@ -1,0 +1,77 @@
+(** Declarative workload builder shared by the five benchmark
+    applications.
+
+    A workload is described by *logical arrays* (the data structures a
+    time step reads and writes) and *tasks* listed in per-iteration
+    execution order, each accessing a subset of the arrays.  The
+    builder derives the artifacts the rest of the system needs:
+
+    - one collection argument per (task, array) access, sized as the
+      task's per-shard partition of the array;
+    - dependence edges: each read is fed by the most recent write of
+      the same array earlier in the task list (same-shard, or halo when
+      the access is declared ghosted); reads that precede the first
+      write are fed by the *last* write as a loop-carried edge — so
+      data that ping-pongs between differently-mapped tasks is charged
+      every iteration, the central cost CCD trades against compute
+      (§4.2);
+    - overlap edges of the induced graph C: arguments naming the same
+      array overlap, with weight = the smaller argument restricted by
+      the access' ghost fraction — halo arguments produce the light
+      edges that CCD prunes first. *)
+
+type array_decl = {
+  aname : string;
+  elems : float;       (** total elements across the whole problem *)
+  comps : int;         (** values per element *)
+  halo_frac : float;   (** ghost fraction of a shard partition, in [0,1) *)
+}
+
+val array_decl :
+  ?comps:int -> ?halo_frac:float -> name:string -> elems:float -> unit -> array_decl
+(** [comps] defaults to 1, [halo_frac] to 0 (no ghost region). *)
+
+type access = {
+  array : string;
+  amode : Mode.t;
+  ghosted : bool;  (** the consumer also needs neighbours' halo data *)
+}
+
+val read : ?ghosted:bool -> string -> access
+val write : string -> access
+val read_write : ?ghosted:bool -> string -> access
+
+type task_decl = {
+  dname : string;
+  work_elems : float;      (** total elements the task processes *)
+  flops_per_elem : float;
+  variants : Kinds.proc_kind list;
+  cpu_eff : float;
+  gpu_eff : float;
+  group_size : int;
+  accesses : access list;
+}
+
+val task_decl :
+  ?variants:Kinds.proc_kind list ->
+  ?cpu_eff:float ->
+  ?gpu_eff:float ->
+  name:string ->
+  work_elems:float ->
+  flops_per_elem:float ->
+  group_size:int ->
+  accesses:access list ->
+  unit ->
+  task_decl
+(** [variants] defaults to both kinds, efficiencies to 1.0. *)
+
+val build :
+  name:string -> iterations:int -> arrays:array_decl list -> tasks:task_decl list ->
+  Graph.t
+(** Raises {!Graph.Invalid_graph} on inconsistent declarations (unknown
+    or duplicate array names, empty task/array lists).  An array no
+    task writes is treated as input data: its readers get no
+    dependence edges. *)
+
+val bytes_per_elem : int -> float
+(** [comps] components of 8-byte values. *)

@@ -1,0 +1,1 @@
+lib/core/automap_api.ml: App Driver Evaluator Graph List Machine Mapping Stats

@@ -1,0 +1,1 @@
+lib/core/automap_api.mli: App Driver Graph Machine Mapping

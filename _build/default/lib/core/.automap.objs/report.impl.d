@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Float Graph Kinds List Mapping Printf String

@@ -1,0 +1,43 @@
+type comparison = {
+  label : string;
+  mapping : Mapping.t;
+  perf : float;
+  speedup_vs_default : float;
+}
+
+type tuning = {
+  machine : Machine.t;
+  graph : Graph.t;
+  result : Driver.result;
+  default_perf : float;
+  comparisons : comparison list;
+}
+
+let speedup ~baseline t = baseline /. t
+
+let measure_mapping ?(runs = 7) ?(seed = 9001) ?noise_sigma machine graph mapping =
+  let ev = Evaluator.create ~runs ?noise_sigma ~seed machine graph in
+  Stats.mean (Evaluator.measure ev mapping)
+
+let tune ?(algo = Driver.Ccd { rotations = 5 }) ?(seed = 0) ?runs ?final_runs ?budget
+    ?noise_sigma ~app ~machine ~input () =
+  let graph = app.App.graph ~nodes:machine.Machine.nodes ~input in
+  let result =
+    Driver.run ?runs ?final_runs ?noise_sigma ~seed ?budget algo machine graph
+  in
+  let default_mapping = Mapping.default_start graph machine in
+  let custom = app.App.custom graph machine in
+  let measure = measure_mapping ?noise_sigma ~seed:(seed + 77) machine graph in
+  let default_perf = measure default_mapping in
+  let perf_or_inf m = try measure m with Failure _ -> infinity in
+  let comparisons =
+    List.map
+      (fun (label, mapping, perf) ->
+        { label; mapping; perf; speedup_vs_default = speedup ~baseline:default_perf perf })
+      [
+        ("default", default_mapping, default_perf);
+        ("custom", custom, perf_or_inf custom);
+        ("automap", result.Driver.best, result.Driver.perf);
+      ]
+  in
+  { machine; graph; result; default_perf; comparisons }

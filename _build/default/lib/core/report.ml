@@ -1,0 +1,67 @@
+let bar width frac =
+  let n = max 1 (int_of_float (frac *. float_of_int width)) in
+  String.make n '#'
+
+let mapping g m =
+  let buf = Buffer.create 1024 in
+  let largest =
+    List.fold_left
+      (fun acc (c : Graph.collection) -> Float.max acc c.bytes)
+      1.0 (Graph.collections g)
+  in
+  List.iter
+    (fun (task : Graph.task) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s -> %s%s\n" task.tname
+           (Kinds.proc_kind_to_string (Mapping.proc_of m task.tid))
+           (if Mapping.distribute_of m task.tid then " (distributed)" else " (leader)"));
+      List.iter
+        (fun (c : Graph.collection) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s %-3s %s\n" c.cname
+               (Kinds.mem_kind_to_string (Mapping.mem_of m c.cid))
+               (bar 24 (c.bytes /. largest))))
+        task.args)
+    (Graph.topological_order g);
+  Buffer.contents buf
+
+let mapping_diff g a b =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (task : Graph.task) ->
+      if Mapping.proc_of a task.tid <> Mapping.proc_of b task.tid then
+        Buffer.add_string buf
+          (Printf.sprintf "task %s: %s -> %s\n" task.tname
+             (Kinds.proc_kind_to_string (Mapping.proc_of a task.tid))
+             (Kinds.proc_kind_to_string (Mapping.proc_of b task.tid)));
+      if Mapping.distribute_of a task.tid <> Mapping.distribute_of b task.tid then
+        Buffer.add_string buf
+          (Printf.sprintf "task %s: distribute %b -> %b\n" task.tname
+             (Mapping.distribute_of a task.tid)
+             (Mapping.distribute_of b task.tid));
+      List.iter
+        (fun (c : Graph.collection) ->
+          if Mapping.mem_of a c.cid <> Mapping.mem_of b c.cid then
+            Buffer.add_string buf
+              (Printf.sprintf "arg %s: %s -> %s\n" c.cname
+                 (Kinds.mem_kind_to_string (Mapping.mem_of a c.cid))
+                 (Kinds.mem_kind_to_string (Mapping.mem_of b c.cid))))
+        task.args)
+    (Graph.topological_order g);
+  Buffer.contents buf
+
+let placement_summary g m =
+  let count_proc k =
+    Array.to_list g.Graph.tasks
+    |> List.filter (fun (t : Graph.task) -> Kinds.equal_proc (Mapping.proc_of m t.tid) k)
+    |> List.length
+  in
+  let count_mem k =
+    Graph.collections g
+    |> List.filter (fun (c : Graph.collection) ->
+           Kinds.equal_mem (Mapping.mem_of m c.cid) k)
+    |> List.length
+  in
+  Printf.sprintf "tasks: %d CPU / %d GPU; args: %d SYS / %d ZC / %d FB"
+    (count_proc Kinds.Cpu) (count_proc Kinds.Gpu) (count_mem Kinds.System)
+    (count_mem Kinds.Zero_copy) (count_mem Kinds.Frame_buffer)

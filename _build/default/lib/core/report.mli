@@ -1,0 +1,19 @@
+(** Textual mapping visualization in the style of Figures 2 and 3.
+
+    For each task: the processor kind it runs on; under it, one line
+    per collection argument with the memory kind and a bar showing the
+    argument's size relative to the application's largest argument
+    (the rectangles of Figure 3). *)
+
+val mapping : Graph.t -> Mapping.t -> string
+(** Full rendering. *)
+
+val mapping_diff : Graph.t -> Mapping.t -> Mapping.t -> string
+(** Only the decisions where the two mappings differ (e.g., AutoMap's
+    discovery vs. the default strategy) — one line per difference,
+    empty string if identical. *)
+
+val placement_summary : Graph.t -> Mapping.t -> string
+(** One line: how many tasks per processor kind, how many collection
+    arguments per memory kind (the counts §5 quotes, e.g. "9 collection
+    arguments in Zero-Copy, 2 tasks on CPU"). *)

@@ -1,0 +1,1 @@
+lib/machine/kinds.ml: Format String

@@ -1,0 +1,1 @@
+lib/machine/machine_codec.ml: List Machine Option Printf String

@@ -1,0 +1,46 @@
+type proc_kind = Cpu | Gpu
+type mem_kind = System | Zero_copy | Frame_buffer
+
+let all_proc_kinds = [ Cpu; Gpu ]
+let all_mem_kinds = [ System; Zero_copy; Frame_buffer ]
+
+let accessible p m =
+  match (p, m) with
+  | Cpu, (System | Zero_copy) -> true
+  | Cpu, Frame_buffer -> false
+  | Gpu, (Frame_buffer | Zero_copy) -> true
+  | Gpu, System -> false
+
+let accessible_mem_kinds = function
+  | Cpu -> [ System; Zero_copy ]
+  | Gpu -> [ Frame_buffer; Zero_copy ]
+
+let rank_proc = function Cpu -> 0 | Gpu -> 1
+let rank_mem = function System -> 0 | Zero_copy -> 1 | Frame_buffer -> 2
+let compare_proc a b = compare (rank_proc a) (rank_proc b)
+let compare_mem a b = compare (rank_mem a) (rank_mem b)
+let equal_proc a b = compare_proc a b = 0
+let equal_mem a b = compare_mem a b = 0
+
+let proc_kind_to_string = function Cpu -> "CPU" | Gpu -> "GPU"
+
+let mem_kind_to_string = function
+  | System -> "SYS"
+  | Zero_copy -> "ZC"
+  | Frame_buffer -> "FB"
+
+let proc_kind_of_string s =
+  match String.uppercase_ascii s with
+  | "CPU" -> Some Cpu
+  | "GPU" -> Some Gpu
+  | _ -> None
+
+let mem_kind_of_string s =
+  match String.uppercase_ascii s with
+  | "SYS" | "SYSTEM" -> Some System
+  | "ZC" | "ZERO_COPY" | "ZEROCOPY" -> Some Zero_copy
+  | "FB" | "FRAME_BUFFER" | "FRAMEBUFFER" -> Some Frame_buffer
+  | _ -> None
+
+let pp_proc ppf p = Format.pp_print_string ppf (proc_kind_to_string p)
+let pp_mem ppf m = Format.pp_print_string ppf (mem_kind_to_string m)

@@ -1,0 +1,40 @@
+(** Processor and memory kinds (§2 of the paper).
+
+    The machine model distinguishes processor *kinds* (CPU, GPU) and
+    memory *kinds* (System, Zero-Copy, Frame-Buffer).  AutoMap's
+    factored search space (§3.2) operates on kinds only; the runtime
+    logic (our simulator) later selects concrete devices of the chosen
+    kind.  Addressability follows Figure 1: System memory is reachable
+    only from CPUs, Frame-Buffer only from GPUs, and Zero-Copy (pinned
+    host memory) from both. *)
+
+type proc_kind = Cpu | Gpu
+
+type mem_kind = System | Zero_copy | Frame_buffer
+
+val all_proc_kinds : proc_kind list
+val all_mem_kinds : mem_kind list
+
+val accessible : proc_kind -> mem_kind -> bool
+(** [accessible p m] is true iff a processor of kind [p] can address a
+    memory of kind [m] directly (constraint (1) of §4.2 requires every
+    collection argument to satisfy this). *)
+
+val accessible_mem_kinds : proc_kind -> mem_kind list
+(** Memory kinds addressable from a processor kind, fastest first
+    (Frame-Buffer before Zero-Copy for GPUs, System before Zero-Copy
+    for CPUs). *)
+
+val compare_proc : proc_kind -> proc_kind -> int
+val compare_mem : mem_kind -> mem_kind -> int
+val equal_proc : proc_kind -> proc_kind -> bool
+val equal_mem : mem_kind -> mem_kind -> bool
+
+val proc_kind_to_string : proc_kind -> string
+val mem_kind_to_string : mem_kind -> string
+
+val proc_kind_of_string : string -> proc_kind option
+val mem_kind_of_string : string -> mem_kind option
+
+val pp_proc : Format.formatter -> proc_kind -> unit
+val pp_mem : Format.formatter -> mem_kind -> unit

@@ -1,0 +1,152 @@
+let to_string (m : Machine.t) =
+  let n = m.Machine.node in
+  let e = m.Machine.exec_bw in
+  let c = m.Machine.compute in
+  let y = m.Machine.copy in
+  String.concat "\n"
+    [
+      Printf.sprintf "machine %s nodes=%d" m.Machine.name m.Machine.nodes;
+      Printf.sprintf
+        "node sockets=%d cores_per_socket=%d gpus=%d sysmem=%.17g zc=%.17g fb=%.17g"
+        n.Machine.sockets n.Machine.cores_per_socket n.Machine.gpus
+        n.Machine.sysmem_per_socket n.Machine.zc_capacity n.Machine.fb_capacity;
+      Printf.sprintf "exec_bw cpu_sys=%.17g cpu_zc=%.17g gpu_fb=%.17g gpu_zc=%.17g"
+        e.Machine.cpu_sys e.Machine.cpu_zc e.Machine.gpu_fb e.Machine.gpu_zc;
+      Printf.sprintf
+        "compute cpu_flops=%.17g gpu_flops=%.17g cpu_launch=%.17g gpu_launch=%.17g dispatch=%.17g"
+        c.Machine.cpu_flops c.Machine.gpu_flops c.Machine.cpu_launch_overhead
+        c.Machine.gpu_launch_overhead c.Machine.runtime_dispatch;
+      Printf.sprintf
+        "copy memcpy=%.17g cross_socket=%.17g pcie=%.17g gpu_peer=%.17g local_latency=%.17g net_bw=%.17g net_latency=%.17g"
+        y.Machine.memcpy_bw y.Machine.cross_socket_bw y.Machine.pcie_bw
+        y.Machine.gpu_peer_bw y.Machine.local_latency y.Machine.net_bandwidth
+        y.Machine.net_latency;
+      "";
+    ]
+
+type fields = (string * string) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_fields lineno tokens : fields =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> fail "line %d: expected key=value, got %S" lineno tok)
+    tokens
+
+let get_float lineno fields key =
+  match List.assoc_opt key fields with
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> fail "line %d: %s: bad number %S" lineno key v)
+  | None -> fail "line %d: missing field %s" lineno key
+
+let get_int lineno fields key =
+  match List.assoc_opt key fields with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> i
+      | None -> fail "line %d: %s: bad integer %S" lineno key v)
+  | None -> fail "line %d: missing field %s" lineno key
+
+type stanzas = {
+  mutable header : (string * int) option;
+  mutable node : Machine.node_desc option;
+  mutable exec_bw : Machine.exec_bandwidth option;
+  mutable compute : Machine.compute_perf option;
+  mutable copy : Machine.copy_perf option;
+}
+
+let of_string s =
+  let st = { header = None; node = None; exec_bw = None; compute = None; copy = None } in
+  let once lineno what current =
+    if Option.is_some current then fail "line %d: duplicate %s stanza" lineno what
+  in
+  try
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | "machine" :: name :: rest ->
+              once lineno "machine" st.header;
+              let fields = parse_fields lineno rest in
+              st.header <- Some (name, get_int lineno fields "nodes")
+          | "node" :: rest ->
+              once lineno "node" st.node;
+              let f = parse_fields lineno rest in
+              st.node <-
+                Some
+                  {
+                    Machine.sockets = get_int lineno f "sockets";
+                    cores_per_socket = get_int lineno f "cores_per_socket";
+                    gpus = get_int lineno f "gpus";
+                    sysmem_per_socket = get_float lineno f "sysmem";
+                    zc_capacity = get_float lineno f "zc";
+                    fb_capacity = get_float lineno f "fb";
+                  }
+          | "exec_bw" :: rest ->
+              once lineno "exec_bw" st.exec_bw;
+              let f = parse_fields lineno rest in
+              st.exec_bw <-
+                Some
+                  {
+                    Machine.cpu_sys = get_float lineno f "cpu_sys";
+                    cpu_zc = get_float lineno f "cpu_zc";
+                    gpu_fb = get_float lineno f "gpu_fb";
+                    gpu_zc = get_float lineno f "gpu_zc";
+                  }
+          | "compute" :: rest ->
+              once lineno "compute" st.compute;
+              let f = parse_fields lineno rest in
+              st.compute <-
+                Some
+                  {
+                    Machine.cpu_flops = get_float lineno f "cpu_flops";
+                    gpu_flops = get_float lineno f "gpu_flops";
+                    cpu_launch_overhead = get_float lineno f "cpu_launch";
+                    gpu_launch_overhead = get_float lineno f "gpu_launch";
+                    runtime_dispatch = get_float lineno f "dispatch";
+                  }
+          | "copy" :: rest ->
+              once lineno "copy" st.copy;
+              let f = parse_fields lineno rest in
+              st.copy <-
+                Some
+                  {
+                    Machine.memcpy_bw = get_float lineno f "memcpy";
+                    cross_socket_bw = get_float lineno f "cross_socket";
+                    pcie_bw = get_float lineno f "pcie";
+                    gpu_peer_bw = get_float lineno f "gpu_peer";
+                    local_latency = get_float lineno f "local_latency";
+                    net_bandwidth = get_float lineno f "net_bw";
+                    net_latency = get_float lineno f "net_latency";
+                  }
+          | other :: _ -> fail "line %d: unknown stanza %S" lineno other
+          | [] -> ())
+      (String.split_on_char '\n' s);
+    let req what = function Some v -> v | None -> fail "missing %s stanza" what in
+    let name, nodes = req "machine" st.header in
+    let machine =
+      Machine.make ~name ~nodes ~node:(req "node" st.node)
+        ~exec_bw:(req "exec_bw" st.exec_bw)
+        ~compute:(req "compute" st.compute)
+        ~copy:(req "copy" st.copy)
+    in
+    Ok machine
+  with
+  | Parse_error e -> Error e
+  | Invalid_argument e -> Error e
+
+let round_trip_exn m =
+  match of_string (to_string m) with
+  | Ok m' -> m'
+  | Error e -> failwith ("Machine_codec.round_trip_exn: " ^ e)

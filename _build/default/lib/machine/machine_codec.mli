@@ -1,0 +1,25 @@
+(** Textual machine description files.
+
+    §3.3: AutoMap's input includes "the machine model representation".
+    This codec lets users describe a cluster in a small key=value file
+    instead of writing OCaml:
+
+    {v
+    machine MyCluster nodes=2
+    node sockets=2 cores_per_socket=1 gpus=4 sysmem=128e9 zc=60e9 fb=16e9
+    exec_bw cpu_sys=80e9 cpu_zc=55e9 gpu_fb=500e9 gpu_zc=10e9
+    compute cpu_flops=720e9 gpu_flops=4000e9 cpu_launch=10e-6 gpu_launch=30e-6 dispatch=12e-6
+    copy memcpy=20e9 cross_socket=10e9 pcie=12e9 gpu_peer=12e9 local_latency=5e-6 net_bw=10e9 net_latency=3e-6
+    v}
+
+    '#' starts a comment; the four stanza lines may appear in any
+    order but each exactly once. *)
+
+val to_string : Machine.t -> string
+
+val of_string : string -> (Machine.t, string) result
+(** Parses and validates (via {!Machine.make}); returns a descriptive
+    error on malformed input. *)
+
+val round_trip_exn : Machine.t -> Machine.t
+(** Test helper. *)

@@ -1,0 +1,156 @@
+let gb = 1e9
+
+(* A CPU "processor" in these presets is one socket-wide OpenMP group
+   (Legion's common CPU-variant granularity), so its compute rate and
+   streaming bandwidth are socket aggregates.  cores_per_socket = 1
+   therefore means "one schedulable CPU processor per socket". *)
+
+let shepard ~nodes =
+  Machine.make ~name:"Shepard" ~nodes
+    ~node:
+      {
+        sockets = 2;
+        cores_per_socket = 1;
+        gpus = 1;
+        sysmem_per_socket = 98.0 *. gb;
+        zc_capacity = 60.0 *. gb;
+        fb_capacity = 16.0 *. gb;
+      }
+    ~exec_bw:
+      {
+        (* 24 application cores/socket on the Xeon 8276 *)
+        cpu_sys = 80.0 *. gb;
+        cpu_zc = 55.0 *. gb;
+        gpu_fb = 500.0 *. gb;
+        gpu_zc = 10.0 *. gb;
+      }
+    ~compute:
+      {
+        cpu_flops = 720e9;
+        gpu_flops = 4000e9;
+        cpu_launch_overhead = 10e-6;
+        gpu_launch_overhead = 30e-6;
+        runtime_dispatch = 12e-6;
+      }
+    ~copy:
+      {
+        memcpy_bw = 20.0 *. gb;
+        cross_socket_bw = 10.0 *. gb;
+        pcie_bw = 12.0 *. gb;
+        gpu_peer_bw = 12.0 *. gb;
+        local_latency = 5e-6;
+        net_bandwidth = 10.0 *. gb;
+        net_latency = 3e-6;
+      }
+
+let lassen ~nodes =
+  Machine.make ~name:"Lassen" ~nodes
+    ~node:
+      {
+        sockets = 2;
+        cores_per_socket = 1;
+        gpus = 4;
+        sysmem_per_socket = 128.0 *. gb;
+        zc_capacity = 60.0 *. gb;
+        fb_capacity = 16.0 *. gb;
+      }
+    ~exec_bw:
+      {
+        (* 16 application cores/socket on the Power9 *)
+        cpu_sys = 70.0 *. gb;
+        cpu_zc = 50.0 *. gb;
+        gpu_fb = 700.0 *. gb;
+        gpu_zc = 50.0 *. gb;  (* NVLink 2.0 host link *)
+      }
+    ~compute:
+      {
+        cpu_flops = 400e9;
+        gpu_flops = 7000e9;
+        cpu_launch_overhead = 10e-6;
+        gpu_launch_overhead = 30e-6;
+        runtime_dispatch = 12e-6;
+      }
+    ~copy:
+      {
+        memcpy_bw = 25.0 *. gb;
+        cross_socket_bw = 12.0 *. gb;
+        pcie_bw = 50.0 *. gb;
+        gpu_peer_bw = 150.0 *. gb;
+        local_latency = 5e-6;
+        net_bandwidth = 12.0 *. gb;
+        net_latency = 2e-6;
+      }
+
+let testbed ~nodes =
+  Machine.make ~name:"Testbed" ~nodes
+    ~node:
+      {
+        sockets = 1;
+        cores_per_socket = 2;
+        gpus = 1;
+        sysmem_per_socket = 8.0 *. gb;
+        zc_capacity = 2.0 *. gb;
+        fb_capacity = 1.0 *. gb;
+      }
+    ~exec_bw:
+      {
+        cpu_sys = 8.0 *. gb;
+        cpu_zc = 6.0 *. gb;
+        gpu_fb = 500.0 *. gb;
+        gpu_zc = 10.0 *. gb;
+      }
+    ~compute:
+      {
+        cpu_flops = 30e9;
+        gpu_flops = 4000e9;
+        cpu_launch_overhead = 5e-6;
+        gpu_launch_overhead = 30e-6;
+        runtime_dispatch = 5e-6;
+      }
+    ~copy:
+      {
+        memcpy_bw = 20.0 *. gb;
+        cross_socket_bw = 10.0 *. gb;
+        pcie_bw = 12.0 *. gb;
+        gpu_peer_bw = 12.0 *. gb;
+        local_latency = 5e-6;
+        net_bandwidth = 10.0 *. gb;
+        net_latency = 3e-6;
+      }
+
+let cpu_only ~nodes =
+  Machine.make ~name:"CpuOnly" ~nodes
+    ~node:
+      {
+        sockets = 2;
+        cores_per_socket = 4;
+        gpus = 0;
+        sysmem_per_socket = 16.0 *. gb;
+        zc_capacity = 4.0 *. gb;
+        fb_capacity = 0.0;
+      }
+    ~exec_bw:
+      {
+        cpu_sys = 8.0 *. gb;
+        cpu_zc = 6.0 *. gb;
+        gpu_fb = 0.0;
+        gpu_zc = 0.0;
+      }
+    ~compute:
+      {
+        cpu_flops = 30e9;
+        gpu_flops = 0.0;
+        cpu_launch_overhead = 5e-6;
+        gpu_launch_overhead = 0.0;
+        runtime_dispatch = 5e-6;
+      }
+    ~copy:
+      {
+        memcpy_bw = 20.0 *. gb;
+        cross_socket_bw = 10.0 *. gb;
+        pcie_bw = 0.0;
+        gpu_peer_bw = 0.0;
+        local_latency = 5e-6;
+        net_bandwidth = 10.0 *. gb;
+        net_latency = 3e-6;
+      }

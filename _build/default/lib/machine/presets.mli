@@ -1,0 +1,33 @@
+(** Machine presets for the clusters used in the paper's evaluation
+    (§5, "Experimental Setup") plus a tiny testbed for unit tests.
+
+    Rates are engineering estimates for the published hardware — the
+    search only observes the *relative* costs these induce (GPU
+    launch overhead vs. throughput, FB vs. ZC bandwidth, PCIe vs.
+    NVLink, cross-socket System traffic), which is what shapes the
+    paper's results.
+
+    In the cluster presets a CPU "processor" is one socket-wide OpenMP
+    group — the granularity at which Legion CPU task variants usually
+    run — so its FLOP rate and streaming bandwidth are socket
+    aggregates and each node exposes two schedulable CPU processors. *)
+
+val shepard : nodes:int -> Machine.t
+(** Stanford Shepard: per node 2× Xeon Platinum 8276 (28 cores; 8
+    reserved for the runtime as in §5, leaving 24/socket for the
+    application), 196 GB RAM, one NVIDIA P100 with 16 GB Frame-Buffer,
+    60 GB pinned Zero-Copy pool, PCIe 3.0 host links. *)
+
+val lassen : nodes:int -> Machine.t
+(** LLNL Lassen: per node 2× Power9 (20 usable cores; 8 reserved for
+    the runtime, leaving 16/socket), 256 GB RAM, four V100 GPUs with
+    16 GB Frame-Buffer each and NVLink 2.0 host links (fast ZC access
+    and GPU peer transfers), 60 GB Zero-Copy pool. *)
+
+val testbed : nodes:int -> Machine.t
+(** Small synthetic machine (1 socket × 2 cores + 1 GPU per node, tiny
+    capacities) for fast, readable unit tests. *)
+
+val cpu_only : nodes:int -> Machine.t
+(** Degenerate machine with no GPUs — exercises the "kind absent"
+    paths of the search (tasks may only map to CPU). *)

@@ -1,0 +1,1 @@
+lib/mapping/codec.ml: Buffer Graph Kinds List Mapping Option Printf String

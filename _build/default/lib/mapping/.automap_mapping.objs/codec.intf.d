@@ -1,0 +1,1 @@
+lib/mapping/codec.mli: Graph Mapping

@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Array Buffer Format Graph Kinds List Machine Printf Result String

@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Format Graph Kinds Machine

@@ -1,0 +1,1 @@
+lib/mapping/space.ml: Array Graph Kinds List Machine Mapping Rng

@@ -1,0 +1,1 @@
+lib/mapping/space.mli: Graph Kinds Machine Mapping Rng

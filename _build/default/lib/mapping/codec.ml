@@ -1,0 +1,104 @@
+let to_string g m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "# mapping for %s\n" g.Graph.gname);
+  for tid = 0 to Graph.n_tasks g - 1 do
+    let task = Graph.task g tid in
+    Buffer.add_string buf
+      (Printf.sprintf "task %s distribute=%b proc=%s strategy=%s\n" task.tname
+         (Mapping.distribute_of m tid)
+         (Kinds.proc_kind_to_string (Mapping.proc_of m tid))
+         (Mapping.strategy_to_string (Mapping.strategy_of m tid)));
+    List.iter
+      (fun (c : Graph.collection) ->
+        Buffer.add_string buf
+          (Printf.sprintf "arg %s %s mem=%s\n" task.tname c.cname
+             (Kinds.mem_kind_to_string (Mapping.mem_of m c.cid))))
+      task.args
+  done;
+  Buffer.contents buf
+
+type parse_state = {
+  mutable dist : (string * bool) list;
+  mutable strat : (string * Mapping.dist_strategy) list;
+  mutable proc : (string * Kinds.proc_kind) list;
+  mutable mem : ((string * string) * Kinds.mem_kind) list;
+}
+
+let of_string g s =
+  let st = { dist = []; strat = []; proc = []; mem = [] } in
+  let error = ref None in
+  let set_error fmt = Printf.ksprintf (fun e -> if !error = None then error := Some e) fmt in
+  let parse_line lineno line =
+    let line = String.trim line in
+    if line = "" || (String.length line > 0 && line.[0] = '#') then ()
+    else
+      match String.split_on_char ' ' line |> List.filter (fun x -> x <> "") with
+      | "task" :: name :: fields -> (
+          let kv =
+            List.filter_map
+              (fun tok ->
+                match String.split_on_char '=' tok with
+                | [ k; v ] -> Some (k, v)
+                | _ -> None)
+              fields
+          in
+          if List.length kv <> List.length fields then
+            set_error "line %d: malformed task line" lineno
+          else
+            match (List.assoc_opt "distribute" kv, List.assoc_opt "proc" kv) with
+            | Some d, Some p -> (
+                match (bool_of_string_opt d, Kinds.proc_kind_of_string p) with
+                | Some d, Some p -> (
+                    st.dist <- (name, d) :: st.dist;
+                    st.proc <- (name, p) :: st.proc;
+                    (* strategy is optional for backward compatibility *)
+                    match List.assoc_opt "strategy" kv with
+                    | None -> ()
+                    | Some sv -> (
+                        match Mapping.strategy_of_string sv with
+                        | Some strat -> st.strat <- (name, strat) :: st.strat
+                        | None -> set_error "line %d: bad strategy %S" lineno sv))
+                | None, _ -> set_error "line %d: bad boolean %S" lineno d
+                | _, None -> set_error "line %d: bad processor kind %S" lineno p)
+            | _ -> set_error "line %d: malformed task line" lineno)
+      | [ "arg"; tname; cname; mem_field ] -> (
+          match String.split_on_char '=' mem_field with
+          | [ "mem"; mk ] -> (
+              match Kinds.mem_kind_of_string mk with
+              | Some mk -> st.mem <- ((tname, cname), mk) :: st.mem
+              | None -> set_error "line %d: bad memory kind %S" lineno mk)
+          | _ -> set_error "line %d: malformed arg line" lineno)
+      | _ -> set_error "line %d: unrecognized line %S" lineno line
+  in
+  List.iteri (fun i l -> parse_line (i + 1) l) (String.split_on_char '\n' s);
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      let missing = ref None in
+      let lookup what assoc key pretty =
+        match List.assoc_opt key assoc with
+        | Some v -> Some v
+        | None ->
+            if !missing = None then
+              missing := Some (Printf.sprintf "missing %s for %s" what pretty);
+            None
+      in
+      let mapping =
+        Mapping.make g
+          ~strategy:(fun t ->
+            Option.value ~default:Mapping.Blocked (List.assoc_opt t.tname st.strat))
+          ~distribute:(fun t ->
+            Option.value ~default:true (lookup "distribute" st.dist t.tname t.tname))
+          ~proc:(fun t ->
+            Option.value ~default:Kinds.Cpu (lookup "proc" st.proc t.tname t.tname))
+          ~mem:(fun c ->
+            let tname = (Graph.task g c.owner).tname in
+            Option.value ~default:Kinds.System
+              (lookup "mem" st.mem (tname, c.cname) (tname ^ "/" ^ c.cname)))
+      in
+      match !missing with Some e -> Error e | None -> Ok mapping)
+
+let round_trip_exn g m =
+  match of_string g (to_string g m) with
+  | Ok m' -> m'
+  | Error e -> failwith ("Codec.round_trip_exn: " ^ e)

@@ -1,0 +1,199 @@
+type dist_strategy = Blocked | Cyclic
+
+let strategy_to_string = function Blocked -> "blocked" | Cyclic -> "cyclic"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "blocked" -> Some Blocked
+  | "cyclic" -> Some Cyclic
+  | _ -> None
+
+type t = {
+  distribute : bool array;           (* indexed by tid *)
+  strategy : dist_strategy array;    (* indexed by tid *)
+  proc : Kinds.proc_kind array;      (* indexed by tid *)
+  mem : Kinds.mem_kind array;        (* indexed by cid *)
+}
+
+let make ?(strategy = fun _ -> Blocked) (g : Graph.t) ~distribute ~proc ~mem =
+  let nt = Graph.n_tasks g in
+  let cols = Graph.collections g in
+  let nc = List.length cols in
+  (* cids are dense by construction of Graph.Builder. *)
+  List.iteri
+    (fun i (c : Graph.collection) ->
+      if c.cid <> i then invalid_arg "Mapping.make: collection ids are not dense")
+    cols;
+  let d = Array.make nt true in
+  let st = Array.make nt Blocked in
+  let p = Array.make nt Kinds.Cpu in
+  let m = Array.make (max nc 1) Kinds.System in
+  for tid = 0 to nt - 1 do
+    let task = Graph.task g tid in
+    d.(tid) <- distribute task;
+    st.(tid) <- strategy task;
+    p.(tid) <- proc task
+  done;
+  List.iter (fun (c : Graph.collection) -> m.(c.cid) <- mem c) cols;
+  { distribute = d; strategy = st; proc = p; mem = m }
+
+let preferred_kind (m : Machine.t) (task : Graph.task) =
+  if Graph.has_variant task Kinds.Gpu && Machine.procs_of_kind_per_node m Kinds.Gpu > 0
+  then Kinds.Gpu
+  else Kinds.Cpu
+
+let fastest_mem = function Kinds.Gpu -> Kinds.Frame_buffer | Kinds.Cpu -> Kinds.System
+
+let default_start g machine =
+  let proc t = preferred_kind machine t in
+  make g
+    ~distribute:(fun _ -> true)
+    ~proc
+    ~mem:(fun c -> fastest_mem (proc (Graph.task g c.owner)))
+
+let all_cpu g _machine =
+  make g ~distribute:(fun _ -> true) ~proc:(fun _ -> Kinds.Cpu) ~mem:(fun _ -> Kinds.System)
+
+let distribute_of t tid = t.distribute.(tid)
+let strategy_of t tid = t.strategy.(tid)
+let proc_of t tid = t.proc.(tid)
+let mem_of t cid = t.mem.(cid)
+
+let set_distribute t tid v =
+  let d = Array.copy t.distribute in
+  d.(tid) <- v;
+  { t with distribute = d }
+
+let set_strategy t tid v =
+  let st = Array.copy t.strategy in
+  st.(tid) <- v;
+  { t with strategy = st }
+
+let set_proc t tid v =
+  let p = Array.copy t.proc in
+  p.(tid) <- v;
+  { t with proc = p }
+
+let set_mem t cid v =
+  let m = Array.copy t.mem in
+  m.(cid) <- v;
+  { t with mem = m }
+
+let validate g machine t =
+  let problem = ref None in
+  let check cond fmt =
+    Printf.ksprintf (fun s -> if (not cond) && !problem = None then problem := Some s) fmt
+  in
+  for tid = 0 to Graph.n_tasks g - 1 do
+    let task = Graph.task g tid in
+    let k = t.proc.(tid) in
+    check
+      (Machine.procs_of_kind_per_node machine k > 0)
+      "task %s mapped to %s but the machine has no %s processors" task.tname
+      (Kinds.proc_kind_to_string k) (Kinds.proc_kind_to_string k);
+    check (Graph.has_variant task k) "task %s has no %s variant" task.tname
+      (Kinds.proc_kind_to_string k);
+    List.iter
+      (fun (c : Graph.collection) ->
+        check
+          (Kinds.accessible k t.mem.(c.cid))
+          "collection %s of task %s mapped to %s, not addressable from %s" c.cname
+          task.tname
+          (Kinds.mem_kind_to_string t.mem.(c.cid))
+          (Kinds.proc_kind_to_string k))
+      task.args
+  done;
+  match !problem with None -> Ok () | Some reason -> Error reason
+
+let is_valid g machine t = Result.is_ok (validate g machine t)
+
+let memory_priority t (task : Graph.task) cid =
+  let chosen = t.mem.(cid) in
+  let k = t.proc.(task.tid) in
+  chosen
+  :: List.filter
+       (fun mk -> not (Kinds.equal_mem mk chosen))
+       (Kinds.accessible_mem_kinds k)
+
+let equal a b =
+  a.distribute = b.distribute && a.strategy = b.strategy && a.proc = b.proc
+  && a.mem = b.mem
+
+let canonical_key t =
+  let buf = Buffer.create 64 in
+  Array.iter (fun d -> Buffer.add_char buf (if d then 'D' else 'L')) t.distribute;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun s -> Buffer.add_char buf (match s with Blocked -> 'B' | Cyclic -> 'Y'))
+    t.strategy;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun p -> Buffer.add_char buf (match p with Kinds.Cpu -> 'C' | Kinds.Gpu -> 'G'))
+    t.proc;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun m ->
+      Buffer.add_char buf
+        (match m with Kinds.System -> 'S' | Kinds.Zero_copy -> 'Z' | Kinds.Frame_buffer -> 'F'))
+    t.mem;
+  Buffer.contents buf
+
+let of_canonical_key g key =
+  match String.split_on_char '|' key with
+  | [ d; st; p; m ] ->
+      let nt = Graph.n_tasks g and nc = Graph.n_collections g in
+      if String.length d <> nt || String.length st <> nt || String.length p <> nt
+         || String.length m <> nc
+      then None
+      else begin
+        let ok = ref true in
+        let distribute = Array.make nt true in
+        let strategy = Array.make nt Blocked in
+        let proc = Array.make nt Kinds.Cpu in
+        let mem = Array.make (max nc 1) Kinds.System in
+        String.iteri
+          (fun i c ->
+            match c with
+            | 'D' -> distribute.(i) <- true
+            | 'L' -> distribute.(i) <- false
+            | _ -> ok := false)
+          d;
+        String.iteri
+          (fun i c ->
+            match c with
+            | 'B' -> strategy.(i) <- Blocked
+            | 'Y' -> strategy.(i) <- Cyclic
+            | _ -> ok := false)
+          st;
+        String.iteri
+          (fun i c ->
+            match c with
+            | 'C' -> proc.(i) <- Kinds.Cpu
+            | 'G' -> proc.(i) <- Kinds.Gpu
+            | _ -> ok := false)
+          p;
+        String.iteri
+          (fun i c ->
+            match c with
+            | 'S' -> mem.(i) <- Kinds.System
+            | 'Z' -> mem.(i) <- Kinds.Zero_copy
+            | 'F' -> mem.(i) <- Kinds.Frame_buffer
+            | _ -> ok := false)
+          m;
+        if !ok then Some { distribute; strategy; proc; mem } else None
+      end
+  | _ -> None
+
+let pp g ppf t =
+  for tid = 0 to Graph.n_tasks g - 1 do
+    let task = Graph.task g tid in
+    Format.fprintf ppf "%-24s %s/%s %-3s |" task.tname
+      (if t.distribute.(tid) then "dist" else "leader")
+      (strategy_to_string t.strategy.(tid))
+      (Kinds.proc_kind_to_string t.proc.(tid));
+    List.iter
+      (fun (c : Graph.collection) ->
+        Format.fprintf ppf " %s:%s" c.cname (Kinds.mem_kind_to_string t.mem.(c.cid)))
+      task.args;
+    if tid < Graph.n_tasks g - 1 then Format.pp_print_newline ppf ()
+  done

@@ -1,0 +1,72 @@
+type dim = Distribution of int | Strategy of int | Processor of int | Memory of int
+
+type t = { g : Graph.t; m : Machine.t; ext : bool }
+
+let make ?(extended = false) g m = { g; m; ext = extended }
+let graph t = t.g
+let machine t = t.m
+let extended t = t.ext
+
+let dims t =
+  let task_dims =
+    List.concat_map
+      (fun (task : Graph.task) ->
+        [ Distribution task.tid; Processor task.tid ]
+        @ if t.ext then [ Strategy task.tid ] else [])
+      (Array.to_list t.g.tasks)
+  in
+  let mem_dims =
+    List.map (fun (c : Graph.collection) -> Memory c.cid) (Graph.collections t.g)
+  in
+  task_dims @ mem_dims
+
+let proc_choices t tid =
+  let task = Graph.task t.g tid in
+  List.filter
+    (fun k -> Machine.procs_of_kind_per_node t.m k > 0)
+    task.variants
+
+let mem_choices _t k = Kinds.accessible_mem_kinds k
+
+let distribution_choices t =
+  (true, Mapping.Blocked) :: (false, Mapping.Blocked)
+  :: (if t.ext then [ (true, Mapping.Cyclic) ] else [])
+
+let log2_size t =
+  let log2 x = log x /. log 2.0 in
+  Array.fold_left
+    (fun acc (task : Graph.task) ->
+      let procs = proc_choices t task.tid in
+      (* Number of (proc, mems...) combinations for this task: sum over
+         candidate kinds of the product of its arguments' memory
+         domains, times 2 for the distribution bit. *)
+      let per_kind k =
+        let mems = float_of_int (List.length (mem_choices t k)) in
+        List.fold_left (fun p _ -> p *. mems) 1.0 task.args
+      in
+      let combos = List.fold_left (fun s k -> s +. per_kind k) 0.0 procs in
+      let dist = float_of_int (List.length (distribution_choices t)) in
+      acc +. log2 (dist *. combos))
+    0.0 t.g.tasks
+
+let random_strategy t rng =
+  if t.ext && Rng.bool rng then Mapping.Cyclic else Mapping.Blocked
+
+let random_mapping t rng =
+  let proc_for = Array.make (Graph.n_tasks t.g) Kinds.Cpu in
+  Array.iter
+    (fun (task : Graph.task) ->
+      proc_for.(task.tid) <- Rng.choose_list rng (proc_choices t task.tid))
+    t.g.tasks;
+  Mapping.make t.g
+    ~strategy:(fun _ -> random_strategy t rng)
+    ~distribute:(fun _ -> Rng.bool rng)
+    ~proc:(fun task -> proc_for.(task.tid))
+    ~mem:(fun c -> Rng.choose_list rng (mem_choices t proc_for.(c.owner)))
+
+let random_unconstrained t rng =
+  Mapping.make t.g
+    ~strategy:(fun _ -> random_strategy t rng)
+    ~distribute:(fun _ -> Rng.bool rng)
+    ~proc:(fun _ -> Rng.choose_list rng Kinds.all_proc_kinds)
+    ~mem:(fun _ -> Rng.choose_list rng Kinds.all_mem_kinds)

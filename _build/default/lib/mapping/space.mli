@@ -1,0 +1,62 @@
+(** Search-space descriptor (§3.2).
+
+    After factoring the mapping problem into kinds, the space of
+    candidate mappings for graph G on machine M is
+
+      Π_t  2 · |variants(t) ∩ kinds(M)| · Π_{c ∈ args(t)} |mems(k)|
+
+    where the 2 is the distribution bit and |mems(k)| the number of
+    memory kinds addressable from each candidate processor kind.  This
+    module computes the per-dimension domains the search algorithms
+    enumerate and the size statistics reported in Figure 5. *)
+
+type dim =
+  | Distribution of int          (** tid *)
+  | Strategy of int              (** tid — extended space only *)
+  | Processor of int             (** tid *)
+  | Memory of int                (** cid *)
+
+type t
+
+val make : ?extended:bool -> Graph.t -> Machine.t -> t
+(** [extended] (default false) additionally opens the group-task
+    distribution-strategy dimension (blocked vs. cyclic across nodes)
+    that the paper fixes to blocked and names as future work (§3.2). *)
+
+val extended : t -> bool
+
+val graph : t -> Graph.t
+val machine : t -> Machine.t
+
+val dims : t -> dim list
+(** All search dimensions: one distribution and one processor choice
+    per task, one memory choice per collection argument. *)
+
+val proc_choices : t -> int -> Kinds.proc_kind list
+(** Processor kinds usable for task [tid]: variants intersected with
+    kinds present on the machine. *)
+
+val mem_choices : t -> Kinds.proc_kind -> Kinds.mem_kind list
+(** Memory kinds addressable from a processor kind. *)
+
+val distribution_choices : t -> (bool * Mapping.dist_strategy) list
+(** The (distribute, strategy) combinations the search enumerates per
+    task: {[(true, Blocked); (false, Blocked)]} in the paper's space,
+    plus [(true, Cyclic)] when extended. *)
+
+val log2_size : t -> float
+(** log₂ of the number of candidate mappings, counting for each task
+    the distribution bit, its processor-kind domain, and — summed over
+    the per-kind choice — the memory domains of its arguments (the
+    estimate of §3.2). *)
+
+val random_mapping : t -> Rng.t -> Mapping.t
+(** Uniform sample of a *valid* mapping: pick a processor kind from the
+    task's domain, then each argument's memory uniformly among the
+    kinds that processor can address.  Used by the ensemble tuner's
+    seeding and by property tests. *)
+
+val random_unconstrained : t -> Rng.t -> Mapping.t
+(** Uniform sample ignoring accessibility — processor and memory kinds
+    drawn independently, as a constraint-unaware tuner (OpenTuner,
+    §4.3) would.  Frequently invalid by design. *)

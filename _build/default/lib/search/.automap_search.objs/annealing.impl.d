@@ -1,0 +1,1 @@
+lib/search/annealing.ml: Array Evaluator Float Graph Kinds List Mapping Rng Space

@@ -1,0 +1,1 @@
+lib/search/annealing.mli: Evaluator Mapping

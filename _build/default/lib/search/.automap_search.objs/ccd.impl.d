@@ -1,0 +1,1 @@
+lib/search/ccd.ml: Descent Evaluator Mapping Overlap

@@ -1,0 +1,1 @@
+lib/search/ccd.mli: Evaluator Mapping

@@ -1,0 +1,1 @@
+lib/search/cd.ml: Descent Evaluator Mapping

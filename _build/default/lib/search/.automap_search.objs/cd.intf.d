@@ -1,0 +1,1 @@
+lib/search/cd.mli: Evaluator Mapping

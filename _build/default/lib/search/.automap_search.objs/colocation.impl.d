@@ -1,0 +1,1 @@
+lib/search/colocation.ml: Graph Int Kinds List Mapping Overlap Set

@@ -1,0 +1,1 @@
+lib/search/colocation.mli: Graph Kinds Machine Mapping Overlap

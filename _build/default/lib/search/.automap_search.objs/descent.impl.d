@@ -1,0 +1,1 @@
+lib/search/descent.ml: Colocation Evaluator Graph List Mapping Profile Space

@@ -1,0 +1,1 @@
+lib/search/descent.mli: Evaluator Graph Mapping Overlap Profile

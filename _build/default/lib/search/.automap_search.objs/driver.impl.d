@@ -1,0 +1,1 @@
+lib/search/driver.ml: Annealing Ccd Cd Ensemble Evaluator Format List Mapping Printf Profiles_db Random_search Stats

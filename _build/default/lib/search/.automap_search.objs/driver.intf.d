@@ -1,0 +1,1 @@
+lib/search/driver.mli: Exec Format Graph Machine Mapping Profiles_db Stats

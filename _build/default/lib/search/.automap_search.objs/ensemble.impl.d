@@ -1,0 +1,1 @@
+lib/search/ensemble.ml: Array Evaluator Kinds List Mapping Profiles_db Rng Space

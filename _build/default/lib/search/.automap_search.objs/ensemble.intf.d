@@ -1,0 +1,1 @@
+lib/search/ensemble.mli: Evaluator Mapping

@@ -1,0 +1,1 @@
+lib/search/evaluator.ml: Array Exec Graph List Machine Mapping Option Placement Profile Profiles_db Space

@@ -1,0 +1,1 @@
+lib/search/evaluator.mli: Exec Graph Machine Mapping Profile Profiles_db Space

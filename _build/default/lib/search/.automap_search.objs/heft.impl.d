@@ -1,0 +1,1 @@
+lib/search/heft.ml: Array Cost Float Graph Hashtbl Kinds List Machine Mapping Option Stats

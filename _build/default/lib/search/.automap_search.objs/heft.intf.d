@@ -1,0 +1,1 @@
+lib/search/heft.mli: Graph Machine Mapping

@@ -1,0 +1,1 @@
+lib/search/online.ml: Ccd Evaluator Exec Float Mapping Placement

@@ -1,0 +1,1 @@
+lib/search/online.mli: Graph Machine Mapping

@@ -1,0 +1,1 @@
+lib/search/portfolio.ml: Annealing Ccd Cd Evaluator Float List Mapping Printf Random_search

@@ -1,0 +1,1 @@
+lib/search/portfolio.mli: Evaluator Mapping

@@ -1,0 +1,1 @@
+lib/search/profiles_db.ml: Buffer Hashtbl List Mapping Printf Stats String

@@ -1,0 +1,1 @@
+lib/search/profiles_db.mli: Graph Mapping

@@ -1,0 +1,1 @@
+lib/search/random_search.ml: Evaluator Mapping Rng Space

@@ -1,0 +1,59 @@
+(* Constraint-repairing single-coordinate mutation: unlike the
+   ensemble's unconstrained mutation, the result is always valid. *)
+let mutate_valid g space rng parent =
+  let dims = Array.of_list (Space.dims space) in
+  match Rng.choose rng dims with
+  | Space.Distribution tid ->
+      Mapping.set_distribute parent tid (not (Mapping.distribute_of parent tid))
+  | Space.Strategy tid ->
+      Mapping.set_strategy parent tid
+        (match Mapping.strategy_of parent tid with
+        | Mapping.Blocked -> Mapping.Cyclic
+        | Mapping.Cyclic -> Mapping.Blocked)
+  | Space.Processor tid ->
+      let choices = Space.proc_choices space tid in
+      let k = Rng.choose_list rng choices in
+      let m = Mapping.set_proc parent tid k in
+      (* repair arguments that the new kind cannot address *)
+      List.fold_left
+        (fun acc (c : Graph.collection) ->
+          if Kinds.accessible k (Mapping.mem_of acc c.cid) then acc
+          else
+            match Kinds.accessible_mem_kinds k with
+            | mk :: _ -> Mapping.set_mem acc c.cid mk
+            | [] -> acc)
+        m (Graph.task g tid).args
+  | Space.Memory cid ->
+      let owner = (Graph.collection g cid).owner in
+      let k = Mapping.proc_of parent owner in
+      Mapping.set_mem parent cid (Rng.choose_list rng (Space.mem_choices space k))
+
+let search ?(seed = 11) ?(max_evals = 2000) ?(t0 = 0.3) ?(cooling = 0.995) ?start
+    ?(budget = infinity) ev =
+  let g = Evaluator.graph ev in
+  let machine = Evaluator.machine ev in
+  let space = Evaluator.space ev in
+  let rng = Rng.create seed in
+  let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
+  let p0 = Evaluator.evaluate ev f0 in
+  let current = ref (f0, p0) in
+  let best = ref (f0, p0) in
+  let temp = ref t0 in
+  let evals = ref 0 in
+  while !evals < max_evals && Evaluator.virtual_time ev <= budget do
+    incr evals;
+    let candidate = mutate_valid g space rng (fst !current) in
+    let perf = Evaluator.evaluate ev candidate in
+    let _, pcur = !current in
+    let accept =
+      perf < pcur
+      || (Float.is_finite perf
+         &&
+         let delta = (perf -. pcur) /. p0 in
+         Rng.float rng 1.0 < exp (-.delta /. Float.max !temp 1e-9))
+    in
+    if accept then current := (candidate, perf);
+    if perf < snd !best then best := (candidate, perf);
+    temp := !temp *. cooling
+  done;
+  !best

@@ -1,0 +1,22 @@
+(** Simulated annealing over valid mappings — an ablation baseline that
+    *can* accept cost-increasing moves (unlike CD) but makes them one
+    coordinate at a time (unlike CCD's coordinated co-location moves).
+    §4.2 argues exactly this class of algorithm is unlikely to find
+    solutions that require moving several overlapping collections
+    together; the ablation bench quantifies that claim. *)
+
+val search :
+  ?seed:int ->
+  ?max_evals:int ->
+  ?t0:float ->
+  ?cooling:float ->
+  ?start:Mapping.t ->
+  ?budget:float ->
+  Evaluator.t ->
+  Mapping.t * float
+(** Geometric cooling: temperature [t0] (default 0.3, relative to the
+    starting performance) multiplied by [cooling] (default 0.995) per
+    step; a worse candidate with Δ relative regression is accepted with
+    probability exp(−Δ/T).  Mutations are single-coordinate and
+    constraint-repairing (a processor move re-maps newly inaccessible
+    arguments to the fastest accessible kind). *)

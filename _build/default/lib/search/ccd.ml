@@ -1,0 +1,24 @@
+let search ?(rotations = 5) ?start ?(budget = infinity) ev =
+  if rotations < 2 then invalid_arg "Ccd.search: rotations must be at least 2";
+  let g = Evaluator.graph ev in
+  let machine = Evaluator.machine ev in
+  let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
+  let p0 = Evaluator.evaluate ev f0 in
+  let should_stop () = Evaluator.virtual_time ev > budget in
+  let c0 = Overlap.of_graph g in
+  let prune_per_rotation =
+    (* ⌈E₀/(N−1)⌉ lightest edges removed after each rotation so the
+       final rotation runs with C empty (Algorithm 1 line 8). *)
+    let e0 = Overlap.n_edges c0 in
+    if e0 = 0 then 0 else ((e0 + rotations - 2) / (rotations - 1))
+  in
+  let rec rotate r c (f, p) =
+    if r > rotations || should_stop () then (f, p)
+    else begin
+      let overlap = if Overlap.is_empty c then None else Some c in
+      let profile = Evaluator.profile_for ev f in
+      let f, p = Descent.sweep ev ~overlap ~should_stop ~profile (f, p) in
+      rotate (r + 1) (Overlap.prune_lightest c prune_per_rotation) (f, p)
+    end
+  in
+  rotate 1 c0 (f0, p0)

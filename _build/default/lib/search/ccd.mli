@@ -1,0 +1,26 @@
+(** Constrained coordinate-wise descent — Algorithm 1, the paper's
+    core contribution (§4.2).
+
+    CCD runs [rotations] full coordinate-descent sweeps.  During a
+    sweep, every candidate move is repaired by the co-location
+    constraints of Algorithm 2 against the current overlap graph C, so
+    overlapping collections move *together* — the coordinated moves
+    that let CCD jump between basins (e.g., all shared collections
+    from Frame-Buffer to Zero-Copy at once) that strictly-improving
+    per-collection moves cannot reach.  After each rotation,
+    ⌈E₀/(rotations−1)⌉ of the lightest remaining edges of C are pruned,
+    so the data-movement constraint is progressively relaxed until the
+    final rotation is an unconstrained CD.
+
+    Each rotation starts from the best mapping of the previous one and
+    re-profiles it to refresh the longest-running-first task order. *)
+
+val search :
+  ?rotations:int ->
+  ?start:Mapping.t ->
+  ?budget:float ->
+  Evaluator.t ->
+  Mapping.t * float
+(** [rotations] defaults to 5 (the paper's setting; fewer behaves like
+    CD, more wastes search time — §5).  @raise Invalid_argument if
+    [rotations < 2]. *)

@@ -1,0 +1,8 @@
+let search ?start ?(budget = infinity) ev =
+  let g = Evaluator.graph ev in
+  let machine = Evaluator.machine ev in
+  let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
+  let p0 = Evaluator.evaluate ev f0 in
+  let should_stop () = Evaluator.virtual_time ev > budget in
+  let profile = Evaluator.profile_for ev f0 in
+  Descent.sweep ev ~overlap:None ~should_stop ~profile (f0, p0)

@@ -1,0 +1,16 @@
+(** Coordinate-wise descent (§4.1).
+
+    One pass of OptimizeTask over every task — equivalent to the final
+    (fully pruned) rotation of CCD — starting from the §4.1 starting
+    point: group tasks distributed, GPU-capable tasks on GPUs,
+    collections in the fastest memory of the chosen kind.  Runtime is
+    linear in tasks × collections. *)
+
+val search :
+  ?start:Mapping.t ->
+  ?budget:float ->
+  Evaluator.t ->
+  Mapping.t * float
+(** Returns the best mapping found and its measured performance.
+    [budget] bounds the evaluator's virtual search time (default
+    unlimited). *)

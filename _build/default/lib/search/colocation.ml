@@ -1,0 +1,92 @@
+module IS = Set.Make (Int)
+
+module PS = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* line 16 of Algorithm 2: pick a memory kind addressable by the task's
+   processor kind.  We keep the collection's current kind when it is
+   already addressable (no spurious move) and otherwise take the
+   fastest addressable kind. *)
+let select_mem mapping proc_kind cid =
+  let current = Mapping.mem_of mapping cid in
+  if Kinds.accessible proc_kind current then current
+  else
+    match Kinds.accessible_mem_kinds proc_kind with
+    | m :: _ -> m
+    | [] -> assert false
+
+let apply (g : Graph.t) _machine ~overlap ~mapping ~t ~c ~k ~r =
+  let o cid = Overlap.o_map g overlap cid in
+  let f' = ref mapping in
+  let t_check = ref IS.empty in
+  let c_check = ref PS.empty in
+  (* lines 4-6: map every collection overlapping c to r and queue the
+     owning tasks for re-checking *)
+  List.iter
+    (fun (ti, ci) ->
+      if ci <> c then f' := Mapping.set_mem !f' ci r;
+      t_check := IS.add ti !t_check)
+    (o c);
+  let steps = ref 0 in
+  let cap = 10 * (Graph.n_tasks g + Graph.n_collections g + 1) * 4 in
+  let bump () =
+    incr steps;
+    if !steps > cap then failwith "Colocation.apply: fixed point did not converge"
+  in
+  while (not (IS.is_empty !t_check)) || not (PS.is_empty !c_check) do
+    (* lines 8-13: repair tasks whose arguments became unreachable.
+       Moving ti to k changes which of its arguments are reachable, so
+       the kind is settled first and every argument is then checked
+       against the *final* kind (a literal arg-by-arg reading of the
+       pseudocode would skip arguments scanned before the move). *)
+    while not (IS.is_empty !t_check) do
+      bump ();
+      let ti = IS.min_elt !t_check in
+      t_check := IS.remove ti !t_check;
+      let task = Graph.task g ti in
+      let inaccessible kind =
+        List.filter
+          (fun (ci : Graph.collection) ->
+            not (Kinds.accessible kind (Mapping.mem_of !f' ci.cid)))
+          task.args
+      in
+      if ti <> t && inaccessible (Mapping.proc_of !f' ti) <> [] then
+        f' := Mapping.set_proc !f' ti k;
+      List.iter
+        (fun (ci : Graph.collection) -> c_check := PS.add (ti, ci.cid) !c_check)
+        (inaccessible (Mapping.proc_of !f' ti))
+    done;
+    (* lines 14-26: repair collections of moved tasks *)
+    while not (PS.is_empty !c_check) do
+      bump ();
+      let ((ti, ci) as pivot) = PS.min_elt !c_check in
+      c_check := PS.remove pivot !c_check;
+      let proc_ti = Mapping.proc_of !f' ti in
+      let m = select_mem !f' proc_ti ci in
+      (* line 17: collections overlapping the original pivot (t, c) are
+         pinned to r; do not disturb them *)
+      if not (List.exists (fun (tj, cj) -> tj = t && cj = c) (o ci)) then begin
+        f' := Mapping.set_mem !f' ci m;
+        List.iter
+          (fun ((tj, cj) as partner) ->
+            if not (partner = (ti, ci) || Kinds.equal_mem (Mapping.mem_of !f' cj) m)
+            then begin
+              f' := Mapping.set_mem !f' cj m;
+              if not (Kinds.accessible (Mapping.proc_of !f' tj) m) then
+                t_check := IS.add tj !t_check;
+              c_check := PS.remove partner !c_check
+            end)
+          (o ci)
+      end
+    done
+  done;
+  !f'
+
+let satisfies_colocation overlap mapping =
+  List.for_all
+    (fun (c1, c2, _w) ->
+      Kinds.equal_mem (Mapping.mem_of mapping c1) (Mapping.mem_of mapping c2))
+    (Overlap.edges overlap)

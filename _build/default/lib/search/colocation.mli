@@ -1,0 +1,35 @@
+(** Co-location constraints — Algorithm 2 of the paper.
+
+    When CCD proposes mapping collection [c] of task [t] to memory kind
+    [r] while running [t] on processor kind [k], every collection
+    overlapping [c] in the (current, partially pruned) graph C must
+    move to [r] too (constraint (2), §4.2).  Those moves can strand a
+    task on a processor kind that cannot address one of its arguments
+    (constraint (1)), which moves that task to [k]; moving a task can
+    in turn strand other arguments, and so on.  [apply] iterates the
+    two repair rules to a global fixed point, exactly following the
+    worklist structure of Algorithm 2 ([t_check] / [c_check]).
+
+    The iteration provably converges (the limiting case maps every
+    task to [k] and every collection to one kind); a generous step cap
+    guards against implementation bugs. *)
+
+val apply :
+  Graph.t ->
+  Machine.t ->
+  overlap:Overlap.t ->
+  mapping:Mapping.t ->
+  t:int ->
+  c:int ->
+  k:Kinds.proc_kind ->
+  r:Kinds.mem_kind ->
+  Mapping.t
+(** [apply g machine ~overlap ~mapping ~t ~c ~k ~r] assumes [mapping]
+    already maps task [t] to [k] and collection [c] to [r] (line 16 of
+    Algorithm 1) and returns the constraint-satisfying mapping f''.
+    Raises [Failure] if the fixed point does not settle within the
+    step cap (indicating a bug, not an input property). *)
+
+val satisfies_colocation : Overlap.t -> Mapping.t -> bool
+(** Constraint (2) check: every overlap edge's endpoints share a memory
+    kind. *)

@@ -1,0 +1,48 @@
+let test_mapping ev candidate (best, best_perf) =
+  let perf = Evaluator.evaluate ev candidate in
+  if perf < best_perf then (candidate, perf) else (best, best_perf)
+
+let optimize_task ev ~overlap ~should_stop (task : Graph.task) (f0, p0) =
+  let g = Evaluator.graph ev in
+  let machine = Evaluator.machine ev in
+  let space = Evaluator.space ev in
+  let incumbent = ref (f0, p0) in
+  let test candidate =
+    if not (should_stop ()) then incumbent := test_mapping ev candidate !incumbent
+  in
+  (* lines 11-12: distribution setting (the extended space also
+     enumerates the cross-node strategy here) *)
+  List.iter
+    (fun (d, strat) ->
+      let f, _ = !incumbent in
+      test (Mapping.set_strategy (Mapping.set_distribute f task.tid d) task.tid strat))
+    (Space.distribution_choices space);
+  (* lines 13-18: processor kind x (collection x memory kind) *)
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (c : Graph.collection) ->
+          List.iter
+            (fun r ->
+              let f, _ = !incumbent in
+              let f' = Mapping.set_mem (Mapping.set_proc f task.tid k) c.cid r in
+              let f'' =
+                match overlap with
+                | None -> f'
+                | Some o ->
+                    Colocation.apply g machine ~overlap:o ~mapping:f' ~t:task.tid
+                      ~c:c.cid ~k ~r
+              in
+              test f'')
+            (Space.mem_choices space k))
+        (Profile.order_args_by_size task))
+    (Space.proc_choices space task.tid);
+  !incumbent
+
+let sweep ev ~overlap ~should_stop ~profile (f0, p0) =
+  let g = Evaluator.graph ev in
+  List.fold_left
+    (fun acc task ->
+      if should_stop () then acc else optimize_task ev ~overlap ~should_stop task acc)
+    (f0, p0)
+    (Profile.order_tasks_by_runtime g profile)

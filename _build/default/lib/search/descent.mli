@@ -1,0 +1,38 @@
+(** The inner loop shared by CD and CCD: OptimizeTask (Algorithm 1,
+    lines 10–19).
+
+    For one group task, greedily optimize — accepting only strict
+    improvements (TestMapping, lines 20–24) — first the distribution
+    setting, then jointly the processor kind and, per collection
+    argument in decreasing size order, the memory kind.  When an
+    overlap graph is supplied (CCD), every candidate is repaired into
+    co-location-satisfying form by Algorithm 2 before being tested;
+    plain CD tests the raw candidate (Algorithm 1 "excluding
+    line 17"). *)
+
+val test_mapping :
+  Evaluator.t -> Mapping.t -> Mapping.t * float -> Mapping.t * float
+(** [test_mapping ev candidate (best, best_perf)] evaluates the
+    candidate and returns it with its performance if strictly better,
+    otherwise the incumbent (Algorithm 1 lines 20-24). *)
+
+val optimize_task :
+  Evaluator.t ->
+  overlap:Overlap.t option ->
+  should_stop:(unit -> bool) ->
+  Graph.task ->
+  Mapping.t * float ->
+  Mapping.t * float
+(** One OptimizeTask pass.  [should_stop] is polled between
+    evaluations so a time budget can cut the search short; the
+    incumbent is returned unchanged from that point on. *)
+
+val sweep :
+  Evaluator.t ->
+  overlap:Overlap.t option ->
+  should_stop:(unit -> bool) ->
+  profile:Profile.t ->
+  Mapping.t * float ->
+  Mapping.t * float
+(** One full rotation: OptimizeTask over every task, longest-running
+    first (Algorithm 1 line 6). *)

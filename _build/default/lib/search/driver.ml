@@ -1,0 +1,89 @@
+type algo =
+  | Cd
+  | Ccd of { rotations : int }
+  | Ensemble_tuner
+  | Random_walk of { max_evals : int }
+  | Annealing of { max_evals : int }
+
+let algo_name = function
+  | Cd -> "CD"
+  | Ccd { rotations } -> Printf.sprintf "CCD(%d)" rotations
+  | Ensemble_tuner -> "Ensemble(OT)"
+  | Random_walk _ -> "Random"
+  | Annealing _ -> "Annealing"
+
+type result = {
+  algo : algo;
+  db : Profiles_db.t;
+  best : Mapping.t;
+  perf : float;
+  final_stats : Stats.summary;
+  search_perf : float;
+  trace : (float * float) list;
+  virtual_search_time : float;
+  eval_time_fraction : float;
+  suggested : int;
+  evaluated : int;
+  cache_hits : int;
+  invalid : int;
+  oom : int;
+}
+
+let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
+    ?(seed = 0) ?budget ?start ?objective ?extended ?db algo machine graph =
+  let ev =
+    Evaluator.create ?runs ?noise_sigma ?iterations ~seed ?objective ?extended ?db
+      machine graph
+  in
+  let search_best, search_perf =
+    match algo with
+    | Cd -> Cd.search ?start ?budget ev
+    | Ccd { rotations } -> Ccd.search ~rotations ?start ?budget ev
+    | Ensemble_tuner ->
+        Ensemble.search ~config:{ Ensemble.default_config with seed = seed + 1 } ?start
+          ?budget ev
+    | Random_walk { max_evals } -> Random_search.search ~seed:(seed + 1) ~max_evals ?start ?budget ev
+    | Annealing { max_evals } -> Annealing.search ~seed:(seed + 1) ~max_evals ?start ?budget ev
+  in
+  (* Final protocol: re-run the top-5 mappings 30 times each; report
+     the one with the fastest average. *)
+  let candidates =
+    match Profiles_db.top (Evaluator.db ev) final_top with
+    | [] -> [ (search_best, [ search_perf ]) ]
+    | tops ->
+        List.map
+          (fun e ->
+            let m = e.Profiles_db.mapping in
+            (m, Evaluator.measure_objective ev ~runs:final_runs m))
+          tops
+  in
+  let best, best_runs =
+    List.fold_left
+      (fun ((_, bruns) as acc) ((_, runs) as cand) ->
+        if Stats.mean runs < Stats.mean bruns then cand else acc)
+      (List.hd candidates) (List.tl candidates)
+  in
+  let vt = Evaluator.virtual_time ev in
+  {
+    algo;
+    db = Evaluator.db ev;
+    best;
+    perf = Stats.mean best_runs;
+    final_stats = Stats.summarize best_runs;
+    search_perf;
+    trace = Evaluator.trace ev;
+    virtual_search_time = vt;
+    eval_time_fraction = (if vt > 0.0 then Evaluator.eval_time ev /. vt else 1.0);
+    suggested = Evaluator.suggested ev;
+    evaluated = Evaluator.evaluated ev;
+    cache_hits = Evaluator.cache_hits ev;
+    invalid = Evaluator.invalid_count ev;
+    oom = Evaluator.oom_count ev;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%s: perf=%.6gs/iter (search best %.6g), suggested=%d evaluated=%d cache=%d invalid=%d oom=%d, search time=%.1fs (useful %.0f%%)"
+    (algo_name r.algo) r.perf r.search_perf r.suggested r.evaluated r.cache_hits
+    r.invalid r.oom r.virtual_search_time
+    (100.0 *. r.eval_time_fraction)

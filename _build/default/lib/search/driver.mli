@@ -1,0 +1,59 @@
+(** The AutoMap driver (Figure 4): owns the evaluator/profiles
+    database, invokes a pluggable search algorithm, and applies the
+    paper's measurement protocol — during the search each candidate is
+    executed [runs] (7) times and averaged; afterwards the [final_top]
+    (5) best mappings are re-executed [final_runs] (30) times each and
+    the mapping with the fastest average is reported (§5,
+    "Experimental Setup"). *)
+
+type algo =
+  | Cd
+  | Ccd of { rotations : int }
+  | Ensemble_tuner
+  | Random_walk of { max_evals : int }
+  | Annealing of { max_evals : int }
+
+val algo_name : algo -> string
+
+type result = {
+  algo : algo;
+  db : Profiles_db.t;           (** every measurement of the search *)
+  best : Mapping.t;            (** winner of the final re-evaluation *)
+  perf : float;                (** its final average per-iteration time *)
+  final_stats : Stats.summary; (** statistics of the winner's final runs *)
+  search_perf : float;         (** best average seen during the search *)
+  trace : (float * float) list;(** (virtual time, best-so-far) — Figure 9 *)
+  virtual_search_time : float;
+  eval_time_fraction : float;  (** useful fraction of search time (§5.3) *)
+  suggested : int;
+  evaluated : int;
+  cache_hits : int;
+  invalid : int;
+  oom : int;
+}
+
+val run :
+  ?runs:int ->
+  ?final_top:int ->
+  ?final_runs:int ->
+  ?noise_sigma:float ->
+  ?iterations:int ->
+  ?seed:int ->
+  ?budget:float ->
+  ?start:Mapping.t ->
+  ?objective:(Machine.t -> Exec.result -> float) ->
+  ?extended:bool ->
+  ?db:Profiles_db.t ->
+  algo ->
+  Machine.t ->
+  Graph.t ->
+  result
+(** [budget] caps virtual search time (seconds of simulated
+    application execution); the defaults follow §5: [runs] = 7,
+    [final_top] = 5, [final_runs] = 30.  [objective] selects the
+    metric the search minimizes (default: per-iteration time) and
+    [extended] opens the distribution-strategy dimension and [db]
+    warm-starts from a persisted profiles database (see
+    {!Evaluator.create}). *)
+
+val pp_result : Format.formatter -> result -> unit

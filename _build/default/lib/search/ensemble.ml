@@ -1,0 +1,126 @@
+type config = {
+  seed : int;
+  elite_size : int;
+  exploration : float;
+  suggestion_overhead : float;
+  max_suggestions : int;
+}
+
+let default_config =
+  {
+    seed = 42;
+    elite_size = 5;
+    exploration = 0.2;
+    suggestion_overhead = 0.005;
+    max_suggestions = 200_000;
+  }
+
+let technique_names = [ "random"; "mutate"; "crossover"; "pattern" ]
+
+type bandit_arm = { mutable uses : int; mutable wins : int }
+
+let arm_score arm =
+  (* Laplace-smoothed success rate; unexplored arms look promising. *)
+  float_of_int (arm.wins + 1) /. float_of_int (arm.uses + 2)
+
+let pick_arm rng ~exploration arms =
+  if Rng.float rng 1.0 < exploration then Rng.int rng (Array.length arms)
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun i a -> if arm_score a > arm_score arms.(!best) then best := i) arms;
+    !best
+  end
+
+(* Unconstrained single-coordinate mutation: kinds drawn from the full
+   domain, ignoring accessibility — the OpenTuner behaviour. *)
+let flip_strategy = function
+  | Mapping.Blocked -> Mapping.Cyclic
+  | Mapping.Cyclic -> Mapping.Blocked
+
+let mutate space rng parent =
+  let dims = Array.of_list (Space.dims space) in
+  match Rng.choose rng dims with
+  | Space.Distribution tid ->
+      Mapping.set_distribute parent tid (not (Mapping.distribute_of parent tid))
+  | Space.Strategy tid ->
+      Mapping.set_strategy parent tid (flip_strategy (Mapping.strategy_of parent tid))
+  | Space.Processor tid ->
+      Mapping.set_proc parent tid (Rng.choose_list rng Kinds.all_proc_kinds)
+  | Space.Memory cid ->
+      Mapping.set_mem parent cid (Rng.choose_list rng Kinds.all_mem_kinds)
+
+let crossover g rng a b =
+  Mapping.make g
+    ~strategy:(fun t -> Mapping.strategy_of (if Rng.bool rng then a else b) t.tid)
+    ~distribute:(fun t ->
+      Mapping.distribute_of (if Rng.bool rng then a else b) t.tid)
+    ~proc:(fun t -> Mapping.proc_of (if Rng.bool rng then a else b) t.tid)
+    ~mem:(fun c -> Mapping.mem_of (if Rng.bool rng then a else b) c.cid)
+
+(* Pattern walk: visit dimensions cyclically, replacing the current
+   value with the "next" value of the full domain. *)
+let pattern_step space cursor parent =
+  let dims = Array.of_list (Space.dims space) in
+  let d = dims.(cursor mod Array.length dims) in
+  match d with
+  | Space.Distribution tid ->
+      Mapping.set_distribute parent tid (not (Mapping.distribute_of parent tid))
+  | Space.Strategy tid ->
+      Mapping.set_strategy parent tid (flip_strategy (Mapping.strategy_of parent tid))
+  | Space.Processor tid ->
+      let next = function Kinds.Cpu -> Kinds.Gpu | Kinds.Gpu -> Kinds.Cpu in
+      Mapping.set_proc parent tid (next (Mapping.proc_of parent tid))
+  | Space.Memory cid ->
+      let next = function
+        | Kinds.System -> Kinds.Zero_copy
+        | Kinds.Zero_copy -> Kinds.Frame_buffer
+        | Kinds.Frame_buffer -> Kinds.System
+      in
+      Mapping.set_mem parent cid (next (Mapping.mem_of parent cid))
+
+let search ?(config = default_config) ?start ?(budget = infinity) ev =
+  let g = Evaluator.graph ev in
+  let machine = Evaluator.machine ev in
+  let space = Evaluator.space ev in
+  let rng = Rng.create config.seed in
+  let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
+  let p0 = Evaluator.evaluate ev f0 in
+  let best = ref (f0, p0) in
+  let arms = Array.init 4 (fun _ -> { uses = 0; wins = 0 }) in
+  let pattern_cursor = ref 0 in
+  let elites () =
+    match Profiles_db.top (Evaluator.db ev) config.elite_size with
+    | [] -> [ fst !best ]
+    | es -> List.map (fun e -> e.Profiles_db.mapping) es
+  in
+  let propose arm =
+    match arm with
+    | 0 -> Space.random_unconstrained space rng
+    | 1 -> mutate space rng (Rng.choose_list rng (elites ()))
+    | 2 -> (
+        match elites () with
+        | [ only ] -> mutate space rng only
+        | es -> crossover g rng (Rng.choose_list rng es) (Rng.choose_list rng es))
+    | 3 ->
+        let c = !pattern_cursor in
+        incr pattern_cursor;
+        pattern_step space c (fst !best)
+    | _ -> assert false
+  in
+  let suggestions = ref 0 in
+  while
+    !suggestions < config.max_suggestions && Evaluator.virtual_time ev <= budget
+  do
+    incr suggestions;
+    let arm_idx = pick_arm rng ~exploration:config.exploration arms in
+    let candidate = propose arm_idx in
+    Evaluator.note_suggestion_overhead ev config.suggestion_overhead;
+    let perf = Evaluator.evaluate ev candidate in
+    let arm = arms.(arm_idx) in
+    arm.uses <- arm.uses + 1;
+    if perf < snd !best then begin
+      arm.wins <- arm.wins + 1;
+      best := (candidate, perf)
+    end
+  done;
+  !best

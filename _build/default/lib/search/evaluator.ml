@@ -1,0 +1,157 @@
+type t = {
+  machine : Machine.t;
+  graph : Graph.t;
+  space : Space.t;
+  runs : int;
+  noise_sigma : float;
+  fallback : bool;
+  iterations : int option;
+  penalty : float;
+  eval_overhead : float;
+  objective : Machine.t -> Exec.result -> float;
+  db : Profiles_db.t;
+  mutable seed_counter : int;
+  mutable suggested : int;
+  mutable evaluated : int;
+  mutable cache_hits : int;
+  mutable invalid : int;
+  mutable oom : int;
+  mutable virtual_time : float;
+  mutable eval_time : float;
+  mutable best : (Mapping.t * float) option;
+  mutable trace : (float * float) list;  (* newest first *)
+}
+
+let default_objective _machine (r : Exec.result) = r.Exec.per_iteration
+
+let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
+    ?(penalty = infinity) ?(seed = 0) ?(eval_overhead = 0.0002)
+    ?(objective = default_objective) ?(extended = false) ?db machine graph =
+  if runs <= 0 then invalid_arg "Evaluator.create: runs must be positive";
+  {
+    machine;
+    graph;
+    space = Space.make ~extended graph machine;
+    runs;
+    noise_sigma;
+    fallback;
+    iterations;
+    penalty;
+    eval_overhead;
+    objective;
+    db = (match db with Some db -> db | None -> Profiles_db.create ());
+    seed_counter = seed * 1_000_003;
+    suggested = 0;
+    evaluated = 0;
+    cache_hits = 0;
+    invalid = 0;
+    oom = 0;
+    virtual_time = 0.0;
+    eval_time = 0.0;
+    best = None;
+    trace = [];
+  }
+
+let machine t = t.machine
+let graph t = t.graph
+let space t = t.space
+let db t = t.db
+
+let next_seed t =
+  t.seed_counter <- t.seed_counter + 1;
+  t.seed_counter
+
+let run_once t ?iterations mapping =
+  let iterations = match iterations with Some _ as i -> i | None -> t.iterations in
+  Exec.run ~noise_sigma:t.noise_sigma ~seed:(next_seed t) ~fallback:t.fallback
+    ?iterations t.machine t.graph mapping
+
+let note_best t mapping perf =
+  match t.best with
+  | Some (_, p) when p <= perf -> ()
+  | _ ->
+      t.best <- Some (mapping, perf);
+      t.trace <- (t.virtual_time, perf) :: t.trace
+
+let evaluate t mapping =
+  t.suggested <- t.suggested + 1;
+  match Profiles_db.find t.db mapping with
+  | Some entry ->
+      t.cache_hits <- t.cache_hits + 1;
+      entry.Profiles_db.perf
+  | None -> (
+      match Mapping.validate t.graph t.machine mapping with
+      | Error _ ->
+          t.invalid <- t.invalid + 1;
+          t.penalty
+      | Ok () -> (
+          (* First run decides whether the mapping can be placed at all;
+             an OOM aborts the evaluation after one cheap failed launch. *)
+          match run_once t mapping with
+          | Error (Placement.Out_of_memory _) ->
+              t.oom <- t.oom + 1;
+              t.virtual_time <- t.virtual_time +. t.eval_overhead;
+              t.penalty
+          | Error (Placement.Invalid_mapping _) ->
+              t.invalid <- t.invalid + 1;
+              t.penalty
+          | Ok first ->
+              let results = ref [ first ] in
+              for _ = 2 to t.runs do
+                match run_once t mapping with
+                | Ok r -> results := r :: !results
+                | Error e ->
+                    (* placement is deterministic: later runs cannot fail
+                       if the first succeeded *)
+                    failwith ("Evaluator.evaluate: " ^ Placement.error_to_string e)
+              done;
+              let times = List.map (fun r -> t.objective t.machine r) !results in
+              let wall =
+                List.fold_left (fun acc r -> acc +. r.Exec.makespan) 0.0 !results
+              in
+              t.evaluated <- t.evaluated + 1;
+              t.virtual_time <- t.virtual_time +. wall +. t.eval_overhead;
+              t.eval_time <- t.eval_time +. wall;
+              let entry = Profiles_db.record t.db mapping times in
+              note_best t mapping entry.Profiles_db.perf;
+              entry.Profiles_db.perf))
+
+let note_suggestion_overhead t dt =
+  if dt < 0.0 then invalid_arg "Evaluator.note_suggestion_overhead: negative";
+  t.virtual_time <- t.virtual_time +. dt
+
+let best t = t.best
+let trace t = List.rev t.trace
+let virtual_time t = t.virtual_time
+let suggested t = t.suggested
+let evaluated t = t.evaluated
+let cache_hits t = t.cache_hits
+let invalid_count t = t.invalid
+let oom_count t = t.oom
+let eval_time t = t.eval_time
+
+let measure_with t ?runs ?iterations metric mapping =
+  let runs = Option.value runs ~default:t.runs in
+  let rec go n acc =
+    if n = 0 then acc
+    else
+      match run_once t ?iterations mapping with
+      | Ok r -> go (n - 1) (metric r :: acc)
+      | Error e -> failwith ("Evaluator.measure: " ^ Placement.error_to_string e)
+  in
+  go runs []
+
+let measure t ?runs ?iterations mapping =
+  measure_with t ?runs ?iterations (fun r -> r.Exec.per_iteration) mapping
+
+let measure_objective t ?runs mapping =
+  measure_with t ?runs (fun r -> t.objective t.machine r) mapping
+
+let profile_for t mapping =
+  match Exec.run ~noise_sigma:0.0 ~fallback:t.fallback ?iterations:t.iterations
+          t.machine t.graph mapping
+  with
+  | Ok r ->
+      Profile.of_times t.graph
+        (Array.to_list (Array.mapi (fun tid s -> (tid, s)) r.Exec.task_times))
+  | Error _ -> Profile.uniform t.graph

@@ -1,0 +1,99 @@
+(** Mapping evaluation service (EvaluateMapping, Algorithm 1 line 21,
+    and the driver/mapper interaction of Figure 4).
+
+    Each *evaluation* executes the application (our simulator) [runs]
+    times with distinct noise seeds and averages the per-iteration
+    times — the paper's protocol ("each mapping ran 7 times, and the
+    average was used", §5).  Results are cached in the
+    {!Profiles_db}: re-suggesting an already-measured mapping costs
+    nothing, which is how CCD's 1941 suggestions collapse to ~460
+    executions (§5.3).
+
+    The evaluator also keeps the bookkeeping the experiments report:
+
+    - [suggested] / [evaluated] / [cache_hits] / [invalid] / [oom]
+      counters;
+    - *virtual search time*: the simulated wall-clock the search would
+      have spent — the sum of all executed runs' makespans plus a
+      per-action overhead — used as the x-axis of Figure 9;
+    - the best-so-far trace [(virtual time, best perf)].
+
+    Invalid mappings (§4.2 constraint (1) violations, as a
+    constraint-unaware tuner produces) are answered with [penalty]
+    without executing.  OOM mappings cost one aborted run and are
+    answered with [penalty] (the search "detects an out-of-memory
+    error and moves on", §5.2). *)
+
+type t
+
+val create :
+  ?runs:int ->
+  ?noise_sigma:float ->
+  ?fallback:bool ->
+  ?iterations:int ->
+  ?penalty:float ->
+  ?seed:int ->
+  ?eval_overhead:float ->
+  ?objective:(Machine.t -> Exec.result -> float) ->
+  ?extended:bool ->
+  ?db:Profiles_db.t ->
+  Machine.t ->
+  Graph.t ->
+  t
+(** Defaults: [runs] = 7, [noise_sigma] = 0.03, [fallback] = false,
+    [penalty] = infinity, [seed] = 0, [eval_overhead] = 0.2 ms of
+    virtual time per executed evaluation (relaunch cost, scaled to the
+    simulator's compressed time base so the §5.3 useful-time fractions
+    keep their relative magnitudes).
+    [iterations] overrides the graph's iteration count during search
+    evaluations (searches often run a truncated workload).
+    [objective] maps a simulated run to the scalar the search
+    minimizes; the default is per-iteration execution time, and
+    {!Energy.joules_per_iteration} makes the same search stack optimize
+    power consumption (§3.3).  [extended] (default false) opens the
+    distribution-strategy dimension (see {!Space.make}). *)
+
+val machine : t -> Machine.t
+val graph : t -> Graph.t
+val space : t -> Space.t
+val db : t -> Profiles_db.t
+
+val evaluate : t -> Mapping.t -> float
+(** Average objective value of the mapping (cached), or [penalty]
+    for invalid/OOM mappings. *)
+
+val note_suggestion_overhead : t -> float -> unit
+(** Charge extra virtual time attributed to the search algorithm
+    itself (the ensemble tuner's proposal machinery, §5.3's
+    13–45 %-useful-time observation). *)
+
+val best : t -> (Mapping.t * float) option
+
+val trace : t -> (float * float) list
+(** Improvement trace: (virtual search time, new best perf), oldest
+    first. *)
+
+val virtual_time : t -> float
+val suggested : t -> int
+val evaluated : t -> int
+val cache_hits : t -> int
+val invalid_count : t -> int
+val oom_count : t -> int
+
+val eval_time : t -> float
+(** Virtual time spent actually executing candidates (for the
+    useful-time fraction of §5.3). *)
+
+val measure : t -> ?runs:int -> ?iterations:int -> Mapping.t -> float list
+(** Per-iteration *times* of [runs] executions, outside the search
+    bookkeeping — for baseline comparisons.  Raises [Failure] on
+    invalid/OOM mappings. *)
+
+val measure_objective : t -> ?runs:int -> Mapping.t -> float list
+(** Like {!measure} but returns the evaluator's objective values —
+    what the final top-5 × 30 re-evaluation ranks by. *)
+
+val profile_for : t -> Mapping.t -> Profile.t
+(** Noise-free per-task profile under a mapping (task ordering for
+    CD/CCD); falls back to the uniform profile if the mapping cannot
+    run. *)

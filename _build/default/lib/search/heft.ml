@@ -1,0 +1,97 @@
+(* HEFT at processor-kind granularity: the factored search space of
+   §3.2 only distinguishes kinds (the runtime logic spreads shards), so
+   a "processor" here is the machine-wide pool of one kind and a task's
+   cost on it is its group makespan across the pool. *)
+
+let fastest_mem = function
+  | Kinds.Gpu -> Kinds.Frame_buffer
+  | Kinds.Cpu -> Kinds.System
+
+let kind_choices machine (t : Graph.task) =
+  List.filter
+    (fun k -> Graph.has_variant t k && Machine.procs_of_kind_per_node machine k > 0)
+    Kinds.all_proc_kinds
+
+(* group makespan of a task on the pool of one kind *)
+let pool_cost machine (t : Graph.task) k =
+  let per_shard =
+    Cost.task_duration machine t k ~arg_mem:(fun _ -> fastest_mem k)
+  in
+  let pool = Machine.procs_of_kind_per_node machine k * machine.Machine.nodes in
+  let waves = (t.group_size + pool - 1) / pool in
+  float_of_int waves *. per_shard
+
+let avg_cost machine t =
+  match kind_choices machine t with
+  | [] -> pool_cost machine t Kinds.Cpu
+  | ks -> Stats.mean (List.map (pool_cost machine t) ks)
+
+(* average communication cost of an edge: bytes over a representative
+   transfer rate (the PCIe link, the channel every cross-kind move
+   crosses) *)
+let comm_cost machine (e : Graph.edge) =
+  e.Graph.bytes /. machine.Machine.copy.Machine.pcie_bw
+
+let upward_ranks machine (g : Graph.t) =
+  let n = Graph.n_tasks g in
+  let ranks = Array.make n 0.0 in
+  let order = List.rev (Graph.topological_order g) in
+  List.iter
+    (fun (t : Graph.task) ->
+      let succ_term =
+        List.fold_left
+          (fun acc (e : Graph.edge) ->
+            if e.Graph.carried then acc
+            else
+              let dst = (Graph.collection g e.Graph.dst).Graph.owner in
+              Float.max acc (comm_cost machine e +. ranks.(dst)))
+          0.0 (Graph.successors g t.Graph.tid)
+      in
+      ranks.(t.Graph.tid) <- avg_cost machine t +. succ_term)
+    order;
+  ranks
+
+let mapping machine (g : Graph.t) =
+  let ranks = upward_ranks machine g in
+  let by_rank =
+    Array.to_list g.Graph.tasks
+    |> List.sort (fun (a : Graph.task) (b : Graph.task) ->
+           compare ranks.(b.Graph.tid) ranks.(a.Graph.tid))
+  in
+  let kind_free = Hashtbl.create 4 in
+  let free k = Option.value ~default:0.0 (Hashtbl.find_opt kind_free k) in
+  let finish = Array.make (Graph.n_tasks g) 0.0 in
+  let chosen = Array.make (Graph.n_tasks g) Kinds.Cpu in
+  List.iter
+    (fun (t : Graph.task) ->
+      let choices =
+        match kind_choices machine t with [] -> [ Kinds.Cpu ] | ks -> ks
+      in
+      let eft k =
+        let ready =
+          List.fold_left
+            (fun acc (e : Graph.edge) ->
+              if e.Graph.carried then acc
+              else
+                let src = (Graph.collection g e.Graph.src).Graph.owner in
+                let comm =
+                  if Kinds.equal_proc chosen.(src) k then 0.0 else comm_cost machine e
+                in
+                Float.max acc (finish.(src) +. comm))
+            0.0 (Graph.predecessors g t.Graph.tid)
+        in
+        Float.max ready (free k) +. pool_cost machine t k
+      in
+      let best =
+        List.fold_left
+          (fun acc k -> if eft k < eft acc then k else acc)
+          (List.hd choices) (List.tl choices)
+      in
+      chosen.(t.Graph.tid) <- best;
+      finish.(t.Graph.tid) <- eft best;
+      Hashtbl.replace kind_free best (eft best))
+    by_rank;
+  Mapping.make g
+    ~distribute:(fun _ -> true)
+    ~proc:(fun t -> chosen.(t.Graph.tid))
+    ~mem:(fun c -> fastest_mem chosen.((Graph.task g c.Graph.owner).Graph.tid))

@@ -1,0 +1,22 @@
+(** HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al.), the
+    classic list-scheduling heuristic the paper's related-work section
+    contrasts AutoMap against (§6, "Task Scheduling for Heterogeneous
+    Systems").
+
+    HEFT ranks tasks by *upward rank* (average execution cost plus the
+    critical path of average communication and successor ranks) and
+    assigns each, in rank order, to the processor kind minimizing its
+    earliest finish time.  Crucially — and this is the gap AutoMap
+    fills — HEFT assumes the choice of processor fully determines data
+    placement: every collection argument lands in the fastest memory of
+    the chosen kind.  It therefore cannot express Zero-Copy
+    co-location, which is why it loses to CCD whenever shared
+    collections matter (the ablation bench quantifies this). *)
+
+val mapping : Machine.t -> Graph.t -> Mapping.t
+(** The HEFT-derived mapping: per-task processor kinds from the EFT
+    schedule, every argument in the fastest accessible memory kind,
+    all group tasks distributed. *)
+
+val upward_ranks : Machine.t -> Graph.t -> float array
+(** The rank_u values (indexed by tid), exposed for tests. *)

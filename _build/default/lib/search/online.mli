@@ -1,0 +1,33 @@
+(** Inspector–executor style on-line tuning — the deployment mode §6
+    sketches in "Profile-Guided Optimization": run AutoMap during an
+    initial portion of a production run and use the discovered mapping
+    for the remainder.
+
+    [run] models a production job of [total_iterations] time steps.
+    The inspector phase spends up to [search_fraction] of the
+    *default-mapping* projected job time searching (every candidate
+    evaluation "costs" the iterations it simulates); the executor
+    phase then runs the remaining iterations under the best mapping
+    found so far.  The result compares total time against simply
+    running the whole job with the default mapping, i.e. the payback
+    analysis a user needs before enabling on-line tuning. *)
+
+type result = {
+  default_total : float;   (** seconds to run the whole job untuned *)
+  tuned_total : float;     (** inspector + executor seconds *)
+  search_time : float;     (** inspector share of [tuned_total] *)
+  iterations_spent : int;  (** iterations consumed by the inspector *)
+  best : Mapping.t;
+  speedup : float;         (** default_total / tuned_total *)
+}
+
+val run :
+  ?seed:int ->
+  ?search_fraction:float ->
+  ?rotations:int ->
+  total_iterations:int ->
+  Machine.t ->
+  Graph.t ->
+  result
+(** [search_fraction] defaults to 0.1.  Raises [Failure] if even the
+    default mapping cannot run. *)

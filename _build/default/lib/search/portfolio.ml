@@ -1,0 +1,34 @@
+type member = Ccd of int | Cd | Annealing | Random
+
+let default_members = [ Ccd 5; Annealing; Random ]
+
+let member_name = function
+  | Ccd r -> Printf.sprintf "ccd(%d)" r
+  | Cd -> "cd"
+  | Annealing -> "annealing"
+  | Random -> "random"
+
+let search ?(members = default_members) ?(budget = infinity) ?(seed = 0) ev =
+  if members = [] then invalid_arg "Portfolio.search: no members";
+  let share =
+    if Float.is_finite budget then budget /. float_of_int (List.length members)
+    else infinity
+  in
+  let g = Evaluator.graph ev in
+  let machine = Evaluator.machine ev in
+  let start0 = Mapping.default_start g machine in
+  let p0 = Evaluator.evaluate ev start0 in
+  List.fold_left
+    (fun (best, perf) member ->
+      let deadline = Evaluator.virtual_time ev +. share in
+      let result =
+        match member with
+        | Ccd rotations -> Ccd.search ~rotations ~start:best ~budget:deadline ev
+        | Cd -> Cd.search ~start:best ~budget:deadline ev
+        | Annealing ->
+            Annealing.search ~seed:(seed + 13) ~start:best ~budget:deadline ev
+        | Random -> Random_search.search ~seed:(seed + 29) ~start:best ~budget:deadline ev
+      in
+      let m, p = result in
+      if p < perf then (m, p) else (best, perf))
+    (start0, p0) members

@@ -1,0 +1,26 @@
+(** Algorithm portfolio over one shared evaluator.
+
+    §4 presents the search algorithm as a pluggable component; the
+    portfolio runs several of them back to back against the *same*
+    evaluator, so the shared profiles database deduplicates across
+    algorithms (a mapping CCD measured is answered from cache when
+    annealing later re-proposes it) and the best-so-far mapping of one
+    algorithm seeds the next.  Each member gets an equal share of the
+    virtual-time budget. *)
+
+type member = Ccd of int | Cd | Annealing | Random
+
+val default_members : member list
+(** [Ccd 5; Annealing; Random] — a coordinated searcher plus two
+    stochastic escapers. *)
+
+val member_name : member -> string
+
+val search :
+  ?members:member list ->
+  ?budget:float ->
+  ?seed:int ->
+  Evaluator.t ->
+  Mapping.t * float
+(** Returns the best mapping any member found.  With an infinite
+    budget each member simply runs to its own completion. *)

@@ -1,0 +1,53 @@
+type entry = { mapping : Mapping.t; runs : float list; perf : float }
+
+type t = { tbl : (string, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 256 }
+
+let find t m = Hashtbl.find_opt t.tbl (Mapping.canonical_key m)
+
+let record t m runs =
+  let entry = { mapping = m; runs; perf = Stats.mean runs } in
+  Hashtbl.replace t.tbl (Mapping.canonical_key m) entry;
+  entry
+
+let size t = Hashtbl.length t.tbl
+
+let top t k =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+  |> List.sort (fun a b -> compare a.perf b.perf)
+  |> List.filteri (fun i _ -> i < k)
+
+let best t = match top t 1 with [] -> None | e :: _ -> Some e
+
+let save t =
+  let buf = Buffer.create 1024 in
+  Hashtbl.iter
+    (fun key e ->
+      Buffer.add_string buf key;
+      List.iter (fun r -> Buffer.add_string buf (Printf.sprintf " %.17g" r)) e.runs;
+      Buffer.add_char buf '\n')
+    t.tbl;
+  Buffer.contents buf
+
+let load g s =
+  let db = create () in
+  let error = ref None in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && !error = None then
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | key :: runs_s -> (
+            let runs = List.filter_map float_of_string_opt runs_s in
+            if List.length runs <> List.length runs_s || runs = [] then
+              error := Some (Printf.sprintf "line %d: bad measurements" (i + 1))
+            else
+              match Mapping.of_canonical_key g key with
+              | Some m -> ignore (record db m runs)
+              | None ->
+                  error :=
+                    Some (Printf.sprintf "line %d: key does not match the graph" (i + 1)))
+        | [] -> ())
+    (String.split_on_char '\n' s);
+  match !error with Some e -> Error e | None -> Ok db

@@ -1,0 +1,44 @@
+(** Profiles database (Figure 4).
+
+    The driver records every evaluated mapping together with its
+    measured runtimes.  The database serves three purposes: (a) dedup —
+    a mapping suggested again is answered from the database instead of
+    re-executing the application (the gap between "suggested" and
+    "evaluated" counts reported in §5.3); (b) ranking — the top-k
+    mappings are re-measured at the end of the search; (c) provenance —
+    the per-task profile of the best mapping feeds the task ordering of
+    the next rotation. *)
+
+type entry = {
+  mapping : Mapping.t;
+  runs : float list;    (** per-iteration times of each measured run *)
+  perf : float;         (** mean of [runs] — the number the search compares *)
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> Mapping.t -> entry option
+
+val record : t -> Mapping.t -> float list -> entry
+(** Stores measurements for a mapping (replacing any previous entry)
+    and returns the entry. *)
+
+val size : t -> int
+
+val top : t -> int -> entry list
+(** The [k] entries with the best (lowest) perf, best first. *)
+
+val best : t -> entry option
+
+(** {1 Persistence}
+
+    The database serializes to a line-oriented text file (one mapping
+    per line: canonical key followed by its measured runs), so a long
+    offline search can be checkpointed and warm-started — re-suggested
+    mappings are then answered from the reloaded measurements. *)
+
+val save : t -> string
+val load : Graph.t -> string -> (t, string) result
+(** Keys that do not match [g] are rejected with an error. *)

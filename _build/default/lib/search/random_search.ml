@@ -1,0 +1,15 @@
+let search ?(seed = 7) ?(max_evals = 1000) ?start ?(budget = infinity) ev =
+  let g = Evaluator.graph ev in
+  let machine = Evaluator.machine ev in
+  let space = Evaluator.space ev in
+  let rng = Rng.create seed in
+  let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
+  let best = ref (f0, Evaluator.evaluate ev f0) in
+  let evals = ref 0 in
+  while !evals < max_evals && Evaluator.virtual_time ev <= budget do
+    incr evals;
+    let candidate = Space.random_mapping space rng in
+    let perf = Evaluator.evaluate ev candidate in
+    if perf < snd !best then best := (candidate, perf)
+  done;
+  !best

@@ -1,0 +1,14 @@
+(** Pure random search over *valid* mappings — a sanity baseline for
+    the ablation benchmarks (not in the paper's algorithm set, but the
+    natural lower bar: it shares AutoMap's constraint knowledge yet
+    makes no coordinated or local moves). *)
+
+val search :
+  ?seed:int ->
+  ?max_evals:int ->
+  ?start:Mapping.t ->
+  ?budget:float ->
+  Evaluator.t ->
+  Mapping.t * float
+(** Samples valid mappings uniformly until [max_evals] (default 1000)
+    or the virtual-time [budget] runs out. *)

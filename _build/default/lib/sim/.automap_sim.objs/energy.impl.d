@@ -1,0 +1,1 @@
+lib/sim/energy.ml: Array Exec Float Kinds Machine

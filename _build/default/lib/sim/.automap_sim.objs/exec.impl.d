@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Cost Float Graph Heap Kinds List Machine Mapping Option Pattern Placement Printf Rng Trace

@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Graph Machine Mapping Placement Stdlib Trace

@@ -1,0 +1,1 @@
+lib/sim/placement.ml: Array Float Graph Kinds List Machine Mapping Printf

@@ -1,0 +1,1 @@
+lib/sim/placement.mli: Graph Kinds Machine Mapping Stdlib

@@ -1,0 +1,50 @@
+type power_model = {
+  cpu_busy_w : float;
+  cpu_idle_w : float;
+  gpu_busy_w : float;
+  gpu_idle_w : float;
+  pj_per_byte_local : float;
+  pj_per_byte_net : float;
+}
+
+let default_power =
+  {
+    cpu_busy_w = 90.0;
+    cpu_idle_w = 12.0;
+    gpu_busy_w = 250.0;
+    gpu_idle_w = 15.0;
+    pj_per_byte_local = 150.0;
+    pj_per_byte_net = 600.0;
+  }
+
+let joules machine pm (r : Exec.result) =
+  let span = r.Exec.makespan in
+  let compute_energy =
+    Array.fold_left
+      (fun acc (p : Machine.processor) ->
+        let busy = r.Exec.proc_busy.(p.Machine.pid) in
+        let busy = Float.min busy span in
+        let busy_w, idle_w =
+          match p.Machine.pkind with
+          | Kinds.Cpu -> (pm.cpu_busy_w, pm.cpu_idle_w)
+          | Kinds.Gpu -> (pm.gpu_busy_w, pm.gpu_idle_w)
+        in
+        acc +. (busy *. busy_w) +. ((span -. busy) *. idle_w))
+      0.0 machine.Machine.processors
+  in
+  let traffic_energy =
+    let local = ref 0.0 and net = ref 0.0 in
+    Array.iteri
+      (fun i b ->
+        if Exec.channel_class_names.(i) = "net" then net := !net +. b
+        else local := !local +. b)
+      r.Exec.channel_bytes;
+    ((!local *. pm.pj_per_byte_local) +. (!net *. pm.pj_per_byte_net)) *. 1e-12
+  in
+  compute_energy +. traffic_energy
+
+let joules_per_iteration machine pm (r : Exec.result) =
+  joules machine pm r *. (r.Exec.per_iteration /. Float.max r.Exec.makespan 1e-300)
+
+let edp_per_iteration machine pm (r : Exec.result) =
+  joules_per_iteration machine pm r *. r.Exec.per_iteration

@@ -1,0 +1,37 @@
+(** Energy model — the "other metrics" extension of §3.3 ("AutoMap is
+    suitable for minimizing other metrics (e.g., power consumption)").
+
+    Energy of a run is integrated from the simulator's telemetry:
+
+      E = Σ_proc  busy·P_busy(kind) + (makespan − busy)·P_idle(kind)
+        + Σ_chan  bytes · J_per_byte(channel class)
+
+    Plugging {!joules_per_iteration} into the evaluator's objective
+    makes the whole search stack optimize energy (or energy-delay
+    product) instead of execution time — CPU-heavy mappings often win
+    on energy even where GPUs win on time, which the ablation bench
+    demonstrates. *)
+
+type power_model = {
+  cpu_busy_w : float;   (** per CPU processor (socket group), watts *)
+  cpu_idle_w : float;
+  gpu_busy_w : float;
+  gpu_idle_w : float;
+  pj_per_byte_local : float;  (** host/cross-socket/PCIe/peer traffic, pJ/B *)
+  pj_per_byte_net : float;
+}
+
+val default_power : power_model
+(** Representative numbers for the *application's incremental draw*:
+    CPU socket 90 W busy / 12 W idle, GPU 250 W busy / 15 W idle,
+    150 pJ/B local, 600 pJ/B network.  Busy-dominated on purpose: the
+    baseline (OS, fans, PSU) is excluded, as a tuner can only influence
+    the increment. *)
+
+val joules : Machine.t -> power_model -> Exec.result -> float
+(** Total energy of a simulated run. *)
+
+val joules_per_iteration : Machine.t -> power_model -> Exec.result -> float
+
+val edp_per_iteration : Machine.t -> power_model -> Exec.result -> float
+(** Energy-delay product (J·s) per iteration. *)

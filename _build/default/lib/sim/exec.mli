@@ -1,0 +1,63 @@
+(** Discrete-event execution of a task graph under a mapping.
+
+    This is the stand-in for running the application on the cluster
+    (the paper's EvaluateMapping, Algorithm 1 line 21).  The simulator
+    models:
+
+    - one FIFO resource per processor; shards run where {!Placement}
+      put them, for the duration given by {!Cost} (× measurement
+      noise);
+    - explicit data movement: for every dependence whose producer and
+      consumer instances live in different memories, a copy is serialized
+      on the connecting channel (host, cross-socket, PCIe, GPU-peer or
+      network — §2's "a mapping may imply data movement not explicit in
+      the task graph");
+    - halo patterns: neighbour shards additionally receive their ghost
+      fraction, crossing the network when the neighbour lives on
+      another node;
+    - iterative execution: the graph body repeats [iterations] times,
+      each task shard serialized with its previous iteration, allowing
+      cross-iteration pipelining as in Legion;
+    - capacity failures surfaced from placement (§5.2).
+
+    Runs are deterministic given the noise seed. *)
+
+type result = {
+  makespan : float;        (** seconds for all iterations *)
+  per_iteration : float;   (** makespan / iterations *)
+  task_times : float array;(** per-tid busy time, summed over shards/iterations *)
+  proc_busy : float array; (** per-pid busy seconds (the energy model's input) *)
+  bytes_moved : float;     (** total copied bytes *)
+  channel_bytes : float array;
+      (** bytes per channel class, indexed like {!channel_class_names} *)
+  n_copies : int;
+  demotions : int;         (** fallback demotions performed by placement *)
+}
+
+val channel_class_names : string array
+(** ["host"; "xsocket"; "pcie"; "peer"; "net"] — index space of
+    [channel_bytes]. *)
+
+type error = Placement.error
+
+val run :
+  ?noise_sigma:float ->
+  ?seed:int ->
+  ?fallback:bool ->
+  ?iterations:int ->
+  ?trace:Trace.t ->
+  Machine.t ->
+  Graph.t ->
+  Mapping.t ->
+  (result, error) Stdlib.result
+(** [noise_sigma] (default 0.03) is the per-instance lognormal noise;
+    0 gives noise-free runs.  [seed] defaults to 0.  [iterations]
+    overrides the graph's iteration count.  [fallback] enables §3.1's
+    priority-list demotion instead of failing on OOM.  When [trace] is
+    given, every task execution and copy is recorded in it. *)
+
+val profile :
+  ?iterations:int -> Machine.t -> Graph.t -> Mapping.t -> (int * float) list
+(** Noise-free per-task times under a mapping — the profiling run of
+    §3.3 that seeds the search's task ordering.  Raises [Failure] if
+    the mapping cannot be placed. *)

@@ -1,0 +1,156 @@
+type t = {
+  machine : Machine.t;
+  graph : Graph.t;
+  procs : Machine.processor array array;  (* [tid].(shard) *)
+  mems : Machine.memory array array;      (* [cid].(shard) *)
+  usage : float array;                    (* bytes per mid *)
+  demotions : int;
+}
+
+type error = Invalid_mapping of string | Out_of_memory of string
+
+let error_to_string = function
+  | Invalid_mapping s -> "invalid mapping: " ^ s
+  | Out_of_memory s -> "out of memory: " ^ s
+
+(* Distribution of [shards] across [nodes] (§3.1): blocked puts shard s
+   on node s·nodes/shards (neighbouring shards share a node — good for
+   halo locality); cyclic deals shards round-robin (better load spread,
+   more neighbour traffic).  The paper fixes blocked; cyclic is part of
+   the extended search space. *)
+let node_of_shard ~distribute ~strategy ~nodes ~shards s =
+  if not distribute then 0
+  else
+    match (strategy : Mapping.dist_strategy) with
+    | Mapping.Cyclic -> s mod nodes
+    | Mapping.Blocked -> if shards >= nodes then s * nodes / shards else s
+
+(* Round-robin across the same-kind processors of the node (§3.2 and
+   the Circuit discussion in §5: AutoMap uses a round-robin strategy
+   within the selected kind). *)
+let local_of_shard ~per_node_rank ~nprocs = per_node_rank mod nprocs
+
+let place_shards machine (g : Graph.t) mapping tid =
+  let task = Graph.task g tid in
+  let kind = Mapping.proc_of mapping tid in
+  let distribute = Mapping.distribute_of mapping tid in
+  let strategy = Mapping.strategy_of mapping tid in
+  let nodes = machine.Machine.nodes in
+  let nprocs = Machine.procs_of_kind_per_node machine kind in
+  let shards = task.group_size in
+  let node_rank = Array.make nodes 0 in
+  Array.init shards (fun s ->
+      let node = node_of_shard ~distribute ~strategy ~nodes ~shards s in
+      let rank = node_rank.(node) in
+      node_rank.(node) <- rank + 1;
+      Machine.proc machine ~node ~kind
+        ~local:(local_of_shard ~per_node_rank:rank ~nprocs))
+
+exception Oom of string
+
+let resolve ?(fallback = false) machine (g : Graph.t) mapping =
+  match Mapping.validate g machine mapping with
+  | Error e -> Error (Invalid_mapping e)
+  | Ok () -> (
+      let nt = Graph.n_tasks g in
+      let cols = Graph.collections g in
+      let nc = List.length cols in
+      let procs = Array.init nt (place_shards machine g mapping) in
+      let mems = Array.make nc [||] in
+      let usage = Array.make (Array.length machine.Machine.memories) 0.0 in
+      let demotions = ref 0 in
+      (* Alias detection: an argument colocated with another instance of
+         the same logical data references that physical instance and
+         costs no extra capacity.  Two arguments refer to the same data
+         when an edge connects them (producer/consumer) or when they
+         fully overlap (|c1∩c2| equals the smaller argument — e.g. two
+         readers of the same input region).  Halo consumers additionally
+         hold a small ghost region we do not charge. *)
+      let producers = Array.make nc [] in
+      List.iter
+        (fun (e : Graph.edge) -> producers.(e.dst) <- e.src :: producers.(e.dst))
+        g.edges;
+      List.iter
+        (fun (c1, c2, w) ->
+          let b1 = (Graph.collection g c1).Graph.bytes
+          and b2 = (Graph.collection g c2).Graph.bytes in
+          if w >= 0.999 *. Float.min b1 b2 then begin
+            producers.(c1) <- c2 :: producers.(c1);
+            producers.(c2) <- c1 :: producers.(c2)
+          end)
+        g.overlaps;
+      let place_arg (task : Graph.task) (c : Graph.collection) =
+        let shards = task.group_size in
+        let arr =
+          Array.init shards (fun s ->
+              Machine.closest_memory machine procs.(task.tid).(s) (Mapping.mem_of mapping c.cid))
+        in
+        (* Capacity accounting with aliasing: a Same_shard consumer
+           whose instance coincides with its producer's reuses the
+           physical instance and costs nothing. *)
+        for s = 0 to shards - 1 do
+          let aliased =
+            List.exists
+              (fun src_cid ->
+                let src_task = Graph.task g (Graph.collection g src_cid).owner in
+                let src_shards = src_task.group_size in
+                let src_shard = if src_shards = shards then s else s * src_shards / shards in
+                Array.length mems.(src_cid) > src_shard
+                && mems.(src_cid).(src_shard).Machine.mid = arr.(s).Machine.mid)
+              producers.(c.cid)
+          in
+          if not aliased then begin
+            let charge mem =
+              let mid = mem.Machine.mid in
+              if usage.(mid) +. c.bytes > mem.Machine.capacity then None
+              else begin
+                usage.(mid) <- usage.(mid) +. c.bytes;
+                Some mem
+              end
+            in
+            match charge arr.(s) with
+            | Some _ -> ()
+            | None when not fallback ->
+                raise
+                  (Oom
+                     (Printf.sprintf "%s of node %d full placing %s (shard %d)"
+                        (Kinds.mem_kind_to_string arr.(s).Machine.mkind)
+                        arr.(s).Machine.mnode c.cname s))
+            | None -> (
+                (* walk the priority list for a kind with room *)
+                let proc = procs.(task.tid).(s) in
+                let rec try_kinds = function
+                  | [] ->
+                      raise
+                        (Oom
+                           (Printf.sprintf "no memory accessible from %s can hold %s (shard %d)"
+                              (Kinds.proc_kind_to_string proc.Machine.pkind)
+                              c.cname s))
+                  | k :: rest -> (
+                      let mem = Machine.closest_memory machine proc k in
+                      match charge mem with
+                      | Some m ->
+                          incr demotions;
+                          m
+                      | None -> try_kinds rest)
+                in
+                match Mapping.memory_priority mapping task c.cid with
+                | [] -> assert false
+                | _ :: lower -> arr.(s) <- try_kinds lower)
+          end
+        done;
+        mems.(c.cid) <- arr
+      in
+      try
+        List.iter
+          (fun (task : Graph.task) -> List.iter (place_arg task) task.args)
+          (Graph.topological_order g);
+        Ok { machine; graph = g; procs; mems; usage; demotions = !demotions }
+      with Oom msg -> Error (Out_of_memory msg))
+
+let shards t tid = Array.length t.procs.(tid)
+let processor t ~tid ~shard = t.procs.(tid).(shard)
+let arg_memory t ~cid ~shard = t.mems.(cid).(shard)
+let effective_mem_kind t ~cid ~shard = (arg_memory t ~cid ~shard).Machine.mkind
+let demotions t = t.demotions
+let bytes_resident t (mem : Machine.memory) = t.usage.(mem.Machine.mid)

@@ -1,0 +1,46 @@
+(** Concrete placement: from kind-level mapping decisions to devices.
+
+    This is the deterministic "runtime logic" half of §3.2's
+    factorization.  Given a mapping, every shard of every group task is
+    assigned a concrete processor — blocked across nodes (or all on the
+    leader node when the distribution bit is off, §3.1), round-robin
+    across the same-kind processors within a node — and every
+    collection argument of that shard is materialized in the memory of
+    the mapped kind closest to that processor.
+
+    Placement also performs the capacity check of §3.1/§5.2: the bytes
+    resident in each physical memory are accumulated, and a mapping
+    that exceeds a capacity either fails with [Out_of_memory] (strict
+    mode, the behaviour the search relies on) or, in fallback mode,
+    demotes the argument along its memory priority list (§3.1's
+    generalized mapping). *)
+
+type t
+
+type error =
+  | Invalid_mapping of string    (** violates §4.2 constraint (1) *)
+  | Out_of_memory of string      (** a memory capacity is exceeded *)
+
+val resolve :
+  ?fallback:bool -> Machine.t -> Graph.t -> Mapping.t -> (t, error) Stdlib.result
+(** [fallback] defaults to false (strict). *)
+
+val shards : t -> int -> int
+(** Number of shards of task [tid] (its group size). *)
+
+val processor : t -> tid:int -> shard:int -> Machine.processor
+
+val arg_memory : t -> cid:int -> shard:int -> Machine.memory
+(** The memory instance actually holding the argument for that shard
+    (after any fallback demotion). *)
+
+val effective_mem_kind : t -> cid:int -> shard:int -> Kinds.mem_kind
+
+val demotions : t -> int
+(** How many (argument, shard) placements fell back to a lower-priority
+    memory kind (0 in strict mode). *)
+
+val bytes_resident : t -> Machine.memory -> float
+(** Bytes accounted to a concrete memory by this placement. *)
+
+val error_to_string : error -> string

@@ -1,0 +1,104 @@
+type kind = Task_exec | Copy
+
+type entry = {
+  label : string;
+  kind : kind;
+  resource : string;
+  start_time : float;
+  duration : float;
+}
+
+type t = { mutable rev_entries : entry list; mutable n : int }
+
+let create () = { rev_entries = []; n = 0 }
+
+let add t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.n <- t.n + 1
+
+let entries t = List.rev t.rev_entries
+let length t = t.n
+
+let clear t =
+  t.rev_entries <- [];
+  t.n <- 0
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* node name prefix of a resource ("node0/GPU1" -> "node0") *)
+let node_of resource =
+  match String.index_opt resource '/' with
+  | Some i -> String.sub resource 0 i
+  | None -> resource
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":\"%s\",\"tid\":\"%s\"}"
+           (json_escape e.label)
+           (match e.kind with Task_exec -> "task" | Copy -> "copy")
+           (e.start_time *. 1e6) (e.duration *. 1e6)
+           (json_escape (node_of e.resource))
+           (json_escape e.resource)))
+    (entries t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let gantt ?(width = 80) t =
+  let es = entries t in
+  if es = [] then "(empty trace)\n"
+  else begin
+    let t_end =
+      List.fold_left (fun acc e -> Float.max acc (e.start_time +. e.duration)) 0.0 es
+    in
+    let t_end = if t_end <= 0.0 then 1.0 else t_end in
+    let resources =
+      List.sort_uniq compare (List.map (fun e -> e.resource) es)
+    in
+    let name_w =
+      List.fold_left (fun acc r -> max acc (String.length r)) 0 resources
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s |%s| 0 .. %.3g s\n" name_w "resource"
+         (String.make width '-') t_end);
+    List.iter
+      (fun r ->
+        let row = Bytes.make width ' ' in
+        List.iter
+          (fun e ->
+            if e.resource = r then begin
+              let i0 = int_of_float (e.start_time /. t_end *. float_of_int width) in
+              let i1 =
+                int_of_float ((e.start_time +. e.duration) /. t_end *. float_of_int width)
+              in
+              let i0 = max 0 (min (width - 1) i0) in
+              let i1 = max i0 (min (width - 1) i1) in
+              let c = match e.kind with Task_exec -> '#' | Copy -> '=' in
+              for i = i0 to i1 do
+                Bytes.set row i c
+              done
+            end)
+          es;
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s |%s|\n" name_w r (Bytes.to_string row)))
+      resources;
+    Buffer.contents buf
+  end

@@ -1,0 +1,37 @@
+(** Execution-trace capture for the simulator.
+
+    When a collector is supplied to {!Exec.run}, every task-instance
+    execution and every explicit copy is recorded with its resource,
+    start time and duration.  Two renderers are provided: a Chrome
+    trace-event JSON export (load in chrome://tracing or Perfetto) and
+    a quick ASCII Gantt chart for terminals. *)
+
+type kind = Task_exec | Copy
+
+type entry = {
+  label : string;       (** "task.shard" or "src->dst" *)
+  kind : kind;
+  resource : string;    (** "node0/GPU0", "node1/CPU1", "node0/pcie", ... *)
+  start_time : float;   (** seconds *)
+  duration : float;
+}
+
+type t
+(** Mutable collector. *)
+
+val create : unit -> t
+val add : t -> entry -> unit
+val entries : t -> entry list
+(** In chronological (insertion) order. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val to_chrome_json : t -> string
+(** Chrome trace-event format ("traceEvents" array of complete
+    events); timestamps in microseconds, one pid per node, one tid per
+    resource. *)
+
+val gantt : ?width:int -> t -> string
+(** ASCII Gantt chart: one row per resource, time on the x axis,
+    [#] for task execution and [=] for copies. *)

@@ -1,0 +1,1 @@
+lib/taskgraph/graph.ml: Array Format Hashtbl Int Kinds List Mode Pattern Printf Queue Set

@@ -1,0 +1,1 @@
+lib/taskgraph/graph_codec.ml: Array Buffer Graph Hashtbl Kinds List Mode Option Pattern Printf String

@@ -1,0 +1,1 @@
+lib/taskgraph/mode.ml: Format

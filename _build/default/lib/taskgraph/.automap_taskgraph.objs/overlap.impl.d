@@ -1,0 +1,1 @@
+lib/taskgraph/overlap.ml: Float Graph List Map

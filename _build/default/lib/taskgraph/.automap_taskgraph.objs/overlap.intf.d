@@ -1,0 +1,1 @@
+lib/taskgraph/overlap.mli: Graph

@@ -1,0 +1,1 @@
+lib/taskgraph/pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/taskgraph/profile.ml: Array Graph List

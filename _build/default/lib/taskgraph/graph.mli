@@ -1,0 +1,123 @@
+(** Dependence graph G of a task-based program (§2).
+
+    Nodes are *group tasks* (§3.1: individual tasks are groups of size
+    one); each task has a list of *collection arguments*, and edges are
+    per-collection dependencies: an edge records which argument of the
+    producer feeds which argument of the consumer and how many bytes
+    move per shard.  Sizes are per-shard bytes: a group task of
+    [group_size] S launched over an input partitions the data into S
+    shard instances.
+
+    Graphs are built through {!Builder}, which assigns ids and
+    validates the result ([build] checks acyclicity, argument
+    ownership, size positivity, and producer/consumer access modes). *)
+
+type collection = private {
+  cid : int;            (** unique across the graph *)
+  cname : string;
+  owner : int;          (** tid of the task this argument belongs to *)
+  bytes : float;        (** per-shard instance size in bytes *)
+  mode : Mode.t;
+}
+
+type task = private {
+  tid : int;            (** unique, dense from 0 *)
+  tname : string;
+  group_size : int;     (** number of shards launched *)
+  variants : Kinds.proc_kind list;  (** kinds with object code (§2) *)
+  flops : float;        (** per-shard useful work *)
+  cpu_efficiency : float; (** fraction of peak the task achieves on CPU *)
+  gpu_efficiency : float;
+  args : collection list;
+}
+
+type edge = private {
+  src : int;            (** cid of the producer's argument *)
+  dst : int;            (** cid of the consumer's argument *)
+  bytes : float;        (** per-shard bytes that must be visible at dst *)
+  pattern : Pattern.t;
+  carried : bool;
+      (** loop-carried: the producer of iteration i feeds the consumer
+          of iteration i+1 (e.g., the state array an update task writes
+          and the first task of the next time step reads).  Carried
+          edges are excluded from the acyclicity check. *)
+}
+
+type t = private {
+  gname : string;
+  iterations : int;     (** time steps: the graph body repeats this many times *)
+  tasks : task array;
+  edges : edge list;
+  overlaps : (int * int * float) list;
+      (** collection-overlap edges (c1, c2, |c1∩c2| in bytes) inducing
+          the graph C of §4.2; stored with c1 < c2 *)
+}
+
+exception Invalid_graph of string
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : ?iterations:int -> name:string -> unit -> t
+  (** [iterations] defaults to 1. *)
+
+  val add_task :
+    t ->
+    name:string ->
+    group_size:int ->
+    variants:Kinds.proc_kind list ->
+    flops:float ->
+    ?cpu_efficiency:float ->
+    ?gpu_efficiency:float ->
+    unit ->
+    int
+  (** Returns the new task's [tid].  Efficiencies default to 1.0. *)
+
+  val add_arg : t -> task:int -> name:string -> bytes:float -> mode:Mode.t -> int
+  (** Declares a collection argument of [task]; returns its [cid]. *)
+
+  val add_dep :
+    ?bytes:float -> ?pattern:Pattern.t -> ?carried:bool -> t -> src:int -> dst:int -> unit
+  (** Dependence from the task owning argument [src] to the task owning
+      argument [dst].  [bytes] defaults to the dst argument's size;
+      [pattern] defaults to [Same_shard]; [carried] (default false)
+      marks a loop-carried dependence. *)
+
+  val add_overlap : t -> int -> int -> bytes:float -> unit
+  (** Declares that two collection arguments reference non-disjoint
+      data of [bytes] overlap (an edge of the induced graph C). *)
+
+  val build : t -> graph
+  (** Validates and freezes.  @raise Invalid_graph on: unknown ids,
+      non-positive sizes, an argument used as dependence source whose
+      mode does not write or destination whose mode does not read, a
+      cyclic task-level dependence structure, overlap weight exceeding
+      either argument's size, or a self-overlap. *)
+end
+
+(** {1 Queries} *)
+
+val n_tasks : t -> int
+val n_collections : t -> int
+val task : t -> int -> task
+val collection : t -> int -> collection
+val collections : t -> collection list
+(** All collection arguments, in cid order. *)
+
+val topological_order : t -> task list
+(** Tasks in a dependence-respecting order (stable: ties broken by
+    tid). *)
+
+val predecessors : t -> int -> edge list
+(** Edges whose destination argument belongs to task [tid]. *)
+
+val successors : t -> int -> edge list
+
+val total_bytes : t -> float
+(** Sum of per-shard bytes over all collection arguments. *)
+
+val has_variant : task -> Kinds.proc_kind -> bool
+
+val pp_summary : Format.formatter -> t -> unit
+(** Name, task count, collection-argument count, edges, overlaps. *)

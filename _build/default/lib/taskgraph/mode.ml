@@ -1,0 +1,12 @@
+type t = Read | Write | Read_write
+
+let reads = function Read | Read_write -> true | Write -> false
+let writes = function Write | Read_write -> true | Read -> false
+
+let to_string = function
+  | Read -> "R"
+  | Write -> "W"
+  | Read_write -> "RW"
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+let equal a b = a = b

@@ -1,0 +1,11 @@
+(** Access mode of a task's collection argument (§2: tasks are
+    functions of named data collections that they may read, write, or
+    both). *)
+
+type t = Read | Write | Read_write
+
+val reads : t -> bool
+val writes : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,62 @@
+module Pair = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module PM = Map.Make (Pair)
+
+type t = { weights : float PM.t }
+
+let normalize (a, b, w) = if a <= b then (a, b, w) else (b, a, w)
+
+let of_edges raw =
+  let weights =
+    List.fold_left
+      (fun acc e ->
+        let a, b, w = normalize e in
+        if a = b then invalid_arg "Overlap.of_edges: self-overlap";
+        if w <= 0.0 then invalid_arg "Overlap.of_edges: non-positive weight";
+        PM.update (a, b)
+          (function Some w' -> Some (Float.max w w') | None -> Some w)
+          acc)
+      PM.empty raw
+  in
+  { weights }
+
+let of_graph (g : Graph.t) = of_edges g.overlaps
+
+let n_edges t = PM.cardinal t.weights
+let edges t = PM.fold (fun (a, b) w acc -> (a, b, w) :: acc) t.weights [] |> List.rev
+let is_empty t = PM.is_empty t.weights
+
+let neighbors t cid =
+  PM.fold
+    (fun (a, b) w acc ->
+      if a = cid then (b, w) :: acc else if b = cid then (a, w) :: acc else acc)
+    t.weights []
+  |> List.rev
+
+let partners t cid = List.map fst (neighbors t cid)
+
+let prune_lightest t n =
+  if n <= 0 then t
+  else begin
+    let es = edges t in
+    let sorted =
+      List.sort
+        (fun (a1, b1, w1) (a2, b2, w2) ->
+          match compare w1 w2 with 0 -> compare (a1, b1) (a2, b2) | c -> c)
+        es
+    in
+    let rec drop k = function
+      | [] -> []
+      | _ :: rest when k > 0 -> drop (k - 1) rest
+      | l -> l
+    in
+    of_edges (drop n sorted)
+  end
+
+let o_map g t cid =
+  let owner c = (Graph.collection g c).owner in
+  (owner cid, cid) :: List.map (fun c -> (owner c, c)) (partners t cid)

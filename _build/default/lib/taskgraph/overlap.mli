@@ -1,0 +1,41 @@
+(** Induced graph C over collections (§4.2).
+
+    Vertices are collection arguments; an edge [(c1, c2)] with weight
+    |c1 ∩ c2| links arguments that reference non-disjoint parts of the
+    same logical data (halo regions, shared state).  CCD uses C to
+    enforce co-location constraint (2) and relaxes the constraint by
+    pruning the lightest edges after each rotation (Algorithm 1,
+    line 8). *)
+
+type t
+
+val of_graph : Graph.t -> t
+(** The overlap edges declared on the graph. *)
+
+val of_edges : (int * int * float) list -> t
+(** Build from raw [(c1, c2, weight)] edges (weights must be positive;
+    pairs are normalized to c1 < c2 and deduplicated keeping the
+    heaviest). *)
+
+val n_edges : t -> int
+
+val edges : t -> (int * int * float) list
+(** Normalized edges in (c1, c2) order. *)
+
+val neighbors : t -> int -> (int * float) list
+(** Overlap partners of a collection with edge weights. *)
+
+val partners : t -> int -> int list
+(** Just the partner cids. *)
+
+val prune_lightest : t -> int -> t
+(** [prune_lightest c n] removes the [n] lowest-weight edges (ties
+    broken by (c1, c2) order); removing more edges than exist yields
+    the empty graph.  Pure: the original is unchanged. *)
+
+val is_empty : t -> bool
+
+val o_map : Graph.t -> t -> int -> (int * int) list
+(** The map O of Algorithm 1 line 5: [o_map g c cid] returns
+    [(t, cid)] itself followed by every [(t', c')] whose collection
+    overlaps [cid] in C. *)

@@ -1,0 +1,17 @@
+type t = Same_shard | Halo of { frac : float }
+
+let halo ~frac =
+  if frac <= 0.0 || frac > 1.0 then invalid_arg "Pattern.halo: frac must be in (0, 1]";
+  Halo { frac }
+
+let to_string = function
+  | Same_shard -> "same-shard"
+  | Halo { frac } -> Printf.sprintf "halo(%.3g)" frac
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let equal a b =
+  match (a, b) with
+  | Same_shard, Same_shard -> true
+  | Halo { frac = f1 }, Halo { frac = f2 } -> f1 = f2
+  | Same_shard, Halo _ | Halo _, Same_shard -> false

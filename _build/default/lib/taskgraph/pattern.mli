@@ -1,0 +1,23 @@
+(** Communication pattern of a dependence edge between two collection
+    arguments of a distributed group task.
+
+    When a group task's shards are spread across nodes, a dependence
+    moves data between shard instances.  [Same_shard] dependencies stay
+    within a shard (no traffic when both arguments share a memory);
+    [Halo] dependencies additionally exchange a fraction of the
+    argument with the two neighbouring shards — the ghost-region
+    pattern of the stencil-style applications, and the source of the
+    overlap edges CCD exploits (§4.2). *)
+
+type t =
+  | Same_shard
+  | Halo of { frac : float }
+      (** each shard sends [frac] × argument-bytes to each of its two
+          neighbours (clamped at the domain boundary) *)
+
+val halo : frac:float -> t
+(** Validated constructor; [frac] must lie in (0, 1]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

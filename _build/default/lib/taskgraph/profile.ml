@@ -1,0 +1,29 @@
+type t = float array
+
+let uniform g = Array.make (Graph.n_tasks g) 1.0
+
+let of_times g times =
+  let a = Array.make (Graph.n_tasks g) 0.0 in
+  List.iter
+    (fun (tid, s) ->
+      if tid < 0 || tid >= Array.length a then invalid_arg "Profile.of_times: bad tid";
+      a.(tid) <- a.(tid) +. s)
+    times;
+  a
+
+let time t tid =
+  if tid < 0 || tid >= Array.length t then invalid_arg "Profile.time: bad tid";
+  t.(tid)
+
+let order_tasks_by_runtime g t =
+  Graph.topological_order g
+  |> List.stable_sort (fun (a : Graph.task) (b : Graph.task) ->
+         match compare t.(b.tid) t.(a.tid) with
+         | 0 -> compare a.tid b.tid
+         | c -> c)
+
+let order_args_by_size (task : Graph.task) =
+  List.stable_sort
+    (fun (a : Graph.collection) (b : Graph.collection) ->
+      match compare b.bytes a.bytes with 0 -> compare a.cid b.cid | c -> c)
+    task.args

@@ -1,0 +1,28 @@
+(** Per-task runtime profiles.
+
+    AutoMap performs a dynamic analysis (§1, §3): profiling the
+    application tells the search the measured cost of each task under
+    the current best mapping.  CD/CCD consume the profile to visit
+    tasks from longest-running to shortest (Algorithm 1 line 6) —
+    expensive tasks are optimized first because their best mapping is
+    least influenced by the rest of the application. *)
+
+type t
+(** Total accumulated runtime per task (seconds), indexed by tid. *)
+
+val uniform : Graph.t -> t
+(** All tasks equal — used before the first evaluation has produced a
+    real profile. *)
+
+val of_times : Graph.t -> (int * float) list -> t
+(** [(tid, seconds)] pairs; missing tasks get 0. *)
+
+val time : t -> int -> float
+
+val order_tasks_by_runtime : Graph.t -> t -> Graph.task list
+(** Tasks sorted by profile time, descending; ties by tid for
+    determinism. *)
+
+val order_args_by_size : Graph.task -> Graph.collection list
+(** A task's collection arguments sorted by size, descending
+    (Algorithm 1 line 14); ties by cid. *)

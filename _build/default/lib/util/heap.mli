@@ -1,0 +1,25 @@
+(** Imperative binary min-heap keyed by float priority.
+
+    This is the event queue of the discrete-event simulator: events are
+    ordered by simulated timestamp, with a monotonically increasing
+    sequence number breaking ties so that simultaneous events pop in
+    insertion order (making simulations deterministic). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority v] inserts [v] with the given priority. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element, insertion order
+    breaking ties. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

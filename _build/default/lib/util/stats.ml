@@ -1,0 +1,83 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty sample")
+  | _ -> ()
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  require_nonempty "Stats.variance" xs;
+  match xs with
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      ss /. float_of_int (List.length xs - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let median xs =
+  require_nonempty "Stats.median" xs;
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let min_max xs =
+  require_nonempty "Stats.min_max" xs;
+  List.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (Float.infinity, Float.neg_infinity)
+    xs
+
+let summarize xs =
+  let lo, hi = min_max xs in
+  {
+    n = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = lo;
+    max = hi;
+    median = median xs;
+  }
+
+let coefficient_of_variation xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else stddev xs /. m
+
+let geometric_mean xs =
+  require_nonempty "Stats.geometric_mean" xs;
+  List.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive sample") xs;
+  exp (mean (List.map log xs))
+
+(* two-sided 95% Student t critical values for df = 1..30 *)
+let t_table =
+  [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+     2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+     2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042 |]
+
+let confidence_interval_95 xs =
+  require_nonempty "Stats.confidence_interval_95" xs;
+  let n = List.length xs in
+  let m = mean xs in
+  if n = 1 then (m, m)
+  else begin
+    let df = n - 1 in
+    let t = if df <= 30 then t_table.(df - 1) else 1.96 in
+    let half = t *. stddev xs /. sqrt (float_of_int n) in
+    (m -. half, m +. half)
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6g sd=%.3g min=%.6g med=%.6g max=%.6g" s.n
+    s.mean s.stddev s.min s.median s.max

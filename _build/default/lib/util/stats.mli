@@ -1,0 +1,45 @@
+(** Descriptive statistics over float samples.
+
+    The evaluation protocol of the paper (§5) runs each candidate
+    mapping 7 times and averages, then re-runs the top 5 mappings 30
+    times and reports the fastest average; this module provides the
+    aggregations that protocol needs. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float list -> float
+(** Arithmetic mean; raises [Invalid_argument] on the empty list. *)
+
+val variance : float list -> float
+(** Unbiased sample variance; 0 for singleton samples. *)
+
+val stddev : float list -> float
+
+val median : float list -> float
+(** Median (mean of the two middle elements for even lengths). *)
+
+val min_max : float list -> float * float
+
+val summarize : float list -> summary
+
+val coefficient_of_variation : float list -> float
+(** stddev / mean — the run-to-run variation measure motivating the
+    multi-run evaluation protocol. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive samples; used to aggregate speedups. *)
+
+val confidence_interval_95 : float list -> float * float
+(** Two-sided 95 % confidence interval of the mean using Student's t
+    critical values (exact table for n ≤ 30, 1.96 beyond) — what the
+    final 30-run re-evaluation reports.  Degenerates to (mean, mean)
+    for singleton samples. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,287 @@
+type series = { label : string; points : (float * float) list }
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#ff7f0e"; "#9467bd"; "#8c564b"; "#17becf" |]
+
+let markers = [| "circle"; "square"; "diamond"; "triangle" |]
+
+let nice_step raw =
+  (* round the raw step to 1, 2 or 5 times a power of ten *)
+  let mag = 10.0 ** Float.round (Float.of_int (int_of_float (floor (log10 raw)))) in
+  let mag = if mag <= 0.0 || Float.is_nan mag then 1.0 else mag in
+  let candidates = [ 1.0; 2.0; 5.0; 10.0 ] in
+  let best =
+    List.fold_left
+      (fun acc c -> if c *. mag >= raw && acc = None then Some (c *. mag) else acc)
+      None candidates
+  in
+  Option.value best ~default:(10.0 *. mag)
+
+let nice_ticks lo hi n =
+  if not (Float.is_finite lo && Float.is_finite hi) || hi <= lo then [ lo ]
+  else begin
+    let raw = (hi -. lo) /. float_of_int (max 1 n) in
+    let step = nice_step raw in
+    let first = step *. Float.round (lo /. step -. 0.5) in
+    let rec go acc v =
+      if v > hi +. (0.5 *. step) then List.rev acc else go (v :: acc) (v +. step)
+    in
+    List.filter (fun v -> v >= lo -. (0.001 *. step)) (go [] first)
+  end
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_tick v =
+  if Float.abs v >= 1000.0 || (Float.abs v < 0.01 && v <> 0.0) then
+    Printf.sprintf "%.1e" v
+  else if Float.is_integer v then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3g" v
+
+type frame = {
+  width : int;
+  height : int;
+  left : float;
+  right : float;
+  top : float;
+  bottom : float;
+  x_min : float;
+  x_max : float;
+  y_min : float;
+  y_max : float;
+}
+
+let x_pos f x =
+  let w = float_of_int f.width -. f.left -. f.right in
+  let span = Float.max (f.x_max -. f.x_min) 1e-300 in
+  f.left +. ((x -. f.x_min) /. span *. w)
+
+let y_pos f y =
+  let h = float_of_int f.height -. f.top -. f.bottom in
+  let span = Float.max (f.y_max -. f.y_min) 1e-300 in
+  float_of_int f.height -. f.bottom -. ((y -. f.y_min) /. span *. h)
+
+let header ~width ~height =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n"
+    width height width height width height
+
+let axes buf f ~title ~xlabel ~ylabel ~y_ticks ~x_tick_labels =
+  let bl = Printf.sprintf in
+  (* frame *)
+  Buffer.add_string buf
+    (bl
+       "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" stroke=\"#333\"/>\n"
+       f.left f.top
+       (float_of_int f.width -. f.left -. f.right)
+       (float_of_int f.height -. f.top -. f.bottom));
+  (* title and axis labels *)
+  Buffer.add_string buf
+    (bl
+       "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"14\" font-weight=\"bold\">%s</text>\n"
+       (float_of_int f.width /. 2.0) (f.top -. 10.0) (escape title));
+  Buffer.add_string buf
+    (bl "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"12\">%s</text>\n"
+       (float_of_int f.width /. 2.0)
+       (float_of_int f.height -. 6.0)
+       (escape xlabel));
+  Buffer.add_string buf
+    (bl
+       "<text x=\"14\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"12\" transform=\"rotate(-90 14 %.1f)\">%s</text>\n"
+       (float_of_int f.height /. 2.0)
+       (float_of_int f.height /. 2.0)
+       (escape ylabel));
+  (* y ticks with gridlines *)
+  List.iter
+    (fun v ->
+      let y = y_pos f v in
+      Buffer.add_string buf
+        (bl
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n"
+           f.left y
+           (float_of_int f.width -. f.right)
+           y);
+      Buffer.add_string buf
+        (bl
+           "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" font-size=\"10\">%s</text>\n"
+           (f.left -. 5.0) (y +. 3.5) (fmt_tick v)))
+    y_ticks;
+  (* x ticks *)
+  List.iter
+    (fun (x, label) ->
+      let xp = x_pos f x in
+      Buffer.add_string buf
+        (bl
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#333\"/>\n"
+           xp
+           (float_of_int f.height -. f.bottom)
+           xp
+           (float_of_int f.height -. f.bottom +. 4.0));
+      Buffer.add_string buf
+        (bl
+           "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" font-size=\"9\" transform=\"rotate(-35 %.1f %.1f)\">%s</text>\n"
+           xp
+           (float_of_int f.height -. f.bottom +. 14.0)
+           xp
+           (float_of_int f.height -. f.bottom +. 14.0)
+           (escape label)))
+    x_tick_labels
+
+let marker buf ~shape ~color x y =
+  let bl = Printf.sprintf in
+  match shape with
+  | "square" ->
+      Buffer.add_string buf
+        (bl "<rect x=\"%.1f\" y=\"%.1f\" width=\"6\" height=\"6\" fill=\"%s\"/>\n"
+           (x -. 3.0) (y -. 3.0) color)
+  | "diamond" ->
+      Buffer.add_string buf
+        (bl
+           "<polygon points=\"%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f\" fill=\"%s\"/>\n"
+           x (y -. 4.0) (x +. 4.0) y x (y +. 4.0) (x -. 4.0) y color)
+  | "triangle" ->
+      Buffer.add_string buf
+        (bl "<polygon points=\"%.1f,%.1f %.1f,%.1f %.1f,%.1f\" fill=\"%s\"/>\n" x
+           (y -. 4.0) (x +. 4.0) (y +. 3.0) (x -. 4.0) (y +. 3.0) color)
+  | _ ->
+      Buffer.add_string buf
+        (bl "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3.2\" fill=\"%s\"/>\n" x y color)
+
+let legend buf f entries =
+  let bl = Printf.sprintf in
+  List.iteri
+    (fun i (label, color) ->
+      let y = f.top +. 8.0 +. (float_of_int i *. 16.0) in
+      let x = float_of_int f.width -. f.right -. 150.0 in
+      Buffer.add_string buf
+        (bl "<rect x=\"%.1f\" y=\"%.1f\" width=\"10\" height=\"10\" fill=\"%s\"/>\n" x
+           (y -. 8.0) color);
+      Buffer.add_string buf
+        (bl "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%s</text>\n" (x +. 14.0) y
+           (escape label)))
+    entries
+
+let line_chart ?(width = 640) ?(height = 400) ?x_categories ?y_min ~title ~xlabel
+    ~ylabel series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  let finite = List.filter (fun (_, y) -> Float.is_finite y) all_points in
+  let xs = List.map fst finite and ys = List.map snd finite in
+  let minl l = List.fold_left Float.min infinity l in
+  let maxl l = List.fold_left Float.max neg_infinity l in
+  let x_min, x_max =
+    match x_categories with
+    | Some cats -> (-0.5, float_of_int (List.length cats) -. 0.5)
+    | None -> if xs = [] then (0.0, 1.0) else (minl xs, maxl xs)
+  in
+  let y_lo = match y_min with Some v -> v | None -> if ys = [] then 0.0 else Float.min 0.0 (minl ys) in
+  let y_hi = if ys = [] then 1.0 else maxl ys in
+  let y_hi = if y_hi <= y_lo then y_lo +. 1.0 else y_hi *. 1.05 in
+  let f =
+    {
+      width;
+      height;
+      left = 60.0;
+      right = 20.0;
+      top = 30.0;
+      bottom = 60.0;
+      x_min;
+      x_max;
+      y_min = y_lo;
+      y_max = y_hi;
+    }
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~width ~height);
+  let x_tick_labels =
+    match x_categories with
+    | Some cats -> List.mapi (fun i c -> (float_of_int i, c)) cats
+    | None -> List.map (fun v -> (v, fmt_tick v)) (nice_ticks x_min x_max 6)
+  in
+  axes buf f ~title ~xlabel ~ylabel ~y_ticks:(nice_ticks y_lo y_hi 6) ~x_tick_labels;
+  List.iteri
+    (fun i s ->
+      let color = palette.(i mod Array.length palette) in
+      let shape = markers.(i mod Array.length markers) in
+      let pts = List.filter (fun (_, y) -> Float.is_finite y) s.points in
+      let path =
+        String.concat " "
+          (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (x_pos f x) (y_pos f y)) pts)
+      in
+      if path <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.8\"/>\n"
+             path color);
+      List.iter (fun (x, y) -> marker buf ~shape ~color (x_pos f x) (y_pos f y)) pts)
+    series;
+  legend buf f (List.mapi (fun i s -> (s.label, palette.(i mod Array.length palette))) series);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let bar_chart ?(width = 640) ?(height = 400) ~title ~ylabel ~categories groups =
+  let all = List.concat_map snd groups in
+  let finite = List.filter Float.is_finite all in
+  let y_hi =
+    (match finite with [] -> 1.0 | l -> List.fold_left Float.max neg_infinity l) *. 1.1
+  in
+  let n_cats = List.length categories and n_groups = max 1 (List.length groups) in
+  let f =
+    {
+      width;
+      height;
+      left = 60.0;
+      right = 20.0;
+      top = 30.0;
+      bottom = 60.0;
+      x_min = -0.5;
+      x_max = float_of_int n_cats -. 0.5;
+      y_min = 0.0;
+      y_max = (if y_hi <= 0.0 then 1.0 else y_hi);
+    }
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~width ~height);
+  axes buf f ~title ~xlabel:"" ~ylabel
+    ~y_ticks:(nice_ticks 0.0 f.y_max 6)
+    ~x_tick_labels:(List.mapi (fun i c -> (float_of_int i, c)) categories);
+  let slot = 0.8 /. float_of_int n_groups in
+  List.iteri
+    (fun gi (_, values) ->
+      let color = palette.(gi mod Array.length palette) in
+      List.iteri
+        (fun ci v ->
+          if Float.is_finite v then begin
+            let x0 =
+              x_pos f (float_of_int ci -. 0.4 +. (float_of_int gi *. slot))
+            in
+            let x1 =
+              x_pos f (float_of_int ci -. 0.4 +. (float_of_int (gi + 1) *. slot))
+            in
+            let y = y_pos f v and y0 = y_pos f 0.0 in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"%s\"/>\n"
+                 x0 y
+                 (Float.max 1.0 (x1 -. x0 -. 2.0))
+                 (Float.max 0.0 (y0 -. y))
+                 color)
+          end)
+        values)
+    groups;
+  legend buf f (List.mapi (fun i (l, _) -> (l, palette.(i mod Array.length palette))) groups);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save path svg =
+  let oc = open_out path in
+  output_string oc svg;
+  close_out oc

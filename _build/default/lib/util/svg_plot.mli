@@ -1,0 +1,45 @@
+(** Dependency-free SVG chart rendering.
+
+    The benchmark harness emits each reproduced figure as an SVG file
+    (line charts for the Figure 6/7/9 series, grouped bars for
+    Figure 8) so results can be compared with the paper's plots
+    visually.  Only the features the harness needs are implemented:
+    numeric or categorical x axes, automatic "nice" ticks, multiple
+    series with distinct colours and markers, a legend, and titles. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** x is a category index when categorical *)
+}
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?x_categories:string list ->
+  ?y_min:float ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  string
+(** Renders a line chart with markers.  When [x_categories] is given
+    the x axis is categorical and each point's x is its category
+    index.  Returns the SVG document. *)
+
+val bar_chart :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  ylabel:string ->
+  categories:string list ->
+  (string * float list) list ->
+  string
+(** Grouped bar chart: each (label, values) series contributes one bar
+    per category.  Missing values may be [nan] (skipped). *)
+
+val save : string -> string -> unit
+(** [save path svg] writes the document to a file. *)
+
+val nice_ticks : float -> float -> int -> float list
+(** [nice_ticks lo hi n] ≈ n human-friendly tick positions covering
+    [lo, hi] (exposed for tests). *)

@@ -1,0 +1,37 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (cell row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i w ->
+           let c = cell row i in
+           c ^ String.make (w - String.length c) ' ')
+         widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (render_row row))
+    rows;
+  Buffer.contents buf
+
+let print t = print_endline (render t)
+let cell_f v = Printf.sprintf "%.4g" v
+let cell_fx digits v = Printf.sprintf "%.*f" digits v

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every figure and table of the paper is regenerated as rows printed
+    by [bench/main.exe]; this module right-pads cells into aligned
+    columns so the output is diffable and readable in a terminal. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; the row may be shorter or longer than the header,
+    missing cells render empty. *)
+
+val render : t -> string
+(** Whole table, headers underlined, columns aligned. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : float -> string
+(** Canonical float cell: 4 significant digits. *)
+
+val cell_fx : int -> float -> string
+(** [cell_fx digits v] float cell with fixed decimal digits. *)

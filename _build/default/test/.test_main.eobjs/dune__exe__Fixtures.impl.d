@@ -1,0 +1,1 @@
+test/fixtures.ml: Graph Kinds Mode Pattern Presets

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App App_util Array Circuit Exec Graph Hashtbl Htr Kinds List Machine Maestro Mapping Pennant Placement Presets Printf Stencil

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Codec Fixtures Kinds Mapping Printf QCheck QCheck_alcotest Rng Space Str_helpers

@@ -1,0 +1,1 @@
+test/test_codecs_ext.ml: Alcotest App Array Exec Fixtures Graph Graph_codec List Machine Machine_codec Mapping Mode Placement Presets Printf Str_helpers String

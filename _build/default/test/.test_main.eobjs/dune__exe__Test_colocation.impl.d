@@ -1,0 +1,1 @@
+test/test_colocation.ml: Alcotest Colocation Fixtures Kinds List Mapping Overlap QCheck QCheck_alcotest Rng Space

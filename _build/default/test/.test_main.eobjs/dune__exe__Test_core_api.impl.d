@@ -1,0 +1,1 @@
+test/test_core_api.ml: Alcotest App Automap_api Fixtures Kinds List Mapping Presets Report Str_helpers

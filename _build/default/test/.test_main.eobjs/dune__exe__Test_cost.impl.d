@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost Graph Kinds Mode Presets

@@ -1,0 +1,1 @@
+test/test_des_invariants.ml: Array Exec Float Gen Graph Hashtbl Lazy List Option Presets QCheck QCheck_alcotest Rng Space String Trace

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Ccd Energy Evaluator Exec Fixtures Float Kinds Mapping Placement Presets

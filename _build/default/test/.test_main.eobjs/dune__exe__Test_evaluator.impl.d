@@ -1,0 +1,1 @@
+test/test_evaluator.ml: Alcotest Evaluator Fixtures Float Kinds List Mapping Profile

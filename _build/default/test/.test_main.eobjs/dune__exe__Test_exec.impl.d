@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Exec Fixtures Graph Kinds List Mapping Mode Placement Presets QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Array Ccd Codec Evaluator Exec Fixtures Float Graph List Machine Mapping Placement Printf Rng Space Str_helpers String

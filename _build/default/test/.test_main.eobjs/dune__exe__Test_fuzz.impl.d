@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Ccd Codec Colocation Evaluator Exec Gen Graph Graph_codec Heft Kinds Lazy List Machine Mapping Overlap Placement Presets QCheck QCheck_alcotest Rng Space

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Fixtures Format Graph Int Kinds List Mode Option Str_helpers

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heap List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heft.ml: Alcotest App Array Ccd Evaluator Exec Fixtures Graph Heft Kinds List Mapping Placement Presets Printf

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest App Ccd Cd Driver Ensemble Evaluator Exec Float Graph Kinds Lazy List Machine Maestro Mapping Pennant Placement Presets Printf

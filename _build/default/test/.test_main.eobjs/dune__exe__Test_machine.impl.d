@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Kinds List Machine Option Presets

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Fixtures Format Graph Kinds List Mapping Mode Presets QCheck QCheck_alcotest Rng Space Str_helpers String

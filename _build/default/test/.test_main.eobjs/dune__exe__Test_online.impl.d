@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest App Mapping Online Presets Printf

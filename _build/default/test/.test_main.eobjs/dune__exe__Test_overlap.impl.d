@@ -1,0 +1,1 @@
+test/test_overlap.ml: Alcotest Fixtures List Overlap QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Evaluator Fixtures List Mapping Portfolio Profiles_db Rng Space Stats Str_helpers

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Fixtures Kinds List Machine Mapping Placement Presets Printf Str_helpers

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Fixtures Graph List Profile

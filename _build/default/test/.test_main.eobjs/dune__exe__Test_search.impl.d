@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Annealing Ccd Cd Driver Ensemble Evaluator Fixtures Float Graph Kinds List Mapping Mode Presets Printf Random_search Stats

@@ -1,0 +1,1 @@
+test/test_search_more.ml: Alcotest App Array Descent Driver Ensemble Evaluator Fixtures Float Graph Heft Kinds List Mapping Presets Profile Profiles_db Stats

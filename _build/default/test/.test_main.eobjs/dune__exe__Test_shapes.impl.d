@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest App Ccd Evaluator Exec Graph Kinds Lazy List Mapping Placement Presets Printf

@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest Fixtures Kinds List Mapping Pennant Presets Rng Space

@@ -1,0 +1,1 @@
+test/test_svg_plot.ml: Alcotest Filename Float List Printf Str_helpers String Svg_plot Sys

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Exec Fixtures Kinds List Mapping Placement Str_helpers String Trace

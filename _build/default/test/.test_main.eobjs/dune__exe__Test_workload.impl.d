@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Graph List Pattern Str_helpers Workload

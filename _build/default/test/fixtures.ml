@@ -1,0 +1,65 @@
+(* Shared graph fixtures for the test suite. *)
+
+let mb = 1e6
+
+(* producer -> consumer over one array; consumer also reads an input. *)
+let pipeline ?(iterations = 1) ?(group_size = 2) () =
+  let b = Graph.Builder.create ~iterations ~name:"pipeline" () in
+  let t1 =
+    Graph.Builder.add_task b ~name:"produce" ~group_size
+      ~variants:[ Kinds.Cpu; Kinds.Gpu ] ~flops:1e6 ()
+  in
+  let out = Graph.Builder.add_arg b ~task:t1 ~name:"produce.data" ~bytes:mb ~mode:Mode.Write in
+  let t2 =
+    Graph.Builder.add_task b ~name:"consume" ~group_size
+      ~variants:[ Kinds.Cpu; Kinds.Gpu ] ~flops:1e6 ()
+  in
+  let inp = Graph.Builder.add_arg b ~task:t2 ~name:"consume.data" ~bytes:mb ~mode:Mode.Read in
+  let aux = Graph.Builder.add_arg b ~task:t2 ~name:"consume.aux" ~bytes:(mb /. 2.0) ~mode:Mode.Read in
+  Graph.Builder.add_dep b ~src:out ~dst:inp;
+  Graph.Builder.add_overlap b out inp ~bytes:mb;
+  ignore aux;
+  (Graph.Builder.build b, t1, t2, out, inp)
+
+(* Three tasks sharing one array with halo exchange plus a private array
+   each; overlap edges of different weights for pruning tests. *)
+let shared_halo ?(iterations = 2) ?(group_size = 4) () =
+  let b = Graph.Builder.create ~iterations ~name:"shared_halo" () in
+  let add_task name flops =
+    Graph.Builder.add_task b ~name ~group_size ~variants:[ Kinds.Cpu; Kinds.Gpu ]
+      ~flops ()
+  in
+  let t1 = add_task "writer" 2e6 in
+  let w = Graph.Builder.add_arg b ~task:t1 ~name:"writer.state" ~bytes:(4.0 *. mb) ~mode:Mode.Write in
+  let t2 = add_task "reader_a" 1e6 in
+  let ra = Graph.Builder.add_arg b ~task:t2 ~name:"reader_a.state" ~bytes:(4.0 *. mb) ~mode:Mode.Read in
+  let rpriv = Graph.Builder.add_arg b ~task:t2 ~name:"reader_a.priv" ~bytes:mb ~mode:Mode.Read_write in
+  let t3 = add_task "reader_b" 1e6 in
+  let rb = Graph.Builder.add_arg b ~task:t3 ~name:"reader_b.state" ~bytes:(4.0 *. mb) ~mode:Mode.Read in
+  Graph.Builder.add_dep b ~src:w ~dst:ra ~pattern:(Pattern.halo ~frac:0.1);
+  Graph.Builder.add_dep b ~src:w ~dst:rb;
+  Graph.Builder.add_overlap b w ra ~bytes:(4.0 *. mb);
+  Graph.Builder.add_overlap b w rb ~bytes:(2.0 *. mb);
+  Graph.Builder.add_overlap b ra rb ~bytes:mb;
+  (Graph.Builder.build b, (t1, t2, t3), (w, ra, rpriv, rb))
+
+(* GPU-only task graph (no CPU variants) for constraint tests. *)
+let gpu_only ?(group_size = 2) () =
+  let b = Graph.Builder.create ~name:"gpu_only" () in
+  let t = Graph.Builder.add_task b ~name:"kernel" ~group_size ~variants:[ Kinds.Gpu ] ~flops:1e6 () in
+  let c = Graph.Builder.add_arg b ~task:t ~name:"kernel.buf" ~bytes:mb ~mode:Mode.Read_write in
+  (Graph.Builder.build b, t, c)
+
+(* One big array exceeding the testbed FB capacity (1 GB/GPU): 1.5 GB
+   per shard with the defaults, which fits the 2 GB ZC pool. *)
+let oversized ?(bytes = 3e9) ?(group_size = 2) () =
+  let b = Graph.Builder.create ~name:"oversized" () in
+  let t = Graph.Builder.add_task b ~name:"big" ~group_size ~variants:[ Kinds.Gpu; Kinds.Cpu ] ~flops:1e6 () in
+  let c =
+    Graph.Builder.add_arg b ~task:t ~name:"big.data"
+      ~bytes:(bytes /. float_of_int group_size)
+      ~mode:Mode.Read_write
+  in
+  (Graph.Builder.build b, t, c)
+
+let default_machine () = Presets.testbed ~nodes:2

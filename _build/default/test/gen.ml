@@ -1,0 +1,75 @@
+(* QCheck generator for random (but always well-formed) workloads,
+   used to fuzz the whole pipeline: builder validation, codecs,
+   placement, the simulator and the search algorithms. *)
+
+open QCheck
+
+let array_names = [ "alpha"; "beta"; "gamma"; "delta"; "eps" ]
+
+type spec = {
+  n_arrays : int;
+  n_tasks : int;
+  seed : int;
+  iterations : int;
+  group_size : int;
+}
+
+let spec_gen =
+  Gen.map5
+    (fun n_arrays n_tasks seed iterations group_size ->
+      { n_arrays; n_tasks; seed; iterations; group_size })
+    (Gen.int_range 1 5) (Gen.int_range 1 6) (Gen.int_range 0 1_000_000)
+    (Gen.int_range 1 3) (Gen.int_range 1 6)
+
+(* Build a workload deterministically from the spec via our own Rng so
+   shrinking stays meaningful on the integer fields. *)
+let build spec =
+  let rng = Rng.create spec.seed in
+  let arrays =
+    List.init spec.n_arrays (fun i ->
+        Workload.array_decl
+          ~name:(List.nth array_names i)
+          ~elems:(float_of_int (1000 + Rng.int rng 100_000))
+          ~comps:(1 + Rng.int rng 3)
+          ~halo_frac:(if Rng.bool rng then 0.1 else 0.0)
+          ())
+  in
+  let tasks =
+    List.init spec.n_tasks (fun i ->
+        let n_accesses = 1 + Rng.int rng (min 4 spec.n_arrays) in
+        (* distinct arrays per task (duplicate accesses are legal but
+           make the overlap clique noisy) *)
+        let chosen =
+          let all = Array.of_list (List.filteri (fun j _ -> j < spec.n_arrays) array_names) in
+          Rng.shuffle rng all;
+          Array.to_list (Array.sub all 0 (min n_accesses (Array.length all)))
+        in
+        let accesses =
+          List.map
+            (fun a ->
+              match Rng.int rng 3 with
+              | 0 -> Workload.read ~ghosted:(Rng.bool rng) a
+              | 1 -> Workload.write a
+              | _ -> Workload.read_write a)
+            chosen
+        in
+        Workload.task_decl
+          ~name:(Printf.sprintf "task%d" i)
+          ~work_elems:(float_of_int (1000 + Rng.int rng 1_000_000))
+          ~flops_per_elem:(float_of_int (1 + Rng.int rng 500))
+          ~group_size:spec.group_size
+          ~gpu_eff:(0.2 +. Rng.float rng 0.8)
+          ~cpu_eff:(0.2 +. Rng.float rng 0.8)
+          ~accesses ())
+  in
+  Workload.build
+    ~name:(Printf.sprintf "fuzz%d" spec.seed)
+    ~iterations:spec.iterations ~arrays ~tasks
+
+let print_spec spec =
+  Printf.sprintf "{arrays=%d tasks=%d seed=%d iters=%d group=%d}" spec.n_arrays
+    spec.n_tasks spec.seed spec.iterations spec.group_size
+
+let arbitrary_spec = make ~print:print_spec spec_gen
+
+let graph_of_spec = build

@@ -1,0 +1,13 @@
+(* Tiny substring-search helper shared by the test modules (the repo
+   deliberately avoids depending on the Str library). *)
+
+let find haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    if i + nl > hl then -1
+    else if String.sub haystack i nl = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let contains haystack needle = find haystack needle >= 0

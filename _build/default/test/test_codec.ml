@@ -1,0 +1,66 @@
+let test_round_trip_default () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (Fixtures.default_machine ()) in
+  let m' = Codec.round_trip_exn g m in
+  Alcotest.(check bool) "round trip" true (Mapping.equal m m')
+
+let test_round_trip_modified () =
+  let g, t1, _, out, _ = Fixtures.pipeline () in
+  let m =
+    Mapping.default_start g (Fixtures.default_machine ())
+    |> (fun m -> Mapping.set_proc m t1 Kinds.Cpu)
+    |> (fun m -> Mapping.set_mem m out Kinds.Zero_copy)
+    |> fun m -> Mapping.set_distribute m t1 false
+  in
+  Alcotest.(check bool) "round trip" true (Mapping.equal m (Codec.round_trip_exn g m))
+
+let test_format_contents () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (Fixtures.default_machine ()) in
+  let s = Codec.to_string g m in
+  Alcotest.(check bool) "task line" true (Str_helpers.contains s "task produce distribute=true proc=GPU");
+  Alcotest.(check bool) "arg line" true (Str_helpers.contains s "arg produce produce.data mem=FB")
+
+let test_parse_errors () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let check_error input expected_fragment =
+    match Codec.of_string g input with
+    | Ok _ -> Alcotest.fail "expected parse error"
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error %S mentions %S" e expected_fragment)
+          true
+          (Str_helpers.contains e expected_fragment)
+  in
+  check_error "garbage line" "unrecognized";
+  check_error "task produce distribute=maybe proc=GPU" "bad boolean";
+  check_error "task produce distribute=true proc=TPU" "bad processor";
+  check_error "arg produce produce.data mem=HBM" "bad memory";
+  (* missing assignments *)
+  check_error "task produce distribute=true proc=GPU" "missing"
+
+let test_comments_and_blanks () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (Fixtures.default_machine ()) in
+  let s = "# a comment\n\n" ^ Codec.to_string g m ^ "\n# trailing\n" in
+  match Codec.of_string g s with
+  | Ok m' -> Alcotest.(check bool) "parsed" true (Mapping.equal m m')
+  | Error e -> Alcotest.fail e
+
+let prop_round_trip_random =
+  QCheck.Test.make ~name:"codec round-trips random valid mappings" QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g, _, _ = Fixtures.shared_halo () in
+      let s = Space.make g (Fixtures.default_machine ()) in
+      let m = Space.random_mapping s (Rng.create seed) in
+      Mapping.equal m (Codec.round_trip_exn g m))
+
+let suite =
+  [
+    Alcotest.test_case "round trip default" `Quick test_round_trip_default;
+    Alcotest.test_case "round trip modified" `Quick test_round_trip_modified;
+    Alcotest.test_case "format contents" `Quick test_format_contents;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    QCheck_alcotest.to_alcotest prop_round_trip_random;
+  ]

@@ -1,0 +1,162 @@
+(* Machine and task-graph file codecs. *)
+
+let machines_equal (a : Machine.t) (b : Machine.t) =
+  a.Machine.name = b.Machine.name
+  && a.Machine.nodes = b.Machine.nodes
+  && a.Machine.node = b.Machine.node
+  && a.Machine.exec_bw = b.Machine.exec_bw
+  && a.Machine.compute = b.Machine.compute
+  && a.Machine.copy = b.Machine.copy
+
+let test_machine_round_trip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (m.Machine.name ^ " round-trips")
+        true
+        (machines_equal m (Machine_codec.round_trip_exn m)))
+    [ Presets.shepard ~nodes:2; Presets.lassen ~nodes:4; Presets.testbed ~nodes:1 ]
+
+let test_machine_parse_errors () =
+  let check_error input frag =
+    match Machine_codec.of_string input with
+    | Ok _ -> Alcotest.fail "expected error"
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" e frag)
+          true (Str_helpers.contains e frag)
+  in
+  check_error "nonsense stanza" "unknown stanza";
+  check_error "machine X nodes=two" "bad integer";
+  check_error "machine X nodes=1" "missing";
+  let valid = Machine_codec.to_string (Presets.testbed ~nodes:1) in
+  check_error (valid ^ "\nmachine Y nodes=1") "duplicate"
+
+let test_machine_comments () =
+  let s = "# hello\n" ^ Machine_codec.to_string (Presets.testbed ~nodes:1) in
+  match Machine_codec.of_string s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_machine_validation_propagates () =
+  let s =
+    Machine_codec.to_string (Presets.testbed ~nodes:1)
+    |> String.split_on_char '\n'
+    |> List.map (fun l ->
+           if String.length l > 4 && String.sub l 0 4 = "node" then
+             "node sockets=0 cores_per_socket=1 gpus=1 sysmem=1e9 zc=1e9 fb=1e9"
+           else l)
+    |> String.concat "\n"
+  in
+  match Machine_codec.of_string s with
+  | Error e -> Alcotest.(check bool) "mentions sockets" true (Str_helpers.contains e "sockets")
+  | Ok _ -> Alcotest.fail "expected validation error"
+
+let graphs_equal (a : Graph.t) (b : Graph.t) =
+  Graph.n_tasks a = Graph.n_tasks b
+  && Graph.n_collections a = Graph.n_collections b
+  && List.length a.Graph.edges = List.length b.Graph.edges
+  && a.Graph.overlaps = b.Graph.overlaps
+  && a.Graph.iterations = b.Graph.iterations
+  && List.for_all2
+       (fun (x : Graph.task) (y : Graph.task) ->
+         x.Graph.tname = y.Graph.tname
+         && x.Graph.group_size = y.Graph.group_size
+         && x.Graph.variants = y.Graph.variants
+         && x.Graph.flops = y.Graph.flops
+         && List.for_all2
+              (fun (c : Graph.collection) (d : Graph.collection) ->
+                c.Graph.cname = d.Graph.cname
+                && c.Graph.bytes = d.Graph.bytes
+                && Mode.equal c.Graph.mode d.Graph.mode)
+              x.Graph.args y.Graph.args)
+       (Array.to_list a.Graph.tasks)
+       (Array.to_list b.Graph.tasks)
+
+let test_graph_round_trip_fixtures () =
+  let g1, _, _, _, _ = Fixtures.pipeline () in
+  let g2, _, _ = Fixtures.shared_halo () in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool)
+        (g.Graph.gname ^ " round-trips")
+        true
+        (graphs_equal g (Graph_codec.round_trip_exn g)))
+    [ g1; g2 ]
+
+let test_graph_round_trip_apps () =
+  (* the big generated graphs round-trip too, including all edges *)
+  List.iter
+    (fun g ->
+      let g' = Graph_codec.round_trip_exn g in
+      Alcotest.(check bool) (g.Graph.gname ^ " equal") true (graphs_equal g g');
+      Alcotest.(check int)
+        (g.Graph.gname ^ " edges")
+        (List.length g.Graph.edges)
+        (List.length g'.Graph.edges))
+    [
+      App.circuit.App.graph ~nodes:1 ~input:"n50w200";
+      App.pennant.App.graph ~nodes:1 ~input:"320x90";
+    ]
+
+let test_graph_simulates_identically () =
+  (* a round-tripped graph must simulate to the same makespan *)
+  let machine = Presets.shepard ~nodes:1 in
+  let g = App.htr.App.graph ~nodes:1 ~input:"8x8y9z" in
+  let g' = Graph_codec.round_trip_exn g in
+  let time graph =
+    match Exec.run ~noise_sigma:0.0 machine graph (Mapping.default_start graph machine) with
+    | Ok r -> r.Exec.makespan
+    | Error e -> Alcotest.fail (Placement.error_to_string e)
+  in
+  Alcotest.(check (float 1e-12)) "same makespan" (time g) (time g')
+
+let test_graph_parse_errors () =
+  let check_error input frag =
+    match Graph_codec.of_string input with
+    | Ok _ -> Alcotest.fail "expected error"
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" e frag)
+          true (Str_helpers.contains e frag)
+  in
+  check_error "" "no graph header";
+  check_error "task t group=1 flops=1" "header must come first";
+  check_error "graph g\ntask t group=1 flops=1 variants=TPU" "bad processor kind";
+  check_error "graph g\narg nope x bytes=1 mode=R" "unknown task";
+  check_error "graph g\ntask t group=1 flops=1\narg t x bytes=1 mode=Q" "bad mode";
+  check_error
+    "graph g\ntask t group=1 flops=1\narg t x bytes=1 mode=W\ndep t x t y" "unknown argument"
+
+let test_graph_minimal_example () =
+  let s =
+    "graph tiny iterations=2\n\
+     task a group=2 flops=1e6\n\
+     arg a out bytes=1e6 mode=RW\n\
+     task b group=2 flops=1e6\n\
+     arg b in bytes=1e6 mode=RW\n\
+     dep a out b in pattern=halo:0.25\n\
+     dep b in a out carried=true\n\
+     overlap a out b in bytes=5e5\n"
+  in
+  match Graph_codec.of_string s with
+  | Ok g ->
+      Alcotest.(check int) "tasks" 2 (Graph.n_tasks g);
+      Alcotest.(check int) "iterations" 2 g.Graph.iterations;
+      Alcotest.(check int) "edges" 2 (List.length g.Graph.edges);
+      let carried = List.filter (fun (e : Graph.edge) -> e.Graph.carried) g.Graph.edges in
+      Alcotest.(check int) "one carried" 1 (List.length carried)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "machine round trip" `Quick test_machine_round_trip;
+    Alcotest.test_case "machine parse errors" `Quick test_machine_parse_errors;
+    Alcotest.test_case "machine comments" `Quick test_machine_comments;
+    Alcotest.test_case "machine validation" `Quick test_machine_validation_propagates;
+    Alcotest.test_case "graph round trip" `Quick test_graph_round_trip_fixtures;
+    Alcotest.test_case "graph round trip apps" `Quick test_graph_round_trip_apps;
+    Alcotest.test_case "graph same simulation" `Quick test_graph_simulates_identically;
+    Alcotest.test_case "graph parse errors" `Quick test_graph_parse_errors;
+    Alcotest.test_case "graph minimal example" `Quick test_graph_minimal_example;
+  ]

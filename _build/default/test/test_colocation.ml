@@ -1,0 +1,111 @@
+let machine () = Fixtures.default_machine ()
+
+(* Worked example on the shared_halo fixture: pivot = (writer, state)
+   moved to (GPU, ZC); its overlap partners reader_a.state and
+   reader_b.state must follow to ZC. *)
+let test_partners_follow_pivot () =
+  let g, (t1, _, _), (w, ra, _, rb) = Fixtures.shared_halo () in
+  let overlap = Overlap.of_graph g in
+  let base = Mapping.default_start g (machine ()) in
+  let f' = Mapping.set_mem (Mapping.set_proc base t1 Kinds.Gpu) w Kinds.Zero_copy in
+  let f'' =
+    Colocation.apply g (machine ()) ~overlap ~mapping:f' ~t:t1 ~c:w ~k:Kinds.Gpu
+      ~r:Kinds.Zero_copy
+  in
+  Alcotest.(check bool) "ra follows" true
+    (Kinds.equal_mem (Mapping.mem_of f'' ra) Kinds.Zero_copy);
+  Alcotest.(check bool) "rb follows" true
+    (Kinds.equal_mem (Mapping.mem_of f'' rb) Kinds.Zero_copy);
+  Alcotest.(check bool) "valid" true (Mapping.is_valid g (machine ()) f'');
+  Alcotest.(check bool) "colocation satisfied" true
+    (Colocation.satisfies_colocation overlap f'')
+
+(* Moving the pivot to FB strands CPU-mapped partner tasks, which must
+   migrate to the pivot's processor kind k = GPU (constraint (1)). *)
+let test_task_repair_moves_to_k () =
+  let g, (t1, t2, t3), (w, _, rpriv, _) = Fixtures.shared_halo () in
+  let overlap = Overlap.of_graph g in
+  let base = Mapping.all_cpu g (machine ()) in
+  let f' = Mapping.set_mem (Mapping.set_proc base t1 Kinds.Gpu) w Kinds.Frame_buffer in
+  let f'' =
+    Colocation.apply g (machine ()) ~overlap ~mapping:f' ~t:t1 ~c:w ~k:Kinds.Gpu
+      ~r:Kinds.Frame_buffer
+  in
+  Alcotest.(check bool) "reader_a moved to GPU" true
+    (Kinds.equal_proc (Mapping.proc_of f'' t2) Kinds.Gpu);
+  Alcotest.(check bool) "reader_b moved to GPU" true
+    (Kinds.equal_proc (Mapping.proc_of f'' t3) Kinds.Gpu);
+  (* reader_a's private arg was in System, unreachable from GPU: it
+     must have been remapped to a GPU-addressable kind *)
+  Alcotest.(check bool) "private arg repaired" true
+    (Kinds.accessible Kinds.Gpu (Mapping.mem_of f'' rpriv));
+  Alcotest.(check bool) "globally valid" true (Mapping.is_valid g (machine ()) f'')
+
+let test_no_overlap_no_change () =
+  let g, t1, _, out, inp = Fixtures.pipeline () in
+  let empty = Overlap.of_edges [] in
+  let base = Mapping.default_start g (machine ()) in
+  let f' = Mapping.set_mem base out Kinds.Zero_copy in
+  let f'' =
+    Colocation.apply g (machine ()) ~overlap:empty ~mapping:f' ~t:t1 ~c:out ~k:Kinds.Gpu
+      ~r:Kinds.Zero_copy
+  in
+  Alcotest.(check bool) "partner untouched without overlap edge" true
+    (Kinds.equal_mem (Mapping.mem_of f'' inp) Kinds.Frame_buffer);
+  Alcotest.(check bool) "pivot kept" true
+    (Kinds.equal_mem (Mapping.mem_of f'' out) Kinds.Zero_copy)
+
+let test_pivot_overlaps_are_pinned () =
+  (* partners of the pivot stay at r even when their own task gets
+     re-checked: line 17 of Algorithm 2 *)
+  let g, (t1, _, _), (w, ra, _, rb) = Fixtures.shared_halo () in
+  let overlap = Overlap.of_graph g in
+  let base = Mapping.all_cpu g (machine ()) in
+  let f' = Mapping.set_mem (Mapping.set_proc base t1 Kinds.Gpu) w Kinds.Frame_buffer in
+  let f'' =
+    Colocation.apply g (machine ()) ~overlap ~mapping:f' ~t:t1 ~c:w ~k:Kinds.Gpu
+      ~r:Kinds.Frame_buffer
+  in
+  Alcotest.(check bool) "ra pinned to r" true
+    (Kinds.equal_mem (Mapping.mem_of f'' ra) Kinds.Frame_buffer);
+  Alcotest.(check bool) "rb pinned to r" true
+    (Kinds.equal_mem (Mapping.mem_of f'' rb) Kinds.Frame_buffer)
+
+let test_satisfies_colocation () =
+  let g, _, (w, ra, _, _) = Fixtures.shared_halo () in
+  let overlap = Overlap.of_graph g in
+  let base = Mapping.default_start g (machine ()) in
+  Alcotest.(check bool) "default colocated (all FB)" true
+    (Colocation.satisfies_colocation overlap base);
+  let broken = Mapping.set_mem base ra Kinds.Zero_copy in
+  Alcotest.(check bool) "moving one endpoint breaks it" false
+    (Colocation.satisfies_colocation overlap broken);
+  ignore w
+
+let prop_apply_yields_valid_and_colocated =
+  QCheck.Test.make ~name:"colocation apply restores both constraints"
+    QCheck.(pair (int_bound 100_000) (int_bound 3))
+    (fun (seed, which) ->
+      let g, (t1, t2, t3), (w, ra, _, rb) = Fixtures.shared_halo () in
+      let machine = Fixtures.default_machine () in
+      let overlap = Overlap.of_graph g in
+      let space = Space.make g machine in
+      let start = Space.random_mapping space (Rng.create seed) in
+      let t, c = List.nth [ (t1, w); (t2, ra); (t3, rb); (t1, w) ] which in
+      let k = if seed mod 2 = 0 then Kinds.Gpu else Kinds.Cpu in
+      let r = List.nth (Kinds.accessible_mem_kinds k) (seed mod 2) in
+      let f' = Mapping.set_mem (Mapping.set_proc start t k) c r in
+      let f'' = Colocation.apply g machine ~overlap ~mapping:f' ~t ~c ~k ~r in
+      Mapping.is_valid g machine f''
+      && Colocation.satisfies_colocation overlap f''
+      && Kinds.equal_mem (Mapping.mem_of f'' c) r)
+
+let suite =
+  [
+    Alcotest.test_case "partners follow pivot" `Quick test_partners_follow_pivot;
+    Alcotest.test_case "task repair to k" `Quick test_task_repair_moves_to_k;
+    Alcotest.test_case "no overlap no change" `Quick test_no_overlap_no_change;
+    Alcotest.test_case "pivot partners pinned" `Quick test_pivot_overlaps_are_pinned;
+    Alcotest.test_case "satisfies_colocation" `Quick test_satisfies_colocation;
+    QCheck_alcotest.to_alcotest prop_apply_yields_valid_and_colocated;
+  ]

@@ -1,0 +1,62 @@
+let test_tune_end_to_end () =
+  let machine = Presets.shepard ~nodes:1 in
+  let t =
+    Automap_api.tune ~app:App.circuit ~machine ~input:"n50w200" ~runs:3 ~final_runs:5
+      ~seed:1 ()
+  in
+  Alcotest.(check int) "three comparisons" 3 (List.length t.Automap_api.comparisons);
+  let find l = List.find (fun c -> c.Automap_api.label = l) t.Automap_api.comparisons in
+  let auto = find "automap" and dflt = find "default" in
+  Alcotest.(check bool) "default speedup 1.0" true
+    (abs_float (dflt.Automap_api.speedup_vs_default -. 1.0) < 1e-9);
+  Alcotest.(check bool) "automap at least as fast as default" true
+    (auto.Automap_api.speedup_vs_default >= 0.95);
+  Alcotest.(check bool) "mapping valid" true
+    (Mapping.is_valid t.Automap_api.graph machine auto.Automap_api.mapping)
+
+let test_measure_mapping () =
+  let machine = Presets.testbed ~nodes:1 in
+  let g, _, _ = Fixtures.shared_halo () in
+  let m = Mapping.default_start g machine in
+  let perf = Automap_api.measure_mapping ~runs:3 machine g m in
+  Alcotest.(check bool) "positive" true (perf > 0.0)
+
+let test_speedup () =
+  Alcotest.(check (float 1e-9)) "2x" 2.0 (Automap_api.speedup ~baseline:4.0 2.0)
+
+let test_report_mapping () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let machine = Fixtures.default_machine () in
+  let m = Mapping.default_start g machine in
+  let s = Report.mapping g m in
+  Alcotest.(check bool) "mentions tasks" true (Str_helpers.contains s "writer");
+  Alcotest.(check bool) "mentions kinds" true (Str_helpers.contains s "GPU");
+  Alcotest.(check bool) "has size bars" true (Str_helpers.contains s "#")
+
+let test_report_diff () =
+  let g, (t1, _, _), (w, _, _, _) = Fixtures.shared_halo () in
+  let machine = Fixtures.default_machine () in
+  let a = Mapping.default_start g machine in
+  Alcotest.(check string) "no diff with itself" "" (Report.mapping_diff g a a);
+  let b = Mapping.set_mem (Mapping.set_proc a t1 Kinds.Cpu) w Kinds.Zero_copy in
+  let d = Report.mapping_diff g a b in
+  Alcotest.(check bool) "task diff" true (Str_helpers.contains d "task writer: GPU -> CPU");
+  Alcotest.(check bool) "arg diff" true (Str_helpers.contains d "FB -> ZC")
+
+let test_placement_summary () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let machine = Fixtures.default_machine () in
+  let m = Mapping.default_start g machine in
+  let s = Report.placement_summary g m in
+  Alcotest.(check bool) "counts GPUs" true (Str_helpers.contains s "3 GPU");
+  Alcotest.(check bool) "counts FB args" true (Str_helpers.contains s "4 FB")
+
+let suite =
+  [
+    Alcotest.test_case "tune end to end" `Quick test_tune_end_to_end;
+    Alcotest.test_case "measure mapping" `Quick test_measure_mapping;
+    Alcotest.test_case "speedup" `Quick test_speedup;
+    Alcotest.test_case "report mapping" `Quick test_report_mapping;
+    Alcotest.test_case "report diff" `Quick test_report_diff;
+    Alcotest.test_case "placement summary" `Quick test_placement_summary;
+  ]

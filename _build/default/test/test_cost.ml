@@ -1,0 +1,57 @@
+let machine () = Presets.testbed ~nodes:1
+
+let task ~flops ~bytes ~gpu_eff =
+  let b = Graph.Builder.create ~name:"cost" () in
+  let t =
+    Graph.Builder.add_task b ~name:"t" ~group_size:1 ~variants:[ Kinds.Cpu; Kinds.Gpu ]
+      ~flops ~gpu_efficiency:gpu_eff ()
+  in
+  let _ = Graph.Builder.add_arg b ~task:t ~name:"t.x" ~bytes ~mode:Mode.Read_write in
+  Graph.task (Graph.Builder.build b) t
+
+let fb _ = Kinds.Frame_buffer
+let zc _ = Kinds.Zero_copy
+
+let test_launch_floor () =
+  let m = machine () in
+  let t = task ~flops:0.0 ~bytes:8.0 ~gpu_eff:1.0 in
+  let d = Cost.task_duration m t Kinds.Gpu ~arg_mem:fb in
+  Alcotest.(check bool) "at least the launch overhead" true (d >= 30e-6)
+
+let test_compute_bound () =
+  let m = machine () in
+  (* 4e9 flops at 4 TFLOP/s = 1 ms >> bandwidth term *)
+  let t = task ~flops:4e9 ~bytes:8.0 ~gpu_eff:1.0 in
+  let d = Cost.task_duration m t Kinds.Gpu ~arg_mem:fb in
+  Alcotest.(check bool) "about 1ms" true (d > 0.9e-3 && d < 1.2e-3)
+
+let test_bandwidth_bound_zc_penalty () =
+  let m = machine () in
+  (* 100 MB streamed, negligible compute: FB 500 GB/s vs ZC 10 GB/s *)
+  let t = task ~flops:1.0 ~bytes:1e8 ~gpu_eff:1.0 in
+  let d_fb = Cost.task_duration m t Kinds.Gpu ~arg_mem:fb in
+  let d_zc = Cost.task_duration m t Kinds.Gpu ~arg_mem:zc in
+  Alcotest.(check bool) "zc much slower" true (d_zc > 20.0 *. d_fb)
+
+let test_efficiency_scales_compute () =
+  let m = machine () in
+  let fast = task ~flops:4e9 ~bytes:8.0 ~gpu_eff:1.0 in
+  let slow = task ~flops:4e9 ~bytes:8.0 ~gpu_eff:0.5 in
+  let df = Cost.task_duration m fast Kinds.Gpu ~arg_mem:fb in
+  let ds = Cost.task_duration m slow Kinds.Gpu ~arg_mem:fb in
+  Alcotest.(check bool) "half efficiency ~ double time" true
+    (ds > 1.8 *. df && ds < 2.2 *. df)
+
+let test_efficiency_accessor () =
+  let t = task ~flops:1.0 ~bytes:8.0 ~gpu_eff:0.25 in
+  Alcotest.(check (float 1e-9)) "gpu eff" 0.25 (Cost.efficiency t Kinds.Gpu);
+  Alcotest.(check (float 1e-9)) "cpu eff default" 1.0 (Cost.efficiency t Kinds.Cpu)
+
+let suite =
+  [
+    Alcotest.test_case "launch floor" `Quick test_launch_floor;
+    Alcotest.test_case "compute bound" `Quick test_compute_bound;
+    Alcotest.test_case "zc bandwidth penalty" `Quick test_bandwidth_bound_zc_penalty;
+    Alcotest.test_case "efficiency scales" `Quick test_efficiency_scales_compute;
+    Alcotest.test_case "efficiency accessor" `Quick test_efficiency_accessor;
+  ]

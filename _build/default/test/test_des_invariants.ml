@@ -1,0 +1,128 @@
+(* Discrete-event-simulator correctness invariants, checked from
+   execution traces over random workloads and random valid mappings:
+
+   - exclusivity: a processor executes one task instance at a time, a
+     channel carries one copy at a time;
+   - causality: no instance of a consumer task starts before some
+     instance of each of its (non-carried) producers has finished;
+   - accounting: per-task busy time in the result equals the sum of
+     that task's trace durations. *)
+
+let machine = lazy (Presets.testbed ~nodes:2)
+
+let traced spec =
+  let g = Gen.graph_of_spec spec in
+  let machine = Lazy.force machine in
+  let space = Space.make g machine in
+  let m = Space.random_mapping space (Rng.create (spec.Gen.seed + 7)) in
+  let collector = Trace.create () in
+  match Exec.run ~noise_sigma:0.02 ~seed:spec.Gen.seed ~trace:collector machine g m with
+  | Ok r -> Some (g, m, collector, r)
+  | Error _ -> None (* OOM on the tiny testbed is legal *)
+
+let overlapping a b =
+  let open Trace in
+  a.start_time +. a.duration > b.start_time +. 1e-12
+  && b.start_time +. b.duration > a.start_time +. 1e-12
+
+let prop_resource_exclusivity =
+  QCheck.Test.make ~count:40 ~name:"no two events overlap on one resource"
+    Gen.arbitrary_spec (fun spec ->
+      match traced spec with
+      | None -> true
+      | Some (_, _, collector, _) ->
+          let by_resource = Hashtbl.create 16 in
+          List.iter
+            (fun e ->
+              let l =
+                Option.value ~default:[] (Hashtbl.find_opt by_resource e.Trace.resource)
+              in
+              Hashtbl.replace by_resource e.Trace.resource (e :: l))
+            (Trace.entries collector);
+          Hashtbl.fold
+            (fun _ events ok ->
+              ok
+              &&
+              let rec pairs = function
+                | [] -> true
+                | e :: rest -> List.for_all (fun e' -> not (overlapping e e')) rest && pairs rest
+              in
+              pairs events)
+            by_resource true)
+
+let prop_causality =
+  QCheck.Test.make ~count:40 ~name:"consumers start after a producer finishes"
+    Gen.arbitrary_spec (fun spec ->
+      match traced spec with
+      | None -> true
+      | Some (g, _, collector, _) ->
+          let task_events name =
+            List.filter
+              (fun e ->
+                e.Trace.kind = Trace.Task_exec
+                && String.length e.Trace.label > String.length name
+                && String.sub e.Trace.label 0 (String.length name) = name
+                && e.Trace.label.[String.length name] = '.')
+              (Trace.entries collector)
+          in
+          List.for_all
+            (fun (e : Graph.edge) ->
+              e.Graph.carried
+              ||
+              let src = (Graph.collection g e.Graph.src).Graph.owner in
+              let dst = (Graph.collection g e.Graph.dst).Graph.owner in
+              if src = dst then true
+              else
+                let src_name = (Graph.task g src).Graph.tname in
+                let dst_name = (Graph.task g dst).Graph.tname in
+                match (task_events src_name, task_events dst_name) with
+                | [], _ | _, [] -> true
+                | src_es, dst_es ->
+                    (* the earliest consumer start cannot precede the
+                       earliest producer finish *)
+                    let first_finish =
+                      List.fold_left
+                        (fun acc ev -> Float.min acc (ev.Trace.start_time +. ev.Trace.duration))
+                        infinity src_es
+                    in
+                    let first_start =
+                      List.fold_left
+                        (fun acc ev -> Float.min acc ev.Trace.start_time)
+                        infinity dst_es
+                    in
+                    first_start >= first_finish -. 1e-12)
+            g.Graph.edges)
+
+let prop_busy_accounting =
+  QCheck.Test.make ~count:40 ~name:"result busy time equals trace durations"
+    Gen.arbitrary_spec (fun spec ->
+      match traced spec with
+      | None -> true
+      | Some (_, _, collector, r) ->
+          let traced_busy =
+            List.fold_left
+              (fun acc e ->
+                if e.Trace.kind = Trace.Task_exec then acc +. e.Trace.duration else acc)
+              0.0 (Trace.entries collector)
+          in
+          let result_busy = Array.fold_left ( +. ) 0.0 r.Exec.proc_busy in
+          abs_float (traced_busy -. result_busy) <= 1e-9 *. Float.max 1.0 result_busy)
+
+let prop_makespan_covers_all_events =
+  QCheck.Test.make ~count:40 ~name:"makespan bounds every event"
+    Gen.arbitrary_spec (fun spec ->
+      match traced spec with
+      | None -> true
+      | Some (_, _, collector, r) ->
+          List.for_all
+            (fun e -> e.Trace.start_time +. e.Trace.duration <= r.Exec.makespan +. 1e-9)
+            (List.filter (fun e -> e.Trace.kind = Trace.Task_exec) (Trace.entries collector)))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_resource_exclusivity;
+      prop_causality;
+      prop_busy_accounting;
+      prop_makespan_covers_all_events;
+    ]

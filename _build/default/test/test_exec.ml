@@ -1,0 +1,182 @@
+let machine () = Fixtures.default_machine ()
+
+let run_exn ?noise_sigma ?seed ?fallback ?iterations g m mapping =
+  match Exec.run ?noise_sigma ?seed ?fallback ?iterations m g mapping with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Placement.error_to_string e)
+
+let test_runs_and_positive () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (machine ()) in
+  let r = run_exn ~noise_sigma:0.0 g (machine ()) m in
+  Alcotest.(check bool) "positive makespan" true (r.Exec.makespan > 0.0);
+  Alcotest.(check bool) "per-iteration = makespan for 1 iter" true
+    (r.Exec.per_iteration = r.Exec.makespan)
+
+let test_deterministic () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let m = Mapping.default_start g (machine ()) in
+  let a = run_exn ~noise_sigma:0.03 ~seed:5 g (machine ()) m in
+  let b = run_exn ~noise_sigma:0.03 ~seed:5 g (machine ()) m in
+  Alcotest.(check (float 0.0)) "same seed same result" a.Exec.makespan b.Exec.makespan;
+  let c = run_exn ~noise_sigma:0.03 ~seed:6 g (machine ()) m in
+  Alcotest.(check bool) "different seed differs" true (a.Exec.makespan <> c.Exec.makespan)
+
+let test_noise_free_is_stable () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let m = Mapping.default_start g (machine ()) in
+  let a = run_exn ~noise_sigma:0.0 ~seed:1 g (machine ()) m in
+  let b = run_exn ~noise_sigma:0.0 ~seed:99 g (machine ()) m in
+  Alcotest.(check (float 0.0)) "seed irrelevant without noise" a.Exec.makespan b.Exec.makespan
+
+let test_dependencies_respected () =
+  (* consumer cannot start before producer: makespan of the pipeline
+     must be at least the sum of both tasks' compute on one shard *)
+  let g, t1, t2, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (machine ()) in
+  let r = run_exn ~noise_sigma:0.0 g (machine ()) m in
+  let per_task tid = r.Exec.task_times.(tid) /. 2.0 (* 2 shards *) in
+  Alcotest.(check bool) "makespan covers chain" true
+    (r.Exec.makespan +. 1e-12 >= per_task t1 +. per_task t2)
+
+let test_same_memory_no_copies () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (machine ()) in
+  let r = run_exn ~noise_sigma:0.0 g (machine ()) m in
+  (* producer and consumer both in FB of the same GPU: no data moves *)
+  Alcotest.(check int) "no copies" 0 r.Exec.n_copies;
+  Alcotest.(check (float 0.0)) "no bytes" 0.0 r.Exec.bytes_moved
+
+let test_cross_memory_copies () =
+  let g, _, t2, _, inp = Fixtures.pipeline () in
+  let base = Mapping.default_start g (machine ()) in
+  let m = Mapping.set_mem base inp Kinds.Zero_copy in
+  let r = run_exn ~noise_sigma:0.0 g (machine ()) m in
+  Alcotest.(check bool) "copies happen" true (r.Exec.n_copies > 0);
+  Alcotest.(check bool) "bytes move" true (r.Exec.bytes_moved > 0.0);
+  let r0 = run_exn ~noise_sigma:0.0 g (machine ()) base in
+  Alcotest.(check bool) "copies slow execution" true (r.Exec.makespan > r0.Exec.makespan);
+  ignore t2
+
+let test_cost_monotone_in_flops () =
+  let build flops =
+    let b = Graph.Builder.create ~name:"flops" () in
+    let t = Graph.Builder.add_task b ~name:"t" ~group_size:2 ~variants:[ Kinds.Gpu ] ~flops () in
+    let _ = Graph.Builder.add_arg b ~task:t ~name:"t.x" ~bytes:1e6 ~mode:Mode.Read_write in
+    Graph.Builder.build b
+  in
+  let run g =
+    (run_exn ~noise_sigma:0.0 g (machine ()) (Mapping.default_start g (machine ()))).Exec.makespan
+  in
+  Alcotest.(check bool) "more flops, longer" true (run (build 1e12) > run (build 1e9))
+
+let test_iterations_scale () =
+  let g1, _, _, _, _ = Fixtures.pipeline ~iterations:1 () in
+  let m = Mapping.default_start g1 (machine ()) in
+  let r1 = run_exn ~noise_sigma:0.0 g1 (machine ()) m in
+  let r4 = run_exn ~noise_sigma:0.0 ~iterations:4 g1 (machine ()) m in
+  Alcotest.(check bool) "4 iterations take longer" true (r4.Exec.makespan > r1.Exec.makespan);
+  Alcotest.(check bool) "but pipelining keeps < 4x" true
+    (r4.Exec.makespan <= 4.0 *. r1.Exec.makespan +. 1e-9)
+
+let test_carried_edge_costs_cross_iteration_copy () =
+  (* writer (GPU/FB) feeds reader; reader's output feeds next
+     iteration's writer via a carried edge.  If the reader is on CPU,
+     the carried data crosses PCIe every iteration. *)
+  let build () =
+    let b = Graph.Builder.create ~iterations:4 ~name:"carried_cost" () in
+    let t1 = Graph.Builder.add_task b ~name:"w" ~group_size:1 ~variants:[ Kinds.Cpu; Kinds.Gpu ] ~flops:1e6 () in
+    let c1 = Graph.Builder.add_arg b ~task:t1 ~name:"w.x" ~bytes:8e6 ~mode:Mode.Read_write in
+    let t2 = Graph.Builder.add_task b ~name:"r" ~group_size:1 ~variants:[ Kinds.Cpu; Kinds.Gpu ] ~flops:1e6 () in
+    let c2 = Graph.Builder.add_arg b ~task:t2 ~name:"r.x" ~bytes:8e6 ~mode:Mode.Read_write in
+    Graph.Builder.add_dep b ~src:c1 ~dst:c2;
+    Graph.Builder.add_dep b ~src:c2 ~dst:c1 ~carried:true;
+    (Graph.Builder.build b, t2, c2)
+  in
+  let g, t2, c2 = build () in
+  let machine = Presets.testbed ~nodes:1 in
+  let all_gpu = Mapping.default_start g machine in
+  let split =
+    Mapping.set_mem (Mapping.set_proc all_gpu t2 Kinds.Cpu) c2 Kinds.System
+  in
+  let rg = run_exn ~noise_sigma:0.0 g machine all_gpu in
+  let rs = run_exn ~noise_sigma:0.0 g machine split in
+  Alcotest.(check int) "no copies all-GPU" 0 rg.Exec.n_copies;
+  (* split mapping: FB->SYS each iteration and SYS->FB back (carried) *)
+  Alcotest.(check bool) "split mapping moves data every iteration" true
+    (rs.Exec.n_copies >= 7);
+  Alcotest.(check bool) "ping-pong is slower" true (rs.Exec.makespan > rg.Exec.makespan)
+
+let test_halo_pattern_neighbour_traffic () =
+  (* distributed halo consumer on 2 nodes: neighbour ghost regions cross
+     the network even when everything shares a memory kind *)
+  let g, _, _ = Fixtures.shared_halo ~iterations:1 () in
+  let m = Mapping.default_start g (machine ()) in
+  let r = run_exn ~noise_sigma:0.0 g (machine ()) m in
+  Alcotest.(check bool) "halo copies exist" true (r.Exec.n_copies > 0)
+
+let test_oom_propagates () =
+  let g, _, _ = Fixtures.oversized () in
+  let m = Mapping.default_start g (machine ()) in
+  match Exec.run ~noise_sigma:0.0 (machine ()) g m with
+  | Error (Placement.Out_of_memory _) -> ()
+  | Error (Placement.Invalid_mapping r) -> Alcotest.fail r
+  | Ok _ -> Alcotest.fail "expected OOM"
+
+let test_fallback_runs () =
+  let g, _, _ = Fixtures.oversized () in
+  let m = Mapping.default_start g (machine ()) in
+  let r = run_exn ~noise_sigma:0.0 ~fallback:true g (machine ()) m in
+  Alcotest.(check bool) "demotions reported" true (r.Exec.demotions > 0)
+
+let test_profile_shape () =
+  let g, t1, t2, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (machine ()) in
+  let p = Exec.profile (machine ()) g m in
+  Alcotest.(check int) "entry per task" 2 (List.length p);
+  List.iter (fun (_, s) -> Alcotest.(check bool) "positive" true (s > 0.0)) p;
+  ignore (t1, t2)
+
+let test_leader_slower_than_distributed () =
+  (* big parallel work on 1 vs 2 nodes *)
+  let g, (t1, t2, t3), _ = Fixtures.shared_halo ~iterations:1 ~group_size:8 () in
+  let base = Mapping.default_start g (machine ()) in
+  let leader =
+    List.fold_left (fun m tid -> Mapping.set_distribute m tid false) base [ t1; t2; t3 ]
+  in
+  let rd = run_exn ~noise_sigma:0.0 g (machine ()) base in
+  let rl = run_exn ~noise_sigma:0.0 g (machine ()) leader in
+  Alcotest.(check bool) "leader-only is slower" true (rl.Exec.makespan > rd.Exec.makespan)
+
+let prop_noise_bounded =
+  QCheck.Test.make ~name:"noisy makespans stay within a plausible band"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let g, _, _ = Fixtures.shared_halo () in
+      let machine = Fixtures.default_machine () in
+      let m = Mapping.default_start g machine in
+      let base =
+        match Exec.run ~noise_sigma:0.0 machine g m with Ok r -> r.Exec.makespan | Error _ -> 0.0
+      in
+      match Exec.run ~noise_sigma:0.02 ~seed machine g m with
+      | Ok r -> r.Exec.makespan > 0.8 *. base && r.Exec.makespan < 1.25 *. base
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "runs" `Quick test_runs_and_positive;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "noise-free stable" `Quick test_noise_free_is_stable;
+    Alcotest.test_case "dependencies respected" `Quick test_dependencies_respected;
+    Alcotest.test_case "no copies same memory" `Quick test_same_memory_no_copies;
+    Alcotest.test_case "cross-memory copies" `Quick test_cross_memory_copies;
+    Alcotest.test_case "cost monotone in flops" `Quick test_cost_monotone_in_flops;
+    Alcotest.test_case "iterations scale" `Quick test_iterations_scale;
+    Alcotest.test_case "carried-edge ping-pong" `Quick test_carried_edge_costs_cross_iteration_copy;
+    Alcotest.test_case "halo traffic" `Quick test_halo_pattern_neighbour_traffic;
+    Alcotest.test_case "oom propagates" `Quick test_oom_propagates;
+    Alcotest.test_case "fallback runs" `Quick test_fallback_runs;
+    Alcotest.test_case "profile shape" `Quick test_profile_shape;
+    Alcotest.test_case "leader slower" `Quick test_leader_slower_than_distributed;
+    QCheck_alcotest.to_alcotest prop_noise_bounded;
+  ]

@@ -1,0 +1,142 @@
+let test_builder_counts () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  Alcotest.(check int) "tasks" 2 (Graph.n_tasks g);
+  Alcotest.(check int) "collections" 3 (Graph.n_collections g);
+  Alcotest.(check int) "edges" 1 (List.length g.Graph.edges);
+  Alcotest.(check int) "overlaps" 1 (List.length g.Graph.overlaps)
+
+let test_dense_cids () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  List.iteri
+    (fun i (c : Graph.collection) -> Alcotest.(check int) "dense cid" i c.Graph.cid)
+    (Graph.collections g)
+
+let test_owner () =
+  let g, t1, t2, out, inp = Fixtures.pipeline () in
+  Alcotest.(check int) "out owned by producer" t1 (Graph.collection g out).Graph.owner;
+  Alcotest.(check int) "inp owned by consumer" t2 (Graph.collection g inp).Graph.owner
+
+let test_topological_order () =
+  let g, (t1, t2, t3), _ = Fixtures.shared_halo () in
+  let order = List.map (fun (t : Graph.task) -> t.Graph.tid) (Graph.topological_order g) in
+  Alcotest.(check int) "all tasks" 3 (List.length order);
+  let pos x = Option.get (List.find_index (Int.equal x) order) in
+  Alcotest.(check bool) "writer before reader_a" true (pos t1 < pos t2);
+  Alcotest.(check bool) "writer before reader_b" true (pos t1 < pos t3)
+
+let test_predecessors_successors () =
+  let g, (t1, t2, _), _ = Fixtures.shared_halo () in
+  Alcotest.(check int) "writer has no preds" 0 (List.length (Graph.predecessors g t1));
+  Alcotest.(check int) "writer feeds two" 2 (List.length (Graph.successors g t1));
+  Alcotest.(check int) "reader_a one pred" 1 (List.length (Graph.predecessors g t2))
+
+let test_total_bytes () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  Alcotest.(check (float 1.0)) "total" 2.5e6 (Graph.total_bytes g)
+
+let test_has_variant () =
+  let g, t, _ = Fixtures.gpu_only () in
+  let task = Graph.task g t in
+  Alcotest.(check bool) "gpu yes" true (Graph.has_variant task Kinds.Gpu);
+  Alcotest.(check bool) "cpu no" false (Graph.has_variant task Kinds.Cpu)
+
+let build_invalid f =
+  try
+    ignore (f ());
+    None
+  with Graph.Invalid_graph m -> Some m
+
+let test_rejects_cycle () =
+  let result =
+    build_invalid (fun () ->
+        let b = Graph.Builder.create ~name:"cycle" () in
+        let t1 = Graph.Builder.add_task b ~name:"a" ~group_size:1 ~variants:[ Kinds.Cpu ] ~flops:1.0 () in
+        let c1 = Graph.Builder.add_arg b ~task:t1 ~name:"a.x" ~bytes:1.0 ~mode:Mode.Read_write in
+        let t2 = Graph.Builder.add_task b ~name:"b" ~group_size:1 ~variants:[ Kinds.Cpu ] ~flops:1.0 () in
+        let c2 = Graph.Builder.add_arg b ~task:t2 ~name:"b.x" ~bytes:1.0 ~mode:Mode.Read_write in
+        Graph.Builder.add_dep b ~src:c1 ~dst:c2;
+        Graph.Builder.add_dep b ~src:c2 ~dst:c1;
+        Graph.Builder.build b)
+  in
+  Alcotest.(check bool) "cycle rejected" true (Option.is_some result)
+
+let test_carried_edge_breaks_cycle () =
+  (* the same structure is legal when the back edge is loop-carried *)
+  let b = Graph.Builder.create ~iterations:2 ~name:"carried" () in
+  let t1 = Graph.Builder.add_task b ~name:"a" ~group_size:1 ~variants:[ Kinds.Cpu ] ~flops:1.0 () in
+  let c1 = Graph.Builder.add_arg b ~task:t1 ~name:"a.x" ~bytes:1.0 ~mode:Mode.Read_write in
+  let t2 = Graph.Builder.add_task b ~name:"b" ~group_size:1 ~variants:[ Kinds.Cpu ] ~flops:1.0 () in
+  let c2 = Graph.Builder.add_arg b ~task:t2 ~name:"b.x" ~bytes:1.0 ~mode:Mode.Read_write in
+  Graph.Builder.add_dep b ~src:c1 ~dst:c2;
+  Graph.Builder.add_dep b ~src:c2 ~dst:c1 ~carried:true;
+  let g = Graph.Builder.build b in
+  Alcotest.(check int) "built" 2 (Graph.n_tasks g)
+
+let test_rejects_bad_modes () =
+  let r =
+    build_invalid (fun () ->
+        let b = Graph.Builder.create ~name:"modes" () in
+        let t1 = Graph.Builder.add_task b ~name:"a" ~group_size:1 ~variants:[ Kinds.Cpu ] ~flops:1.0 () in
+        let c1 = Graph.Builder.add_arg b ~task:t1 ~name:"a.x" ~bytes:1.0 ~mode:Mode.Read in
+        let t2 = Graph.Builder.add_task b ~name:"b" ~group_size:1 ~variants:[ Kinds.Cpu ] ~flops:1.0 () in
+        let c2 = Graph.Builder.add_arg b ~task:t2 ~name:"b.x" ~bytes:1.0 ~mode:Mode.Read in
+        Graph.Builder.add_dep b ~src:c1 ~dst:c2)
+  in
+  Alcotest.(check bool) "read-only source rejected" true (Option.is_some r)
+
+let test_rejects_bad_sizes () =
+  let r =
+    build_invalid (fun () ->
+        let b = Graph.Builder.create ~name:"sizes" () in
+        let t = Graph.Builder.add_task b ~name:"a" ~group_size:1 ~variants:[ Kinds.Cpu ] ~flops:1.0 () in
+        Graph.Builder.add_arg b ~task:t ~name:"a.x" ~bytes:0.0 ~mode:Mode.Read)
+  in
+  Alcotest.(check bool) "zero bytes rejected" true (Option.is_some r);
+  let r2 =
+    build_invalid (fun () ->
+        let b = Graph.Builder.create ~name:"sizes2" () in
+        Graph.Builder.add_task b ~name:"a" ~group_size:0 ~variants:[ Kinds.Cpu ] ~flops:1.0 ())
+  in
+  Alcotest.(check bool) "zero group rejected" true (Option.is_some r2)
+
+let test_rejects_oversized_overlap () =
+  let r =
+    build_invalid (fun () ->
+        let b = Graph.Builder.create ~name:"ov" () in
+        let t = Graph.Builder.add_task b ~name:"a" ~group_size:1 ~variants:[ Kinds.Cpu ] ~flops:1.0 () in
+        let c1 = Graph.Builder.add_arg b ~task:t ~name:"a.x" ~bytes:10.0 ~mode:Mode.Write in
+        let c2 = Graph.Builder.add_arg b ~task:t ~name:"a.y" ~bytes:10.0 ~mode:Mode.Read in
+        Graph.Builder.add_overlap b c1 c2 ~bytes:100.0)
+  in
+  Alcotest.(check bool) "overlap larger than args rejected" true (Option.is_some r)
+
+let test_rejects_variantless_task () =
+  let r =
+    build_invalid (fun () ->
+        let b = Graph.Builder.create ~name:"v" () in
+        Graph.Builder.add_task b ~name:"a" ~group_size:1 ~variants:[] ~flops:1.0 ())
+  in
+  Alcotest.(check bool) "no variants rejected" true (Option.is_some r)
+
+let test_pp_summary () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let s = Format.asprintf "%a" Graph.pp_summary g in
+  Alcotest.(check bool) "mentions task count" true (Str_helpers.contains s "3 tasks")
+
+let suite =
+  [
+    Alcotest.test_case "builder counts" `Quick test_builder_counts;
+    Alcotest.test_case "dense cids" `Quick test_dense_cids;
+    Alcotest.test_case "owner" `Quick test_owner;
+    Alcotest.test_case "topological order" `Quick test_topological_order;
+    Alcotest.test_case "preds/succs" `Quick test_predecessors_successors;
+    Alcotest.test_case "total bytes" `Quick test_total_bytes;
+    Alcotest.test_case "has_variant" `Quick test_has_variant;
+    Alcotest.test_case "rejects cycle" `Quick test_rejects_cycle;
+    Alcotest.test_case "carried edge ok" `Quick test_carried_edge_breaks_cycle;
+    Alcotest.test_case "rejects bad modes" `Quick test_rejects_bad_modes;
+    Alcotest.test_case "rejects bad sizes" `Quick test_rejects_bad_sizes;
+    Alcotest.test_case "rejects oversized overlap" `Quick test_rejects_oversized_overlap;
+    Alcotest.test_case "rejects variantless" `Quick test_rejects_variantless_task;
+    Alcotest.test_case "pp summary" `Quick test_pp_summary;
+  ]

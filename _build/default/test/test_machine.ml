@@ -1,0 +1,161 @@
+let machine () = Presets.testbed ~nodes:2
+
+let test_kinds_accessibility () =
+  Alcotest.(check bool) "cpu-sys" true (Kinds.accessible Kinds.Cpu Kinds.System);
+  Alcotest.(check bool) "cpu-zc" true (Kinds.accessible Kinds.Cpu Kinds.Zero_copy);
+  Alcotest.(check bool) "cpu-fb" false (Kinds.accessible Kinds.Cpu Kinds.Frame_buffer);
+  Alcotest.(check bool) "gpu-fb" true (Kinds.accessible Kinds.Gpu Kinds.Frame_buffer);
+  Alcotest.(check bool) "gpu-zc" true (Kinds.accessible Kinds.Gpu Kinds.Zero_copy);
+  Alcotest.(check bool) "gpu-sys" false (Kinds.accessible Kinds.Gpu Kinds.System)
+
+let test_kinds_strings () =
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "proc round-trip"
+        (Some (Kinds.proc_kind_to_string k))
+        (Option.map Kinds.proc_kind_to_string
+           (Kinds.proc_kind_of_string (Kinds.proc_kind_to_string k))))
+    Kinds.all_proc_kinds;
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "mem round-trip"
+        (Some (Kinds.mem_kind_to_string k))
+        (Option.map Kinds.mem_kind_to_string
+           (Kinds.mem_kind_of_string (Kinds.mem_kind_to_string k))))
+    Kinds.all_mem_kinds;
+  Alcotest.(check bool) "garbage rejected" true (Kinds.mem_kind_of_string "nope" = None)
+
+let test_accessible_kinds_fastest_first () =
+  Alcotest.(check bool) "gpu list" true
+    (Kinds.accessible_mem_kinds Kinds.Gpu = [ Kinds.Frame_buffer; Kinds.Zero_copy ]);
+  Alcotest.(check bool) "cpu list" true
+    (Kinds.accessible_mem_kinds Kinds.Cpu = [ Kinds.System; Kinds.Zero_copy ])
+
+let test_inventory () =
+  let m = machine () in
+  (* testbed: 1 socket x 2 cores + 1 gpu per node, 2 nodes *)
+  Alcotest.(check int) "processors" 6 (Array.length m.Machine.processors);
+  (* per node: 1 SYS + 1 ZC + 1 FB *)
+  Alcotest.(check int) "memories" 6 (Array.length m.Machine.memories);
+  Alcotest.(check int) "cpus per node" 2 (Machine.procs_of_kind_per_node m Kinds.Cpu);
+  Alcotest.(check int) "gpus per node" 1 (Machine.procs_of_kind_per_node m Kinds.Gpu)
+
+let test_proc_lookup () =
+  let m = machine () in
+  let p = Machine.proc m ~node:1 ~kind:Kinds.Gpu ~local:0 in
+  Alcotest.(check int) "node" 1 p.Machine.pnode;
+  Alcotest.(check bool) "kind" true (Kinds.equal_proc p.Machine.pkind Kinds.Gpu);
+  Alcotest.check_raises "bad node" (Invalid_argument "Machine.proc: bad node") (fun () ->
+      ignore (Machine.proc m ~node:9 ~kind:Kinds.Cpu ~local:0));
+  Alcotest.check_raises "bad local" (Invalid_argument "Machine.proc: bad local index")
+    (fun () -> ignore (Machine.proc m ~node:0 ~kind:Kinds.Gpu ~local:3))
+
+let test_closest_memory () =
+  let m = machine () in
+  let gpu = Machine.proc m ~node:0 ~kind:Kinds.Gpu ~local:0 in
+  let fb = Machine.closest_memory m gpu Kinds.Frame_buffer in
+  Alcotest.(check bool) "fb kind" true (Kinds.equal_mem fb.Machine.mkind Kinds.Frame_buffer);
+  Alcotest.(check int) "fb node" 0 fb.Machine.mnode;
+  let zc = Machine.closest_memory m gpu Kinds.Zero_copy in
+  Alcotest.(check bool) "zc kind" true (Kinds.equal_mem zc.Machine.mkind Kinds.Zero_copy);
+  Alcotest.check_raises "gpu cannot address SYS"
+    (Invalid_argument "Machine.closest_memory: GPU cannot address SYS") (fun () ->
+      ignore (Machine.closest_memory m gpu Kinds.System))
+
+let test_addressable () =
+  let m = machine () in
+  let cpu = Machine.proc m ~node:0 ~kind:Kinds.Cpu ~local:0 in
+  let sys0 = Machine.closest_memory m cpu Kinds.System in
+  Alcotest.(check bool) "cpu addresses own sys" true (Machine.addressable m cpu sys0);
+  let cpu1 = Machine.proc m ~node:1 ~kind:Kinds.Cpu ~local:0 in
+  Alcotest.(check bool) "cross-node not addressable" false (Machine.addressable m cpu1 sys0)
+
+let test_channels () =
+  let m = machine () in
+  let gpu0 = Machine.proc m ~node:0 ~kind:Kinds.Gpu ~local:0 in
+  let cpu0 = Machine.proc m ~node:0 ~kind:Kinds.Cpu ~local:0 in
+  let fb0 = Machine.closest_memory m gpu0 Kinds.Frame_buffer in
+  let zc0 = Machine.closest_memory m gpu0 Kinds.Zero_copy in
+  let sys0 = Machine.closest_memory m cpu0 Kinds.System in
+  let gpu1 = Machine.proc m ~node:1 ~kind:Kinds.Gpu ~local:0 in
+  let fb1 = Machine.closest_memory m gpu1 Kinds.Frame_buffer in
+  Alcotest.(check bool) "same memory" true (Machine.channel_between m fb0 fb0 = Machine.Same_memory);
+  Alcotest.(check bool) "fb-zc is pcie" true (Machine.channel_between m fb0 zc0 = Machine.Pcie);
+  Alcotest.(check bool) "sys-zc is host" true (Machine.channel_between m sys0 zc0 = Machine.Host_local);
+  Alcotest.(check bool) "fb-fb cross node is network" true
+    (Machine.channel_between m fb0 fb1 = Machine.Network)
+
+let test_cross_socket_channel () =
+  let m = Presets.shepard ~nodes:1 in
+  let cpu0 = Machine.proc m ~node:0 ~kind:Kinds.Cpu ~local:0 in
+  let cpu1 = Machine.proc m ~node:0 ~kind:Kinds.Cpu ~local:1 in
+  let s0 = Machine.closest_memory m cpu0 Kinds.System in
+  let s1 = Machine.closest_memory m cpu1 Kinds.System in
+  Alcotest.(check bool) "different sockets" true (s0.Machine.mid <> s1.Machine.mid);
+  Alcotest.(check bool) "cross-socket channel" true
+    (Machine.channel_between m s0 s1 = Machine.Cross_socket)
+
+let test_copy_cost_monotone () =
+  let m = machine () in
+  let gpu0 = Machine.proc m ~node:0 ~kind:Kinds.Gpu ~local:0 in
+  let fb0 = Machine.closest_memory m gpu0 Kinds.Frame_buffer in
+  let zc0 = Machine.closest_memory m gpu0 Kinds.Zero_copy in
+  Alcotest.(check (float 0.0)) "same memory free" 0.0
+    (Machine.copy_cost m ~src:fb0 ~dst:fb0 ~bytes:1e9);
+  let small = Machine.copy_cost m ~src:fb0 ~dst:zc0 ~bytes:1e6 in
+  let big = Machine.copy_cost m ~src:fb0 ~dst:zc0 ~bytes:1e8 in
+  Alcotest.(check bool) "monotone in bytes" true (big > small);
+  Alcotest.(check bool) "latency floor" true (small > 0.0)
+
+let test_network_fb_staging () =
+  (* a cross-node copy out of FB must cost at least the pure-network
+     copy of the same bytes from ZC (extra PCIe staging hop) *)
+  let m = machine () in
+  let gpu0 = Machine.proc m ~node:0 ~kind:Kinds.Gpu ~local:0 in
+  let gpu1 = Machine.proc m ~node:1 ~kind:Kinds.Gpu ~local:0 in
+  let fb0 = Machine.closest_memory m gpu0 Kinds.Frame_buffer in
+  let zc0 = Machine.closest_memory m gpu0 Kinds.Zero_copy in
+  let zc1 = Machine.closest_memory m gpu1 Kinds.Zero_copy in
+  let fb1 = Machine.closest_memory m gpu1 Kinds.Frame_buffer in
+  let bytes = 1e7 in
+  let zz = Machine.copy_cost m ~src:zc0 ~dst:zc1 ~bytes in
+  let fz = Machine.copy_cost m ~src:fb0 ~dst:zc1 ~bytes in
+  let ff = Machine.copy_cost m ~src:fb0 ~dst:fb1 ~bytes in
+  Alcotest.(check bool) "fb source costs more" true (fz > zz);
+  Alcotest.(check bool) "fb both ends costs most" true (ff > fz)
+
+let test_make_validation () =
+  Alcotest.check_raises "bad nodes" (Invalid_argument "Machine.make: nodes must be positive")
+    (fun () -> ignore (Presets.testbed ~nodes:0))
+
+let test_cpu_only () =
+  let m = Presets.cpu_only ~nodes:1 in
+  Alcotest.(check (list bool)) "only cpu available" [ true; false ]
+    (List.map
+       (fun k -> List.mem k (Machine.proc_kinds_available m))
+       [ Kinds.Cpu; Kinds.Gpu ])
+
+let test_mem_kind_capacity () =
+  let m = machine () in
+  Alcotest.(check (float 1.0)) "fb capacity" 1e9 (Machine.mem_kind_capacity m Kinds.Frame_buffer);
+  Alcotest.(check (float 1.0)) "zc capacity" 2e9 (Machine.mem_kind_capacity m Kinds.Zero_copy)
+
+let suite =
+  [
+    Alcotest.test_case "kind accessibility" `Quick test_kinds_accessibility;
+    Alcotest.test_case "kind strings" `Quick test_kinds_strings;
+    Alcotest.test_case "accessible kinds order" `Quick test_accessible_kinds_fastest_first;
+    Alcotest.test_case "inventory" `Quick test_inventory;
+    Alcotest.test_case "proc lookup" `Quick test_proc_lookup;
+    Alcotest.test_case "closest memory" `Quick test_closest_memory;
+    Alcotest.test_case "addressable" `Quick test_addressable;
+    Alcotest.test_case "channels" `Quick test_channels;
+    Alcotest.test_case "cross-socket" `Quick test_cross_socket_channel;
+    Alcotest.test_case "copy cost" `Quick test_copy_cost_monotone;
+    Alcotest.test_case "network FB staging" `Quick test_network_fb_staging;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "cpu-only machine" `Quick test_cpu_only;
+    Alcotest.test_case "mem kind capacity" `Quick test_mem_kind_capacity;
+  ]

@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "automap"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("heap", Test_heap.suite);
+      ("table", Test_table.suite);
+      ("machine", Test_machine.suite);
+      ("graph", Test_graph.suite);
+      ("overlap", Test_overlap.suite);
+      ("profile", Test_profile.suite);
+      ("mapping", Test_mapping.suite);
+      ("space", Test_space.suite);
+      ("codec", Test_codec.suite);
+      ("cost", Test_cost.suite);
+      ("placement", Test_placement.suite);
+      ("exec", Test_exec.suite);
+      ("evaluator", Test_evaluator.suite);
+      ("colocation", Test_colocation.suite);
+      ("search", Test_search.suite);
+      ("workload", Test_workload.suite);
+      ("apps", Test_apps.suite);
+      ("trace", Test_trace.suite);
+      ("energy", Test_energy.suite);
+      ("codecs-ext", Test_codecs_ext.suite);
+      ("heft", Test_heft.suite);
+      ("online", Test_online.suite);
+      ("extended", Test_extended.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("svg-plot", Test_svg_plot.suite);
+      ("persistence", Test_persistence.suite);
+      ("des-invariants", Test_des_invariants.suite);
+      ("shapes", Test_shapes.suite);
+      ("search-more", Test_search_more.suite);
+      ("core-api", Test_core_api.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,45 @@
+let machine () = Presets.shepard ~nodes:1
+
+let test_basic_run () =
+  let g = App.circuit.App.graph ~nodes:1 ~input:"n100w400" in
+  let r = Online.run ~seed:0 ~total_iterations:5_000 (machine ()) g in
+  Alcotest.(check bool) "default total positive" true (r.Online.default_total > 0.0);
+  Alcotest.(check bool) "tuned total positive" true (r.Online.tuned_total > 0.0);
+  Alcotest.(check bool) "search time within tuned total" true
+    (r.Online.search_time <= r.Online.tuned_total +. 1e-9);
+  Alcotest.(check bool) "iterations spent bounded" true
+    (r.Online.iterations_spent >= 0 && r.Online.iterations_spent <= 5_000);
+  Alcotest.(check bool) "best mapping valid" true
+    (Mapping.is_valid g (machine ()) r.Online.best)
+
+let test_long_jobs_pay_back () =
+  (* on an app where tuning helps a lot, a long job must come out ahead *)
+  let g = App.circuit.App.graph ~nodes:1 ~input:"n100w400" in
+  let r = Online.run ~seed:0 ~search_fraction:0.1 ~total_iterations:50_000 (machine ()) g in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.2f > 1.2" r.Online.speedup)
+    true (r.Online.speedup > 1.2)
+
+let test_search_fraction_bounds_inspector () =
+  let g = App.circuit.App.graph ~nodes:1 ~input:"n100w400" in
+  let r = Online.run ~seed:0 ~search_fraction:0.05 ~total_iterations:10_000 (machine ()) g in
+  (* the inspector may not exceed its share by more than one evaluation *)
+  Alcotest.(check bool) "inspector share respected" true
+    (r.Online.search_time <= 0.1 *. r.Online.default_total)
+
+let test_validation () =
+  let g = App.circuit.App.graph ~nodes:1 ~input:"n100w400" in
+  Alcotest.check_raises "bad iterations"
+    (Invalid_argument "Online.run: total_iterations must be positive") (fun () ->
+      ignore (Online.run ~total_iterations:0 (machine ()) g));
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Online.run: search_fraction must be in (0,1)") (fun () ->
+      ignore (Online.run ~search_fraction:1.5 ~total_iterations:10 (machine ()) g))
+
+let suite =
+  [
+    Alcotest.test_case "basic run" `Quick test_basic_run;
+    Alcotest.test_case "long jobs pay back" `Quick test_long_jobs_pay_back;
+    Alcotest.test_case "inspector bounded" `Quick test_search_fraction_bounds_inspector;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,82 @@
+let test_of_graph () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let c = Overlap.of_graph g in
+  Alcotest.(check int) "edges" 3 (Overlap.n_edges c);
+  Alcotest.(check bool) "not empty" false (Overlap.is_empty c)
+
+let test_neighbors () =
+  let g, _, (w, ra, _, rb) = Fixtures.shared_halo () in
+  let c = Overlap.of_graph g in
+  let ns = List.map fst (Overlap.neighbors c w) in
+  Alcotest.(check bool) "w ~ ra" true (List.mem ra ns);
+  Alcotest.(check bool) "w ~ rb" true (List.mem rb ns);
+  Alcotest.(check int) "two partners" 2 (List.length ns)
+
+let test_prune_lightest () =
+  let g, _, (w, ra, _, rb) = Fixtures.shared_halo () in
+  let c = Overlap.of_graph g in
+  (* weights: w~ra 4MB, w~rb 2MB, ra~rb 1MB -> pruning 1 removes ra~rb *)
+  let c1 = Overlap.prune_lightest c 1 in
+  Alcotest.(check int) "one removed" 2 (Overlap.n_edges c1);
+  Alcotest.(check bool) "lightest gone" false (List.mem rb (Overlap.partners c1 ra));
+  let c2 = Overlap.prune_lightest c1 1 in
+  Alcotest.(check bool) "next lightest gone" false (List.mem rb (Overlap.partners c2 w));
+  Alcotest.(check int) "heaviest stays" 1 (Overlap.n_edges c2);
+  (* pruning is pure *)
+  Alcotest.(check int) "original untouched" 3 (Overlap.n_edges c)
+
+let test_prune_all () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let c = Overlap.of_graph g in
+  let empty = Overlap.prune_lightest c 100 in
+  Alcotest.(check bool) "empty" true (Overlap.is_empty empty);
+  Alcotest.(check int) "no edges" 0 (Overlap.n_edges empty)
+
+let test_prune_zero () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let c = Overlap.of_graph g in
+  Alcotest.(check int) "no-op" 3 (Overlap.n_edges (Overlap.prune_lightest c 0))
+
+let test_of_edges_dedup () =
+  let c = Overlap.of_edges [ (1, 2, 5.0); (2, 1, 9.0) ] in
+  Alcotest.(check int) "normalized dedup" 1 (Overlap.n_edges c);
+  match Overlap.edges c with
+  | [ (1, 2, w) ] -> Alcotest.(check (float 0.0)) "keeps heaviest" 9.0 w
+  | _ -> Alcotest.fail "unexpected edges"
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "self overlap" (Invalid_argument "Overlap.of_edges: self-overlap")
+    (fun () -> ignore (Overlap.of_edges [ (1, 1, 5.0) ]));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Overlap.of_edges: non-positive weight") (fun () ->
+      ignore (Overlap.of_edges [ (1, 2, 0.0) ]))
+
+let test_o_map () =
+  let g, (t1, t2, t3), (w, ra, _, rb) = Fixtures.shared_halo () in
+  let c = Overlap.of_graph g in
+  let o = Overlap.o_map g c w in
+  Alcotest.(check bool) "includes self first" true (List.hd o = (t1, w));
+  Alcotest.(check bool) "includes (t2, ra)" true (List.mem (t2, ra) o);
+  Alcotest.(check bool) "includes (t3, rb)" true (List.mem (t3, rb) o);
+  Alcotest.(check int) "size" 3 (List.length o)
+
+let prop_prune_monotone =
+  QCheck.Test.make ~name:"pruning k edges leaves max(0, n-k)"
+    QCheck.(pair (int_bound 10) (int_bound 6))
+    (fun (n_edges, k) ->
+      let edges = List.init n_edges (fun i -> (i, i + 1, float_of_int (i + 1))) in
+      let c = Overlap.of_edges edges in
+      Overlap.n_edges (Overlap.prune_lightest c k) = max 0 (n_edges - k))
+
+let suite =
+  [
+    Alcotest.test_case "of_graph" `Quick test_of_graph;
+    Alcotest.test_case "neighbors" `Quick test_neighbors;
+    Alcotest.test_case "prune lightest" `Quick test_prune_lightest;
+    Alcotest.test_case "prune all" `Quick test_prune_all;
+    Alcotest.test_case "prune zero" `Quick test_prune_zero;
+    Alcotest.test_case "dedup" `Quick test_of_edges_dedup;
+    Alcotest.test_case "validation" `Quick test_of_edges_validation;
+    Alcotest.test_case "o_map" `Quick test_o_map;
+    QCheck_alcotest.to_alcotest prop_prune_monotone;
+  ]

@@ -1,0 +1,110 @@
+let machine () = Fixtures.default_machine ()
+
+let resolve_exn ?fallback g m mapping =
+  match Placement.resolve ?fallback m g mapping with
+  | Ok p -> p
+  | Error e -> Alcotest.fail (Placement.error_to_string e)
+
+let test_blocked_distribution () =
+  (* 2 nodes, group of 2: shard 0 -> node 0, shard 1 -> node 1 *)
+  let g, t1, _, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (machine ()) in
+  let p = resolve_exn g (machine ()) m in
+  Alcotest.(check int) "shards" 2 (Placement.shards p t1);
+  Alcotest.(check int) "shard 0 on node 0" 0 (Placement.processor p ~tid:t1 ~shard:0).Machine.pnode;
+  Alcotest.(check int) "shard 1 on node 1" 1 (Placement.processor p ~tid:t1 ~shard:1).Machine.pnode
+
+let test_leader_placement () =
+  let g, t1, _, _, _ = Fixtures.pipeline () in
+  let m = Mapping.set_distribute (Mapping.default_start g (machine ())) t1 false in
+  let p = resolve_exn g (machine ()) m in
+  Alcotest.(check int) "shard 0 leader" 0 (Placement.processor p ~tid:t1 ~shard:0).Machine.pnode;
+  Alcotest.(check int) "shard 1 leader too" 0 (Placement.processor p ~tid:t1 ~shard:1).Machine.pnode
+
+let test_round_robin_within_node () =
+  (* 1 node, 4 shards on 2 CPUs: locals alternate 0,1,0,1 *)
+  let g, (t1, _, _), _ = Fixtures.shared_halo () in
+  let machine = Presets.testbed ~nodes:1 in
+  let m = Mapping.all_cpu g machine in
+  let p = resolve_exn g machine m in
+  let locals = List.init 4 (fun s -> (Placement.processor p ~tid:t1 ~shard:s).Machine.plocal) in
+  Alcotest.(check (list int)) "round robin" [ 0; 1; 0; 1 ] locals
+
+let test_arg_memory_closest () =
+  let g, t1, _, out, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (machine ()) in
+  let p = resolve_exn g (machine ()) m in
+  let mem = Placement.arg_memory p ~cid:out ~shard:1 in
+  let proc = Placement.processor p ~tid:t1 ~shard:1 in
+  Alcotest.(check bool) "fb kind" true (Kinds.equal_mem mem.Machine.mkind Kinds.Frame_buffer);
+  Alcotest.(check int) "same node as proc" proc.Machine.pnode mem.Machine.mnode
+
+let test_capacity_oom_strict () =
+  let g, _, _ = Fixtures.oversized () in
+  let m = Mapping.default_start g (machine ()) in
+  match Placement.resolve (machine ()) g m with
+  | Error (Placement.Out_of_memory reason) ->
+      Alcotest.(check bool) "mentions FB" true (Str_helpers.contains reason "FB")
+  | Error (Placement.Invalid_mapping r) -> Alcotest.fail ("unexpected invalid: " ^ r)
+  | Ok _ -> Alcotest.fail "expected OOM"
+
+let test_capacity_fallback_demotes () =
+  let g, _, c = Fixtures.oversized () in
+  let m = Mapping.default_start g (machine ()) in
+  let p = resolve_exn ~fallback:true g (machine ()) m in
+  Alcotest.(check bool) "demotions happened" true (Placement.demotions p > 0);
+  (* demoted shards now sit in ZC *)
+  let kinds = List.init 2 (fun s -> Placement.effective_mem_kind p ~cid:c ~shard:s) in
+  Alcotest.(check bool) "some shard in ZC" true (List.mem Kinds.Zero_copy kinds)
+
+let test_fallback_still_ooms_when_nothing_fits () =
+  (* 20 GB argument per shard cannot fit FB (1 GB) nor ZC (2 GB) *)
+  let g, _, _ = Fixtures.oversized ~bytes:40e9 () in
+  let m = Mapping.default_start g (machine ()) in
+  match Placement.resolve ~fallback:true (machine ()) g m with
+  | Error (Placement.Out_of_memory _) -> ()
+  | Error (Placement.Invalid_mapping r) -> Alcotest.fail ("unexpected invalid: " ^ r)
+  | Ok _ -> Alcotest.fail "expected OOM even with fallback"
+
+let test_invalid_mapping_rejected () =
+  let g, t, _ = Fixtures.gpu_only () in
+  let m = Mapping.set_proc (Mapping.default_start g (machine ())) t Kinds.Cpu in
+  match Placement.resolve (machine ()) g m with
+  | Error (Placement.Invalid_mapping _) -> ()
+  | Error (Placement.Out_of_memory _) -> Alcotest.fail "expected invalid, got OOM"
+  | Ok _ -> Alcotest.fail "expected invalid"
+
+let test_alias_no_double_count () =
+  (* producer and consumer of the same data in the same memory count once *)
+  let g, _, _, out, _inp = Fixtures.pipeline () in
+  let m = Mapping.default_start g (machine ()) in
+  let p = resolve_exn g (machine ()) m in
+  let mem = Placement.arg_memory p ~cid:out ~shard:0 in
+  let resident = Placement.bytes_resident p mem in
+  (* per-shard 1 MB of "data" (consume.data aliases) + 0.5 MB aux *)
+  Alcotest.(check bool)
+    (Printf.sprintf "resident %.0f counts data once" resident)
+    true
+    (resident <= 1.6e6)
+
+let test_different_memory_no_alias () =
+  let g, _, _, _, inp = Fixtures.pipeline () in
+  let m = Mapping.set_mem (Mapping.default_start g (machine ())) inp Kinds.Zero_copy in
+  let p = resolve_exn g (machine ()) m in
+  let zc = Placement.arg_memory p ~cid:inp ~shard:0 in
+  Alcotest.(check bool) "consumer copy allocated in ZC" true
+    (Placement.bytes_resident p zc >= 1e6)
+
+let suite =
+  [
+    Alcotest.test_case "blocked distribution" `Quick test_blocked_distribution;
+    Alcotest.test_case "leader placement" `Quick test_leader_placement;
+    Alcotest.test_case "round robin" `Quick test_round_robin_within_node;
+    Alcotest.test_case "closest memory" `Quick test_arg_memory_closest;
+    Alcotest.test_case "strict OOM" `Quick test_capacity_oom_strict;
+    Alcotest.test_case "fallback demotes" `Quick test_capacity_fallback_demotes;
+    Alcotest.test_case "fallback exhausted" `Quick test_fallback_still_ooms_when_nothing_fits;
+    Alcotest.test_case "invalid rejected" `Quick test_invalid_mapping_rejected;
+    Alcotest.test_case "alias accounting" `Quick test_alias_no_double_count;
+    Alcotest.test_case "no alias across memories" `Quick test_different_memory_no_alias;
+  ]

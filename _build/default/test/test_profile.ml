@@ -1,0 +1,43 @@
+let test_uniform () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let p = Profile.uniform g in
+  Alcotest.(check (float 0.0)) "uniform time" 1.0 (Profile.time p 0)
+
+let test_of_times_accumulates () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let p = Profile.of_times g [ (0, 1.0); (0, 2.0); (1, 5.0) ] in
+  Alcotest.(check (float 0.0)) "accumulated" 3.0 (Profile.time p 0);
+  Alcotest.(check (float 0.0)) "other" 5.0 (Profile.time p 1)
+
+let test_of_times_bad_tid () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  Alcotest.check_raises "bad tid" (Invalid_argument "Profile.of_times: bad tid")
+    (fun () -> ignore (Profile.of_times g [ (99, 1.0) ]))
+
+let test_order_by_runtime () =
+  let g, (t1, t2, t3), _ = Fixtures.shared_halo () in
+  let p = Profile.of_times g [ (t1, 1.0); (t2, 9.0); (t3, 4.0) ] in
+  let order = List.map (fun (t : Graph.task) -> t.Graph.tid) (Profile.order_tasks_by_runtime g p) in
+  Alcotest.(check (list int)) "longest first" [ t2; t3; t1 ] order
+
+let test_order_ties_by_tid () =
+  let g, (t1, t2, t3), _ = Fixtures.shared_halo () in
+  let p = Profile.uniform g in
+  let order = List.map (fun (t : Graph.task) -> t.Graph.tid) (Profile.order_tasks_by_runtime g p) in
+  Alcotest.(check (list int)) "tid order on ties" [ t1; t2; t3 ] order
+
+let test_order_args_by_size () =
+  let g, _, (_, ra, rpriv, _) = Fixtures.shared_halo () in
+  let task = Graph.task g (Graph.collection g ra).Graph.owner in
+  let order = List.map (fun (c : Graph.collection) -> c.Graph.cid) (Profile.order_args_by_size task) in
+  Alcotest.(check (list int)) "largest first" [ ra; rpriv ] order
+
+let suite =
+  [
+    Alcotest.test_case "uniform" `Quick test_uniform;
+    Alcotest.test_case "of_times accumulates" `Quick test_of_times_accumulates;
+    Alcotest.test_case "of_times bad tid" `Quick test_of_times_bad_tid;
+    Alcotest.test_case "order by runtime" `Quick test_order_by_runtime;
+    Alcotest.test_case "ties by tid" `Quick test_order_ties_by_tid;
+    Alcotest.test_case "args by size" `Quick test_order_args_by_size;
+  ]

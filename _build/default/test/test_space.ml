@@ -1,0 +1,59 @@
+let test_dims () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let s = Space.make g (Fixtures.default_machine ()) in
+  let dims = Space.dims s in
+  (* 2 tasks x (distribution + processor) + 3 memory dims *)
+  Alcotest.(check int) "dim count" 7 (List.length dims);
+  let n_mem = List.length (List.filter (function Space.Memory _ -> true | _ -> false) dims) in
+  Alcotest.(check int) "memory dims" 3 n_mem
+
+let test_proc_choices_respect_variants () =
+  let g, t, _ = Fixtures.gpu_only () in
+  let s = Space.make g (Fixtures.default_machine ()) in
+  Alcotest.(check bool) "gpu only" true (Space.proc_choices s t = [ Kinds.Gpu ])
+
+let test_proc_choices_respect_machine () =
+  let g, t, _ = Fixtures.gpu_only () in
+  let s = Space.make g (Presets.cpu_only ~nodes:1) in
+  Alcotest.(check int) "no choices on cpu-only machine" 0
+    (List.length (Space.proc_choices s t))
+
+let test_mem_choices () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let s = Space.make g (Fixtures.default_machine ()) in
+  Alcotest.(check int) "gpu mems" 2 (List.length (Space.mem_choices s Kinds.Gpu));
+  Alcotest.(check int) "cpu mems" 2 (List.length (Space.mem_choices s Kinds.Cpu))
+
+let test_log2_size_pipeline () =
+  (* pipeline: task produce (1 arg), task consume (2 args), both kinds:
+     per task = 2 * (2^args + 2^args) -> log2 total =
+       log2(2*(2+2)) + log2(2*(4+4)) = 3 + 4 = 7 bits *)
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let s = Space.make g (Fixtures.default_machine ()) in
+  Alcotest.(check (float 1e-6)) "log2 size" 7.0 (Space.log2_size s)
+
+let test_log2_size_figure5_scale () =
+  (* Figure 5 reports Pennant's space as ~2^128; ours should be within
+     the same order of magnitude of bits. *)
+  let g = Pennant.graph ~nodes:1 ~input:"320x90" in
+  let s = Space.make g (Presets.shepard ~nodes:1) in
+  let bits = Space.log2_size s in
+  Alcotest.(check bool) "pennant bits in [100, 180]" true (bits >= 100.0 && bits <= 180.0)
+
+let test_random_mapping_deterministic () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let s = Space.make g (Fixtures.default_machine ()) in
+  let a = Space.random_mapping s (Rng.create 5) in
+  let b = Space.random_mapping s (Rng.create 5) in
+  Alcotest.(check bool) "same seed same mapping" true (Mapping.equal a b)
+
+let suite =
+  [
+    Alcotest.test_case "dims" `Quick test_dims;
+    Alcotest.test_case "proc choices variants" `Quick test_proc_choices_respect_variants;
+    Alcotest.test_case "proc choices machine" `Quick test_proc_choices_respect_machine;
+    Alcotest.test_case "mem choices" `Quick test_mem_choices;
+    Alcotest.test_case "log2 size pipeline" `Quick test_log2_size_pipeline;
+    Alcotest.test_case "log2 size fig5 scale" `Quick test_log2_size_figure5_scale;
+    Alcotest.test_case "random deterministic" `Quick test_random_mapping_deterministic;
+  ]

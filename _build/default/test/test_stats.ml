@@ -1,0 +1,75 @@
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_mean () =
+  Alcotest.(check bool) "mean" true (feq (Stats.mean [ 1.0; 2.0; 3.0 ]) 2.0);
+  Alcotest.(check bool) "singleton" true (feq (Stats.mean [ 5.0 ]) 5.0)
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean []))
+
+let test_variance () =
+  (* sample variance of 2,4,4,4,5,5,7,9 is 32/7 *)
+  let v = Stats.variance [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check bool) "variance" true (feq v (32.0 /. 7.0));
+  Alcotest.(check bool) "singleton variance 0" true (feq (Stats.variance [ 3.0 ]) 0.0)
+
+let test_median_odd_even () =
+  Alcotest.(check bool) "odd" true (feq (Stats.median [ 3.0; 1.0; 2.0 ]) 2.0);
+  Alcotest.(check bool) "even" true (feq (Stats.median [ 4.0; 1.0; 3.0; 2.0 ]) 2.5)
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
+  Alcotest.(check bool) "min" true (feq lo (-1.0));
+  Alcotest.(check bool) "max" true (feq hi 7.0)
+
+let test_summarize () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  Alcotest.(check bool) "mean" true (feq s.Stats.mean 2.5);
+  Alcotest.(check bool) "median" true (feq s.Stats.median 2.5);
+  Alcotest.(check bool) "min" true (feq s.Stats.min 1.0);
+  Alcotest.(check bool) "max" true (feq s.Stats.max 4.0)
+
+let test_cv () =
+  Alcotest.(check bool) "constant sample has cv 0" true
+    (feq (Stats.coefficient_of_variation [ 2.0; 2.0; 2.0 ]) 0.0)
+
+let test_geometric_mean () =
+  Alcotest.(check bool) "gm of 1,4 is 2" true (feq (Stats.geometric_mean [ 1.0; 4.0 ]) 2.0);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive sample") (fun () ->
+      ignore (Stats.geometric_mean [ 1.0; 0.0 ]))
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean lies within min/max"
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo -. 1e-6 && m <= hi +. 1e-6)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative"
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range (-1e3) 1e3))
+    (fun xs -> Stats.variance xs >= -1e-9)
+
+let prop_median_invariant_under_shuffle =
+  QCheck.Test.make ~name:"median is order-insensitive"
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range (-100.) 100.))
+    (fun xs -> Stats.median xs = Stats.median (List.rev xs))
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "median" `Quick test_median_odd_even;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "cv" `Quick test_cv;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    QCheck_alcotest.to_alcotest prop_mean_bounds;
+    QCheck_alcotest.to_alcotest prop_variance_nonneg;
+    QCheck_alcotest.to_alcotest prop_median_invariant_under_shuffle;
+  ]

@@ -1,0 +1,104 @@
+let count_substring s sub =
+  let rec go i acc =
+    match Str_helpers.find (String.sub s i (String.length s - i)) sub with
+    | -1 -> acc
+    | j -> go (i + j + String.length sub) (acc + 1)
+  in
+  go 0 0
+
+let test_nice_ticks_cover_range () =
+  let ticks = Svg_plot.nice_ticks 0.0 10.0 5 in
+  Alcotest.(check bool) "non-empty" true (List.length ticks >= 3);
+  List.iter
+    (fun v -> Alcotest.(check bool) "within padded range" true (v >= -1.0 && v <= 12.0))
+    ticks;
+  let sorted = List.sort compare ticks in
+  Alcotest.(check bool) "sorted" true (sorted = ticks)
+
+let test_nice_ticks_round_values () =
+  (* ticks over [0, 97] should land on multiples of a 1/2/5 step *)
+  let ticks = Svg_plot.nice_ticks 0.0 97.0 5 in
+  List.iter
+    (fun v ->
+      let frac = Float.rem v 10.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "tick %.3f is round" v)
+        true
+        (abs_float frac < 1e-9 || abs_float (frac -. 10.0) < 1e-9 || abs_float (frac -. 5.0) < 1e-9))
+    ticks
+
+let test_nice_ticks_degenerate () =
+  Alcotest.(check (list (float 0.0))) "empty range" [ 5.0 ] (Svg_plot.nice_ticks 5.0 5.0 4);
+  Alcotest.(check bool) "nan tolerated" true (List.length (Svg_plot.nice_ticks nan nan 4) >= 0)
+
+let sample_series =
+  [
+    { Svg_plot.label = "a"; points = [ (0.0, 1.0); (1.0, 2.0); (2.0, 1.5) ] };
+    { Svg_plot.label = "b"; points = [ (0.0, 0.5); (1.0, nan); (2.0, 2.5) ] };
+  ]
+
+let test_line_chart_structure () =
+  let svg =
+    Svg_plot.line_chart ~title:"t" ~xlabel:"x" ~ylabel:"y" sample_series
+  in
+  Alcotest.(check bool) "valid document" true (Str_helpers.contains svg "</svg>");
+  Alcotest.(check int) "one polyline per series" 2 (count_substring svg "<polyline");
+  (* 3 + 2 finite points produce markers *)
+  Alcotest.(check bool) "markers present" true
+    (count_substring svg "<circle" + count_substring svg "<rect" >= 5);
+  Alcotest.(check bool) "legend labels" true
+    (Str_helpers.contains svg ">a</text>" && Str_helpers.contains svg ">b</text>")
+
+let test_line_chart_categories () =
+  let svg =
+    Svg_plot.line_chart ~x_categories:[ "one"; "two"; "three" ] ~title:"t" ~xlabel:"x"
+      ~ylabel:"y" sample_series
+  in
+  List.iter
+    (fun c -> Alcotest.(check bool) c true (Str_helpers.contains svg c))
+    [ "one"; "two"; "three" ]
+
+let test_escaping () =
+  let svg =
+    Svg_plot.line_chart ~title:"a < b & c" ~xlabel:"x" ~ylabel:"y"
+      [ { Svg_plot.label = "s<1>"; points = [ (0.0, 1.0) ] } ]
+  in
+  Alcotest.(check bool) "escaped title" true (Str_helpers.contains svg "a &lt; b &amp; c");
+  Alcotest.(check bool) "no raw angle in label" false (Str_helpers.contains svg "s<1>")
+
+let test_bar_chart () =
+  let svg =
+    Svg_plot.bar_chart ~title:"bars" ~ylabel:"ms" ~categories:[ "c1"; "c2" ]
+      [ ("g1", [ 1.0; 2.0 ]); ("g2", [ 3.0; nan ]) ]
+  in
+  Alcotest.(check bool) "valid" true (Str_helpers.contains svg "</svg>");
+  (* 3 finite bars + background + frame + legend swatches (2) = rects >= 7 *)
+  Alcotest.(check bool) "bars drawn" true (count_substring svg "<rect" >= 7);
+  Alcotest.(check bool) "categories present" true
+    (Str_helpers.contains svg "c1" && Str_helpers.contains svg "c2")
+
+let test_empty_series () =
+  let svg = Svg_plot.line_chart ~title:"e" ~xlabel:"x" ~ylabel:"y" [] in
+  Alcotest.(check bool) "renders empty chart" true (Str_helpers.contains svg "</svg>")
+
+let test_save () =
+  let path = Filename.temp_file "automap_plot" ".svg" in
+  Svg_plot.save path "<svg></svg>";
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "round trip" "<svg></svg>" contents
+
+let suite =
+  [
+    Alcotest.test_case "ticks cover" `Quick test_nice_ticks_cover_range;
+    Alcotest.test_case "ticks round" `Quick test_nice_ticks_round_values;
+    Alcotest.test_case "ticks degenerate" `Quick test_nice_ticks_degenerate;
+    Alcotest.test_case "line structure" `Quick test_line_chart_structure;
+    Alcotest.test_case "line categories" `Quick test_line_chart_categories;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "bar chart" `Quick test_bar_chart;
+    Alcotest.test_case "empty" `Quick test_empty_series;
+    Alcotest.test_case "save" `Quick test_save;
+  ]

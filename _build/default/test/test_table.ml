@@ -1,0 +1,41 @@
+let test_alignment () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header contains both columns" true
+        (String.length header >= String.length "name    value")
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check int) "line count = header + rule + rows" 4 (List.length lines)
+
+let test_ragged_rows () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "1"; "2"; "3"; "4" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "renders without exception" true (String.length rendered > 0);
+  Alcotest.(check bool) "extra cell present" true
+    (String.length rendered > 0
+    && Option.is_some (String.index_opt rendered '4'))
+
+let test_row_order () =
+  let t = Table.create [ "x" ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  let r = Table.render t in
+  let i1 = Str_helpers.find r "first" and i2 = Str_helpers.find r "second" in
+  Alcotest.(check bool) "insertion order preserved" true (i1 < i2)
+
+let test_cells () =
+  Alcotest.(check string) "cell_f" "1.234" (Table.cell_f 1.2341);
+  Alcotest.(check string) "cell_fx" "1.23" (Table.cell_fx 2 1.2341)
+
+let suite =
+  [
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "ragged rows" `Quick test_ragged_rows;
+    Alcotest.test_case "row order" `Quick test_row_order;
+    Alcotest.test_case "cells" `Quick test_cells;
+  ]

@@ -1,0 +1,85 @@
+let machine () = Fixtures.default_machine ()
+
+let traced_run () =
+  let g, _, _, _, inp = Fixtures.pipeline () in
+  (* force a copy so the trace contains both kinds *)
+  let m = Mapping.set_mem (Mapping.default_start g (machine ())) inp Kinds.Zero_copy in
+  let collector = Trace.create () in
+  match Exec.run ~noise_sigma:0.0 ~trace:collector (machine ()) g m with
+  | Ok r -> (collector, r)
+  | Error e -> Alcotest.fail (Placement.error_to_string e)
+
+let test_collects_tasks_and_copies () =
+  let c, r = traced_run () in
+  let es = Trace.entries c in
+  let tasks = List.filter (fun e -> e.Trace.kind = Trace.Task_exec) es in
+  let copies = List.filter (fun e -> e.Trace.kind = Trace.Copy) es in
+  (* 2 tasks x 2 shards *)
+  Alcotest.(check int) "task entries" 4 (List.length tasks);
+  Alcotest.(check int) "copy entries" r.Exec.n_copies (List.length copies)
+
+let test_entries_within_makespan () =
+  let c, r = traced_run () in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "start >= 0" true (e.Trace.start_time >= 0.0);
+      Alcotest.(check bool) "end <= makespan" true
+        (e.Trace.start_time +. e.Trace.duration <= r.Exec.makespan +. 1e-12))
+    (Trace.entries c)
+
+let test_busy_matches_trace () =
+  let c, r = traced_run () in
+  let traced_busy =
+    List.fold_left
+      (fun acc e -> if e.Trace.kind = Trace.Task_exec then acc +. e.Trace.duration else acc)
+      0.0 (Trace.entries c)
+  in
+  let result_busy = Array.fold_left ( +. ) 0.0 r.Exec.proc_busy in
+  Alcotest.(check bool) "trace busy = result busy" true
+    (abs_float (traced_busy -. result_busy) < 1e-12)
+
+let test_no_trace_by_default () =
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let m = Mapping.default_start g (machine ()) in
+  (* simply must not crash without a collector *)
+  match Exec.run ~noise_sigma:0.0 (machine ()) g m with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Placement.error_to_string e)
+
+let test_chrome_json_shape () =
+  let c, _ = traced_run () in
+  let json = Trace.to_chrome_json c in
+  Alcotest.(check bool) "has traceEvents" true (Str_helpers.contains json "traceEvents");
+  Alcotest.(check bool) "has complete events" true (Str_helpers.contains json "\"ph\":\"X\"");
+  Alcotest.(check bool) "names escaped and present" true
+    (Str_helpers.contains json "produce.0");
+  (* crude balance check *)
+  let count ch = String.fold_left (fun acc c -> if c = ch then acc + 1 else acc) 0 json in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}')
+
+let test_gantt () =
+  let c, _ = traced_run () in
+  let g = Trace.gantt ~width:40 c in
+  Alcotest.(check bool) "has task marks" true (Str_helpers.contains g "#");
+  Alcotest.(check bool) "has copy marks" true (Str_helpers.contains g "=");
+  Alcotest.(check bool) "has GPU row" true (Str_helpers.contains g "GPU0")
+
+let test_empty_gantt () =
+  Alcotest.(check string) "empty trace" "(empty trace)\n" (Trace.gantt (Trace.create ()))
+
+let test_clear () =
+  let c, _ = traced_run () in
+  Trace.clear c;
+  Alcotest.(check int) "cleared" 0 (Trace.length c)
+
+let suite =
+  [
+    Alcotest.test_case "collects entries" `Quick test_collects_tasks_and_copies;
+    Alcotest.test_case "within makespan" `Quick test_entries_within_makespan;
+    Alcotest.test_case "busy matches" `Quick test_busy_matches_trace;
+    Alcotest.test_case "no trace by default" `Quick test_no_trace_by_default;
+    Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
+    Alcotest.test_case "gantt" `Quick test_gantt;
+    Alcotest.test_case "empty gantt" `Quick test_empty_gantt;
+    Alcotest.test_case "clear" `Quick test_clear;
+  ]

@@ -1,0 +1,127 @@
+let simple_spec () =
+  let arrays =
+    [
+      Workload.array_decl ~name:"state" ~elems:1e6 ~halo_frac:0.1 ();
+      Workload.array_decl ~name:"flux" ~elems:1e6 ~comps:2 ();
+      Workload.array_decl ~name:"init_data" ~elems:1e3 ();
+    ]
+  in
+  let tasks =
+    [
+      Workload.task_decl ~name:"compute_flux" ~work_elems:1e6 ~flops_per_elem:10.0
+        ~group_size:4
+        ~accesses:[ Workload.read ~ghosted:true "state"; Workload.write "flux";
+                    Workload.read "init_data" ]
+        ();
+      Workload.task_decl ~name:"update" ~work_elems:1e6 ~flops_per_elem:5.0 ~group_size:4
+        ~accesses:[ Workload.read "flux"; Workload.read_write "state" ] ();
+    ]
+  in
+  Workload.build ~name:"simple" ~iterations:2 ~arrays ~tasks
+
+let test_counts () =
+  let g = simple_spec () in
+  Alcotest.(check int) "tasks" 2 (Graph.n_tasks g);
+  Alcotest.(check int) "args" 5 (Graph.n_collections g)
+
+let test_arg_sizes_partitioned () =
+  let g = simple_spec () in
+  let flux_arg =
+    List.find (fun (c : Graph.collection) -> c.Graph.cname = "compute_flux.flux")
+      (Graph.collections g)
+  in
+  (* 1e6 elems x 2 comps x 8 B / 4 shards *)
+  Alcotest.(check (float 1.0)) "per-shard bytes" 4e6 flux_arg.Graph.bytes
+
+let find_edge g src dst =
+  List.find_opt
+    (fun (e : Graph.edge) ->
+      let name cid = (Graph.collection g cid).Graph.cname in
+      name e.Graph.src = src && name e.Graph.dst = dst)
+    g.Graph.edges
+
+let test_producer_consumer_edge () =
+  let g = simple_spec () in
+  match find_edge g "compute_flux.flux" "update.flux" with
+  | Some e ->
+      Alcotest.(check bool) "not carried" false e.Graph.carried;
+      Alcotest.(check bool) "same-shard" true (e.Graph.pattern = Pattern.Same_shard)
+  | None -> Alcotest.fail "missing flux edge"
+
+let test_carried_edge_for_leading_read () =
+  (* compute_flux reads state before update (the only writer) writes it:
+     the dependence must be loop-carried from update *)
+  let g = simple_spec () in
+  match find_edge g "update.state" "compute_flux.state" with
+  | Some e ->
+      Alcotest.(check bool) "carried" true e.Graph.carried;
+      (match e.Graph.pattern with
+      | Pattern.Halo { frac } -> Alcotest.(check (float 1e-9)) "ghosted frac" 0.1 frac
+      | Pattern.Same_shard -> Alcotest.fail "expected halo pattern")
+  | None -> Alcotest.fail "missing carried state edge"
+
+let test_input_array_has_no_edges () =
+  let g = simple_spec () in
+  let touching =
+    List.filter
+      (fun (e : Graph.edge) ->
+        let name cid = (Graph.collection g cid).Graph.cname in
+        Str_helpers.contains (name e.Graph.src) "init_data"
+        || Str_helpers.contains (name e.Graph.dst) "init_data")
+      g.Graph.edges
+  in
+  Alcotest.(check int) "no deps for never-written input" 0 (List.length touching)
+
+let test_overlap_clique () =
+  let g = simple_spec () in
+  (* state: 2 accesses -> 1 edge; flux: 2 accesses -> 1 edge;
+     init_data: 1 access -> 0 *)
+  Alcotest.(check int) "overlap edges" 2 (List.length g.Graph.overlaps)
+
+let test_rejects_unknown_array () =
+  let arrays = [ Workload.array_decl ~name:"a" ~elems:10.0 () ] in
+  let tasks =
+    [ Workload.task_decl ~name:"t" ~work_elems:10.0 ~flops_per_elem:1.0 ~group_size:1
+        ~accesses:[ Workload.read "nope" ] () ]
+  in
+  match Workload.build ~name:"bad" ~iterations:1 ~arrays ~tasks with
+  | exception Graph.Invalid_graph m ->
+      Alcotest.(check bool) "mentions name" true (Str_helpers.contains m "nope")
+  | _ -> Alcotest.fail "expected failure"
+
+let test_rejects_duplicate_array () =
+  let arrays =
+    [ Workload.array_decl ~name:"a" ~elems:10.0 (); Workload.array_decl ~name:"a" ~elems:10.0 () ]
+  in
+  let tasks =
+    [ Workload.task_decl ~name:"t" ~work_elems:10.0 ~flops_per_elem:1.0 ~group_size:1
+        ~accesses:[ Workload.read_write "a" ] () ]
+  in
+  match Workload.build ~name:"dup" ~iterations:1 ~arrays ~tasks with
+  | exception Graph.Invalid_graph _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_array_decl_validation () =
+  (match Workload.array_decl ~name:"x" ~elems:0.0 () with
+  | exception Graph.Invalid_graph _ -> ()
+  | _ -> Alcotest.fail "elems 0");
+  match Workload.array_decl ~name:"x" ~elems:1.0 ~halo_frac:1.0 () with
+  | exception Graph.Invalid_graph _ -> ()
+  | _ -> Alcotest.fail "halo 1.0"
+
+let test_bytes_per_elem () =
+  Alcotest.(check (float 0.0)) "3 comps" 24.0 (Workload.bytes_per_elem 3)
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "arg sizes" `Quick test_arg_sizes_partitioned;
+    Alcotest.test_case "producer-consumer edge" `Quick test_producer_consumer_edge;
+    Alcotest.test_case "carried leading read" `Quick test_carried_edge_for_leading_read;
+    Alcotest.test_case "input array" `Quick test_input_array_has_no_edges;
+    Alcotest.test_case "overlap clique" `Quick test_overlap_clique;
+    Alcotest.test_case "unknown array" `Quick test_rejects_unknown_array;
+    Alcotest.test_case "duplicate array" `Quick test_rejects_duplicate_array;
+    Alcotest.test_case "array validation" `Quick test_array_decl_validation;
+    Alcotest.test_case "bytes per elem" `Quick test_bytes_per_elem;
+  ]
