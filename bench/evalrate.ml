@@ -1,0 +1,203 @@
+(* Evaluator-throughput microbenchmark: how many candidate mappings per
+   second can the search evaluate?
+
+   For Stencil and Circuit (the two ends of the app spectrum: few big
+   group tasks vs. many smaller ones) it measures
+
+     - the reference interpreter (Exec.run_reference: re-derives all
+       structure per run — the pre-compile simulator), and
+     - the compiled path (Exec.compile once + Exec.simulate per
+       candidate against a reused scratch — what Evaluator does),
+
+   each driven with the §5 protocol of [runs] noisy executions per
+   candidate, and reports candidate evaluations/sec, simulated task
+   instances/sec and the compiled-over-reference speedup.  A second
+   section measures the wall-clock speedup of the Domains-parallel
+   portfolio (Parallel.run_members) at 1 vs. 4 domains.
+
+   Results go to stdout and to BENCH_evalrate.json so successive PRs
+   can track the perf trajectory.
+
+   Usage: dune exec bench/evalrate.exe [-- --smoke] [-- --out FILE]
+     --smoke   single tiny pass (CI rot check, seconds not minutes)   *)
+
+let out_file = ref "BENCH_evalrate.json"
+let smoke = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: f :: rest ->
+        out_file := f;
+        parse rest
+    | unknown :: _ ->
+        Printf.eprintf "evalrate: unknown argument %S\n" unknown;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let now = Unix.gettimeofday
+
+(* distinct valid candidates, deterministically derived from the search
+   space so the bind phase is exercised like a real search *)
+let candidates g machine ~count =
+  let space = Space.make g machine in
+  let rng = Rng.create 12345 in
+  let rec gen acc n guard =
+    if n = 0 || guard = 0 then acc
+    else
+      let m = Space.random_unconstrained space rng in
+      if Mapping.is_valid g machine m then gen (m :: acc) (n - 1) (guard - 1)
+      else gen acc n (guard - 1)
+  in
+  gen [ Mapping.default_start g machine ] (count - 1) (count * 200)
+
+type rate = { evals_per_sec : float; instances_per_sec : float; evals : int }
+
+let measure_rate ~runs ~min_time ~instances_per_sim sim_candidate mappings =
+  (* repeat whole passes over the candidate list until [min_time]
+     elapsed, so rates are stable across machine jitter *)
+  let evals = ref 0 in
+  let t0 = now () in
+  let elapsed () = now () -. t0 in
+  while !evals = 0 || elapsed () < min_time do
+    List.iter
+      (fun m ->
+        for r = 1 to runs do
+          sim_candidate ~seed:(!evals + r) m
+        done;
+        incr evals)
+      mappings
+  done;
+  let dt = elapsed () in
+  let sims = !evals * runs in
+  {
+    evals_per_sec = float_of_int !evals /. dt;
+    instances_per_sec = float_of_int (sims * instances_per_sim) /. dt;
+    evals = !evals;
+  }
+
+type app_row = {
+  row_app : string;
+  row_input : string;
+  reference : rate;
+  compiled : rate;
+  speedup : float;
+}
+
+let bench_app (app : App.t) machine ~input ~count ~runs ~min_time =
+  let g = app.App.graph ~nodes:machine.Machine.nodes ~input in
+  let mappings = candidates g machine ~count in
+  let instances_per_sim =
+    g.Graph.iterations
+    * Array.fold_left (fun acc (t : Graph.task) -> acc + t.group_size) 0 g.Graph.tasks
+  in
+  let expect_ok = function
+    | Ok _ -> ()
+    | Error e -> failwith ("evalrate: " ^ Placement.error_to_string e)
+  in
+  let reference =
+    measure_rate ~runs ~min_time ~instances_per_sim
+      (fun ~seed m -> expect_ok (Exec.run_reference ~fallback:true ~seed machine g m))
+      mappings
+  in
+  let sc = Exec.scratch (Exec.compile machine g) in
+  let compiled =
+    measure_rate ~runs ~min_time ~instances_per_sim
+      (fun ~seed m -> expect_ok (Exec.simulate ~fallback:true ~seed sc m))
+      mappings
+  in
+  let speedup = compiled.evals_per_sec /. reference.evals_per_sec in
+  Printf.printf
+    "%-8s %-10s reference %8.1f evals/s | compiled %8.1f evals/s | %5.2fx | %.2e inst/s\n%!"
+    app.App.app_name input reference.evals_per_sec compiled.evals_per_sec speedup
+    compiled.instances_per_sec;
+  { row_app = app.App.app_name; row_input = input; reference; compiled; speedup }
+
+let bench_parallel machine g ~budget ~runs =
+  (* an ensemble of independent restarts: 8 jobs over 4 domains keeps
+     the workers load-balanced even though members differ in length *)
+  let members =
+    [
+      Portfolio.Ccd 5;
+      Portfolio.Annealing;
+      Portfolio.Random;
+      Portfolio.Ccd 4;
+      Portfolio.Cd;
+      Portfolio.Ccd 3;
+      Portfolio.Annealing;
+      Portfolio.Ccd 2;
+    ]
+  in
+  let time domains =
+    let t0 = now () in
+    let results = Parallel.run_members ~domains ~members ~budget ~seed:1 ~runs machine g in
+    (now () -. t0, Parallel.best results)
+  in
+  let t1, best1 = time 1 in
+  let t4, best4 = time 4 in
+  assert (best1.Parallel.perf = best4.Parallel.perf);
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "parallel portfolio (%d members): 1 domain %.2fs, 4 domains %.2fs -> %.2fx speedup \
+     (%d core%s available%s)\n%!"
+    (List.length members) t1 t4 (t1 /. t4) cores
+    (if cores = 1 then "" else "s")
+    (if cores < 4 then "; domains are core-bound, expect speedup only at >= 4 cores"
+     else "");
+  (t1, t4, best1.Parallel.perf)
+
+let json_rate r =
+  Printf.sprintf
+    {|{"evals_per_sec": %.2f, "instances_per_sec": %.2f, "evals": %d}|}
+    r.evals_per_sec r.instances_per_sec r.evals
+
+let () =
+  let machine = Presets.shepard ~nodes:1 in
+  let count = if !smoke then 2 else 30 in
+  let runs = if !smoke then 1 else 7 in
+  let min_time = if !smoke then 0.0 else 1.0 in
+  let apps =
+    [ (App.stencil, if !smoke then "500x500" else "2000x2000");
+      (App.circuit, if !smoke then "n100w400" else "n200w800") ]
+  in
+  Printf.printf "evalrate: %s mode, %d candidates x %d runs per measurement\n%!"
+    (if !smoke then "smoke" else "bench")
+    count runs;
+  let rows =
+    List.map (fun (app, input) -> bench_app app machine ~input ~count ~runs ~min_time) apps
+  in
+  let par_g =
+    App.circuit.App.graph ~nodes:1 ~input:(if !smoke then "n100w400" else "n200w800")
+  in
+  let par_budget = if !smoke then 0.02 else infinity in
+  let par_runs = if !smoke then 1 else 7 in
+  let t1, t4, par_perf = bench_parallel machine par_g ~budget:par_budget ~runs:par_runs in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"evalrate\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n  \"apps\": [\n" !smoke);
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"app\": %S, \"input\": %S, \"reference\": %s, \"compiled\": %s, \
+            \"speedup\": %.3f}%s\n"
+           row.row_app row.row_input (json_rate row.reference) (json_rate row.compiled)
+           row.speedup
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"parallel_portfolio\": {\"domains\": 4, \"cores_available\": %d, \
+        \"wall_1\": %.4f, \"wall_4\": %.4f, \"speedup\": %.3f, \"best_perf\": %.6e}\n"
+       (Domain.recommended_domain_count ())
+       t1 t4 (t1 /. t4) par_perf);
+  Buffer.add_string buf "}\n";
+  let oc = open_out !out_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out_file

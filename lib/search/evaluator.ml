@@ -1,6 +1,7 @@
 type t = {
   machine : Machine.t;
   graph : Graph.t;
+  scratch : Exec.scratch;  (* compiled problem + reusable simulation state *)
   space : Space.t;
   runs : int;
   noise_sigma : float;
@@ -31,6 +32,7 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
   {
     machine;
     graph;
+    scratch = Exec.scratch (Exec.compile machine graph);
     space = Space.make ~extended graph machine;
     runs;
     noise_sigma;
@@ -63,8 +65,8 @@ let next_seed t =
 
 let run_once t ?iterations mapping =
   let iterations = match iterations with Some _ as i -> i | None -> t.iterations in
-  Exec.run ~noise_sigma:t.noise_sigma ~seed:(next_seed t) ~fallback:t.fallback
-    ?iterations t.machine t.graph mapping
+  Exec.simulate ~noise_sigma:t.noise_sigma ~seed:(next_seed t) ~fallback:t.fallback
+    ?iterations t.scratch mapping
 
 let note_best t mapping perf =
   match t.best with
@@ -148,8 +150,8 @@ let measure_objective t ?runs mapping =
   measure_with t ?runs (fun r -> t.objective t.machine r) mapping
 
 let profile_for t mapping =
-  match Exec.run ~noise_sigma:0.0 ~fallback:t.fallback ?iterations:t.iterations
-          t.machine t.graph mapping
+  match Exec.simulate ~noise_sigma:0.0 ~fallback:t.fallback ?iterations:t.iterations
+          t.scratch mapping
   with
   | Ok r ->
       Profile.of_times t.graph

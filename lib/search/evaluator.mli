@@ -22,7 +22,13 @@
     constraint-unaware tuner produces) are answered with [penalty]
     without executing.  OOM mappings cost one aborted run and are
     answered with [penalty] (the search "detects an out-of-memory
-    error and moves on", §5.2). *)
+    error and moves on", §5.2).
+
+    {!create} compiles the simulation problem once ({!Exec.compile})
+    and every [evaluate] / [measure] / [profile_for] call reuses the
+    compiled problem and one {!Exec.scratch} — candidate evaluation is
+    the search's hot path.  A consequence: an evaluator must not be
+    shared across domains; give each domain its own (see {!Parallel}). *)
 
 type t
 

@@ -1,0 +1,93 @@
+let map ?domains jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Parallel.map: domains must be >= 1";
+        min d (max n 1)
+    | None -> max 1 (min n (min 4 (Domain.recommended_domain_count ())))
+  in
+  if n = 0 then []
+  else if domains = 1 then Array.to_list (Array.map (fun job -> job ()) jobs)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let k = Atomic.fetch_and_add next 1 in
+        if k >= n then continue := false else results.(k) <- Some (jobs.(k) ())
+      done
+    in
+    let workers = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    (* the calling domain is a worker too; join the rest even if it
+       raises, then surface the first failure *)
+    let inline_failure = match worker () with () -> None | exception e -> Some e in
+    let join_failure =
+      Array.fold_left
+        (fun acc d ->
+          match Domain.join d with
+          | () -> acc
+          | exception e -> ( match acc with None -> Some e | some -> some))
+        None workers
+    in
+    (match (inline_failure, join_failure) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+type member_result = {
+  member : string;
+  mapping : Mapping.t;
+  perf : float;
+  evaluated : int;
+  suggested : int;
+}
+
+let run_members ?domains ?(members = Portfolio.default_members) ?(budget = infinity)
+    ?(seed = 0) ?(runs = 7) ?(noise_sigma = 0.03) ?iterations machine graph =
+  if members = [] then invalid_arg "Parallel.run_members: no members";
+  let job index member () =
+    (* per-worker evaluator: compiled problem, scratch, profiles db and
+       noise stream are all private to this member *)
+    let ev =
+      Evaluator.create ~runs ~noise_sigma ?iterations
+        ~seed:(seed + ((index + 1) * 7919))
+        machine graph
+    in
+    let start = Mapping.default_start graph machine in
+    let p0 = Evaluator.evaluate ev start in
+    let deadline = Evaluator.virtual_time ev +. budget in
+    let m, p =
+      match member with
+      | Portfolio.Ccd rotations -> Ccd.search ~rotations ~start ~budget:deadline ev
+      | Portfolio.Cd -> Cd.search ~start ~budget:deadline ev
+      | Portfolio.Annealing -> Annealing.search ~seed:(seed + 13) ~start ~budget:deadline ev
+      | Portfolio.Random ->
+          Random_search.search ~seed:(seed + 29) ~start ~budget:deadline ev
+    in
+    let m, p = if p0 < p then (start, p0) else (m, p) in
+    {
+      member = Portfolio.member_name member;
+      mapping = m;
+      perf = p;
+      evaluated = Evaluator.evaluated ev;
+      suggested = Evaluator.suggested ev;
+    }
+  in
+  map ?domains (List.mapi job members)
+
+let best = function
+  | [] -> invalid_arg "Parallel.best: empty result list"
+  | r :: rest -> List.fold_left (fun acc r -> if r.perf < acc.perf then r else acc) r rest
+
+let search ?domains ?members ?budget ?seed ?runs ?noise_sigma ?iterations machine graph =
+  let r =
+    best
+      (run_members ?domains ?members ?budget ?seed ?runs ?noise_sigma ?iterations machine
+         graph)
+  in
+  (r.mapping, r.perf)

@@ -40,6 +40,55 @@ val channel_class_names : string array
 
 type error = Placement.error
 
+(** {1 Compiled simulation}
+
+    Mapping search evaluates thousands of candidates against the same
+    (machine, graph) pair.  {!compile} derives every mapping-independent
+    structure once — instance tables, the intra-iteration dependence
+    CSR, per-slot indegree bases — into flat int/float arrays, and
+    {!simulate} evaluates one mapping against the compiled problem,
+    reusing a {!scratch} so the event loop allocates nothing but the
+    small result arrays.
+
+    Determinism invariant: for the same (noise_sigma, seed, fallback,
+    iterations), [simulate] returns bit-identical results to
+    {!run_reference} — the dependence traversal order, the RNG draw
+    order (instance-ascending, before any event is processed) and the
+    event queue's FIFO tie-breaking are all preserved exactly.
+    [test/test_compile.ml] enforces this. *)
+
+type compiled
+(** Mapping-independent simulation structure for one (machine, graph)
+    pair.  Immutable after {!compile}; safe to share across domains. *)
+
+type scratch
+(** Reusable per-simulation state (ready times, indegrees, resource
+    free-times, noise buffer, event heap) tied to one {!compiled}
+    problem.  NOT thread-safe: each domain needs its own scratch. *)
+
+val compile : Machine.t -> Graph.t -> compiled
+
+val scratch : compiled -> scratch
+(** A fresh scratch; grows lazily to the largest [iterations] it has
+    simulated. *)
+
+val compiled_of_scratch : scratch -> compiled
+val compiled_machine : compiled -> Machine.t
+val compiled_graph : compiled -> Graph.t
+
+val simulate :
+  ?noise_sigma:float ->
+  ?seed:int ->
+  ?fallback:bool ->
+  ?iterations:int ->
+  ?trace:Trace.t ->
+  scratch ->
+  Mapping.t ->
+  (result, error) Stdlib.result
+(** Evaluate one mapping.  Parameters as {!run}.  The returned result
+    arrays are freshly allocated (results from earlier calls stay
+    valid); everything else is scratch-reused. *)
+
 val run :
   ?noise_sigma:float ->
   ?seed:int ->
@@ -54,7 +103,25 @@ val run :
     0 gives noise-free runs.  [seed] defaults to 0.  [iterations]
     overrides the graph's iteration count.  [fallback] enables §3.1's
     priority-list demotion instead of failing on OOM.  When [trace] is
-    given, every task execution and copy is recorded in it. *)
+    given, every task execution and copy is recorded in it.
+
+    Compatibility wrapper: compiles and simulates once.  Hot callers
+    should {!compile} once and reuse a {!scratch}. *)
+
+val run_reference :
+  ?noise_sigma:float ->
+  ?seed:int ->
+  ?fallback:bool ->
+  ?iterations:int ->
+  ?trace:Trace.t ->
+  Machine.t ->
+  Graph.t ->
+  Mapping.t ->
+  (result, error) Stdlib.result
+(** The original single-pass interpreter, kept as the golden semantics
+    {!simulate} must reproduce bit-for-bit, and as the baseline the
+    evalrate benchmark measures against.  Same behaviour as {!run},
+    derived from scratch on every call. *)
 
 val profile :
   ?iterations:int -> Machine.t -> Graph.t -> Mapping.t -> (int * float) list

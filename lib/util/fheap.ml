@@ -1,0 +1,96 @@
+type t = {
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable payload : int array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  {
+    prio = Array.make capacity 0.0;
+    seq = Array.make capacity 0;
+    payload = Array.make capacity 0;
+    size = 0;
+    next_seq = 0;
+  }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* strict ordering: priority, then insertion sequence (FIFO on ties) *)
+let lt h i j =
+  h.prio.(i) < h.prio.(j) || (h.prio.(i) = h.prio.(j) && h.seq.(i) < h.seq.(j))
+
+let swap h i j =
+  let p = h.prio.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.prio.(j) <- p;
+  let s = h.seq.(i) in
+  h.seq.(i) <- h.seq.(j);
+  h.seq.(j) <- s;
+  let v = h.payload.(i) in
+  h.payload.(i) <- h.payload.(j);
+  h.payload.(j) <- v
+
+let grow h =
+  let cap = Array.length h.prio in
+  if h.size = cap then begin
+    let ncap = 2 * cap in
+    let np = Array.make ncap 0.0 and ns = Array.make ncap 0 and nv = Array.make ncap 0 in
+    Array.blit h.prio 0 np 0 h.size;
+    Array.blit h.seq 0 ns 0 h.size;
+    Array.blit h.payload 0 nv 0 h.size;
+    h.prio <- np;
+    h.seq <- ns;
+    h.payload <- nv
+  end
+
+let push h prio payload =
+  grow h;
+  let i = ref h.size in
+  h.prio.(!i) <- prio;
+  h.seq.(!i) <- h.next_seq;
+  h.payload.(!i) <- payload;
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt h !i parent then begin
+      swap h !i parent;
+      i := parent
+    end
+    else continue := false
+  done
+
+let top_prio h = h.prio.(0)
+let top h = h.payload.(0)
+
+let drop h =
+  if h.size > 0 then begin
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.prio.(0) <- h.prio.(h.size);
+      h.seq.(0) <- h.seq.(h.size);
+      h.payload.(0) <- h.payload.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h l !smallest then smallest := l;
+        if r < h.size && lt h r !smallest then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end
+  end
+
+let reset h =
+  h.size <- 0;
+  h.next_seq <- 0

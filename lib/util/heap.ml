@@ -70,7 +70,8 @@ let pop h =
 
 let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
 
-let clear h =
-  h.data <- [||];
+let clear h = h.size <- 0
+
+let reset h =
   h.size <- 0;
   h.next_seq <- 0

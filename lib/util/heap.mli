@@ -23,3 +23,13 @@ val pop : 'a t -> (float * 'a) option
 val peek : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit
+(** Empties the heap, keeping the backing array (so a reused heap does
+    not regrow from scratch).  The sequence counter keeps running:
+    entries pushed after [clear] still tie-break after anything pushed
+    before it.  Cleared slots retain their old values until
+    overwritten. *)
+
+val reset : 'a t -> unit
+(** {!clear} plus rewinding the insertion sequence to 0 — use when
+    reusing a heap across independent simulations whose tie-breaking
+    must not depend on earlier runs. *)

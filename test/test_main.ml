@@ -15,6 +15,7 @@ let () =
       ("cost", Test_cost.suite);
       ("placement", Test_placement.suite);
       ("exec", Test_exec.suite);
+      ("compile", Test_compile.suite);
       ("evaluator", Test_evaluator.suite);
       ("colocation", Test_colocation.suite);
       ("search", Test_search.suite);
