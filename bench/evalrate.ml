@@ -137,18 +137,27 @@ let bench_parallel machine g ~budget ~runs =
     let results = Parallel.run_members ~domains ~members ~budget ~seed:1 ~runs machine g in
     (now () -. t0, Parallel.best results)
   in
-  let t1, best1 = time 1 in
-  let t4, best4 = time 4 in
-  assert (best1.Parallel.perf = best4.Parallel.perf);
+  (* Timing more domains than cores measures scheduler thrash, not the
+     portfolio: clamp the parallel leg to the cores actually available
+     (and skip it entirely on a 1-core box — it would just repeat the
+     serial leg with extra domain overhead). *)
   let cores = Domain.recommended_domain_count () in
+  let domains_requested = 4 in
+  let domains_used = max 1 (min domains_requested cores) in
+  let t1, best1 = time 1 in
+  let tn, bestn = if domains_used = 1 then (t1, best1) else time domains_used in
+  assert (best1.Parallel.perf = bestn.Parallel.perf);
   Printf.printf
-    "parallel portfolio (%d members): 1 domain %.2fs, 4 domains %.2fs -> %.2fx speedup \
+    "parallel portfolio (%d members): 1 domain %.2fs, %d domain%s %.2fs -> %.2fx speedup \
      (%d core%s available%s)\n%!"
-    (List.length members) t1 t4 (t1 /. t4) cores
+    (List.length members) t1 domains_used
+    (if domains_used = 1 then "" else "s")
+    tn (t1 /. tn) cores
     (if cores = 1 then "" else "s")
-    (if cores < 4 then "; domains are core-bound, expect speedup only at >= 4 cores"
+    (if cores < domains_requested then
+       Printf.sprintf "; %d domains requested, clamped to the core count" domains_requested
      else "");
-  (t1, t4, best1.Parallel.perf)
+  (t1, tn, domains_requested, domains_used, best1.Parallel.perf)
 
 let json_rate r =
   Printf.sprintf
@@ -175,7 +184,9 @@ let () =
   in
   let par_budget = if !smoke then 0.02 else infinity in
   let par_runs = if !smoke then 1 else 7 in
-  let t1, t4, par_perf = bench_parallel machine par_g ~budget:par_budget ~runs:par_runs in
+  let t1, tn, par_requested, par_used, par_perf =
+    bench_parallel machine par_g ~budget:par_budget ~runs:par_runs
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"bench\": \"evalrate\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n  \"apps\": [\n" !smoke);
@@ -192,10 +203,12 @@ let () =
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"parallel_portfolio\": {\"domains\": 4, \"cores_available\": %d, \
-        \"wall_1\": %.4f, \"wall_4\": %.4f, \"speedup\": %.3f, \"best_perf\": %.6e}\n"
+       "  \"parallel_portfolio\": {\"domains_requested\": %d, \"domains_used\": %d, \
+        \"cores_available\": %d, \"oversubscribed\": %b, \
+        \"wall_1\": %.4f, \"wall_n\": %.4f, \"speedup\": %.3f, \"best_perf\": %.6e}\n"
+       par_requested par_used
        (Domain.recommended_domain_count ())
-       t1 t4 (t1 /. t4) par_perf);
+       (par_used < par_requested) t1 tn (t1 /. tn) par_perf);
   Buffer.add_string buf "}\n";
   let oc = open_out !out_file in
   output_string oc (Buffer.contents buf);

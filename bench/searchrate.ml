@@ -1,0 +1,167 @@
+(* End-to-end search-throughput benchmark for bound-and-prune
+   candidate evaluation.
+
+   For Stencil and Circuit it runs the same CCD search twice on fresh
+   evaluators — once with pruning disabled, once enabled — and checks
+   the two searches are *decision-identical* (same best mapping, same
+   best perf bit-for-bit, same suggestion count) before reporting the
+   wall-clock speedup and candidates-per-second gain pruning buys.
+   The pruning counters (cut runs/sims, delta vs. full placement
+   binds) are reported alongside so regressions in any one layer of
+   the optimisation are visible in the numbers, not just the total.
+
+   The machine is a 4-node shepard cluster: distributed machines are
+   the paper's setting, and the communication floors that make the
+   pruning bounds tight only exist with more than one node.
+
+   Results go to stdout and to BENCH_searchrate.json.
+
+   Usage: dune exec bench/searchrate.exe [-- --smoke] [-- --out FILE]
+     --smoke   tiny inputs + 2 rotations (CI rot check)               *)
+
+let out_file = ref "BENCH_searchrate.json"
+let smoke = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: f :: rest ->
+        out_file := f;
+        parse rest
+    | unknown :: _ ->
+        Printf.eprintf "searchrate: unknown argument %S\n" unknown;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let now = Unix.gettimeofday
+
+type leg = {
+  wall : float;
+  cands_per_sec : float;
+  best : Mapping.t;
+  perf : float;
+  st : Evaluator.stats;
+}
+
+(* One full search on a fresh evaluator (pruning state must not leak
+   between repeats); only Ccd.search is timed — Evaluator.create (the
+   one-time compile, identical for both legs) stays outside. *)
+let search_once ~prune ~rotations machine g =
+  let ev = Evaluator.create ~prune ~seed:3 machine g in
+  let t0 = now () in
+  let best, perf = Ccd.search ~rotations ev in
+  (now () -. t0, best, perf, Evaluator.stats ev)
+
+type app_row = {
+  row_app : string;
+  row_input : string;
+  off : leg;
+  on_ : leg;
+  speedup : float;
+}
+
+let bench_app (app : App.t) machine ~input ~rotations ~min_time =
+  let g = app.App.graph ~nodes:machine.Machine.nodes ~input in
+  (* A single CCD run is milliseconds: repeat whole searches until
+     [min_time] of measured wall accumulated, interleaving the two
+     legs so any slow drift in machine load skews both equally and
+     the reported ratio stays honest. *)
+  let t_off = ref 0.0 and t_on = ref 0.0 in
+  let n = ref 0 in
+  let last_off = ref None and last_on = ref None in
+  let step () =
+    let d, b, p, s = search_once ~prune:false ~rotations machine g in
+    t_off := !t_off +. d;
+    last_off := Some (b, p, s);
+    let d, b, p, s = search_once ~prune:true ~rotations machine g in
+    t_on := !t_on +. d;
+    last_on := Some (b, p, s);
+    incr n
+  in
+  step ();
+  while !t_off +. !t_on < min_time do
+    step ()
+  done;
+  let leg_of total last =
+    let b, p, s = Option.get last in
+    let wall = total /. float_of_int !n in
+    {
+      wall;
+      cands_per_sec = float_of_int s.Evaluator.s_suggested /. wall;
+      best = b;
+      perf = p;
+      st = s;
+    }
+  in
+  let off = leg_of !t_off !last_off and on_ = leg_of !t_on !last_on in
+  (* pruning must be invisible to the search's decisions *)
+  if not (Mapping.equal off.best on_.best) then
+    failwith (app.App.app_name ^ ": pruned search found a different best mapping");
+  if off.perf <> on_.perf then
+    failwith (app.App.app_name ^ ": pruned search found a different best perf");
+  if off.st.Evaluator.s_suggested <> on_.st.Evaluator.s_suggested then
+    failwith (app.App.app_name ^ ": pruned search made a different number of suggestions");
+  let speedup = off.wall /. on_.wall in
+  Printf.printf
+    "%-8s %-10s off %6.2fms (%7.1f cand/s) | on %6.2fms (%7.1f cand/s) | %5.2fx | cut \
+     %d/%d evals, %d runs, %d sims | binds %d delta / %d full | %d noop skips\n%!"
+    app.App.app_name input (1e3 *. off.wall) off.cands_per_sec (1e3 *. on_.wall)
+    on_.cands_per_sec speedup on_.st.Evaluator.s_cut_evals on_.st.Evaluator.s_suggested
+    on_.st.Evaluator.s_cut_runs on_.st.Evaluator.s_cut_sims
+    on_.st.Evaluator.s_delta_binds on_.st.Evaluator.s_full_binds
+    on_.st.Evaluator.s_noop_skips;
+  { row_app = app.App.app_name; row_input = input; off; on_; speedup }
+
+let json_leg l =
+  Printf.sprintf
+    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "delta_binds": %d, "full_binds": %d}|}
+    l.wall l.cands_per_sec l.perf l.st.Evaluator.s_suggested l.st.Evaluator.s_evaluated
+    l.st.Evaluator.s_cache_hits l.st.Evaluator.s_cut_evals l.st.Evaluator.s_cut_runs
+    l.st.Evaluator.s_cut_sims l.st.Evaluator.s_noop_skips l.st.Evaluator.s_delta_binds
+    l.st.Evaluator.s_full_binds
+
+let () =
+  let nodes = 4 in
+  let machine = Presets.shepard ~nodes in
+  let rotations = if !smoke then 2 else 5 in
+  let apps =
+    [ (App.stencil, if !smoke then "500x500" else "2000x2000");
+      (App.circuit, if !smoke then "n100w400" else "n200w800") ]
+  in
+  Printf.printf "searchrate: %s mode, shepard x%d, CCD(%d), prune off vs on\n%!"
+    (if !smoke then "smoke" else "bench")
+    nodes rotations;
+  let min_time = if !smoke then 0.0 else 4.0 in
+  let rows =
+    List.map (fun (app, input) -> bench_app app machine ~input ~rotations ~min_time) apps
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun acc r -> acc +. log r.speedup) 0.0 rows
+      /. float_of_int (List.length rows))
+  in
+  Printf.printf "geomean search speedup: %.2fx\n%!" geomean;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"searchrate\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"nodes\": %d,\n  \"rotations\": %d,\n  \"apps\": [\n"
+       !smoke nodes rotations);
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"app\": %S, \"input\": %S,\n     \"prune_off\": %s,\n     \
+            \"prune_on\": %s,\n     \"speedup\": %.3f, \"decision_identical\": true}%s\n"
+           row.row_app row.row_input (json_leg row.off) (json_leg row.on_) row.speedup
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "  ],\n  \"geomean_speedup\": %.3f\n}\n" geomean);
+  let oc = open_out !out_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out_file

@@ -119,6 +119,25 @@ let equal a b =
   a.distribute = b.distribute && a.strategy = b.strategy && a.proc = b.proc
   && a.mem = b.mem
 
+let diff a b =
+  if
+    Array.length a.proc <> Array.length b.proc
+    || Array.length a.mem <> Array.length b.mem
+  then invalid_arg "Mapping.diff: mappings of different graphs";
+  let tids = ref [] in
+  for tid = Array.length a.proc - 1 downto 0 do
+    if
+      a.distribute.(tid) <> b.distribute.(tid)
+      || a.strategy.(tid) <> b.strategy.(tid)
+      || a.proc.(tid) <> b.proc.(tid)
+    then tids := tid :: !tids
+  done;
+  let cids = ref [] in
+  for cid = Array.length a.mem - 1 downto 0 do
+    if a.mem.(cid) <> b.mem.(cid) then cids := cid :: !cids
+  done;
+  (!tids, !cids)
+
 let canonical_key t =
   let buf = Buffer.create 64 in
   Array.iter (fun d -> Buffer.add_char buf (if d then 'D' else 'L')) t.distribute;

@@ -86,6 +86,15 @@ val memory_priority : t -> Graph.task -> int -> Kinds.mem_kind list
 
 val equal : t -> t -> bool
 
+val diff : t -> t -> int list * int list
+(** [diff a b] is [(tids, cids)]: the tasks whose distribution bit,
+    strategy or processor kind differ between the two mappings, and the
+    collections whose memory kind differs, both in ascending order.
+    Search neighbors differ from their incumbent in one or two
+    coordinates, which is what makes delta-aware placement
+    ({!Placement.patch}) pay off.  Raises [Invalid_argument] when the
+    mappings belong to graphs of different shape. *)
+
 val canonical_key : t -> string
 (** Stable, injective textual key (used by the profiles database to
     detect that a search algorithm re-suggested an already-evaluated

@@ -43,16 +43,22 @@ let search ?(seed = 11) ?(max_evals = 2000) ?(t0 = 0.3) ?(cooling = 0.995) ?star
   while !evals < max_evals && Evaluator.virtual_time ev <= budget do
     incr evals;
     let candidate = mutate_valid g space rng (fst !current) in
-    let perf = Evaluator.evaluate ev candidate in
+    (* Draw the acceptance variate *before* evaluating and fold the
+       Metropolis test into a closed-form threshold: accept iff
+       perf < pcur + p0·T·(−ln u), which is "u < exp(−Δ/T)" solved for
+       perf.  The threshold is known up front, so it doubles as an
+       exact pruning bound — a candidate cut at it could be neither
+       accepted nor a new best (threshold >= pcur >= best). *)
+    let u = Rng.float rng 1.0 in
     let _, pcur = !current in
-    let accept =
-      perf < pcur
-      || (Float.is_finite perf
-         &&
-         let delta = (perf -. pcur) /. p0 in
-         Rng.float rng 1.0 < exp (-.delta /. Float.max !temp 1e-9))
+    let threshold =
+      if u <= 0.0 then infinity
+      else
+        let bump = p0 *. Float.max !temp 1e-9 *. -.log u in
+        if Float.is_finite bump then pcur +. bump else infinity
     in
-    if accept then current := (candidate, perf);
+    let perf = Evaluator.evaluate ~bound:threshold ev candidate in
+    if perf < threshold then current := (candidate, perf);
     if perf < snd !best then best := (candidate, perf);
     temp := !temp *. cooling
   done;

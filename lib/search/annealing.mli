@@ -17,6 +17,10 @@ val search :
 (** Geometric cooling: temperature [t0] (default 0.3, relative to the
     starting performance) multiplied by [cooling] (default 0.995) per
     step; a worse candidate with Δ relative regression is accepted with
-    probability exp(−Δ/T).  Mutations are single-coordinate and
-    constraint-repairing (a processor move re-maps newly inaccessible
-    arguments to the fastest accessible kind). *)
+    probability exp(−Δ/T).  The acceptance variate is drawn *before*
+    the evaluation and the Metropolis test is applied as the equivalent
+    threshold [perf < current + p0·T·(−ln u)], so the threshold
+    doubles as an exact pruning bound for {!Evaluator.evaluate}.
+    Mutations are single-coordinate and constraint-repairing (a
+    processor move re-maps newly inaccessible arguments to the fastest
+    accessible kind). *)

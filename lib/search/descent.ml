@@ -1,5 +1,7 @@
 let test_mapping ev candidate (best, best_perf) =
-  let perf = Evaluator.evaluate ev candidate in
+  (* the incumbent perf is the bound: a candidate pruned at it could
+     never satisfy the strict-improvement acceptance below *)
+  let perf = Evaluator.evaluate ~bound:best_perf ev candidate in
   if perf < best_perf then (candidate, perf) else (best, best_perf)
 
 let optimize_task ev ~overlap ~should_stop (task : Graph.task) (f0, p0) =
@@ -8,7 +10,13 @@ let optimize_task ev ~overlap ~should_stop (task : Graph.task) (f0, p0) =
   let space = Evaluator.space ev in
   let incumbent = ref (f0, p0) in
   let test candidate =
-    if not (should_stop ()) then incumbent := test_mapping ev candidate !incumbent
+    if not (should_stop ()) then
+      (* Setting a coordinate to its current value (after any
+         co-location repair) reproduces the incumbent: skip it instead
+         of burning a suggestion + DB lookup on a mapping that can
+         never be a strict improvement. *)
+      if Mapping.equal candidate (fst !incumbent) then Evaluator.note_noop_neighbor ev
+      else incumbent := test_mapping ev candidate !incumbent
   in
   (* lines 11-12: distribution setting (the extended space also
      enumerates the cross-node strategy here) *)

@@ -1,3 +1,16 @@
+(* A cutoff-aborted evaluation: enough to (a) answer a later
+   re-suggestion without re-proving the bound when the incumbent has
+   only improved, and (b) finish the protocol with the original per-run
+   seeds — reproducing the unpruned measurements bit-for-bit — when the
+   incumbent has worsened past the proven lower bound. *)
+type partial = {
+  pbase : int;                (* seed base: run k (1-based) uses pbase + k *)
+  mutable pdone : float list; (* objectives of completed runs, newest first *)
+  mutable psum : float;       (* chronological sum of pdone *)
+  mutable pnext : int;        (* 1-based index of the first incomplete run *)
+  mutable plb : float;        (* proven lower bound on the final mean *)
+}
+
 type t = {
   machine : Machine.t;
   graph : Graph.t;
@@ -10,24 +23,45 @@ type t = {
   penalty : float;
   eval_overhead : float;
   objective : Machine.t -> Exec.result -> float;
+  prune : bool;
   db : Profiles_db.t;
+  partials : (string, partial) Hashtbl.t;
   mutable seed_counter : int;
   mutable suggested : int;
   mutable evaluated : int;
   mutable cache_hits : int;
   mutable invalid : int;
   mutable oom : int;
+  mutable cut_evals : int;
+  mutable cut_runs : int;
+  mutable cut_sims : int;
+  mutable noop_skips : int;
   mutable virtual_time : float;
   mutable eval_time : float;
   mutable best : (Mapping.t * float) option;
   mutable trace : (float * float) list;  (* newest first *)
 }
 
+type stats = {
+  s_suggested : int;
+  s_evaluated : int;
+  s_cache_hits : int;
+  s_invalid : int;
+  s_oom : int;
+  s_cut_evals : int;
+  s_cut_runs : int;
+  s_cut_sims : int;
+  s_noop_skips : int;
+  s_delta_binds : int;
+  s_full_binds : int;
+}
+
 let default_objective _machine (r : Exec.result) = r.Exec.per_iteration
 
 let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     ?(penalty = infinity) ?(seed = 0) ?(eval_overhead = 0.0002)
-    ?(objective = default_objective) ?(extended = false) ?db machine graph =
+    ?(objective = default_objective) ?(extended = false) ?(prune = true) ?db machine
+    graph =
   if runs <= 0 then invalid_arg "Evaluator.create: runs must be positive";
   {
     machine;
@@ -41,13 +75,19 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     penalty;
     eval_overhead;
     objective;
+    prune;
     db = (match db with Some db -> db | None -> Profiles_db.create ());
+    partials = Hashtbl.create 64;
     seed_counter = seed * 1_000_003;
     suggested = 0;
     evaluated = 0;
     cache_hits = 0;
     invalid = 0;
     oom = 0;
+    cut_evals = 0;
+    cut_runs = 0;
+    cut_sims = 0;
+    noop_skips = 0;
     virtual_time = 0.0;
     eval_time = 0.0;
     best = None;
@@ -75,52 +115,321 @@ let note_best t mapping perf =
       t.best <- Some (mapping, perf);
       t.trace <- (t.virtual_time, perf) :: t.trace
 
-let evaluate t mapping =
+(* Conservative slack on the pruning comparisons: the incremental
+   chronological sum and the final [Stats.mean] fold accumulate the
+   same runs in different orders, so they can differ by a few ulps.
+   Pruning must only ever under-prune (a candidate the unpruned
+   protocol would keep must never be cut), so every "provably >= bound"
+   test requires clearing bound * (1 + 1e-9) — about seven orders of
+   magnitude more slack than the worst-case rounding skew, and seven
+   fewer than any perf difference the search could act on. *)
+let prune_slack = 1.0 +. 1e-9
+
+let bounded_run t ~cutoff ~seed mapping =
+  Exec.simulate_bounded ~noise_sigma:t.noise_sigma ~seed ~fallback:t.fallback
+    ?iterations:t.iterations ~cutoff t.scratch mapping
+
+let effective_iterations t =
+  float_of_int
+    (match t.iterations with Some i -> i | None -> t.graph.Graph.iterations)
+
+let complete_protocol t mapping times wall =
+  t.evaluated <- t.evaluated + 1;
+  t.virtual_time <- t.virtual_time +. wall +. t.eval_overhead;
+  t.eval_time <- t.eval_time +. wall;
+  let entry = Profiles_db.record t.db mapping times in
+  note_best t mapping entry.Profiles_db.perf;
+  entry.Profiles_db.perf
+
+let evaluate ?bound t mapping =
   t.suggested <- t.suggested + 1;
   match Profiles_db.find t.db mapping with
   | Some entry ->
       t.cache_hits <- t.cache_hits + 1;
       entry.Profiles_db.perf
   | None -> (
-      match Mapping.validate t.graph t.machine mapping with
-      | Error _ ->
-          t.invalid <- t.invalid + 1;
-          t.penalty
-      | Ok () -> (
-          (* First run decides whether the mapping can be placed at all;
-             an OOM aborts the evaluation after one cheap failed launch. *)
-          match run_once t mapping with
-          | Error (Placement.Out_of_memory _) ->
-              t.oom <- t.oom + 1;
-              t.virtual_time <- t.virtual_time +. t.eval_overhead;
-              t.penalty
-          | Error (Placement.Invalid_mapping _) ->
+      (* Pruning is exact only for the default objective: the clock is
+         a lower bound on the makespan, hence on per-iteration time,
+         but not on an arbitrary objective (e.g. energy). *)
+      let bound_v =
+        match bound with
+        | Some b when t.prune && Float.is_finite b && t.objective == default_objective
+          ->
+            b
+        | _ -> infinity
+      in
+      let runs_f = float_of_int t.runs in
+      let iters = effective_iterations t in
+      (* Run k may stop once it alone pushes the final mean to the
+         bound even if every remaining run took zero time:
+         (sum_done + clock/iters) / runs >= bound. *)
+      let cutoff_for sum_done =
+        if bound_v = infinity then infinity
+        else ((bound_v *. prune_slack *. runs_f) -. sum_done) *. iters
+      in
+      (* Any value >= bound is decision-equivalent for the caller: the
+         candidate provably cannot be accepted at this bound. *)
+      let pruned_value () = Float.max t.penalty bound_v in
+      let key = Mapping.canonical_key mapping in
+      match Hashtbl.find_opt t.partials key with
+      | Some p ->
+          if p.plb >= bound_v *. prune_slack then begin
+            (* still provably no better than the incumbent *)
+            t.cut_evals <- t.cut_evals + 1;
+            pruned_value ()
+          end
+          else begin
+            (* The incumbent worsened below this candidate's proven
+               lower bound: finish the protocol with the originally
+               assigned seeds, reproducing what the unpruned evaluation
+               would have measured. *)
+            t.cut_runs <- t.cut_runs - (t.runs - p.pnext);
+            let new_wall = ref 0.0 in
+            let rec go () =
+              if p.pnext > t.runs then begin
+                Hashtbl.remove t.partials key;
+                t.evaluated <- t.evaluated + 1;
+                t.virtual_time <- t.virtual_time +. !new_wall +. t.eval_overhead;
+                t.eval_time <- t.eval_time +. !new_wall;
+                let entry = Profiles_db.record t.db mapping p.pdone in
+                note_best t mapping entry.Profiles_db.perf;
+                entry.Profiles_db.perf
+              end
+              else
+                match
+                  bounded_run t ~cutoff:(cutoff_for p.psum) ~seed:(p.pbase + p.pnext)
+                    mapping
+                with
+                | Ok (Exec.Finished r) ->
+                    let obj = t.objective t.machine r in
+                    p.pdone <- obj :: p.pdone;
+                    p.psum <- p.psum +. obj;
+                    p.pnext <- p.pnext + 1;
+                    new_wall := !new_wall +. r.Exec.makespan;
+                    go ()
+                | Ok (Exec.Cut tcut) ->
+                    t.cut_sims <- t.cut_sims + 1;
+                    t.cut_evals <- t.cut_evals + 1;
+                    t.cut_runs <- t.cut_runs + (t.runs - p.pnext);
+                    p.plb <- (p.psum +. (tcut /. iters)) /. runs_f;
+                    let w = !new_wall +. tcut in
+                    t.virtual_time <- t.virtual_time +. w;
+                    t.eval_time <- t.eval_time +. w;
+                    pruned_value ()
+                | Error e ->
+                    failwith ("Evaluator.evaluate: " ^ Placement.error_to_string e)
+            in
+            go ()
+          end
+      | None -> (
+          match Mapping.validate t.graph t.machine mapping with
+          | Error _ ->
               t.invalid <- t.invalid + 1;
               t.penalty
-          | Ok first ->
-              let results = ref [ first ] in
-              for _ = 2 to t.runs do
-                match run_once t mapping with
-                | Ok r -> results := r :: !results
-                | Error e ->
-                    (* placement is deterministic: later runs cannot fail
-                       if the first succeeded *)
-                    failwith ("Evaluator.evaluate: " ^ Placement.error_to_string e)
-              done;
-              let times = List.map (fun r -> t.objective t.machine r) !results in
-              let wall =
-                List.fold_left (fun acc r -> acc +. r.Exec.makespan) 0.0 !results
-              in
-              t.evaluated <- t.evaluated + 1;
-              t.virtual_time <- t.virtual_time +. wall +. t.eval_overhead;
-              t.eval_time <- t.eval_time +. wall;
-              let entry = Profiles_db.record t.db mapping times in
-              note_best t mapping entry.Profiles_db.perf;
-              entry.Profiles_db.perf))
+          | Ok () when bound_v < infinity -> (
+              let base = t.seed_counter in
+              (* Certified per-run lower bounds: before any event loop,
+                 each run's objective is bounded below by its busiest
+                 processor's total work under that run's own noise
+                 draws (Exec.run_lower_bound).  With lb_j certified for
+                 every run, the protocol can stop before run k whenever
+                 sum_done + Σ_{j>=k} lb_j already clears the bound, and
+                 run k's cutoff tightens from "remaining runs take zero
+                 time" to "remaining runs take at least their lower
+                 bounds" — both tests only ever under-prune, so
+                 decisions still match the unpruned protocol exactly.
+                 The first lower-bound call resolves the placement, so
+                 OOM detection is preserved even when the whole
+                 evaluation prunes without simulating. *)
+              match
+                Exec.static_lower_bound ~fallback:t.fallback ?iterations:t.iterations
+                  t.scratch mapping
+              with
+              | Error (Placement.Out_of_memory _) ->
+                  t.seed_counter <- base + 1;
+                  t.oom <- t.oom + 1;
+                  t.virtual_time <- t.virtual_time +. t.eval_overhead;
+                  t.penalty
+              | Error (Placement.Invalid_mapping _) ->
+                  t.seed_counter <- base + 1;
+                  t.invalid <- t.invalid + 1;
+                  t.penalty
+              | Ok s_makespan ->
+                  (* the noise-independent floor holds for every run *)
+                  let s = s_makespan /. iters in
+                  let threshold = bound_v *. prune_slack *. runs_f in
+                  (* the per-candidate seed budget is identical to the
+                     unpruned protocol whatever happens below *)
+                  t.seed_counter <- base + t.runs;
+                  let results = ref [] in (* objectives, newest first *)
+                  let sum = ref 0.0 in
+                  let wall = ref 0.0 in
+                  let prune_with ~k ~plb =
+                    (* provably no better than the incumbent before
+                       even starting run k: no simulation aborted, so
+                       this counts cut runs but no cut sim *)
+                    t.cut_evals <- t.cut_evals + 1;
+                    t.cut_runs <- t.cut_runs + (t.runs - k + 1);
+                    Hashtbl.replace t.partials key
+                      { pbase = base; pdone = !results; psum = !sum; pnext = k; plb };
+                    t.virtual_time <- t.virtual_time +. !wall;
+                    t.eval_time <- t.eval_time +. !wall;
+                    pruned_value ()
+                  in
+                  if s *. runs_f >= threshold then
+                    (* certified by the noise-free floor alone: no
+                       noise draws, no event loop *)
+                    prune_with ~k:1 ~plb:s
+                  else begin
+                  (* Per-run bounds from each run's own noise draws,
+                     computed in seed order with an early stop: once
+                     the bounded prefix plus the static floor for the
+                     rest clears the threshold, the remaining draws are
+                     unnecessary — the evaluation is already cut. *)
+                  let lb = Array.make (t.runs + 1) 0.0 in
+                  let lbsum = ref 0.0 in
+                  let m = ref 0 in
+                  let early =
+                    try
+                      for j = 1 to t.runs do
+                        (match
+                           Exec.run_lower_bound ~noise_sigma:t.noise_sigma
+                             ~seed:(base + j) ~fallback:t.fallback
+                             ?iterations:t.iterations t.scratch mapping
+                         with
+                        | Ok l -> lb.(j) <- l /. iters
+                        | Error _ ->
+                            (* placement is deterministic: the static
+                               floor resolved, so these cannot fail *)
+                            assert false);
+                        lbsum := !lbsum +. lb.(j);
+                        m := j;
+                        if !lbsum +. (float_of_int (t.runs - j) *. s) >= threshold then
+                          raise Exit
+                      done;
+                      false
+                    with Exit -> true
+                  in
+                  if early then
+                    prune_with ~k:1
+                      ~plb:((!lbsum +. (float_of_int (t.runs - !m) *. s)) /. runs_f)
+                  else begin
+                  (* suffix.(k) = sum of lb_j for j > k *)
+                  let suffix = Array.make (t.runs + 1) 0.0 in
+                  for j = t.runs - 1 downto 0 do
+                    suffix.(j) <- suffix.(j + 1) +. lb.(j + 1)
+                  done;
+                  let prune_at k = prune_with ~k ~plb:((!sum +. suffix.(k - 1)) /. runs_f) in
+                  let rec go k =
+                    if k > t.runs then complete_protocol t mapping !results !wall
+                    else if !sum +. suffix.(k - 1) >= threshold then prune_at k
+                    else
+                      let cutoff = (threshold -. !sum -. suffix.(k)) *. iters in
+                      match bounded_run t ~cutoff ~seed:(base + k) mapping with
+                      | Ok (Exec.Finished r) ->
+                          let obj = t.objective t.machine r in
+                          results := obj :: !results;
+                          sum := !sum +. obj;
+                          wall := !wall +. r.Exec.makespan;
+                          go (k + 1)
+                      | Ok (Exec.Cut tcut) ->
+                          t.cut_sims <- t.cut_sims + 1;
+                          t.cut_evals <- t.cut_evals + 1;
+                          t.cut_runs <- t.cut_runs + (t.runs - k);
+                          Hashtbl.replace t.partials key
+                            {
+                              pbase = base;
+                              pdone = !results;
+                              psum = !sum;
+                              pnext = k;
+                              plb = (!sum +. (tcut /. iters) +. suffix.(k)) /. runs_f;
+                            };
+                          let w = !wall +. tcut in
+                          t.virtual_time <- t.virtual_time +. w;
+                          t.eval_time <- t.eval_time +. w;
+                          pruned_value ()
+                      | Error e ->
+                          failwith ("Evaluator.evaluate: " ^ Placement.error_to_string e)
+                  in
+                  go 1
+                  end
+                  end)
+          | Ok () -> (
+              let base = t.seed_counter in
+              (* First run decides whether the mapping can be placed at
+                 all; an OOM aborts the evaluation after one cheap
+                 failed launch.  The cutoff only gates the event loop,
+                 so OOM/invalid detection is unaffected by pruning. *)
+              match bounded_run t ~cutoff:(cutoff_for 0.0) ~seed:(next_seed t) mapping with
+              | Error (Placement.Out_of_memory _) ->
+                  t.oom <- t.oom + 1;
+                  t.virtual_time <- t.virtual_time +. t.eval_overhead;
+                  t.penalty
+              | Error (Placement.Invalid_mapping _) ->
+                  t.invalid <- t.invalid + 1;
+                  t.penalty
+              | Ok first -> (
+                  let results = ref [] in
+                  let sum = ref 0.0 in
+                  let cut = ref None in
+                  let accept r =
+                    results := r :: !results;
+                    sum := !sum +. t.objective t.machine r
+                  in
+                  (match first with
+                  | Exec.Finished r -> accept r
+                  | Exec.Cut tcut -> cut := Some tcut);
+                  let k = ref 1 in
+                  while !cut = None && !k < t.runs do
+                    incr k;
+                    match
+                      bounded_run t ~cutoff:(cutoff_for !sum) ~seed:(next_seed t) mapping
+                    with
+                    | Ok (Exec.Finished r) -> accept r
+                    | Ok (Exec.Cut tcut) -> cut := Some tcut
+                    | Error e ->
+                        (* placement is deterministic: later runs cannot
+                           fail if the first succeeded *)
+                        failwith ("Evaluator.evaluate: " ^ Placement.error_to_string e)
+                  done;
+                  match !cut with
+                  | None ->
+                      let times = List.map (fun r -> t.objective t.machine r) !results in
+                      let wall =
+                        List.fold_left (fun acc r -> acc +. r.Exec.makespan) 0.0 !results
+                      in
+                      complete_protocol t mapping times wall
+                  | Some tcut ->
+                      t.cut_sims <- t.cut_sims + 1;
+                      t.cut_evals <- t.cut_evals + 1;
+                      t.cut_runs <- t.cut_runs + (t.runs - !k);
+                      (* keep the per-candidate seed budget identical to
+                         the unpruned protocol so every later noise
+                         stream is unchanged *)
+                      t.seed_counter <- base + t.runs;
+                      Hashtbl.replace t.partials key
+                        {
+                          pbase = base;
+                          pdone = List.map (fun r -> t.objective t.machine r) !results;
+                          psum = !sum;
+                          pnext = !k;
+                          plb = (!sum +. (tcut /. iters)) /. runs_f;
+                        };
+                      (* the per-evaluation relaunch overhead is charged
+                         when a protocol *completes* — an aborted
+                         candidate costs exactly its simulated wall *)
+                      let wall =
+                        List.fold_left (fun acc r -> acc +. r.Exec.makespan) tcut !results
+                      in
+                      t.virtual_time <- t.virtual_time +. wall;
+                      t.eval_time <- t.eval_time +. wall;
+                      pruned_value ()))))
 
 let note_suggestion_overhead t dt =
   if dt < 0.0 then invalid_arg "Evaluator.note_suggestion_overhead: negative";
   t.virtual_time <- t.virtual_time +. dt
+
+let note_noop_neighbor t = t.noop_skips <- t.noop_skips + 1
 
 let best t = t.best
 let trace t = List.rev t.trace
@@ -130,7 +439,26 @@ let evaluated t = t.evaluated
 let cache_hits t = t.cache_hits
 let invalid_count t = t.invalid
 let oom_count t = t.oom
+let cut_evals t = t.cut_evals
+let cut_runs t = t.cut_runs
+let cut_sims t = t.cut_sims
+let noop_skips t = t.noop_skips
 let eval_time t = t.eval_time
+
+let stats t =
+  {
+    s_suggested = t.suggested;
+    s_evaluated = t.evaluated;
+    s_cache_hits = t.cache_hits;
+    s_invalid = t.invalid;
+    s_oom = t.oom;
+    s_cut_evals = t.cut_evals;
+    s_cut_runs = t.cut_runs;
+    s_cut_sims = t.cut_sims;
+    s_noop_skips = t.noop_skips;
+    s_delta_binds = Exec.delta_binds t.scratch;
+    s_full_binds = Exec.full_binds t.scratch;
+  }
 
 let measure_with t ?runs ?iterations metric mapping =
   let runs = Option.value runs ~default:t.runs in

@@ -42,6 +42,7 @@ val create :
   ?eval_overhead:float ->
   ?objective:(Machine.t -> Exec.result -> float) ->
   ?extended:bool ->
+  ?prune:bool ->
   ?db:Profiles_db.t ->
   Machine.t ->
   Graph.t ->
@@ -57,16 +58,41 @@ val create :
     minimizes; the default is per-iteration execution time, and
     {!Energy.joules_per_iteration} makes the same search stack optimize
     power consumption (§3.3).  [extended] (default false) opens the
-    distribution-strategy dimension (see {!Space.make}). *)
+    distribution-strategy dimension (see {!Space.make}).
+    [prune] (default true) enables bound-and-prune evaluation: when
+    {!evaluate} is given a finite [?bound], losing candidates are
+    aborted as early as the partial mean proves they cannot win (see
+    {!evaluate}).  Pruning never changes a search decision; disable it
+    only to measure its effect. *)
 
 val machine : t -> Machine.t
 val graph : t -> Graph.t
 val space : t -> Space.t
 val db : t -> Profiles_db.t
 
-val evaluate : t -> Mapping.t -> float
+val evaluate : ?bound:float -> t -> Mapping.t -> float
 (** Average objective value of the mapping (cached), or [penalty]
-    for invalid/OOM mappings. *)
+    for invalid/OOM mappings.
+
+    [?bound] is the caller's incumbent value: a candidate is useful to
+    the caller only if its final mean objective is strictly below it.
+    With pruning enabled and the default objective, run [i] of the §5
+    protocol gets the clock cutoff [(runs * bound - sum_so_far) *
+    iterations] ({!Exec.simulate_bounded}): run times are nonnegative,
+    so once the partial sum alone pushes the final mean to [bound] the
+    remaining runs are aborted and [max penalty bound] — a certified
+    loser value — is returned.  This is *decision-exact*: the
+    accept/reject sequence, the RNG stream (the per-candidate seed
+    budget is consumed even when runs are skipped), the profiles
+    database contents and the best-mapping trace are identical to the
+    unpruned search, provided [bound] is at least the best perf this
+    evaluator has seen (true for an incumbent/Metropolis threshold).
+    A cut candidate is remembered as a partial evaluation: if it is
+    ever re-suggested with a bound below its proven lower bound, the
+    protocol resumes with the originally assigned seeds and reproduces
+    the unpruned measurements bit-for-bit.  Without [?bound] (or with
+    [~prune:false], a non-default objective, or an infinite bound) the
+    behaviour is the exact legacy protocol. *)
 
 val note_suggestion_overhead : t -> float -> unit
 (** Charge extra virtual time attributed to the search algorithm
@@ -85,6 +111,43 @@ val evaluated : t -> int
 val cache_hits : t -> int
 val invalid_count : t -> int
 val oom_count : t -> int
+
+val cut_evals : t -> int
+(** Evaluations answered by pruning (the candidate was certified a
+    loser before completing its run protocol).  A later resume that
+    completes the protocol additionally counts in [evaluated]. *)
+
+val cut_runs : t -> int
+(** Protocol runs skipped outright thanks to pruning (the aborted run
+    itself counts in [cut_sims], not here); decremented when a resume
+    later executes them. *)
+
+val cut_sims : t -> int
+(** Simulations aborted by the clock cutoff. *)
+
+val noop_skips : t -> int
+(** No-op neighbours the search skipped (see {!note_noop_neighbor}). *)
+
+val note_noop_neighbor : t -> unit
+(** Record that a search skipped a candidate identical to its
+    incumbent without suggesting it. *)
+
+type stats = {
+  s_suggested : int;
+  s_evaluated : int;
+  s_cache_hits : int;
+  s_invalid : int;
+  s_oom : int;
+  s_cut_evals : int;
+  s_cut_runs : int;
+  s_cut_sims : int;
+  s_noop_skips : int;
+  s_delta_binds : int;  (** {!Exec.delta_binds} of the evaluator's scratch *)
+  s_full_binds : int;   (** {!Exec.full_binds} of the evaluator's scratch *)
+}
+(** One-shot snapshot of every counter, for benches and tests. *)
+
+val stats : t -> stats
 
 val eval_time : t -> float
 (** Virtual time spent actually executing candidates (for the

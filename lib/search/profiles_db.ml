@@ -44,7 +44,10 @@ let load g s =
               error := Some (Printf.sprintf "line %d: bad measurements" (i + 1))
             else
               match Mapping.of_canonical_key g key with
-              | Some m -> ignore (record db m runs)
+              | Some m ->
+                  if Hashtbl.mem db.tbl key then
+                    error := Some (Printf.sprintf "line %d: duplicate mapping %s" (i + 1) key)
+                  else ignore (record db m runs)
               | None ->
                   error :=
                     Some (Printf.sprintf "line %d: key does not match the graph" (i + 1)))

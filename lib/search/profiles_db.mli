@@ -41,4 +41,7 @@ val best : t -> entry option
 
 val save : t -> string
 val load : Graph.t -> string -> (t, string) result
-(** Keys that do not match [g] are rejected with an error. *)
+(** Keys that do not match [g] are rejected with an error, as is a
+    key appearing on more than one line — a checkpoint written by
+    {!save} never contains duplicates, so one signals a corrupted or
+    hand-edited file whose measurements cannot be trusted. *)

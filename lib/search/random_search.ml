@@ -9,7 +9,7 @@ let search ?(seed = 7) ?(max_evals = 1000) ?start ?(budget = infinity) ev =
   while !evals < max_evals && Evaluator.virtual_time ev <= budget do
     incr evals;
     let candidate = Space.random_mapping space rng in
-    let perf = Evaluator.evaluate ev candidate in
+    let perf = Evaluator.evaluate ~bound:(snd !best) ev candidate in
     if perf < snd !best then best := (candidate, perf)
   done;
   !best

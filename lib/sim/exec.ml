@@ -289,20 +289,31 @@ let run_reference ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterati
 type compiled = {
   cmachine : Machine.t;
   cgraph : Graph.t;
+  cplan : Placement.plan;      (* placement order + alias sources *)
   spi : int;                   (* shards (instance slots) per iteration *)
   slot_tid : int array;        (* slot -> owning task *)
   slot_shard : int array;      (* slot -> shard index within the group *)
+  task_off : int array;        (* tid -> first slot; length nt+1 *)
+  n_cols : int;
+  col_owner : int array;       (* cid -> owning task *)
   indeg_base : int array;      (* per-slot within-iteration indegree *)
   indeg_carried : int array;   (* extra indegree from loop-carried edges *)
   (* CSR over producer slots: deps of slot s live in
      dep_*[dep_off.(s) .. dep_off.(s+1) - 1], in the exact order the
      reference interpreter visits them. *)
   dep_off : int array;
+  dep_src_slot : int array;    (* producer's slot (inverse of dep_off ranges) *)
   dep_src_cid : int array;
   dep_dst_cid : int array;
   dep_dst_slot : int array;    (* consumer's slot within its iteration *)
   dep_bytes : float array;
   dep_carried : bool array;
+  (* CSR over collections: indices of the deps that read or write
+     collection c live in cid_dep_idx[cid_dep_off.(c) ..
+     cid_dep_off.(c+1) - 1] — the deps whose channel binding a change
+     to c's placement can invalidate. *)
+  cid_dep_off : int array;
+  cid_dep_idx : int array;
   dispatch_cost : float;
 }
 
@@ -334,6 +345,9 @@ type scratch = {
   mutable bound_mapping : Mapping.t option;
   mutable bound_fallback : bool;
   mutable bound_placement : Placement.t option;
+  (* bind-path counters for the pruning benches/tests *)
+  mutable delta_binds : int;
+  mutable full_binds : int;
 }
 
 let compile machine (g : Graph.t) =
@@ -384,6 +398,7 @@ let compile machine (g : Graph.t) =
     g.edges;
   let n_deps = !n_deps in
   let dep_off = Array.make (spi + 1) 0 in
+  let dep_src_slot = Array.make n_deps 0 in
   let dep_src_cid = Array.make n_deps 0 in
   let dep_dst_cid = Array.make n_deps 0 in
   let dep_dst_slot = Array.make n_deps 0 in
@@ -394,6 +409,7 @@ let compile machine (g : Graph.t) =
     dep_off.(slot) <- !k;
     List.iter
       (fun (src_cid, dst_cid, dst_slot, bytes, carried) ->
+        dep_src_slot.(!k) <- slot;
         dep_src_cid.(!k) <- src_cid;
         dep_dst_cid.(!k) <- dst_cid;
         dep_dst_slot.(!k) <- dst_slot;
@@ -403,20 +419,51 @@ let compile machine (g : Graph.t) =
       out.(slot)
   done;
   dep_off.(spi) <- !k;
+  let n_cols = Graph.n_collections g in
+  let col_owner = Array.make (max n_cols 1) 0 in
+  List.iter
+    (fun (c : Graph.collection) -> col_owner.(c.cid) <- c.owner)
+    (Graph.collections g);
+  (* collection -> touching deps, CSR (each dep touches its source and
+     destination collection; counted once when they coincide) *)
+  let cid_count = Array.make (n_cols + 1) 0 in
+  let touch f =
+    for k = 0 to n_deps - 1 do
+      f dep_src_cid.(k) k;
+      if dep_dst_cid.(k) <> dep_src_cid.(k) then f dep_dst_cid.(k) k
+    done
+  in
+  touch (fun cid _ -> cid_count.(cid) <- cid_count.(cid) + 1);
+  let cid_dep_off = Array.make (n_cols + 1) 0 in
+  for cid = 0 to n_cols - 1 do
+    cid_dep_off.(cid + 1) <- cid_dep_off.(cid) + cid_count.(cid)
+  done;
+  let cid_dep_idx = Array.make cid_dep_off.(n_cols) 0 in
+  let fill = Array.make (max n_cols 1) 0 in
+  touch (fun cid k ->
+      cid_dep_idx.(cid_dep_off.(cid) + fill.(cid)) <- k;
+      fill.(cid) <- fill.(cid) + 1);
   {
     cmachine = machine;
     cgraph = g;
+    cplan = Placement.plan machine g;
     spi;
     slot_tid;
     slot_shard;
+    task_off = offset;
+    n_cols;
+    col_owner;
     indeg_base;
     indeg_carried;
     dep_off;
+    dep_src_slot;
     dep_src_cid;
     dep_dst_cid;
     dep_dst_slot;
     dep_bytes;
     dep_carried;
+    cid_dep_off;
+    cid_dep_idx;
     dispatch_cost = machine.Machine.compute.Machine.runtime_dispatch;
   }
 
@@ -442,6 +489,8 @@ let scratch prob =
     bound_mapping = None;
     bound_fallback = false;
     bound_placement = None;
+    delta_binds = 0;
+    full_binds = 0;
   }
 
 let compiled_of_scratch sc = sc.prob
@@ -459,63 +508,146 @@ let ensure_capacity sc n =
 (* Fill the mapping-dependent scratch tables: durations, processors and
    copy channels are the same for an instance slot in every
    iteration. *)
-let bind sc pl mapping =
+let bind_slot sc pl mapping slot =
   let prob = sc.prob in
   let machine = prob.cmachine and g = prob.cgraph in
-  let spi = prob.spi in
-  let slot_tid = prob.slot_tid and slot_shard = prob.slot_shard in
-  for slot = 0 to spi - 1 do
-    let tid = slot_tid.(slot) and s = slot_shard.(slot) in
-    let p = Placement.processor pl ~tid ~shard:s in
-    sc.slot_pid.(slot) <- p.Machine.pid;
-    sc.slot_node.(slot) <- p.Machine.pnode;
-    let task = Graph.task g tid in
-    let kind = Mapping.proc_of mapping tid in
-    sc.slot_dur.(slot) <-
-      Cost.task_duration machine task kind ~arg_mem:(fun c ->
-          Placement.effective_mem_kind pl ~cid:c.Graph.cid ~shard:s)
+  let tid = prob.slot_tid.(slot) and s = prob.slot_shard.(slot) in
+  let p = Placement.processor pl ~tid ~shard:s in
+  sc.slot_pid.(slot) <- p.Machine.pid;
+  sc.slot_node.(slot) <- p.Machine.pnode;
+  let task = Graph.task g tid in
+  let kind = Mapping.proc_of mapping tid in
+  sc.slot_dur.(slot) <-
+    Cost.task_duration machine task kind ~arg_mem:(fun c ->
+        Placement.effective_mem_kind pl ~cid:c.Graph.cid ~shard:s)
+
+let bind_dep sc pl k =
+  let prob = sc.prob in
+  let machine = prob.cmachine in
+  let src_mem =
+    Placement.arg_memory pl ~cid:prob.dep_src_cid.(k)
+      ~shard:prob.slot_shard.(prob.dep_src_slot.(k))
+  in
+  let dst_mem =
+    Placement.arg_memory pl ~cid:prob.dep_dst_cid.(k)
+      ~shard:prob.slot_shard.(prob.dep_dst_slot.(k))
+  in
+  if src_mem.Machine.mid = dst_mem.Machine.mid then sc.dep_chan.(k) <- -1
+  else begin
+    let ch = Machine.channel_between machine src_mem dst_mem in
+    sc.dep_chan.(k) <- channel_slot ~nodes:machine.Machine.nodes src_mem.Machine.mnode ch;
+    sc.dep_class.(k) <- channel_class_index ch;
+    sc.dep_cost.(k) <-
+      Cost.copy_seconds machine ~src:src_mem ~dst:dst_mem ~bytes:prob.dep_bytes.(k)
+  end
+
+let bind sc pl mapping =
+  let prob = sc.prob in
+  for slot = 0 to prob.spi - 1 do
+    bind_slot sc pl mapping slot
   done;
-  for slot = 0 to spi - 1 do
-    let src_shard = slot_shard.(slot) in
-    for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
-      let src_mem = Placement.arg_memory pl ~cid:prob.dep_src_cid.(k) ~shard:src_shard in
-      let dst_mem =
-        Placement.arg_memory pl ~cid:prob.dep_dst_cid.(k)
-          ~shard:slot_shard.(prob.dep_dst_slot.(k))
-      in
-      if src_mem.Machine.mid = dst_mem.Machine.mid then sc.dep_chan.(k) <- -1
-      else begin
-        let ch = Machine.channel_between machine src_mem dst_mem in
-        sc.dep_chan.(k) <-
-          channel_slot ~nodes:machine.Machine.nodes src_mem.Machine.mnode ch;
-        sc.dep_class.(k) <- channel_class_index ch;
-        sc.dep_cost.(k) <-
-          Cost.copy_seconds machine ~src:src_mem ~dst:dst_mem ~bytes:prob.dep_bytes.(k)
-      end
-    done
+  for k = 0 to Array.length prob.dep_bytes - 1 do
+    bind_dep sc pl k
   done
 
+(* Re-bind only the entries a coordinate change can invalidate: the
+   slots of changed tasks and of tasks owning a changed collection
+   (their durations read the collection's effective memory kind), and
+   the deps touching any collection whose memory array was recomputed
+   by {!Placement.patch}.  Every other entry's inputs — the shared
+   processor/memory arrays of unaffected coordinates — are physically
+   unchanged, so the skipped entries are already bit-correct. *)
+let bind_delta sc pl mapping ~tids ~cids =
+  let prob = sc.prob in
+  let g = prob.cgraph in
+  let rebind_task tid =
+    for slot = prob.task_off.(tid) to prob.task_off.(tid + 1) - 1 do
+      bind_slot sc pl mapping slot
+    done
+  in
+  List.iter rebind_task tids;
+  List.iter
+    (fun cid ->
+      let o = prob.col_owner.(cid) in
+      if not (List.mem o tids) then rebind_task o)
+    cids;
+  let rebind_deps_of_cid cid =
+    for j = prob.cid_dep_off.(cid) to prob.cid_dep_off.(cid + 1) - 1 do
+      bind_dep sc pl prob.cid_dep_idx.(j)
+    done
+  in
+  List.iter rebind_deps_of_cid cids;
+  List.iter
+    (fun tid ->
+      List.iter
+        (fun (c : Graph.collection) ->
+          if not (List.mem c.cid cids) then rebind_deps_of_cid c.cid)
+        (Graph.task g tid).args)
+    tids
+
+(* Patching beats a full re-resolve only while the affected set is
+   small; search neighbours change 1–2 coordinates (plus a few more
+   after co-location repair). *)
+let delta_coord_limit = 8
+
 (* Resolve + bind, reusing the cached bind when the evaluator re-runs
-   the same mapping with a fresh noise seed. *)
+   the same mapping with a fresh noise seed, and patching it
+   (placement + bind tables) when the new mapping is a near neighbour
+   of the cached one — the hill-climbing common case. *)
 let resolve_bound sc ~fallback mapping =
   match (sc.bound_mapping, sc.bound_placement) with
   | Some m, Some pl when m == mapping && sc.bound_fallback = fallback -> Ok pl
-  | _ -> (
+  | cached -> (
       let prob = sc.prob in
-      match Placement.resolve ~fallback prob.cmachine prob.cgraph mapping with
+      let delta =
+        (* delta placement is strict-mode only: a fallback placement's
+           demotions couple distant coordinates through shared
+           capacities, so sharing its arrays would be unsound *)
+        match cached with
+        | Some m, Some pl when (not fallback) && not sc.bound_fallback -> (
+            let tids, cids = Mapping.diff m mapping in
+            if List.length tids + List.length cids > delta_coord_limit then None
+            else
+              match Placement.patch prob.cplan pl mapping ~tids ~cids with
+              | Ok pl' ->
+                  sc.delta_binds <- sc.delta_binds + 1;
+                  bind_delta sc pl' mapping ~tids ~cids;
+                  Some (Ok pl')
+              | Error _ as e ->
+                  (* patch replays the full validation/accounting
+                     decision, so the error is exactly resolve's *)
+                  Some e)
+        | _ -> None
+      in
+      let resolved =
+        match delta with
+        | Some r -> r
+        | None -> (
+            match Placement.resolve_with ~fallback prob.cplan mapping with
+            | Error _ as e -> e
+            | Ok pl ->
+                sc.full_binds <- sc.full_binds + 1;
+                bind sc pl mapping;
+                Ok pl)
+      in
+      match resolved with
       | Error _ as e ->
           sc.bound_mapping <- None;
           sc.bound_placement <- None;
           e
       | Ok pl ->
-          bind sc pl mapping;
           sc.bound_mapping <- Some mapping;
           sc.bound_fallback <- fallback;
           sc.bound_placement <- Some pl;
           Ok pl)
 
-let simulate ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations ?trace sc
-    mapping =
+let delta_binds sc = sc.delta_binds
+let full_binds sc = sc.full_binds
+
+type outcome = Finished of result | Cut of float
+
+let simulate_bounded ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations
+    ?trace ?(cutoff = infinity) sc mapping =
   let prob = sc.prob in
   let machine = prob.cmachine and g = prob.cgraph in
   match resolve_bound sc ~fallback mapping with
@@ -527,14 +659,25 @@ let simulate ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations ?
       let n_instances = iterations * spi in
       ensure_capacity sc n_instances;
       let noise = sc.noise in
-      if noise_sigma > 0.0 then begin
-        (* same draw order as the reference: instance-ascending *)
-        let rng = Rng.create seed in
-        for i = 0 to n_instances - 1 do
-          noise.(i) <- Rng.lognormal rng ~sigma:noise_sigma
-        done
-      end
-      else Array.fill noise 0 n_instances 1.0;
+      (* Noise draws are strictly sequential (instance-ascending, like
+         the reference's upfront pass), but filled lazily as the event
+         loop first touches an instance: a cutoff-aborted run then
+         skips the (Box–Muller) draws for instances it never reached,
+         while a full run performs the identical draw sequence. *)
+      let noise_rng = if noise_sigma > 0.0 then Some (Rng.create seed) else None in
+      let noise_filled = ref 0 in
+      let ensure_noise upto =
+        match noise_rng with
+        | None -> ()
+        | Some rng ->
+            if upto > !noise_filled then begin
+              for i = !noise_filled to upto - 1 do
+                noise.(i) <- Rng.lognormal rng ~sigma:noise_sigma
+              done;
+              noise_filled := upto
+            end
+      in
+      if noise_rng = None then Array.fill noise 0 n_instances 1.0;
       let slot_tid = prob.slot_tid and slot_shard = prob.slot_shard in
       (* O(n) scratch reset; no allocation *)
       Array.fill sc.proc_free 0 (Array.length sc.proc_free) 0.0;
@@ -618,8 +761,17 @@ let simulate ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations ?
           end
         done
       in
-      while not (Fheap.is_empty events) do
+      let cut = ref false and cut_time = ref 0.0 in
+      while (not !cut) && not (Fheap.is_empty events) do
         let t = Fheap.top_prio events in
+        if t >= cutoff then begin
+          (* events pop in nondecreasing time order and every pending
+             instance still has nonnegative work left, so the final
+             makespan is >= t: the caller's bound is unreachable *)
+          cut := true;
+          cut_time := t
+        end
+        else begin
         let payload = Fheap.top events in
         Fheap.drop events;
         let i = payload lsr 1 in
@@ -633,6 +785,7 @@ let simulate ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations ?
           let pid = sc.slot_pid.(slot) in
           let pfree = sc.proc_free.(pid) in
           let start = if dispatched > pfree then dispatched else pfree in
+          ensure_noise (i + 1);
           let d = sc.slot_dur.(slot) *. noise.(i) in
           let t_done = start +. d in
           sc.proc_free.(pid) <- t_done;
@@ -655,18 +808,126 @@ let simulate ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations ?
           Fheap.push events t_done ((i lsl 1) lor 1)
         end
         else process_done i t
+        end
       done;
-      Ok
-        {
-          makespan = !makespan;
-          per_iteration = !makespan /. float_of_int iterations;
-          task_times;
-          proc_busy;
-          bytes_moved = !bytes_moved;
-          channel_bytes;
-          n_copies = !n_copies;
-          demotions = Placement.demotions pl;
-        }
+      if !cut then Ok (Cut !cut_time)
+      else
+        Ok
+          (Finished
+             {
+               makespan = !makespan;
+               per_iteration = !makespan /. float_of_int iterations;
+               task_times;
+               proc_busy;
+               bytes_moved = !bytes_moved;
+               channel_bytes;
+               n_copies = !n_copies;
+               demotions = Placement.demotions pl;
+             })
+
+let simulate ?noise_sigma ?seed ?fallback ?iterations ?trace sc mapping =
+  match simulate_bounded ?noise_sigma ?seed ?fallback ?iterations ?trace sc mapping with
+  | Ok (Finished r) -> Ok r
+  | Ok (Cut _) -> assert false (* unreachable without a cutoff *)
+  | Error e -> Error e
+
+(* Noise-independent makespan floors, shared by {!static_lower_bound}
+   and {!run_lower_bound}.  Assumes the mapping is already bound. *)
+let static_floors sc iterations =
+  let prob = sc.prob in
+  let spi = prob.spi in
+  let iters_f = float_of_int iterations in
+  let lb = ref 0.0 in
+  (* Copies are noise-free and serialized per channel, and a dep with
+     a channel performs one copy per target iteration (carried deps
+     skip the first), so each channel's total copy time bounds the
+     makespan from below: the last copy's arrival feeds an instance
+     whose completion the makespan dominates.  This floor is what
+     makes the bound tight for communication-dominated mappings on
+     multi-node machines. *)
+  let chan_busy = sc.chan_free in
+  Array.fill chan_busy 0 (Array.length chan_busy) 0.0;
+  for slot = 0 to spi - 1 do
+    for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
+      let chan = sc.dep_chan.(k) in
+      if chan >= 0 then begin
+        let times = if prob.dep_carried.(k) then iterations - 1 else iterations in
+        chan_busy.(chan) <- chan_busy.(chan) +. (sc.dep_cost.(k) *. float_of_int times)
+      end
+    done
+  done;
+  Array.iter (fun b -> if b > !lb then lb := b) chan_busy;
+  (* A node's runtime issues its instances one dispatch_cost apart, so
+     the last instance dispatched on the busiest node cannot finish
+     before count * dispatch_cost — a noise-free second floor that
+     dominates for dispatch-bound mappings. *)
+  if prob.dispatch_cost > 0.0 then begin
+    let disp = sc.dispatch_free in
+    Array.fill disp 0 (Array.length disp) 0.0;
+    for slot = 0 to spi - 1 do
+      let n = sc.slot_node.(slot) in
+      disp.(n) <- disp.(n) +. prob.dispatch_cost
+    done;
+    Array.iter
+      (fun d ->
+        let d = d *. iters_f in
+        if d > !lb then lb := d)
+      disp
+  end;
+  !lb
+
+let static_lower_bound ?(fallback = false) ?iterations sc mapping =
+  match resolve_bound sc ~fallback mapping with
+  | Error e -> Error e
+  | Ok _ ->
+      let iterations =
+        Option.value iterations ~default:sc.prob.cgraph.Graph.iterations
+      in
+      if iterations <= 0 then
+        invalid_arg "Exec.static_lower_bound: iterations must be positive";
+      Ok (static_floors sc iterations)
+
+let run_lower_bound ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations sc
+    mapping =
+  let prob = sc.prob in
+  match resolve_bound sc ~fallback mapping with
+  | Error e -> Error e
+  | Ok _ ->
+      let iterations = Option.value iterations ~default:prob.cgraph.Graph.iterations in
+      if iterations <= 0 then
+        invalid_arg "Exec.run_lower_bound: iterations must be positive";
+      let spi = prob.spi in
+      let iters_f = float_of_int iterations in
+      (* Every processor executes its instances serially, so the
+         busiest processor's total noise-scaled work bounds the final
+         makespan from below.  The draws replay the exact instance-
+         ascending noise sequence [simulate] performs for this seed
+         (both start from a fresh [Rng.create seed]), so the bound is
+         certified for the run the caller would otherwise simulate.
+         [proc_free]/[dispatch_free] serve as accumulators; any
+         subsequent simulation resets them first. *)
+      let busy = sc.proc_free in
+      Array.fill busy 0 (Array.length busy) 0.0;
+      if noise_sigma > 0.0 then begin
+        let rng = Rng.create seed in
+        for _iter = 1 to iterations do
+          for slot = 0 to spi - 1 do
+            let x = Rng.lognormal rng ~sigma:noise_sigma in
+            let pid = sc.slot_pid.(slot) in
+            busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. x)
+          done
+        done
+      end
+      else
+        for slot = 0 to spi - 1 do
+          let pid = sc.slot_pid.(slot) in
+          busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. iters_f)
+        done;
+      let lb = ref 0.0 in
+      Array.iter (fun b -> if b > !lb then lb := b) busy;
+      let s = static_floors sc iterations in
+      if s > !lb then lb := s;
+      Ok !lb
 
 (* Compatibility wrapper: compile-and-run once.  Callers that evaluate
    many mappings on the same (machine, graph) should compile once and

@@ -89,6 +89,76 @@ val simulate :
     arrays are freshly allocated (results from earlier calls stay
     valid); everything else is scratch-reused. *)
 
+(** {1 Bounded simulation}
+
+    The search only needs a candidate's exact runtime when it might
+    beat the incumbent.  [simulate_bounded ~cutoff] aborts the event
+    loop the moment the simulated clock reaches [cutoff]: event times
+    pop in nondecreasing order and all remaining work is nonnegative,
+    so the clock is a monotone lower bound on the final makespan and
+    [Cut t] certifies makespan >= t without finishing the run.  With
+    the default [cutoff = infinity] the behaviour — including every
+    float and RNG draw — is identical to {!simulate}. *)
+
+type outcome =
+  | Finished of result
+  | Cut of float
+      (** The simulated clock reached the cutoff at this time; the true
+          makespan is at least this value. *)
+
+val simulate_bounded :
+  ?noise_sigma:float ->
+  ?seed:int ->
+  ?fallback:bool ->
+  ?iterations:int ->
+  ?trace:Trace.t ->
+  ?cutoff:float ->
+  scratch ->
+  Mapping.t ->
+  (outcome, error) Stdlib.result
+
+val static_lower_bound :
+  ?fallback:bool ->
+  ?iterations:int ->
+  scratch ->
+  Mapping.t ->
+  (float, error) Stdlib.result
+(** The noise-independent part of {!run_lower_bound}: the busiest
+    channel's total copy time and the busiest node's dispatch
+    serialization.  Valid for *every* noise seed, and an order of
+    magnitude cheaper than a per-run bound (no noise draws), so a
+    caller can certify "no run of this mapping can beat [b]" once
+    before paying for per-run bounds or simulations. *)
+
+val run_lower_bound :
+  ?noise_sigma:float ->
+  ?seed:int ->
+  ?fallback:bool ->
+  ?iterations:int ->
+  scratch ->
+  Mapping.t ->
+  (float, error) Stdlib.result
+(** A certified lower bound on the makespan {!simulate_bounded} with
+    the same parameters would return (or abort at), computed without
+    running the event loop: the busiest processor's total noise-scaled
+    work — replaying the exact per-instance noise draws of that seed —
+    and the busiest node's dispatch serialization both bound the final
+    clock from below.  Costs one noise pass (a fraction of a full
+    simulation); placement/bind errors are surfaced exactly as
+    {!simulate}'s, and the resolved binding is cached for a subsequent
+    simulation of the same mapping. *)
+
+val delta_binds : scratch -> int
+(** How many resolve+bind operations were served by patching the
+    previously bound placement ({!Placement.patch} + a partial table
+    rebind) instead of a full re-resolve.  Strict (non-fallback) mode
+    only; the patched state is bit-identical to a full bind. *)
+
+val full_binds : scratch -> int
+(** How many resolve+bind operations ran the full path.  Physical-
+    equality cache hits (re-running the same mapping with a new noise
+    seed) are counted by neither counter. *)
+
 val run :
   ?noise_sigma:float ->
   ?seed:int ->

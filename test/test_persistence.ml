@@ -52,6 +52,47 @@ let test_db_load_rejects_garbage () =
   | Ok db -> Alcotest.(check int) "empty ok" 0 (Profiles_db.size db)
   | Error e -> Alcotest.fail e
 
+(* Property: save/load is the identity on databases of arbitrary valid
+   mappings with arbitrary positive measurements ("%.17g" round-trips
+   every finite double exactly). *)
+let prop_db_round_trip =
+  QCheck.Test.make ~count:50 ~name:"profiles-db save/load round trip"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let g, _, _ = Fixtures.shared_halo () in
+      let space = Space.make ~extended:true g (machine ()) in
+      let rng = Rng.create seed in
+      let db = Profiles_db.create () in
+      for _ = 1 to 1 + Rng.int rng 20 do
+        let m = Space.random_mapping space rng in
+        let runs = List.init (1 + Rng.int rng 7) (fun _ -> Rng.float rng 50.0) in
+        ignore (Profiles_db.record db m runs)
+      done;
+      match Profiles_db.load g (Profiles_db.save db) with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok db' ->
+          Profiles_db.size db' = Profiles_db.size db
+          && List.for_all
+               (fun (e : Profiles_db.entry) ->
+                 match Profiles_db.find db' e.Profiles_db.mapping with
+                 | Some e' ->
+                     e'.Profiles_db.runs = e.Profiles_db.runs
+                     && e'.Profiles_db.perf = e.Profiles_db.perf
+                 | None -> false)
+               (Profiles_db.top db (Profiles_db.size db)))
+
+let test_db_load_rejects_duplicates () =
+  let g, _, _ = Fixtures.shared_halo () in
+  let db = Profiles_db.create () in
+  let m = Mapping.default_start g (machine ()) in
+  ignore (Profiles_db.record db m [ 1.0 ]);
+  let line = String.trim (Profiles_db.save db) in
+  match Profiles_db.load g (line ^ "\n" ^ line ^ "\n") with
+  | Error e ->
+      Alcotest.(check bool) "mentions duplicate" true (Str_helpers.contains e "duplicate");
+      Alcotest.(check bool) "names the line" true (Str_helpers.contains e "line 2")
+  | Ok _ -> Alcotest.fail "duplicate key accepted"
+
 let test_evaluator_warm_start () =
   let g, _, _ = Fixtures.shared_halo () in
   (* first session measures and persists *)
@@ -112,6 +153,8 @@ let suite =
     Alcotest.test_case "key mismatch" `Quick test_canonical_key_rejects_mismatch;
     Alcotest.test_case "db round trip" `Quick test_db_save_load_round_trip;
     Alcotest.test_case "db garbage" `Quick test_db_load_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_db_round_trip;
+    Alcotest.test_case "db duplicates" `Quick test_db_load_rejects_duplicates;
     Alcotest.test_case "warm start" `Quick test_evaluator_warm_start;
     Alcotest.test_case "confidence interval" `Quick test_confidence_interval;
     Alcotest.test_case "ci narrows" `Quick test_ci_narrows_with_samples;
