@@ -145,19 +145,29 @@ let bench_parallel machine g ~budget ~runs =
   let domains_requested = 4 in
   let domains_used = max 1 (min domains_requested cores) in
   let t1, best1 = time 1 in
-  let tn, bestn = if domains_used = 1 then (t1, best1) else time domains_used in
-  assert (best1.Parallel.perf = bestn.Parallel.perf);
-  Printf.printf
-    "parallel portfolio (%d members): 1 domain %.2fs, %d domain%s %.2fs -> %.2fx speedup \
-     (%d core%s available%s)\n%!"
-    (List.length members) t1 domains_used
-    (if domains_used = 1 then "" else "s")
-    tn (t1 /. tn) cores
-    (if cores = 1 then "" else "s")
-    (if cores < domains_requested then
-       Printf.sprintf "; %d domains requested, clamped to the core count" domains_requested
-     else "");
-  (t1, tn, domains_requested, domains_used, best1.Parallel.perf)
+  if domains_used = 1 then begin
+    (* there is nothing to compare against on a 1-core box: reporting a
+       1.000x "speedup" would read as a scaling regression, so mark the
+       section skipped instead *)
+    Printf.printf
+      "parallel portfolio (%d members): 1 domain %.2fs; scaling leg skipped (1 core \
+       available, %d domains requested)\n%!"
+      (List.length members) t1 domains_requested;
+    (t1, None, domains_requested, domains_used, best1.Parallel.perf)
+  end
+  else begin
+    let tn, bestn = time domains_used in
+    assert (best1.Parallel.perf = bestn.Parallel.perf);
+    Printf.printf
+      "parallel portfolio (%d members): 1 domain %.2fs, %d domains %.2fs -> %.2fx speedup \
+       (%d cores available%s)\n%!"
+      (List.length members) t1 domains_used tn (t1 /. tn) cores
+      (if cores < domains_requested then
+         Printf.sprintf "; %d domains requested, clamped to the core count"
+           domains_requested
+       else "");
+    (t1, Some tn, domains_requested, domains_used, best1.Parallel.perf)
+  end
 
 let json_rate r =
   Printf.sprintf
@@ -201,14 +211,25 @@ let () =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  \"parallel_portfolio\": {\"domains_requested\": %d, \"domains_used\": %d, \
-        \"cores_available\": %d, \"oversubscribed\": %b, \
-        \"wall_1\": %.4f, \"wall_n\": %.4f, \"speedup\": %.3f, \"best_perf\": %.6e}\n"
-       par_requested par_used
-       (Domain.recommended_domain_count ())
-       (par_used < par_requested) t1 tn (t1 /. tn) par_perf);
+  (match tn with
+  | None ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"parallel_portfolio\": {\"domains_requested\": %d, \"domains_used\": %d, \
+            \"cores_available\": %d, \"skipped\": true, \
+            \"wall_1\": %.4f, \"best_perf\": %.6e}\n"
+           par_requested par_used
+           (Domain.recommended_domain_count ())
+           t1 par_perf)
+  | Some tn ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"parallel_portfolio\": {\"domains_requested\": %d, \"domains_used\": %d, \
+            \"cores_available\": %d, \"oversubscribed\": %b, \"skipped\": false, \
+            \"wall_1\": %.4f, \"wall_n\": %.4f, \"speedup\": %.3f, \"best_perf\": %.6e}\n"
+           par_requested par_used
+           (Domain.recommended_domain_count ())
+           (par_used < par_requested) t1 tn (t1 /. tn) par_perf));
   Buffer.add_string buf "}\n";
   let oc = open_out !out_file in
   output_string oc (Buffer.contents buf);

@@ -1,14 +1,17 @@
 (* End-to-end search-throughput benchmark for bound-and-prune
-   candidate evaluation.
+   candidate evaluation and incremental delta re-simulation.
 
-   For Stencil and Circuit it runs the same CCD search twice on fresh
-   evaluators — once with pruning disabled, once enabled — and checks
-   the two searches are *decision-identical* (same best mapping, same
-   best perf bit-for-bit, same suggestion count) before reporting the
-   wall-clock speedup and candidates-per-second gain pruning buys.
-   The pruning counters (cut runs/sims, delta vs. full placement
-   binds) are reported alongside so regressions in any one layer of
-   the optimisation are visible in the numbers, not just the total.
+   For Stencil and Circuit it runs the same CCD search three times on
+   fresh evaluators — pruning off, pruning on (the PR 2 baseline), and
+   pruning on with incremental cone replay — and checks the three
+   searches are *decision-identical* (same best mapping, same best
+   perf bit-for-bit, same suggestion count) before reporting the
+   wall-clock speedups and candidates-per-second gains each layer
+   buys.  The pruning counters (cut runs/sims, delta vs. full
+   placement binds) and the replay counters (cone vs. full replays,
+   instances re-executed in cones, retained timeline bytes) are
+   reported alongside so regressions in any one layer of the
+   optimisation are visible in the numbers, not just the total.
 
    The machine is a 4-node shepard cluster: distributed machines are
    the paper's setting, and the communication floors that make the
@@ -47,11 +50,12 @@ type leg = {
   st : Evaluator.stats;
 }
 
-(* One full search on a fresh evaluator (pruning state must not leak
-   between repeats); only Ccd.search is timed — Evaluator.create (the
-   one-time compile, identical for both legs) stays outside. *)
-let search_once ~prune ~rotations machine g =
-  let ev = Evaluator.create ~prune ~seed:3 machine g in
+(* One full search on a fresh evaluator (pruning and timeline state
+   must not leak between repeats); only Ccd.search is timed —
+   Evaluator.create (the one-time compile, identical for all legs)
+   stays outside. *)
+let search_once ~prune ~incremental ~rotations machine g =
+  let ev = Evaluator.create ~prune ~incremental ~seed:3 machine g in
   let t0 = now () in
   let best, perf = Ccd.search ~rotations ev in
   (now () -. t0, best, perf, Evaluator.stats ev)
@@ -61,29 +65,34 @@ type app_row = {
   row_input : string;
   off : leg;
   on_ : leg;
-  speedup : float;
+  inc : leg;
+  speedup : float;             (* prune on vs. off, both full-replay *)
+  incremental_speedup : float; (* incremental vs. the PR 2 baseline  *)
 }
 
 let bench_app (app : App.t) machine ~input ~rotations ~min_time =
   let g = app.App.graph ~nodes:machine.Machine.nodes ~input in
   (* A single CCD run is milliseconds: repeat whole searches until
-     [min_time] of measured wall accumulated, interleaving the two
-     legs so any slow drift in machine load skews both equally and
-     the reported ratio stays honest. *)
-  let t_off = ref 0.0 and t_on = ref 0.0 in
+     [min_time] of measured wall accumulated, interleaving the three
+     legs so any slow drift in machine load skews all equally and the
+     reported ratios stay honest. *)
+  let t_off = ref 0.0 and t_on = ref 0.0 and t_inc = ref 0.0 in
   let n = ref 0 in
-  let last_off = ref None and last_on = ref None in
+  let last_off = ref None and last_on = ref None and last_inc = ref None in
   let step () =
-    let d, b, p, s = search_once ~prune:false ~rotations machine g in
+    let d, b, p, s = search_once ~prune:false ~incremental:false ~rotations machine g in
     t_off := !t_off +. d;
     last_off := Some (b, p, s);
-    let d, b, p, s = search_once ~prune:true ~rotations machine g in
+    let d, b, p, s = search_once ~prune:true ~incremental:false ~rotations machine g in
     t_on := !t_on +. d;
     last_on := Some (b, p, s);
+    let d, b, p, s = search_once ~prune:true ~incremental:true ~rotations machine g in
+    t_inc := !t_inc +. d;
+    last_inc := Some (b, p, s);
     incr n
   in
   step ();
-  while !t_off +. !t_on < min_time do
+  while !t_off +. !t_on +. !t_inc < min_time do
     step ()
   done;
   let leg_of total last =
@@ -97,32 +106,50 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
       st = s;
     }
   in
-  let off = leg_of !t_off !last_off and on_ = leg_of !t_on !last_on in
-  (* pruning must be invisible to the search's decisions *)
-  if not (Mapping.equal off.best on_.best) then
-    failwith (app.App.app_name ^ ": pruned search found a different best mapping");
-  if off.perf <> on_.perf then
-    failwith (app.App.app_name ^ ": pruned search found a different best perf");
-  if off.st.Evaluator.s_suggested <> on_.st.Evaluator.s_suggested then
-    failwith (app.App.app_name ^ ": pruned search made a different number of suggestions");
+  let off = leg_of !t_off !last_off
+  and on_ = leg_of !t_on !last_on
+  and inc = leg_of !t_inc !last_inc in
+  (* neither pruning nor incremental replay may be visible to the
+     search's decisions *)
+  let check name a b =
+    if not (Mapping.equal a.best b.best) then
+      failwith (app.App.app_name ^ ": " ^ name ^ " search found a different best mapping");
+    if a.perf <> b.perf then
+      failwith (app.App.app_name ^ ": " ^ name ^ " search found a different best perf");
+    if a.st.Evaluator.s_suggested <> b.st.Evaluator.s_suggested then
+      failwith
+        (app.App.app_name ^ ": " ^ name ^ " search made a different number of suggestions")
+  in
+  check "pruned" off on_;
+  check "incremental" on_ inc;
   let speedup = off.wall /. on_.wall in
+  let incremental_speedup = inc.cands_per_sec /. on_.cands_per_sec in
   Printf.printf
-    "%-8s %-10s off %6.2fms (%7.1f cand/s) | on %6.2fms (%7.1f cand/s) | %5.2fx | cut \
-     %d/%d evals, %d runs, %d sims | binds %d delta / %d full | %d noop skips\n%!"
+    "%-8s %-10s off %6.2fms (%7.1f cand/s) | on %6.2fms (%7.1f cand/s, %5.2fx) | inc \
+     %6.2fms (%7.1f cand/s, %5.2fx)\n\
+    \         cut %d/%d evals, %d runs, %d sims | binds %d delta / %d full | %d noop \
+     skips\n\
+    \         replays %d cone / %d full | %d cone instances | %.1f KiB timelines\n%!"
     app.App.app_name input (1e3 *. off.wall) off.cands_per_sec (1e3 *. on_.wall)
-    on_.cands_per_sec speedup on_.st.Evaluator.s_cut_evals on_.st.Evaluator.s_suggested
-    on_.st.Evaluator.s_cut_runs on_.st.Evaluator.s_cut_sims
-    on_.st.Evaluator.s_delta_binds on_.st.Evaluator.s_full_binds
-    on_.st.Evaluator.s_noop_skips;
-  { row_app = app.App.app_name; row_input = input; off; on_; speedup }
+    on_.cands_per_sec speedup (1e3 *. inc.wall) inc.cands_per_sec incremental_speedup
+    inc.st.Evaluator.s_cut_evals inc.st.Evaluator.s_suggested
+    inc.st.Evaluator.s_cut_runs inc.st.Evaluator.s_cut_sims
+    inc.st.Evaluator.s_delta_binds inc.st.Evaluator.s_full_binds
+    inc.st.Evaluator.s_noop_skips inc.st.Evaluator.s_cone_replays
+    inc.st.Evaluator.s_full_replays inc.st.Evaluator.s_cone_instances
+    (float_of_int inc.st.Evaluator.s_timeline_bytes /. 1024.0);
+  { row_app = app.App.app_name; row_input = input; off; on_; inc; speedup;
+    incremental_speedup }
 
 let json_leg l =
   Printf.sprintf
-    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "delta_binds": %d, "full_binds": %d}|}
+    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "delta_binds": %d, "full_binds": %d, "cone_replays": %d, "cone_instances": %d, "full_replays": %d, "timeline_bytes": %d}|}
     l.wall l.cands_per_sec l.perf l.st.Evaluator.s_suggested l.st.Evaluator.s_evaluated
     l.st.Evaluator.s_cache_hits l.st.Evaluator.s_cut_evals l.st.Evaluator.s_cut_runs
     l.st.Evaluator.s_cut_sims l.st.Evaluator.s_noop_skips l.st.Evaluator.s_delta_binds
-    l.st.Evaluator.s_full_binds
+    l.st.Evaluator.s_full_binds l.st.Evaluator.s_cone_replays
+    l.st.Evaluator.s_cone_instances l.st.Evaluator.s_full_replays
+    l.st.Evaluator.s_timeline_bytes
 
 let () =
   let nodes = 4 in
@@ -132,19 +159,23 @@ let () =
     [ (App.stencil, if !smoke then "500x500" else "2000x2000");
       (App.circuit, if !smoke then "n100w400" else "n200w800") ]
   in
-  Printf.printf "searchrate: %s mode, shepard x%d, CCD(%d), prune off vs on\n%!"
+  Printf.printf
+    "searchrate: %s mode, shepard x%d, CCD(%d), prune off vs on vs on+incremental\n%!"
     (if !smoke then "smoke" else "bench")
     nodes rotations;
   let min_time = if !smoke then 0.0 else 4.0 in
   let rows =
     List.map (fun (app, input) -> bench_app app machine ~input ~rotations ~min_time) apps
   in
-  let geomean =
+  let geomean f =
     exp
-      (List.fold_left (fun acc r -> acc +. log r.speedup) 0.0 rows
+      (List.fold_left (fun acc r -> acc +. log (f r)) 0.0 rows
       /. float_of_int (List.length rows))
   in
-  Printf.printf "geomean search speedup: %.2fx\n%!" geomean;
+  let geo_prune = geomean (fun r -> r.speedup) in
+  let geo_inc = geomean (fun r -> r.incremental_speedup) in
+  Printf.printf "geomean search speedup: prune %.2fx, incremental %.2fx over prune-on\n%!"
+    geo_prune geo_inc;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"bench\": \"searchrate\",\n";
   Buffer.add_string buf
@@ -155,12 +186,16 @@ let () =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"app\": %S, \"input\": %S,\n     \"prune_off\": %s,\n     \
-            \"prune_on\": %s,\n     \"speedup\": %.3f, \"decision_identical\": true}%s\n"
-           row.row_app row.row_input (json_leg row.off) (json_leg row.on_) row.speedup
+            \"prune_on\": %s,\n     \"incremental\": %s,\n     \"speedup\": %.3f, \
+            \"incremental_speedup\": %.3f, \"decision_identical\": true}%s\n"
+           row.row_app row.row_input (json_leg row.off) (json_leg row.on_)
+           (json_leg row.inc) row.speedup row.incremental_speedup
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf
-    (Printf.sprintf "  ],\n  \"geomean_speedup\": %.3f\n}\n" geomean);
+    (Printf.sprintf
+       "  ],\n  \"geomean_speedup\": %.3f,\n  \"geomean_incremental_speedup\": %.3f\n}\n"
+       geo_prune geo_inc);
   let oc = open_out !out_file in
   output_string oc (Buffer.contents buf);
   close_out oc;

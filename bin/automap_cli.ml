@@ -145,8 +145,11 @@ let tune_cmd =
   let db_arg =
     Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc:"Profiles-database checkpoint: reloaded before the search if it exists, rewritten afterwards (warm restart across sessions).")
   in
+  let no_incremental_arg =
+    Arg.(value & flag & info [ "no-incremental" ] ~doc:"Force full re-simulation of every candidate (disable timeline capture and dirty-cone replay). Results are bit-identical either way; this is a debugging/measurement switch. The AUTOMAP_NO_INCREMENTAL environment variable has the same effect.")
+  in
   let run app input nodes cluster graph_file machine_file seed algo objective runs
-      final_runs budget output extended db_file =
+      final_runs budget output extended db_file no_incremental =
     let machine, g, custom =
       resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
     in
@@ -162,8 +165,11 @@ let tune_cmd =
           | Error e -> failwith (Printf.sprintf "%s: %s" f e))
       | _ -> None
     in
+    let incremental =
+      (not no_incremental) && Sys.getenv_opt "AUTOMAP_NO_INCREMENTAL" = None
+    in
     let r =
-      Driver.run ~runs ~final_runs ~seed ?budget ?objective ~extended ?db
+      Driver.run ~runs ~final_runs ~seed ?budget ?objective ~extended ~incremental ?db
         (algo_of algo) machine g
     in
     Option.iter
@@ -198,7 +204,8 @@ let tune_cmd =
     Term.(
       const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
       $ machine_file_arg $ seed_arg $ algo_arg $ objective_arg $ runs_arg
-      $ final_runs_arg $ budget_arg $ out_arg $ extended_arg $ db_arg)
+      $ final_runs_arg $ budget_arg $ out_arg $ extended_arg $ db_arg
+      $ no_incremental_arg)
 
 let compare_cmd =
   let doc = "Measure the default, custom, HEFT and (optionally) a saved mapping." in

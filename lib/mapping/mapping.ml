@@ -80,27 +80,28 @@ let set_mem t cid v =
   { t with mem = m }
 
 let validate g machine t =
+  (* format an error message only on failure: this runs once per
+     suggested candidate, and eagerly rendering messages for checks
+     that pass dominates the whole call *)
   let problem = ref None in
-  let check cond fmt =
-    Printf.ksprintf (fun s -> if (not cond) && !problem = None then problem := Some s) fmt
+  let fail fmt =
+    Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt
   in
   for tid = 0 to Graph.n_tasks g - 1 do
     let task = Graph.task g tid in
     let k = t.proc.(tid) in
-    check
-      (Machine.procs_of_kind_per_node machine k > 0)
-      "task %s mapped to %s but the machine has no %s processors" task.tname
-      (Kinds.proc_kind_to_string k) (Kinds.proc_kind_to_string k);
-    check (Graph.has_variant task k) "task %s has no %s variant" task.tname
-      (Kinds.proc_kind_to_string k);
+    if not (Machine.procs_of_kind_per_node machine k > 0) then
+      fail "task %s mapped to %s but the machine has no %s processors" task.tname
+        (Kinds.proc_kind_to_string k) (Kinds.proc_kind_to_string k);
+    if not (Graph.has_variant task k) then
+      fail "task %s has no %s variant" task.tname (Kinds.proc_kind_to_string k);
     List.iter
       (fun (c : Graph.collection) ->
-        check
-          (Kinds.accessible k t.mem.(c.cid))
-          "collection %s of task %s mapped to %s, not addressable from %s" c.cname
-          task.tname
-          (Kinds.mem_kind_to_string t.mem.(c.cid))
-          (Kinds.proc_kind_to_string k))
+        if not (Kinds.accessible k t.mem.(c.cid)) then
+          fail "collection %s of task %s mapped to %s, not addressable from %s" c.cname
+            task.tname
+            (Kinds.mem_kind_to_string t.mem.(c.cid))
+            (Kinds.proc_kind_to_string k))
       task.args
   done;
   match !problem with None -> Ok () | Some reason -> Error reason

@@ -36,6 +36,7 @@ let search ?(seed = 11) ?(max_evals = 2000) ?(t0 = 0.3) ?(cooling = 0.995) ?star
   let rng = Rng.create seed in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
   let p0 = Evaluator.evaluate ev f0 in
+  Evaluator.note_incumbent ev f0;
   let current = ref (f0, p0) in
   let best = ref (f0, p0) in
   let temp = ref t0 in
@@ -58,7 +59,10 @@ let search ?(seed = 11) ?(max_evals = 2000) ?(t0 = 0.3) ?(cooling = 0.995) ?star
         if Float.is_finite bump then pcur +. bump else infinity
     in
     let perf = Evaluator.evaluate ~bound:threshold ev candidate in
-    if perf < threshold then current := (candidate, perf);
+    if perf < threshold then begin
+      Evaluator.note_incumbent ev candidate;
+      current := (candidate, perf)
+    end;
     if perf < snd !best then best := (candidate, perf);
     temp := !temp *. cooling
   done;

@@ -4,6 +4,7 @@ let search ?(rotations = 5) ?start ?(budget = infinity) ev =
   let machine = Evaluator.machine ev in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
   let p0 = Evaluator.evaluate ev f0 in
+  Evaluator.note_incumbent ev f0;
   let should_stop () = Evaluator.virtual_time ev > budget in
   let c0 = Overlap.of_graph g in
   let prune_per_rotation =

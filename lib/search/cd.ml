@@ -3,6 +3,7 @@ let search ?start ?(budget = infinity) ev =
   let machine = Evaluator.machine ev in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
   let p0 = Evaluator.evaluate ev f0 in
+  Evaluator.note_incumbent ev f0;
   let should_stop () = Evaluator.virtual_time ev > budget in
   let profile = Evaluator.profile_for ev f0 in
   Descent.sweep ev ~overlap:None ~should_stop ~profile (f0, p0)

@@ -2,7 +2,11 @@ let test_mapping ev candidate (best, best_perf) =
   (* the incumbent perf is the bound: a candidate pruned at it could
      never satisfy the strict-improvement acceptance below *)
   let perf = Evaluator.evaluate ~bound:best_perf ev candidate in
-  if perf < best_perf then (candidate, perf) else (best, best_perf)
+  if perf < best_perf then begin
+    Evaluator.note_incumbent ev candidate;
+    (candidate, perf)
+  end
+  else (best, best_perf)
 
 let optimize_task ev ~overlap ~should_stop (task : Graph.task) (f0, p0) =
   let g = Evaluator.graph ev in

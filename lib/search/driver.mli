@@ -43,6 +43,7 @@ val run :
   ?start:Mapping.t ->
   ?objective:(Machine.t -> Exec.result -> float) ->
   ?extended:bool ->
+  ?incremental:bool ->
   ?db:Profiles_db.t ->
   algo ->
   Machine.t ->
@@ -51,9 +52,10 @@ val run :
 (** [budget] caps virtual search time (seconds of simulated
     application execution); the defaults follow §5: [runs] = 7,
     [final_top] = 5, [final_runs] = 30.  [objective] selects the
-    metric the search minimizes (default: per-iteration time) and
-    [extended] opens the distribution-strategy dimension and [db]
-    warm-starts from a persisted profiles database (see
+    metric the search minimizes (default: per-iteration time),
+    [extended] opens the distribution-strategy dimension,
+    [incremental] (default true) toggles incremental re-simulation and
+    [db] warm-starts from a persisted profiles database (see
     {!Evaluator.create}). *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -26,7 +26,15 @@ type t = {
   prune : bool;
   db : Profiles_db.t;
   partials : (string, partial) Hashtbl.t;
-  mutable seed_counter : int;
+  (* Common random numbers: run k of *every* evaluation uses seed
+     [crn_base + k], so all candidates face identical noise streams.
+     Comparisons between candidates become paired (lower variance than
+     independent draws), and — decisively for throughput — the noise
+     streams and committed timelines Exec caches per seed are reusable
+     across the whole search, which is what enables incremental cone
+     replay and once-per-seed noise draws. *)
+  crn_base : int;
+  mutable seed_counter : int;  (* post-evaluation window, for [measure] *)
   mutable suggested : int;
   mutable evaluated : int;
   mutable cache_hits : int;
@@ -54,19 +62,25 @@ type stats = {
   s_noop_skips : int;
   s_delta_binds : int;
   s_full_binds : int;
+  s_cone_replays : int;
+  s_cone_instances : int;
+  s_full_replays : int;
+  s_timeline_bytes : int;
 }
 
 let default_objective _machine (r : Exec.result) = r.Exec.per_iteration
 
 let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     ?(penalty = infinity) ?(seed = 0) ?(eval_overhead = 0.0002)
-    ?(objective = default_objective) ?(extended = false) ?(prune = true) ?db machine
-    graph =
+    ?(objective = default_objective) ?(extended = false) ?(prune = true)
+    ?(incremental = true) ?db machine graph =
   if runs <= 0 then invalid_arg "Evaluator.create: runs must be positive";
+  let scratch = Exec.scratch (Exec.compile machine graph) in
+  Exec.set_incremental scratch incremental;
   {
     machine;
     graph;
-    scratch = Exec.scratch (Exec.compile machine graph);
+    scratch;
     space = Space.make ~extended graph machine;
     runs;
     noise_sigma;
@@ -78,7 +92,10 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     prune;
     db = (match db with Some db -> db | None -> Profiles_db.create ());
     partials = Hashtbl.create 64;
-    seed_counter = seed * 1_000_003;
+    crn_base = seed * 1_000_003;
+    (* [measure]'s ad-hoc runs draw from a window disjoint from the
+       evaluation seeds so they never perturb or reuse the CRN streams *)
+    seed_counter = (seed * 1_000_003) + runs;
     suggested = 0;
     evaluated = 0;
     cache_hits = 0;
@@ -227,7 +244,7 @@ let evaluate ?bound t mapping =
               t.invalid <- t.invalid + 1;
               t.penalty
           | Ok () when bound_v < infinity -> (
-              let base = t.seed_counter in
+              let base = t.crn_base in
               (* Certified per-run lower bounds: before any event loop,
                  each run's objective is bounded below by its busiest
                  processor's total work under that run's own noise
@@ -246,21 +263,16 @@ let evaluate ?bound t mapping =
                   t.scratch mapping
               with
               | Error (Placement.Out_of_memory _) ->
-                  t.seed_counter <- base + 1;
                   t.oom <- t.oom + 1;
                   t.virtual_time <- t.virtual_time +. t.eval_overhead;
                   t.penalty
               | Error (Placement.Invalid_mapping _) ->
-                  t.seed_counter <- base + 1;
                   t.invalid <- t.invalid + 1;
                   t.penalty
               | Ok s_makespan ->
                   (* the noise-independent floor holds for every run *)
                   let s = s_makespan /. iters in
                   let threshold = bound_v *. prune_slack *. runs_f in
-                  (* the per-candidate seed budget is identical to the
-                     unpruned protocol whatever happens below *)
-                  t.seed_counter <- base + t.runs;
                   let results = ref [] in (* objectives, newest first *)
                   let sum = ref 0.0 in
                   let wall = ref 0.0 in
@@ -355,12 +367,12 @@ let evaluate ?bound t mapping =
                   end
                   end)
           | Ok () -> (
-              let base = t.seed_counter in
+              let base = t.crn_base in
               (* First run decides whether the mapping can be placed at
                  all; an OOM aborts the evaluation after one cheap
                  failed launch.  The cutoff only gates the event loop,
                  so OOM/invalid detection is unaffected by pruning. *)
-              match bounded_run t ~cutoff:(cutoff_for 0.0) ~seed:(next_seed t) mapping with
+              match bounded_run t ~cutoff:(cutoff_for 0.0) ~seed:(base + 1) mapping with
               | Error (Placement.Out_of_memory _) ->
                   t.oom <- t.oom + 1;
                   t.virtual_time <- t.virtual_time +. t.eval_overhead;
@@ -383,7 +395,7 @@ let evaluate ?bound t mapping =
                   while !cut = None && !k < t.runs do
                     incr k;
                     match
-                      bounded_run t ~cutoff:(cutoff_for !sum) ~seed:(next_seed t) mapping
+                      bounded_run t ~cutoff:(cutoff_for !sum) ~seed:(base + !k) mapping
                     with
                     | Ok (Exec.Finished r) -> accept r
                     | Ok (Exec.Cut tcut) -> cut := Some tcut
@@ -403,10 +415,6 @@ let evaluate ?bound t mapping =
                       t.cut_sims <- t.cut_sims + 1;
                       t.cut_evals <- t.cut_evals + 1;
                       t.cut_runs <- t.cut_runs + (t.runs - !k);
-                      (* keep the per-candidate seed budget identical to
-                         the unpruned protocol so every later noise
-                         stream is unchanged *)
-                      t.seed_counter <- base + t.runs;
                       Hashtbl.replace t.partials key
                         {
                           pbase = base;
@@ -430,6 +438,11 @@ let note_suggestion_overhead t dt =
   t.virtual_time <- t.virtual_time +. dt
 
 let note_noop_neighbor t = t.noop_skips <- t.noop_skips + 1
+
+(* The searches report each newly accepted incumbent here so Exec keeps
+   its committed timelines pinned: every subsequent neighbour then
+   replays against a schedule at most a couple of coordinates away. *)
+let note_incumbent t mapping = Exec.prefer_timeline t.scratch mapping
 
 let best t = t.best
 let trace t = List.rev t.trace
@@ -458,6 +471,10 @@ let stats t =
     s_noop_skips = t.noop_skips;
     s_delta_binds = Exec.delta_binds t.scratch;
     s_full_binds = Exec.full_binds t.scratch;
+    s_cone_replays = Exec.cone_replays t.scratch;
+    s_cone_instances = Exec.cone_instances t.scratch;
+    s_full_replays = Exec.full_replays t.scratch;
+    s_timeline_bytes = Exec.timeline_bytes t.scratch;
   }
 
 let measure_with t ?runs ?iterations metric mapping =

@@ -43,6 +43,7 @@ val create :
   ?objective:(Machine.t -> Exec.result -> float) ->
   ?extended:bool ->
   ?prune:bool ->
+  ?incremental:bool ->
   ?db:Profiles_db.t ->
   Machine.t ->
   Graph.t ->
@@ -63,7 +64,17 @@ val create :
     {!evaluate} is given a finite [?bound], losing candidates are
     aborted as early as the partial mean proves they cannot win (see
     {!evaluate}).  Pruning never changes a search decision; disable it
-    only to measure its effect. *)
+    only to measure its effect.
+    [incremental] (default true) enables {!Exec}'s incremental
+    re-simulation (committed timelines + dirty-cone replay) on the
+    evaluator's scratch.  Replay is bit-identical to full simulation,
+    so decisions never change; disable it only for debugging or to
+    measure its effect.
+
+    Seeding uses common random numbers: run [k] of every evaluation
+    draws seed [seed * 1_000_003 + k], so all candidates face the same
+    [runs] noise streams (paired comparisons), and Exec's per-seed
+    noise/timeline caches hit across the whole search. *)
 
 val machine : t -> Machine.t
 val graph : t -> Graph.t
@@ -132,6 +143,13 @@ val note_noop_neighbor : t -> unit
 (** Record that a search skipped a candidate identical to its
     incumbent without suggesting it. *)
 
+val note_incumbent : t -> Mapping.t -> unit
+(** Tell the evaluator which mapping the search currently holds as its
+    incumbent ({!Exec.prefer_timeline}): its committed timelines are
+    kept pinned so every neighbour candidate replays against a schedule
+    at most a couple of coordinates away.  Purely a performance hint —
+    never changes any evaluation result. *)
+
 type stats = {
   s_suggested : int;
   s_evaluated : int;
@@ -144,6 +162,10 @@ type stats = {
   s_noop_skips : int;
   s_delta_binds : int;  (** {!Exec.delta_binds} of the evaluator's scratch *)
   s_full_binds : int;   (** {!Exec.full_binds} of the evaluator's scratch *)
+  s_cone_replays : int;   (** {!Exec.cone_replays} *)
+  s_cone_instances : int; (** {!Exec.cone_instances} *)
+  s_full_replays : int;   (** {!Exec.full_replays} *)
+  s_timeline_bytes : int; (** {!Exec.timeline_bytes} *)
 }
 (** One-shot snapshot of every counter, for benches and tests. *)
 

@@ -317,6 +317,34 @@ type compiled = {
   dispatch_cost : float;
 }
 
+(* Committed pop order of one finished run: payloads in the exact order
+   the event loop popped them ([(i lsl 1) lor tag]).  No times are
+   stored — the loop is deterministic, so admission re-derives every
+   float bit-identically; the payload sequence is only needed to know
+   *which* event the heap would have popped next without running the
+   heap.  One entry per noise seed, tagged with the mapping it was
+   committed under so a candidate can diff against it. *)
+type timeline = {
+  mutable tl_pops : int array;   (* capacity >= tl_n *)
+  mutable tl_n : int;            (* = 2 * n_instances of the run *)
+  mutable tl_mapping : Mapping.t;
+  mutable tl_sigma : float;
+  mutable tl_iters : int;
+}
+
+(* Shared per-seed noise stream.  Draws are strictly sequential and
+   instance-ascending for every run of a seed regardless of mapping, so
+   the values can be drawn once and reused by every candidate (and by
+   {!run_lower_bound}).  [nrng] is positioned after [nfilled] draws;
+   extending the buffer continues the exact stream a fresh
+   [Rng.create seed] would produce. *)
+type noise_cache = {
+  mutable nbuf : float array;
+  mutable nfilled : int;
+  nrng : Rng.t;
+  nsigma : float;
+}
+
 type scratch = {
   prob : compiled;
   (* per-instance state, grown on demand when [iterations] increases *)
@@ -348,6 +376,25 @@ type scratch = {
   (* bind-path counters for the pruning benches/tests *)
   mutable delta_binds : int;
   mutable full_binds : int;
+  (* ---- incremental re-simulation state ---- *)
+  mutable incremental : bool;                    (* master switch *)
+  timelines : (int, timeline) Hashtbl.t;         (* seed -> committed pops *)
+  noises : (int, noise_cache) Hashtbl.t;         (* seed -> shared noise *)
+  mutable preferred : Mapping.t option;          (* incumbent protection *)
+  mutable pop_buf : int array;                   (* pops of the current run *)
+  (* virtual heap used while admitting a clean prefix: per-payload push
+     priority / insertion seq / pending mark (generation-stamped) *)
+  mutable adm_prio : float array;
+  mutable adm_seq : int array;
+  mutable adm_mark : int array;
+  mutable adm_run : int;
+  (* per-slot dirty masks of the current candidate diff *)
+  ready_dirty : bool array;
+  done_dirty : bool array;
+  (* replay counters for the benches/stats *)
+  mutable cone_replays : int;
+  mutable cone_instances : int;
+  mutable full_replays : int;
 }
 
 let compile machine (g : Graph.t) =
@@ -491,6 +538,20 @@ let scratch prob =
     bound_placement = None;
     delta_binds = 0;
     full_binds = 0;
+    incremental = true;
+    timelines = Hashtbl.create 16;
+    noises = Hashtbl.create 16;
+    preferred = None;
+    pop_buf = [||];
+    adm_prio = [||];
+    adm_seq = [||];
+    adm_mark = [||];
+    adm_run = 0;
+    ready_dirty = Array.make (max prob.spi 1) false;
+    done_dirty = Array.make (max prob.spi 1) false;
+    cone_replays = 0;
+    cone_instances = 0;
+    full_replays = 0;
   }
 
 let compiled_of_scratch sc = sc.prob
@@ -502,8 +563,108 @@ let ensure_capacity sc n =
     sc.ready_time <- Array.make n 0.0;
     sc.indeg <- Array.make n 0;
     sc.noise <- Array.make n 1.0;
+    (* generation stamps start over at 0; [adm_run] keeps increasing, so
+       stale zeros can never alias a live run's mark *)
+    sc.pop_buf <- Array.make (2 * n) 0;
+    sc.adm_prio <- Array.make (2 * n) 0.0;
+    sc.adm_seq <- Array.make (2 * n) 0;
+    sc.adm_mark <- Array.make (2 * n) 0;
     sc.cap_instances <- n
   end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-simulation support: per-seed noise streams and       *)
+(* committed timelines.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let set_incremental sc on =
+  sc.incremental <- on;
+  if not on then begin
+    (* nothing will consult the retained state while disabled; dropping
+       it keeps [timeline_bytes] an honest account of live memory *)
+    Hashtbl.reset sc.timelines;
+    Hashtbl.reset sc.noises
+  end
+let incremental sc = sc.incremental
+
+(* Protect the incumbent's timelines from being replaced by candidate
+   commits: the search calls this when a candidate is accepted, so the
+   entries every neighbour diffs against stay close (1-2 coordinates)
+   to the mappings being explored. *)
+let prefer_timeline sc mapping = sc.preferred <- Some mapping
+
+let cone_replays sc = sc.cone_replays
+let cone_instances sc = sc.cone_instances
+let full_replays sc = sc.full_replays
+
+let timeline_bytes sc =
+  let b = ref 0 in
+  Hashtbl.iter (fun _ tl -> b := !b + (8 * Array.length tl.tl_pops)) sc.timelines;
+  Hashtbl.iter (fun _ c -> b := !b + (8 * Array.length c.nbuf)) sc.noises;
+  !b
+
+(* Both tables are keyed by noise seed; the evaluator's common-random-
+   numbers protocol draws every run's seed from a fixed window of
+   [runs] values, so a small cap never evicts in practice and merely
+   bounds memory for unusual callers. *)
+let seed_table_cap = 32
+
+let noise_cache_for sc ~seed ~sigma =
+  match Hashtbl.find_opt sc.noises seed with
+  | Some c when c.nsigma = sigma -> Some c
+  | Some _ -> None (* same seed under a different sigma: leave the stream alone *)
+  | None ->
+      if Hashtbl.length sc.noises >= seed_table_cap then None
+      else begin
+        let c = { nbuf = [||]; nfilled = 0; nrng = Rng.create seed; nsigma = sigma } in
+        Hashtbl.add sc.noises seed c;
+        Some c
+      end
+
+let noise_reserve c n =
+  if Array.length c.nbuf < n then begin
+    let nb = Array.make (max n (2 * Array.length c.nbuf)) 1.0 in
+    Array.blit c.nbuf 0 nb 0 c.nfilled;
+    c.nbuf <- nb
+  end
+
+let noise_fill c upto =
+  if upto > c.nfilled then begin
+    for i = c.nfilled to upto - 1 do
+      c.nbuf.(i) <- Rng.lognormal c.nrng ~sigma:c.nsigma
+    done;
+    c.nfilled <- upto
+  end
+
+let commit_timeline sc ~seed ~mapping ~sigma ~iters ~n_pops =
+  let write tl =
+    if Array.length tl.tl_pops < n_pops then tl.tl_pops <- Array.make n_pops 0;
+    Array.blit sc.pop_buf 0 tl.tl_pops 0 n_pops;
+    tl.tl_n <- n_pops;
+    tl.tl_mapping <- mapping;
+    tl.tl_sigma <- sigma;
+    tl.tl_iters <- iters
+  in
+  match Hashtbl.find_opt sc.timelines seed with
+  | Some tl ->
+      (* keep the incumbent's committed schedule while candidates churn;
+         the protection lapses as soon as the preferred mapping moves *)
+      let keep =
+        match sc.preferred with
+        | Some pref -> tl.tl_mapping == pref && mapping != pref
+        | None -> false
+      in
+      if not keep then write tl
+  | None ->
+      if Hashtbl.length sc.timelines < seed_table_cap then
+        Hashtbl.add sc.timelines seed
+          {
+            tl_pops = Array.sub sc.pop_buf 0 n_pops;
+            tl_n = n_pops;
+            tl_mapping = mapping;
+            tl_sigma = sigma;
+            tl_iters = iters;
+          }
 
 (* Fill the mapping-dependent scratch tables: durations, processors and
    copy channels are the same for an instance slot in every
@@ -585,10 +746,17 @@ let bind_delta sc pl mapping ~tids ~cids =
         (Graph.task g tid).args)
     tids
 
-(* Patching beats a full re-resolve only while the affected set is
-   small; search neighbours change 1–2 coordinates (plus a few more
-   after co-location repair). *)
+(* Admission eligibility: a diff wider than this dirties so much of the
+   timeline that scanning for a clean prefix is wasted work.  Search
+   neighbours change 1–2 coordinates (plus a few more after co-location
+   repair). *)
 let delta_coord_limit = 8
+
+(* Placement patching pays off over a much wider range: {!Placement.patch}
+   scales with the affected collections while a full re-resolve walks the
+   whole graph, so only give up when most coordinates moved at once
+   (e.g. a restart from a random mapping). *)
+let patch_coord_limit = 32
 
 (* Resolve + bind, reusing the cached bind when the evaluator re-runs
    the same mapping with a fresh noise seed, and patching it
@@ -606,7 +774,7 @@ let resolve_bound sc ~fallback mapping =
         match cached with
         | Some m, Some pl when (not fallback) && not sc.bound_fallback -> (
             let tids, cids = Mapping.diff m mapping in
-            if List.length tids + List.length cids > delta_coord_limit then None
+            if List.length tids + List.length cids > patch_coord_limit then None
             else
               match Placement.patch prob.cplan pl mapping ~tids ~cids with
               | Ok pl' ->
@@ -632,8 +800,10 @@ let resolve_bound sc ~fallback mapping =
       in
       match resolved with
       | Error _ as e ->
-          sc.bound_mapping <- None;
-          sc.bound_placement <- None;
+          (* the cached pair still describes the last successful bind:
+             keeping it lets the next candidate delta-patch from it
+             instead of paying a full resolve after every OOM/invalid
+             suggestion *)
           e
       | Ok pl ->
           sc.bound_mapping <- Some mapping;
@@ -658,26 +828,43 @@ let simulate_bounded ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iter
       let spi = prob.spi in
       let n_instances = iterations * spi in
       ensure_capacity sc n_instances;
-      let noise = sc.noise in
       (* Noise draws are strictly sequential (instance-ascending, like
          the reference's upfront pass), but filled lazily as the event
          loop first touches an instance: a cutoff-aborted run then
          skips the (Box–Muller) draws for instances it never reached,
-         while a full run performs the identical draw sequence. *)
-      let noise_rng = if noise_sigma > 0.0 then Some (Rng.create seed) else None in
-      let noise_filled = ref 0 in
-      let ensure_noise upto =
-        match noise_rng with
-        | None -> ()
-        | Some rng ->
-            if upto > !noise_filled then begin
-              for i = !noise_filled to upto - 1 do
-                noise.(i) <- Rng.lognormal rng ~sigma:noise_sigma
-              done;
-              noise_filled := upto
+         while a full run performs the identical draw sequence.  When a
+         per-seed cache is available the stream is shared across runs:
+         continuing [nrng] after [nfilled] draws produces exactly the
+         values a fresh [Rng.create seed] would, so reuse is
+         bit-identical and each seed's draws happen once per search. *)
+      let cache =
+        if sc.incremental && noise_sigma > 0.0 then
+          noise_cache_for sc ~seed ~sigma:noise_sigma
+        else None
+      in
+      let noise, ensure_noise =
+        match cache with
+        | Some c ->
+            noise_reserve c n_instances;
+            (c.nbuf, fun upto -> noise_fill c upto)
+        | None ->
+            if noise_sigma > 0.0 then begin
+              let rng = Rng.create seed in
+              let filled = ref 0 in
+              ( sc.noise,
+                fun upto ->
+                  if upto > !filled then begin
+                    for i = !filled to upto - 1 do
+                      sc.noise.(i) <- Rng.lognormal rng ~sigma:noise_sigma
+                    done;
+                    filled := upto
+                  end )
+            end
+            else begin
+              Array.fill sc.noise 0 n_instances 1.0;
+              (sc.noise, fun _ -> ())
             end
       in
-      if noise_rng = None then Array.fill noise 0 n_instances 1.0;
       let slot_tid = prob.slot_tid and slot_shard = prob.slot_shard in
       (* O(n) scratch reset; no allocation *)
       Array.fill sc.proc_free 0 (Array.length sc.proc_free) 0.0;
@@ -705,28 +892,59 @@ let simulate_bounded ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iter
       let n_copies = ref 0 in
       let makespan = ref 0.0 in
       (* events are (instance lsl 1) lor tag, tag 0 = Ready, 1 = Done;
-         push order matches the reference so FIFO tie-breaks agree *)
-      let dep_arrived i t =
+         push order matches the reference so FIFO tie-breaks agree.
+         Event processing is parameterized over [push] so the admission
+         pass and the live heap loop execute the *same* code path: the
+         only difference is where a produced event goes. *)
+      let dep_arrived push i t =
         if t > ready_time.(i) then ready_time.(i) <- t;
         indeg.(i) <- indeg.(i) - 1;
-        if indeg.(i) = 0 then Fheap.push events ready_time.(i) (i lsl 1)
+        if indeg.(i) = 0 then push ready_time.(i) (i lsl 1)
       in
-      for i = 0 to n_instances - 1 do
-        if indeg.(i) = 0 then Fheap.push events 0.0 (i lsl 1)
-      done;
-      let process_done i t_done =
+      let do_ready push i t =
+        let slot = i mod spi in
+        let node = sc.slot_node.(slot) in
+        let free = sc.dispatch_free.(node) in
+        let dispatched = (if t > free then t else free) +. prob.dispatch_cost in
+        sc.dispatch_free.(node) <- dispatched;
+        let pid = sc.slot_pid.(slot) in
+        let pfree = sc.proc_free.(pid) in
+        let start = if dispatched > pfree then dispatched else pfree in
+        ensure_noise (i + 1);
+        let d = sc.slot_dur.(slot) *. noise.(i) in
+        let t_done = start +. d in
+        sc.proc_free.(pid) <- t_done;
+        proc_busy.(pid) <- proc_busy.(pid) +. d;
+        let tid = slot_tid.(slot) in
+        task_times.(tid) <- task_times.(tid) +. d;
+        (match trace with
+        | Some collector ->
+            let p = Placement.processor pl ~tid ~shard:slot_shard.(slot) in
+            Trace.add collector
+              {
+                Trace.label =
+                  Printf.sprintf "%s.%d" (Graph.task g tid).Graph.tname slot_shard.(slot);
+                kind = Trace.Task_exec;
+                resource = proc_resource_name p;
+                start_time = start;
+                duration = d;
+              }
+        | None -> ());
+        push t_done ((i lsl 1) lor 1)
+      in
+      let do_done push i t_done =
         let iter = i / spi in
         let slot = i - (iter * spi) in
         if t_done > !makespan then makespan := t_done;
         (* next-iteration self dependence *)
-        if iter + 1 < iterations then dep_arrived (i + spi) t_done;
+        if iter + 1 < iterations then dep_arrived push (i + spi) t_done;
         (* feed consumers *)
         for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
           let target_iter = if prob.dep_carried.(k) then iter + 1 else iter in
           if target_iter < iterations then begin
             let ci = (target_iter * spi) + prob.dep_dst_slot.(k) in
             let chan = sc.dep_chan.(k) in
-            if chan < 0 then dep_arrived ci t_done
+            if chan < 0 then dep_arrived push ci t_done
             else begin
               let cost = sc.dep_cost.(k) in
               let start = if t_done > sc.chan_free.(chan) then t_done else sc.chan_free.(chan) in
@@ -756,12 +974,146 @@ let simulate_bounded ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iter
                       duration = cost;
                     }
               | None -> ());
-              dep_arrived ci arrival
+              dep_arrived push ci arrival
             end
           end
         done
       in
+      (* ---- incremental admission eligibility: how many leading pops
+         of this seed's committed timeline are provably identical under
+         [mapping]. ---- *)
+      let tl =
+        if (not sc.incremental) || fallback || trace <> None then None
+        else
+          match Hashtbl.find_opt sc.timelines seed with
+          | Some tl
+            when tl.tl_sigma = noise_sigma && tl.tl_iters = iterations
+                 && tl.tl_n = 2 * n_instances ->
+              Some tl
+          | _ -> None
+      in
+      let admit_upto =
+        match tl with
+        | None -> 0
+        | Some tl ->
+            let tids, cids = Mapping.diff tl.tl_mapping mapping in
+            if List.length tids + List.length cids > delta_coord_limit then begin
+              sc.full_replays <- sc.full_replays + 1;
+              0
+            end
+            else begin
+              (* Dirty masks over instance slots.  Ready processing
+                 reads slot_dur/slot_pid/slot_node — rebound exactly for
+                 changed tasks and owners of affected collections; Done
+                 processing reads dep_chan/dep_class/dep_cost — rebound
+                 exactly for deps touching an affected collection.  A
+                 pop whose slot is clean therefore reads only bindings
+                 both runs share, and (by induction over the prefix)
+                 only resource state written by earlier clean pops, so
+                 its times equal the committed run's bit for bit. *)
+              let rd = sc.ready_dirty and dd = sc.done_dirty in
+              Array.fill rd 0 spi false;
+              Array.fill dd 0 spi false;
+              List.iter
+                (fun tid ->
+                  for slot = prob.task_off.(tid) to prob.task_off.(tid + 1) - 1 do
+                    rd.(slot) <- true
+                  done)
+                tids;
+              List.iter
+                (fun cid ->
+                  let o = prob.col_owner.(cid) in
+                  for slot = prob.task_off.(o) to prob.task_off.(o + 1) - 1 do
+                    rd.(slot) <- true
+                  done;
+                  for j = prob.cid_dep_off.(cid) to prob.cid_dep_off.(cid + 1) - 1 do
+                    dd.(prob.dep_src_slot.(prob.cid_dep_idx.(j))) <- true
+                  done)
+                (Placement.affected_collections prob.cplan ~tids ~cids);
+              (* temporal prefix: everything before the first dirty pop
+                 replays verbatim; the live loop takes over from there,
+                 which closes the cone through dependence edges and
+                 same-queue FIFO successors without computing it *)
+              let pops = tl.tl_pops in
+              let n_pops = tl.tl_n in
+              let c = ref 0 in
+              let stop = ref false in
+              while (not !stop) && !c < n_pops do
+                let p = pops.(!c) in
+                let slot = (p lsr 1) mod spi in
+                if (if p land 1 = 0 then rd.(slot) else dd.(slot)) then stop := true
+                else incr c
+              done;
+              if !c < n_pops / 8 then begin
+                (* clean prefix too short to beat the plain loop *)
+                sc.full_replays <- sc.full_replays + 1;
+                0
+              end
+              else !c
+            end
+      in
+      let pop_buf = sc.pop_buf in
       let cut = ref false and cut_time = ref 0.0 in
+      let n_popped = ref 0 in
+      let in_cone = admit_upto > 0 in
+      if in_cone then begin
+        (* Admission: replay the clean prefix in committed pop order,
+           heap-free.  Pushes are tracked per payload (each event is
+           pushed exactly once) with the insertion seq the live heap
+           would have assigned; each pop's time is its recorded push
+           priority, re-derived by the shared closures above, and the
+           caller's cutoff is checked exactly where the live loop checks
+           it (before the pop), so a Cut is bit-identical too. *)
+        sc.cone_replays <- sc.cone_replays + 1;
+        sc.adm_run <- sc.adm_run + 1;
+        let run_id = sc.adm_run in
+        let adm_prio = sc.adm_prio and adm_seq = sc.adm_seq and adm_mark = sc.adm_mark in
+        let vseq = ref 0 in
+        let push_virtual prio payload =
+          adm_prio.(payload) <- prio;
+          adm_seq.(payload) <- !vseq;
+          adm_mark.(payload) <- run_id;
+          incr vseq
+        in
+        for i = 0 to n_instances - 1 do
+          if indeg.(i) = 0 then push_virtual 0.0 (i lsl 1)
+        done;
+        let tlp = (match tl with Some tl -> tl.tl_pops | None -> assert false) in
+        Array.blit tlp 0 pop_buf 0 admit_upto;
+        while (not !cut) && !n_popped < admit_upto do
+          let payload = tlp.(!n_popped) in
+          assert (adm_mark.(payload) = run_id);
+          let t = adm_prio.(payload) in
+          if t >= cutoff then begin
+            cut := true;
+            cut_time := t
+          end
+          else begin
+            adm_mark.(payload) <- 0;
+            let i = payload lsr 1 in
+            if payload land 1 = 0 then do_ready push_virtual i t
+            else do_done push_virtual i t;
+            incr n_popped
+          end
+        done;
+        if not !cut then begin
+          (* Reconstruct the heap exactly as the live loop would hold it
+             after [admit_upto] pops: every still-pending event re-enters
+             with its original insertion seq (heap order is the total
+             order (prio, seq), so insertion order is irrelevant), and
+             the seq counter resumes where the virtual one left off. *)
+          for p = 0 to (2 * n_instances) - 1 do
+            if adm_mark.(p) = run_id then
+              Fheap.push_with_seq events adm_prio.(p) p ~seq:adm_seq.(p)
+          done;
+          Fheap.set_next_seq events !vseq
+        end
+      end
+      else
+        for i = 0 to n_instances - 1 do
+          if indeg.(i) = 0 then Fheap.push events 0.0 (i lsl 1)
+        done;
+      let push_live prio payload = Fheap.push events prio payload in
       while (not !cut) && not (Fheap.is_empty events) do
         let t = Fheap.top_prio events in
         if t >= cutoff then begin
@@ -772,46 +1124,23 @@ let simulate_bounded ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iter
           cut_time := t
         end
         else begin
-        let payload = Fheap.top events in
-        Fheap.drop events;
-        let i = payload lsr 1 in
-        if payload land 1 = 0 then begin
-          (* Ready *)
-          let slot = i mod spi in
-          let node = sc.slot_node.(slot) in
-          let free = sc.dispatch_free.(node) in
-          let dispatched = (if t > free then t else free) +. prob.dispatch_cost in
-          sc.dispatch_free.(node) <- dispatched;
-          let pid = sc.slot_pid.(slot) in
-          let pfree = sc.proc_free.(pid) in
-          let start = if dispatched > pfree then dispatched else pfree in
-          ensure_noise (i + 1);
-          let d = sc.slot_dur.(slot) *. noise.(i) in
-          let t_done = start +. d in
-          sc.proc_free.(pid) <- t_done;
-          proc_busy.(pid) <- proc_busy.(pid) +. d;
-          let tid = slot_tid.(slot) in
-          task_times.(tid) <- task_times.(tid) +. d;
-          (match trace with
-          | Some collector ->
-              let p = Placement.processor pl ~tid ~shard:slot_shard.(slot) in
-              Trace.add collector
-                {
-                  Trace.label =
-                    Printf.sprintf "%s.%d" (Graph.task g tid).Graph.tname slot_shard.(slot);
-                  kind = Trace.Task_exec;
-                  resource = proc_resource_name p;
-                  start_time = start;
-                  duration = d;
-                }
-          | None -> ());
-          Fheap.push events t_done ((i lsl 1) lor 1)
-        end
-        else process_done i t
+          let payload = Fheap.top events in
+          Fheap.drop events;
+          pop_buf.(!n_popped) <- payload;
+          incr n_popped;
+          let i = payload lsr 1 in
+          if payload land 1 = 0 then begin
+            if in_cone then sc.cone_instances <- sc.cone_instances + 1;
+            do_ready push_live i t
+          end
+          else do_done push_live i t
         end
       done;
       if !cut then Ok (Cut !cut_time)
-      else
+      else begin
+        if sc.incremental && (not fallback) && trace = None then
+          commit_timeline sc ~seed ~mapping ~sigma:noise_sigma ~iters:iterations
+            ~n_pops:!n_popped;
         Ok
           (Finished
              {
@@ -824,6 +1153,7 @@ let simulate_bounded ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iter
                n_copies = !n_copies;
                demotions = Placement.demotions pl;
              })
+      end
 
 let simulate ?noise_sigma ?seed ?fallback ?iterations ?trace sc mapping =
   match simulate_bounded ?noise_sigma ?seed ?fallback ?iterations ?trace sc mapping with
@@ -909,14 +1239,36 @@ let run_lower_bound ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?itera
       let busy = sc.proc_free in
       Array.fill busy 0 (Array.length busy) 0.0;
       if noise_sigma > 0.0 then begin
-        let rng = Rng.create seed in
-        for _iter = 1 to iterations do
-          for slot = 0 to spi - 1 do
-            let x = Rng.lognormal rng ~sigma:noise_sigma in
-            let pid = sc.slot_pid.(slot) in
-            busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. x)
-          done
-        done
+        (* The loop nest visits instances in ascending order (iteration-
+           major, slot within), which is exactly the draw order, so the
+           per-seed cache substitutes values without changing a single
+           float operation — and turns the per-candidate Box–Muller cost
+           into a once-per-seed cost across the whole search. *)
+        match
+          if sc.incremental then noise_cache_for sc ~seed ~sigma:noise_sigma else None
+        with
+        | Some c ->
+            let n = iterations * spi in
+            noise_reserve c n;
+            noise_fill c n;
+            let nbuf = c.nbuf in
+            for iter = 0 to iterations - 1 do
+              let base = iter * spi in
+              for slot = 0 to spi - 1 do
+                let x = nbuf.(base + slot) in
+                let pid = sc.slot_pid.(slot) in
+                busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. x)
+              done
+            done
+        | None ->
+            let rng = Rng.create seed in
+            for _iter = 1 to iterations do
+              for slot = 0 to spi - 1 do
+                let x = Rng.lognormal rng ~sigma:noise_sigma in
+                let pid = sc.slot_pid.(slot) in
+                busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. x)
+              done
+            done
       end
       else
         for slot = 0 to spi - 1 do

@@ -148,6 +148,61 @@ val run_lower_bound :
     {!simulate}'s, and the resolved binding is cached for a subsequent
     simulation of the same mapping. *)
 
+(** {1 Incremental re-simulation}
+
+    A hill-climbing candidate differs from its incumbent in 1–2 mapping
+    coordinates, which perturbs only a bounded region of the schedule.
+    After every finished (untraced, strict) run, the scratch retains the
+    run's committed {e timeline} — the exact pop order of the event loop
+    — keyed by noise seed, together with a shared per-seed noise stream.
+    A later run of the same seed whose mapping diff touches at most
+    {!Placement.patch}'s coordinate limit {e admits} the longest prefix
+    of the committed pop order that provably cannot have changed (no pop
+    reads a rebound slot duration/processor or dep channel/cost)
+    heap-free at re-derived times, reconstructs the event heap with the
+    original FIFO insertion sequence numbers, and re-executes live only
+    from the first dirty pop on — the dirty cone through dependence
+    edges and same-queue FIFO successors.  Makespans, per-instance
+    times, RNG streams, [Cut] decisions and all result statistics are
+    bit-identical to a full replay (test/test_incremental.ml); runs
+    whose diff is too large or whose clean prefix is too short fall back
+    to the plain loop ([full_replays]).
+
+    Replay requires the evaluator to reuse noise seeds across
+    candidates (common random numbers): with per-candidate seeds no
+    timeline ever matches and the machinery self-disables. *)
+
+val set_incremental : scratch -> bool -> unit
+(** Enable/disable timeline capture and cone replay (default on).
+    Disabling drops the retained timelines and cached noise streams and
+    restores the plain event loop exactly — a scratch with incremental
+    off is observationally identical to one predating the machinery. *)
+
+val incremental : scratch -> bool
+
+val prefer_timeline : scratch -> Mapping.t -> unit
+(** Mark the search's current incumbent: its committed timelines are
+    not evicted by candidate commits (so every neighbour diffs against
+    a 1–2 coordinate-away timeline) until a different mapping is
+    preferred.  Physical equality identifies the incumbent's runs. *)
+
+val cone_replays : scratch -> int
+(** Runs that admitted a nonempty clean prefix from a committed
+    timeline. *)
+
+val cone_instances : scratch -> int
+(** Task instances (Ready events) re-executed live inside cones — the
+    work incremental replay could not skip. *)
+
+val full_replays : scratch -> int
+(** Runs where a matching timeline existed but replay fell back to the
+    plain loop (diff beyond the coordinate limit, or clean prefix too
+    short to pay for admission). *)
+
+val timeline_bytes : scratch -> int
+(** Approximate bytes held by committed timelines and cached noise
+    streams. *)
+
 val delta_binds : scratch -> int
 (** How many resolve+bind operations were served by patching the
     previously bound placement ({!Placement.patch} + a partial table

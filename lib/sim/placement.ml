@@ -72,6 +72,10 @@ type plan = {
      half of the alias predicate a static order test, which is what
      lets {!patch} recompute alias flags out of step order. *)
   step_of : int array;
+  (* cid-indexed view of the graph's collections: [Graph.collection]
+     rebuilds the collection list per call, far too slow for the alias
+     checks {!account} and {!patch} run per shard *)
+  cols : Graph.collection array;
 }
 
 let plan machine (g : Graph.t) =
@@ -102,7 +106,16 @@ let plan machine (g : Graph.t) =
   in
   let step_of = Array.make (max nc 1) 0 in
   Array.iteri (fun i (_, (c : Graph.collection)) -> step_of.(c.cid) <- i) steps;
-  { pmachine = machine; pgraph = g; n_cols = nc; steps; producers; dependents; step_of }
+  let cols =
+    match Graph.collections g with
+    | [] -> [||]
+    | c0 :: _ as l ->
+        let arr = Array.make nc c0 in
+        List.iter (fun (c : Graph.collection) -> arr.(c.cid) <- c) l;
+        arr
+  in
+  { pmachine = machine; pgraph = g; n_cols = nc; steps; producers; dependents; step_of;
+    cols }
 
 let plan_machine pl = pl.pmachine
 let plan_graph pl = pl.pgraph
@@ -129,7 +142,7 @@ let account pl ~fallback mapping procs =
       let aliased =
         List.exists
           (fun src_cid ->
-            let src_task = Graph.task g (Graph.collection g src_cid).owner in
+            let src_task = Graph.task g pl.cols.(src_cid).Graph.owner in
             let src_shards = src_task.group_size in
             let src_shard = if src_shards = shards then s else s * src_shards / shards in
             Array.length mems.(src_cid) > src_shard
@@ -193,6 +206,25 @@ let resolve_with ?(fallback = false) pl mapping =
 
 let resolve ?fallback machine g mapping = resolve_with ?fallback (plan machine g) mapping
 
+(* The collections whose memory arrays a ~tids/~cids coordinate change
+   can move: the changed collections themselves, plus every argument of
+   a task whose shard placement changed (their closest-memory anchors
+   moved).  This is both the set {!patch} re-derives and the dirty seed
+   set incremental re-simulation starts its cone from ({!Exec}). *)
+let affected_collections pl ~tids ~cids =
+  let g = pl.pgraph in
+  let hit = Array.make pl.n_cols false in
+  List.iter (fun cid -> hit.(cid) <- true) cids;
+  List.iter
+    (fun tid ->
+      List.iter (fun (c : Graph.collection) -> hit.(c.cid) <- true) (Graph.task g tid).args)
+    tids;
+  let acc = ref [] in
+  for cid = pl.n_cols - 1 downto 0 do
+    if hit.(cid) then acc := cid :: !acc
+  done;
+  !acc
+
 let patch pl prev mapping ~tids ~cids =
   let machine = pl.pmachine and g = pl.pgraph in
   (* Delta validation: [prev]'s mapping passed the full §4.2 check, so
@@ -215,7 +247,7 @@ let patch pl prev mapping ~tids ~cids =
       tids
     && List.for_all
          (fun cid ->
-           let owner = (Graph.collection g cid).Graph.owner in
+           let owner = pl.cols.(cid).Graph.owner in
            Kinds.accessible (Mapping.proc_of mapping owner) (Mapping.mem_of mapping cid))
          cids
   in
@@ -226,17 +258,8 @@ let patch pl prev mapping ~tids ~cids =
   else begin
     let procs = Array.copy prev.procs in
     List.iter (fun tid -> procs.(tid) <- place_shards machine g mapping tid) tids;
-    (* every argument whose memory array may change: the changed
-       collections, plus all arguments of tasks whose shard placement
-       changed (their closest-memory anchors moved) *)
     let affected = Array.make pl.n_cols false in
-    List.iter (fun cid -> affected.(cid) <- true) cids;
-    List.iter
-      (fun tid ->
-        List.iter
-          (fun (c : Graph.collection) -> affected.(c.cid) <- true)
-          (Graph.task g tid).args)
-      tids;
+    List.iter (fun cid -> affected.(cid) <- true) (affected_collections pl ~tids ~cids);
     (* Capacity charges can additionally flip for direct consumers of a
        changed array — and only for those: a consumer's own array is
        unchanged, so collections aliasing against *it* still see the
@@ -250,7 +273,7 @@ let patch pl prev mapping ~tids ~cids =
     Array.iteri
       (fun cid hit ->
         if hit then begin
-          let c = Graph.collection g cid in
+          let c = pl.cols.(cid) in
           let task = Graph.task g c.owner in
           mems.(cid) <-
             Array.init task.group_size (fun s ->
@@ -267,7 +290,7 @@ let patch pl prev mapping ~tids ~cids =
         (fun src_cid ->
           pl.step_of.(src_cid) < step_c
           &&
-          let src_task = Graph.task g (Graph.collection g src_cid).owner in
+          let src_task = Graph.task g pl.cols.(src_cid).Graph.owner in
           let src_shards = src_task.group_size in
           let src_shard = if src_shards = shards then s else s * src_shards / shards in
           let src_arr : Machine.memory array = lookup src_cid in
@@ -287,7 +310,7 @@ let patch pl prev mapping ~tids ~cids =
     Array.iteri
       (fun cid hit ->
         if hit then begin
-          let c = Graph.collection g cid in
+          let c = pl.cols.(cid) in
           let shards = (Graph.task g c.owner).Graph.group_size in
           let old_arr = prev.mems.(cid) and new_arr = mems.(cid) in
           for s = 0 to shards - 1 do

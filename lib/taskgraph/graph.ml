@@ -31,6 +31,7 @@ type t = {
   tasks : task array;
   edges : edge list;
   overlaps : (int * int * float) list;
+  cols : collection array;
 }
 
 exception Invalid_graph of string
@@ -169,32 +170,40 @@ module Builder = struct
     in
     let edges = List.rev b.bedges in
     check_acyclic tasks edges;
+    (* cids are dense by construction, so a cid-indexed array makes
+       [collection] O(1) — the search layers look collections up per
+       candidate, where rebuilding the list per call dominated. *)
+    let cols =
+      match List.rev b.bcols with
+      | [] -> [||]
+      | c0 :: _ as l ->
+          let arr = Array.make b.next_cid c0 in
+          List.iter (fun c -> arr.(c.cid) <- c) l;
+          arr
+    in
     {
       gname = b.bname;
       iterations = b.biterations;
       tasks;
       edges;
       overlaps = List.rev b.boverlaps;
+      cols;
     }
 end
 
 let n_tasks g = Array.length g.tasks
 
-let collections g =
-  Array.to_list g.tasks
-  |> List.concat_map (fun t -> t.args)
-  |> List.sort (fun a b -> compare a.cid b.cid)
+let collections g = Array.to_list g.cols
 
-let n_collections g = List.length (collections g)
+let n_collections g = Array.length g.cols
 
 let task g tid =
   if tid < 0 || tid >= Array.length g.tasks then invalid_arg "Graph.task: bad tid";
   g.tasks.(tid)
 
 let collection g cid =
-  match List.find_opt (fun c -> c.cid = cid) (collections g) with
-  | Some c -> c
-  | None -> invalid_arg "Graph.collection: bad cid"
+  if cid < 0 || cid >= Array.length g.cols then invalid_arg "Graph.collection: bad cid";
+  g.cols.(cid)
 
 let owner_table g =
   let tbl = Hashtbl.create 64 in

@@ -51,6 +51,8 @@ type t = private {
   overlaps : (int * int * float) list;
       (** collection-overlap edges (c1, c2, |c1∩c2| in bytes) inducing
           the graph C of §4.2; stored with c1 < c2 *)
+  cols : collection array;
+      (** cid-indexed; what {!collection} reads, derived in [build] *)
 }
 
 exception Invalid_graph of string

@@ -47,14 +47,8 @@ let grow h =
     h.payload <- nv
   end
 
-let push h prio payload =
-  grow h;
-  let i = ref h.size in
-  h.prio.(!i) <- prio;
-  h.seq.(!i) <- h.next_seq;
-  h.payload.(!i) <- payload;
-  h.next_seq <- h.next_seq + 1;
-  h.size <- h.size + 1;
+let sift_up h start =
+  let i = ref start in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
@@ -64,6 +58,28 @@ let push h prio payload =
     end
     else continue := false
   done
+
+let push_with_seq h prio payload ~seq =
+  grow h;
+  let i = h.size in
+  h.prio.(i) <- prio;
+  h.seq.(i) <- seq;
+  h.payload.(i) <- payload;
+  h.size <- h.size + 1;
+  sift_up h i
+
+let set_next_seq h seq = h.next_seq <- seq
+let next_seq h = h.next_seq
+
+let push h prio payload =
+  grow h;
+  let i = ref h.size in
+  h.prio.(!i) <- prio;
+  h.seq.(!i) <- h.next_seq;
+  h.payload.(!i) <- payload;
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  sift_up h !i
 
 let top_prio h = h.prio.(0)
 let top h = h.payload.(0)

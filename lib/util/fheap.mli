@@ -36,3 +36,22 @@ val drop : t -> unit
 val reset : t -> unit
 (** Empties the heap and rewinds the insertion sequence to 0, keeping
     the backing arrays — the per-simulation reset. *)
+
+(** {1 Explicit insertion sequences}
+
+    The incremental replay of {!Exec} reconstructs the event queue as
+    it stood mid-simulation: pending events must re-enter the heap with
+    the insertion sequence numbers the full run assigned them, so that
+    every later priority tie breaks exactly as it would have. *)
+
+val push_with_seq : t -> float -> int -> seq:int -> unit
+(** [push_with_seq h prio payload ~seq] inserts with an explicit
+    insertion sequence instead of the internal counter (which it does
+    not advance — pair with {!set_next_seq}). *)
+
+val set_next_seq : t -> int -> unit
+(** Overrides the internal insertion counter subsequent {!push}es
+    draw from. *)
+
+val next_seq : t -> int
+(** The sequence number the next {!push} would be assigned. *)

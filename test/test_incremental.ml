@@ -1,0 +1,224 @@
+(* Incremental (dirty-cone) re-simulation must be bit-identical to the
+   plain event loop: same makespans, per-instance statistics, RNG
+   streams and Cut decisions for every mapping the search can visit.
+   Two scratches over one compiled problem — one with timelines on, one
+   forced off — walk the same candidate chains and every observable is
+   compared bit-for-bit. *)
+
+let bits = Int64.bits_of_float
+
+let check_float name a b =
+  if bits a <> bits b then
+    Alcotest.failf "%s: %.17g <> %.17g (bit mismatch)" name a b
+
+let check_farray name a b =
+  Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);
+  Array.iteri (fun i x -> check_float (Printf.sprintf "%s.(%d)" name i) x b.(i)) a
+
+let check_result name (a : Exec.result) (b : Exec.result) =
+  check_float (name ^ " makespan") a.Exec.makespan b.Exec.makespan;
+  check_float (name ^ " per_iteration") a.Exec.per_iteration b.Exec.per_iteration;
+  check_farray (name ^ " task_times") a.Exec.task_times b.Exec.task_times;
+  check_farray (name ^ " proc_busy") a.Exec.proc_busy b.Exec.proc_busy;
+  check_float (name ^ " bytes_moved") a.Exec.bytes_moved b.Exec.bytes_moved;
+  check_farray (name ^ " channel_bytes") a.Exec.channel_bytes b.Exec.channel_bytes;
+  Alcotest.(check int) (name ^ " n_copies") a.Exec.n_copies b.Exec.n_copies;
+  Alcotest.(check int) (name ^ " demotions") a.Exec.demotions b.Exec.demotions
+
+(* Same constraint-repairing single-coordinate move the annealer makes:
+   the diffs incremental replay sees in production are chains of
+   these. *)
+let mutate g space rng parent =
+  let dims = Array.of_list (Space.dims space) in
+  match Rng.choose rng dims with
+  | Space.Distribution tid ->
+      Mapping.set_distribute parent tid (not (Mapping.distribute_of parent tid))
+  | Space.Strategy tid ->
+      Mapping.set_strategy parent tid
+        (match Mapping.strategy_of parent tid with
+        | Mapping.Blocked -> Mapping.Cyclic
+        | Mapping.Cyclic -> Mapping.Blocked)
+  | Space.Processor tid ->
+      let k = Rng.choose_list rng (Space.proc_choices space tid) in
+      let m = Mapping.set_proc parent tid k in
+      List.fold_left
+        (fun acc (c : Graph.collection) ->
+          if Kinds.accessible k (Mapping.mem_of acc c.cid) then acc
+          else
+            match Kinds.accessible_mem_kinds k with
+            | mk :: _ -> Mapping.set_mem acc c.cid mk
+            | [] -> acc)
+        m (Graph.task g tid).args
+  | Space.Memory cid ->
+      let owner = (Graph.collection g cid).owner in
+      let k = Mapping.proc_of parent owner in
+      Mapping.set_mem parent cid (Rng.choose_list rng (Space.mem_choices space k))
+
+(* Walk a neighbor chain on both scratches, comparing full runs and
+   bounded runs (the Cut path) at every step under common random
+   numbers. *)
+let compare_chain ~name ~steps ~seeds machine g =
+  let c = Exec.compile machine g in
+  let sc_inc = Exec.scratch c in
+  let sc_full = Exec.scratch c in
+  Exec.set_incremental sc_full false;
+  let space = Space.make g machine in
+  let rng = Rng.create 42 in
+  (* Maestro's GPU-first default OOMs on the small test machine; chains
+     need a runnable base so the success path is actually exercised *)
+  let start =
+    let d = Mapping.default_start g machine in
+    match Exec.simulate ~noise_sigma:0.0 sc_full d with
+    | Ok _ -> d
+    | Error _ -> Mapping.all_cpu g machine
+  in
+  let incumbent = ref start in
+  Exec.prefer_timeline sc_inc !incumbent;
+  let best = ref infinity in
+  let m = ref !incumbent in
+  for step = 0 to steps - 1 do
+    List.iter
+      (fun seed ->
+        let tag = Printf.sprintf "%s step %d seed %d" name step seed in
+        (match
+           ( Exec.simulate ~noise_sigma:0.03 ~seed sc_inc !m,
+             Exec.simulate ~noise_sigma:0.03 ~seed sc_full !m )
+         with
+        | Ok a, Ok b ->
+            check_result tag a b;
+            if a.Exec.makespan < !best then begin
+              best := a.Exec.makespan;
+              incumbent := !m;
+              Exec.prefer_timeline sc_inc !m
+            end
+        | Error a, Error b ->
+            Alcotest.(check string) (tag ^ " error")
+              (Placement.error_to_string b) (Placement.error_to_string a)
+        | Ok _, Error e ->
+            Alcotest.failf "%s: incremental Ok, full Error %s" tag
+              (Placement.error_to_string e)
+        | Error e, Ok _ ->
+            Alcotest.failf "%s: incremental Error %s, full Ok" tag
+              (Placement.error_to_string e));
+        (* the pruning path: cutoffs below the incumbent must cut at
+           bit-identical clock values on both scratches *)
+        if !best < infinity then
+          let cutoff = 0.9 *. !best in
+          match
+            ( Exec.simulate_bounded ~noise_sigma:0.03 ~seed ~cutoff sc_inc !m,
+              Exec.simulate_bounded ~noise_sigma:0.03 ~seed ~cutoff sc_full !m )
+          with
+          | Ok (Exec.Finished a), Ok (Exec.Finished b) -> check_result (tag ^ " bounded") a b
+          | Ok (Exec.Cut a), Ok (Exec.Cut b) -> check_float (tag ^ " cut clock") a b
+          | Error _, Error _ -> ()
+          | _ -> Alcotest.failf "%s: bounded outcomes diverge" tag)
+      seeds;
+    (* 1-2 coordinate hops, occasionally rebased on the incumbent like
+       a descent restart *)
+    m := mutate g space rng (if step mod 5 = 4 then !incumbent else !m);
+    if Rng.bool rng then m := mutate g space rng !m
+  done;
+  Alcotest.(check bool) (name ^ " exercised replay path") true
+    (Exec.cone_replays sc_inc + Exec.full_replays sc_inc > 0)
+
+let test_app (app : App.t) () =
+  let nodes = 2 in
+  (* Maestro's HF sample is sized for Lassen's 64 GB frame buffers and
+     OOMs on every strict Shepard mapping (cf. test_apps.ml) *)
+  let machine =
+    if app.App.app_name = "Maestro" then Presets.lassen ~nodes else Presets.shepard ~nodes
+  in
+  let input = List.hd (app.App.inputs ~nodes) in
+  let g = app.App.graph ~nodes ~input in
+  compare_chain ~name:app.App.app_name ~steps:12 ~seeds:[ 3; 4; 5 ] machine g
+
+(* A committed timeline replayed under an empty diff admits every pop:
+   the cheapest possible cone replay, and a deterministic counter
+   check. *)
+let test_cone_counters () =
+  let g, _, _ = Fixtures.shared_halo ~iterations:4 () in
+  let machine = Fixtures.default_machine () in
+  let sc = Exec.scratch (Exec.compile machine g) in
+  let m = Mapping.default_start g machine in
+  Exec.prefer_timeline sc m;
+  let run mp =
+    match Exec.simulate ~noise_sigma:0.03 ~seed:7 sc mp with
+    | Ok r -> r.Exec.makespan
+    | Error e -> Alcotest.fail (Placement.error_to_string e)
+  in
+  let a = run m in
+  (* structurally equal but physically distinct: diff = ([], []) *)
+  let m' = Mapping.set_proc m 0 (Mapping.proc_of m 0) in
+  let b = run m' in
+  check_float "empty-diff replay" a b;
+  Alcotest.(check bool) "cone replay happened" true (Exec.cone_replays sc >= 1);
+  Alcotest.(check bool) "timelines account bytes" true (Exec.timeline_bytes sc > 0);
+  Exec.set_incremental sc false;
+  Alcotest.(check bool) "disable drops timelines" true (Exec.timeline_bytes sc = 0);
+  let c = run m' in
+  check_float "post-disable result unchanged" a c
+
+(* End-to-end decision identity: a full CCD search must make the same
+   accept/reject sequence, visit the same candidates and return the
+   same best with incremental on and off. *)
+let test_ccd_decision_identity () =
+  let machine = Presets.shepard ~nodes:4 in
+  let g = App.circuit.App.graph ~nodes:4 ~input:(List.hd (App.circuit.App.inputs ~nodes:4)) in
+  let run incremental =
+    let ev = Evaluator.create ~prune:true ~incremental ~seed:3 machine g in
+    let best, perf = Ccd.search ~rotations:3 ev in
+    (best, perf, Evaluator.stats ev)
+  in
+  let bi, pi, si = run true in
+  let bf, pf, sf = run false in
+  Alcotest.(check string) "best mapping" (Mapping.canonical_key bf) (Mapping.canonical_key bi);
+  check_float "best perf" pi pf;
+  Alcotest.(check int) "suggested" sf.Evaluator.s_suggested si.Evaluator.s_suggested;
+  Alcotest.(check int) "evaluated" sf.Evaluator.s_evaluated si.Evaluator.s_evaluated;
+  Alcotest.(check int) "cut evals" sf.Evaluator.s_cut_evals si.Evaluator.s_cut_evals;
+  Alcotest.(check int) "cut sims" sf.Evaluator.s_cut_sims si.Evaluator.s_cut_sims;
+  Alcotest.(check bool) "incremental leg replayed cones" true (si.Evaluator.s_cone_replays > 0);
+  Alcotest.(check int) "full leg kept no timelines" 0 sf.Evaluator.s_timeline_bytes
+
+(* Random graphs x random <=8-coordinate neighbor chains: the property
+   the golden tests spot-check, over the whole builder space. *)
+let prop_random_graphs =
+  QCheck.Test.make ~count:40 ~name:"incremental == full on random workloads"
+    Gen.arbitrary_spec (fun spec ->
+      let g = Gen.graph_of_spec spec in
+      let machine = Fixtures.default_machine () in
+      let c = Exec.compile machine g in
+      let sc_inc = Exec.scratch c in
+      let sc_full = Exec.scratch c in
+      Exec.set_incremental sc_full false;
+      let space = Space.make g machine in
+      let rng = Rng.create (spec.Gen.seed + 1) in
+      let m = ref (Mapping.default_start g machine) in
+      Exec.prefer_timeline sc_inc !m;
+      let ok = ref true in
+      for _ = 1 to 8 do
+        List.iter
+          (fun seed ->
+            match
+              ( Exec.simulate ~noise_sigma:0.05 ~seed sc_inc !m,
+                Exec.simulate ~noise_sigma:0.05 ~seed sc_full !m )
+            with
+            | Ok a, Ok b ->
+                if bits a.Exec.makespan <> bits b.Exec.makespan then ok := false
+            | Error _, Error _ -> ()
+            | _ -> ok := false)
+          [ 1; 2 ];
+        (* up to 4 task + 4 collection coordinate hops between runs *)
+        for _ = 1 to 1 + Rng.int rng 4 do
+          m := mutate g space rng !m
+        done
+      done;
+      !ok)
+
+let suite =
+  List.map (fun (a : App.t) -> Alcotest.test_case a.App.app_name `Quick (test_app a)) App.all
+  @ [
+      Alcotest.test_case "cone counters" `Quick test_cone_counters;
+      Alcotest.test_case "ccd decision identity" `Slow test_ccd_decision_identity;
+      QCheck_alcotest.to_alcotest prop_random_graphs;
+    ]
