@@ -41,6 +41,18 @@ let () =
 
 let now = Unix.gettimeofday
 
+(* Stamp the report with the producing commit so JSON files compared
+   across PRs identify their code version.  Benchmarks may run from a
+   build tree outside any repository: fall back to "unknown". *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
 (* distinct valid candidates, deterministically derived from the search
    space so the bind phase is exercised like a real search *)
 let candidates g machine ~count =
@@ -199,6 +211,7 @@ let () =
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"bench\": \"evalrate\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"commit\": %S,\n" (git_commit ()));
   Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n  \"apps\": [\n" !smoke);
   List.iteri
     (fun i row ->

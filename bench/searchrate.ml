@@ -42,6 +42,18 @@ let () =
 
 let now = Unix.gettimeofday
 
+(* Stamp the report with the producing commit so JSON files compared
+   across PRs identify their code version.  Benchmarks may run from a
+   build tree outside any repository: fall back to "unknown". *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
 type leg = {
   wall : float;
   cands_per_sec : float;
@@ -128,14 +140,15 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
     "%-8s %-10s off %6.2fms (%7.1f cand/s) | on %6.2fms (%7.1f cand/s, %5.2fx) | inc \
      %6.2fms (%7.1f cand/s, %5.2fx)\n\
     \         cut %d/%d evals, %d runs, %d sims | binds %d delta / %d full | %d noop \
-     skips\n\
+     skips | %d dead-coord skips\n\
     \         replays %d cone / %d full | %d cone instances | %.1f KiB timelines\n%!"
     app.App.app_name input (1e3 *. off.wall) off.cands_per_sec (1e3 *. on_.wall)
     on_.cands_per_sec speedup (1e3 *. inc.wall) inc.cands_per_sec incremental_speedup
     inc.st.Evaluator.s_cut_evals inc.st.Evaluator.s_suggested
     inc.st.Evaluator.s_cut_runs inc.st.Evaluator.s_cut_sims
     inc.st.Evaluator.s_delta_binds inc.st.Evaluator.s_full_binds
-    inc.st.Evaluator.s_noop_skips inc.st.Evaluator.s_cone_replays
+    inc.st.Evaluator.s_noop_skips inc.st.Evaluator.s_dead_coord_skips
+    inc.st.Evaluator.s_cone_replays
     inc.st.Evaluator.s_full_replays inc.st.Evaluator.s_cone_instances
     (float_of_int inc.st.Evaluator.s_timeline_bytes /. 1024.0);
   { row_app = app.App.app_name; row_input = input; off; on_; inc; speedup;
@@ -143,10 +156,11 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
 
 let json_leg l =
   Printf.sprintf
-    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "delta_binds": %d, "full_binds": %d, "cone_replays": %d, "cone_instances": %d, "full_replays": %d, "timeline_bytes": %d}|}
+    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "dead_coord_skips": %d, "delta_binds": %d, "full_binds": %d, "cone_replays": %d, "cone_instances": %d, "full_replays": %d, "timeline_bytes": %d}|}
     l.wall l.cands_per_sec l.perf l.st.Evaluator.s_suggested l.st.Evaluator.s_evaluated
     l.st.Evaluator.s_cache_hits l.st.Evaluator.s_cut_evals l.st.Evaluator.s_cut_runs
-    l.st.Evaluator.s_cut_sims l.st.Evaluator.s_noop_skips l.st.Evaluator.s_delta_binds
+    l.st.Evaluator.s_cut_sims l.st.Evaluator.s_noop_skips
+    l.st.Evaluator.s_dead_coord_skips l.st.Evaluator.s_delta_binds
     l.st.Evaluator.s_full_binds l.st.Evaluator.s_cone_replays
     l.st.Evaluator.s_cone_instances l.st.Evaluator.s_full_replays
     l.st.Evaluator.s_timeline_bytes
@@ -178,6 +192,7 @@ let () =
     geo_prune geo_inc;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"bench\": \"searchrate\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"commit\": %S,\n" (git_commit ()));
   Buffer.add_string buf
     (Printf.sprintf "  \"smoke\": %b,\n  \"nodes\": %d,\n  \"rotations\": %d,\n  \"apps\": [\n"
        !smoke nodes rotations);

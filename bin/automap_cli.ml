@@ -2,6 +2,7 @@
 
    Subcommands:
      apps                      -- list the bundled benchmark applications
+     analyze                   -- static feasibility report (lint, domains, groups)
      tune                      -- search for a fast mapping and report it
      compare                   -- measure default/custom/HEFT/a saved mapping
      simulate                  -- run one mapping and export its execution trace
@@ -37,7 +38,12 @@ let machine_preset ~cluster ~nodes =
   | "shepard" -> Presets.shepard ~nodes
   | "lassen" -> Presets.lassen ~nodes
   | "testbed" -> Presets.testbed ~nodes
-  | other -> failwith (Printf.sprintf "unknown cluster %S (shepard|lassen|testbed)" other)
+  | "cpu_only" | "cpu-only" -> Presets.cpu_only ~nodes
+  | "headless" -> Presets.headless ~nodes
+  | other ->
+      failwith
+        (Printf.sprintf "unknown cluster %S (shepard|lassen|testbed|cpu_only|headless)"
+           other)
 
 let app_of name =
   match App.find name with
@@ -98,7 +104,7 @@ let nodes_arg =
   Arg.(value & opt int 1 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Machine nodes (ignored with --machine).")
 
 let cluster_arg =
-  Arg.(value & opt string "shepard" & info [ "c"; "cluster" ] ~docv:"CLUSTER" ~doc:"Machine preset: shepard, lassen or testbed.")
+  Arg.(value & opt string "shepard" & info [ "c"; "cluster" ] ~docv:"CLUSTER" ~doc:"Machine preset: shepard, lassen, testbed, cpu_only or headless.")
 
 let graph_file_arg =
   Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"FILE" ~doc:"Task-graph description file (Graph_codec format).")
@@ -206,6 +212,52 @@ let tune_cmd =
       $ machine_file_arg $ seed_arg $ algo_arg $ objective_arg $ runs_arg
       $ final_runs_arg $ budget_arg $ out_arg $ extended_arg $ db_arg
       $ no_incremental_arg)
+
+let analyze_cmd =
+  let doc =
+    "Statically analyze a (machine, graph) pair before searching: machine lint, \
+     per-coordinate feasible domains, co-location constraint groups and \
+     mapping-independent lower-bound floors (§4.2).  Exits non-zero when the \
+     input is certifiably infeasible (error-level diagnostics), or — with \
+     --strict — when any warning is present."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as a JSON object instead of text.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors: exit non-zero if any warning-level diagnostic is present.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to FILE instead of stdout.")
+  in
+  let rotations_arg =
+    Arg.(value & opt int 5 & info [ "rotations" ] ~docv:"N" ~doc:"CCD rotation count for the co-location group schedule.")
+  in
+  let run app input nodes cluster graph_file machine_file json strict output rotations =
+    let machine, g, _ =
+      resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
+    in
+    let a = Analysis.analyze ~rotations machine g in
+    let text =
+      if json then Analysis.to_json a else Format.asprintf "%a" Analysis.report a
+    in
+    (match output with
+    | None -> print_string text
+    | Some f ->
+        write_file f text;
+        Printf.printf "report written to %s\n" f);
+    let n_errors = List.length (Analysis.errors a) in
+    let n_warnings = List.length (Analysis.warnings a) in
+    if n_errors > 0 then exit 1;
+    if strict && n_warnings > 0 then begin
+      Printf.eprintf "analyze: --strict and %d warning(s) present\n" n_warnings;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
+      $ machine_file_arg $ json_arg $ strict_arg $ out_arg $ rotations_arg)
 
 let compare_cmd =
   let doc = "Measure the default, custom, HEFT and (optionally) a saved mapping." in
@@ -322,4 +374,5 @@ let () =
   let info = Cmd.info "automap_cli" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ apps_cmd; tune_cmd; compare_cmd; simulate_cmd; profile_cmd ]))
+       (Cmd.group info
+          [ apps_cmd; analyze_cmd; tune_cmd; compare_cmd; simulate_cmd; profile_cmd ]))

@@ -8,10 +8,26 @@ type comparison = {
 type tuning = {
   machine : Machine.t;
   graph : Graph.t;
+  analysis : Analysis.t;
   result : Driver.result;
   default_perf : float;
   comparisons : comparison list;
 }
+
+exception Infeasible of Analysis.t
+
+let check_feasible machine graph =
+  let a = Analysis.analyze machine graph in
+  if not (Analysis.feasible a) then raise (Infeasible a);
+  a
+
+let infeasible_message a =
+  String.concat "; "
+    (List.map
+       (fun (d : Analysis.diagnostic) ->
+         Printf.sprintf "[%s] %s: %s" d.Analysis.code d.Analysis.subject
+           d.Analysis.message)
+       (Analysis.errors a))
 
 let speedup ~baseline t = baseline /. t
 
@@ -22,6 +38,10 @@ let measure_mapping ?(runs = 7) ?(seed = 9001) ?noise_sigma machine graph mappin
 let tune ?(algo = Driver.Ccd { rotations = 5 }) ?(seed = 0) ?runs ?final_runs ?budget
     ?noise_sigma ~app ~machine ~input () =
   let graph = app.App.graph ~nodes:machine.Machine.nodes ~input in
+  (* Static feasibility gate: error-level diagnostics certify that no
+     candidate can validate and place, so the search would only ever
+     measure penalties — refuse instead of burning the budget. *)
+  let analysis = check_feasible machine graph in
   let result =
     Driver.run ?runs ?final_runs ?noise_sigma ~seed ?budget algo machine graph
   in
@@ -40,4 +60,4 @@ let tune ?(algo = Driver.Ccd { rotations = 5 }) ?(seed = 0) ?runs ?final_runs ?b
         ("automap", result.Driver.best, result.Driver.perf);
       ]
   in
-  { machine; graph; result; default_perf; comparisons }
+  { machine; graph; analysis; result; default_perf; comparisons }

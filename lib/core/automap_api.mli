@@ -17,10 +17,26 @@ type comparison = {
 type tuning = {
   machine : Machine.t;
   graph : Graph.t;
+  analysis : Analysis.t;            (** the pre-search feasibility analysis *)
   result : Driver.result;           (** the search outcome and telemetry *)
   default_perf : float;             (** Legion-default-mapper baseline *)
   comparisons : comparison list;    (** default, custom, AutoMap *)
 }
+
+exception Infeasible of Analysis.t
+(** Raised by {!tune} / {!check_feasible} when the static analyzer
+    reports error-level diagnostics: every candidate mapping is
+    certified to fail validation or strict placement, so searching is
+    pointless.  The payload carries the full analysis (render with
+    {!Analysis.report} or {!infeasible_message}). *)
+
+val check_feasible : Machine.t -> Graph.t -> Analysis.t
+(** Run {!Analysis.analyze} and raise {!Infeasible} if it reports any
+    error-level diagnostic. *)
+
+val infeasible_message : Analysis.t -> string
+(** One-line rendering of the error diagnostics, for [Failure]-style
+    reporting. *)
 
 val tune :
   ?algo:Driver.algo ->
@@ -35,7 +51,8 @@ val tune :
   unit ->
   tuning
 (** Tunes [app] on [machine] for [input].  [algo] defaults to CCD with
-    5 rotations.  The returned comparisons measure (with the same
+    5 rotations.  Runs {!check_feasible} before the search and raises
+    {!Infeasible} on error-level inputs.  The returned comparisons measure (with the same
     protocol) the default mapping, the app's custom mapping and the
     tuned mapping. *)
 

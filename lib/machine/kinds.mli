@@ -25,6 +25,12 @@ val accessible_mem_kinds : proc_kind -> mem_kind list
     (Frame-Buffer before Zero-Copy for GPUs, System before Zero-Copy
     for CPUs). *)
 
+val rank_proc : proc_kind -> int
+(** Dense index of a kind (Cpu = 0, Gpu = 1), for kind-indexed arrays. *)
+
+val rank_mem : mem_kind -> int
+(** Dense index (System = 0, Zero_copy = 1, Frame_buffer = 2). *)
+
 val compare_proc : proc_kind -> proc_kind -> int
 val compare_mem : mem_kind -> mem_kind -> int
 val equal_proc : proc_kind -> proc_kind -> bool

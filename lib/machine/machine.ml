@@ -147,22 +147,33 @@ let build_memories ~nodes ~node =
 let make ~name ~nodes ~node ~exec_bw ~compute ~copy =
   check_positive_int "nodes" nodes;
   check_positive_int "sockets" node.sockets;
-  check_positive_int "cores_per_socket" node.cores_per_socket;
+  (* cores_per_socket = 0 describes a headless (GPU-only) node: legal
+     to construct — the feasibility analyzer is what flags its
+     unreachable System memory — but only if GPUs remain *)
+  if node.cores_per_socket < 0 then
+    invalid_arg "Machine.make: cores_per_socket must be non-negative";
   if node.gpus < 0 then invalid_arg "Machine.make: gpus must be non-negative";
+  if node.cores_per_socket = 0 && node.gpus = 0 then
+    invalid_arg "Machine.make: node needs at least one processor";
   check_positive "sysmem_per_socket" node.sysmem_per_socket;
   check_positive "zc_capacity" node.zc_capacity;
   if node.gpus > 0 then check_positive "fb_capacity" node.fb_capacity;
   List.iter
     (fun (n, v) -> check_positive n v)
     [
-      ("cpu_sys bandwidth", exec_bw.cpu_sys);
-      ("cpu_zc bandwidth", exec_bw.cpu_zc);
-      ("cpu_flops", compute.cpu_flops);
-      ("cpu_launch_overhead", compute.cpu_launch_overhead);
       ("memcpy_bw", copy.memcpy_bw);
       ("cross_socket_bw", copy.cross_socket_bw);
       ("net_bandwidth", copy.net_bandwidth);
     ];
+  if node.cores_per_socket > 0 then
+    List.iter
+      (fun (n, v) -> check_positive n v)
+      [
+        ("cpu_sys bandwidth", exec_bw.cpu_sys);
+        ("cpu_zc bandwidth", exec_bw.cpu_zc);
+        ("cpu_flops", compute.cpu_flops);
+        ("cpu_launch_overhead", compute.cpu_launch_overhead);
+      ];
   if node.gpus > 0 then
     List.iter
       (fun (n, v) -> check_positive n v)

@@ -154,3 +154,46 @@ let cpu_only ~nodes =
         net_bandwidth = 10.0 *. gb;
         net_latency = 3e-6;
       }
+
+(* A deliberately broken machine: GPUs without any host CPU.  Its
+   per-socket System memory exists but no present processor kind can
+   address it, so the feasibility analyzer must flag the preset with an
+   error-level unreachable-memory diagnostic (§4.2 constraint 1).
+   Constructible on purpose — Machine.make validates only local
+   positivity, reachability is the analyzer's job. *)
+let headless ~nodes =
+  Machine.make ~name:"Headless" ~nodes
+    ~node:
+      {
+        sockets = 1;
+        cores_per_socket = 0;
+        gpus = 1;
+        sysmem_per_socket = 8.0 *. gb;
+        zc_capacity = 2.0 *. gb;
+        fb_capacity = 1.0 *. gb;
+      }
+    ~exec_bw:
+      {
+        cpu_sys = 0.0;
+        cpu_zc = 0.0;
+        gpu_fb = 500.0 *. gb;
+        gpu_zc = 10.0 *. gb;
+      }
+    ~compute:
+      {
+        cpu_flops = 0.0;
+        gpu_flops = 4000e9;
+        cpu_launch_overhead = 0.0;
+        gpu_launch_overhead = 30e-6;
+        runtime_dispatch = 5e-6;
+      }
+    ~copy:
+      {
+        memcpy_bw = 20.0 *. gb;
+        cross_socket_bw = 10.0 *. gb;
+        pcie_bw = 12.0 *. gb;
+        gpu_peer_bw = 12.0 *. gb;
+        local_latency = 5e-6;
+        net_bandwidth = 10.0 *. gb;
+        net_latency = 3e-6;
+      }

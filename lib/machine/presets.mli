@@ -31,3 +31,10 @@ val testbed : nodes:int -> Machine.t
 val cpu_only : nodes:int -> Machine.t
 (** Degenerate machine with no GPUs — exercises the "kind absent"
     paths of the search (tasks may only map to CPU). *)
+
+val headless : nodes:int -> Machine.t
+(** Deliberately broken preset: one GPU per node and {e no} CPU cores,
+    leaving the socket's System memory unreachable from every present
+    processor kind.  Constructible (so codecs and tests can exercise
+    it) but {!Analysis.analyze} reports an error-level
+    [unreachable-memory] diagnostic for it. *)

@@ -87,19 +87,22 @@ let validate g machine t =
   let fail fmt =
     Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt
   in
+  (* Coordinate-naming style shared with Analysis diagnostics and
+     Placement's OOM errors: "task <tid> (<name>)" / "collection
+     c<cid> (<name>)", always naming the kinds involved. *)
   for tid = 0 to Graph.n_tasks g - 1 do
     let task = Graph.task g tid in
     let k = t.proc.(tid) in
     if not (Machine.procs_of_kind_per_node machine k > 0) then
-      fail "task %s mapped to %s but the machine has no %s processors" task.tname
-        (Kinds.proc_kind_to_string k) (Kinds.proc_kind_to_string k);
+      fail "task %d (%s) mapped to %s but the machine has no %s processors" tid
+        task.tname (Kinds.proc_kind_to_string k) (Kinds.proc_kind_to_string k);
     if not (Graph.has_variant task k) then
-      fail "task %s has no %s variant" task.tname (Kinds.proc_kind_to_string k);
+      fail "task %d (%s) has no %s variant" tid task.tname (Kinds.proc_kind_to_string k);
     List.iter
       (fun (c : Graph.collection) ->
         if not (Kinds.accessible k t.mem.(c.cid)) then
-          fail "collection %s of task %s mapped to %s, not addressable from %s" c.cname
-            task.tname
+          fail "collection c%d (%s) of task %d (%s) mapped to %s, not addressable from %s"
+            c.cid c.cname tid task.tname
             (Kinds.mem_kind_to_string t.mem.(c.cid))
             (Kinds.proc_kind_to_string k))
       task.args

@@ -1,11 +1,14 @@
 type dim = Distribution of int | Strategy of int | Processor of int | Memory of int
 
-type t = { g : Graph.t; m : Machine.t; ext : bool }
+type t = { g : Graph.t; m : Machine.t; ext : bool; dom : Analysis.domains option }
 
-let make ?(extended = false) g m = { g; m; ext = extended }
+let make ?(extended = false) ?(domains = true) g m =
+  { g; m; ext = extended; dom = (if domains then Some (Analysis.compute_domains m g) else None) }
+
 let graph t = t.g
 let machine t = t.m
 let extended t = t.ext
+let pruned t = t.dom <> None
 
 let dims t =
   let task_dims =
@@ -20,13 +23,33 @@ let dims t =
   in
   task_dims @ mem_dims
 
-let proc_choices t tid =
+let proc_choices_all t tid =
   let task = Graph.task t.g tid in
   List.filter
     (fun k -> Machine.procs_of_kind_per_node t.m k > 0)
     task.variants
 
+(* Domain-pruned choice lists fall back to the unpruned ones when a
+   domain is empty: on a certifiably infeasible input the search still
+   needs non-empty lists to enumerate (every candidate then earns its
+   penalty from the evaluator, exactly as before domains existed). *)
+let proc_choices t tid =
+  match t.dom with
+  | None -> proc_choices_all t tid
+  | Some d -> (
+      match Analysis.proc_domain d tid with
+      | [] -> proc_choices_all t tid
+      | l -> l)
+
 let mem_choices _t k = Kinds.accessible_mem_kinds k
+
+let mem_choices_for t ~cid k =
+  match t.dom with
+  | None -> Kinds.accessible_mem_kinds k
+  | Some d -> (
+      match Analysis.mem_domain d ~cid k with
+      | [] -> Kinds.accessible_mem_kinds k
+      | l -> l)
 
 let distribution_choices t =
   (true, Mapping.Blocked) :: (false, Mapping.Blocked)
@@ -41,8 +64,10 @@ let log2_size t =
          candidate kinds of the product of its arguments' memory
          domains, times 2 for the distribution bit. *)
       let per_kind k =
-        let mems = float_of_int (List.length (mem_choices t k)) in
-        List.fold_left (fun p _ -> p *. mems) 1.0 task.args
+        List.fold_left
+          (fun p (c : Graph.collection) ->
+            p *. float_of_int (List.length (mem_choices_for t ~cid:c.cid k)))
+          1.0 task.args
       in
       let combos = List.fold_left (fun s k -> s +. per_kind k) 0.0 procs in
       let dist = float_of_int (List.length (distribution_choices t)) in
@@ -62,7 +87,7 @@ let random_mapping t rng =
     ~strategy:(fun _ -> random_strategy t rng)
     ~distribute:(fun _ -> Rng.bool rng)
     ~proc:(fun task -> proc_for.(task.tid))
-    ~mem:(fun c -> Rng.choose_list rng (mem_choices t proc_for.(c.owner)))
+    ~mem:(fun c -> Rng.choose_list rng (mem_choices_for t ~cid:c.cid proc_for.(c.owner)))
 
 let random_unconstrained t rng =
   Mapping.make t.g

@@ -18,12 +18,22 @@ type dim =
 
 type t
 
-val make : ?extended:bool -> Graph.t -> Machine.t -> t
+val make : ?extended:bool -> ?domains:bool -> Graph.t -> Machine.t -> t
 (** [extended] (default false) additionally opens the group-task
     distribution-strategy dimension (blocked vs. cyclic across nodes)
-    that the paper fixes to blocked and names as future work (§3.2). *)
+    that the paper fixes to blocked and names as future work (§3.2).
+
+    [domains] (default true) restricts every choice list to the
+    coordinate domains {!Analysis.compute_domains} certifies: values
+    the analyzer proves can never validate + place strictly are not
+    sampled or enumerated.  Pruned lists fall back to the unpruned
+    ones when a domain is empty, so choice lists are always non-empty
+    on any machine/graph the unpruned space accepted. *)
 
 val extended : t -> bool
+
+val pruned : t -> bool
+(** Whether coordinate domains are active. *)
 
 val graph : t -> Graph.t
 val machine : t -> Machine.t
@@ -34,10 +44,25 @@ val dims : t -> dim list
 
 val proc_choices : t -> int -> Kinds.proc_kind list
 (** Processor kinds usable for task [tid]: variants intersected with
-    kinds present on the machine. *)
+    kinds present on the machine, minus domain-excluded kinds when
+    domains are active (order preserved). *)
+
+val proc_choices_all : t -> int -> Kinds.proc_kind list
+(** The unpruned list (variants ∩ present kinds), regardless of
+    domains — what the search space looked like before analysis;
+    [length (proc_choices_all) - length (proc_choices)] is the number
+    of dead values of the coordinate. *)
 
 val mem_choices : t -> Kinds.proc_kind -> Kinds.mem_kind list
-(** Memory kinds addressable from a processor kind. *)
+(** Memory kinds addressable from a processor kind (kind-level only,
+    never domain-pruned — use {!mem_choices_for} for a specific
+    collection coordinate). *)
+
+val mem_choices_for : t -> cid:int -> Kinds.proc_kind -> Kinds.mem_kind list
+(** Memory kinds for collection [cid] under owner kind [k]:
+    [mem_choices k] minus capacity-infeasible kinds when domains are
+    active (fastest-first order preserved, unpruned fallback when the
+    domain is empty). *)
 
 val distribution_choices : t -> (bool * Mapping.dist_strategy) list
 (** The (distribute, strategy) combinations the search enumerates per

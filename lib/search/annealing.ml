@@ -26,7 +26,8 @@ let mutate_valid g space rng parent =
   | Space.Memory cid ->
       let owner = (Graph.collection g cid).owner in
       let k = Mapping.proc_of parent owner in
-      Mapping.set_mem parent cid (Rng.choose_list rng (Space.mem_choices space k))
+      Mapping.set_mem parent cid
+        (Rng.choose_list rng (Space.mem_choices_for space ~cid k))
 
 let search ?(seed = 11) ?(max_evals = 2000) ?(t0 = 0.3) ?(cooling = 0.995) ?start
     ?(budget = infinity) ev =

@@ -29,11 +29,26 @@ let optimize_task ev ~overlap ~should_stop (task : Graph.task) (f0, p0) =
       let f, _ = !incumbent in
       test (Mapping.set_strategy (Mapping.set_distribute f task.tid d) task.tid strat))
     (Space.distribution_choices space);
-  (* lines 13-18: processor kind x (collection x memory kind) *)
+  (* lines 13-18: processor kind x (collection x memory kind),
+     enumerating only analyzer-certified domains.  A skipped value is a
+     candidate the unpruned enumeration would have suggested only to
+     learn it validates-then-OOMs (or repairs to the incumbent):
+     counted in [dead_coord_skips] instead of paying for a resolve. *)
+  let live_kinds = Space.proc_choices space task.tid in
+  List.iter
+    (fun k ->
+      if not (List.memq k live_kinds) then
+        (* every (arg, mem) combination of a dead kind is skipped *)
+        Evaluator.note_dead_coords ev
+          (List.length task.args * List.length (Space.mem_choices space k)))
+    (Space.proc_choices_all space task.tid);
   List.iter
     (fun k ->
       List.iter
         (fun (c : Graph.collection) ->
+          let live_mems = Space.mem_choices_for space ~cid:c.cid k in
+          let dead = List.length (Space.mem_choices space k) - List.length live_mems in
+          if dead > 0 then Evaluator.note_dead_coords ev dead;
           List.iter
             (fun r ->
               let f, _ = !incumbent in
@@ -46,9 +61,9 @@ let optimize_task ev ~overlap ~should_stop (task : Graph.task) (f0, p0) =
                       ~c:c.cid ~k ~r
               in
               test f'')
-            (Space.mem_choices space k))
+            live_mems)
         (Profile.order_args_by_size task))
-    (Space.proc_choices space task.tid);
+    live_kinds;
   !incumbent
 
 let sweep ev ~overlap ~should_stop ~profile (f0, p0) =

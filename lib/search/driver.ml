@@ -30,11 +30,11 @@ type result = {
 }
 
 let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
-    ?(seed = 0) ?budget ?start ?objective ?extended ?incremental ?db algo machine graph
-    =
+    ?(seed = 0) ?budget ?start ?objective ?extended ?incremental ?domain_prune ?db
+    algo machine graph =
   let ev =
     Evaluator.create ?runs ?noise_sigma ?iterations ~seed ?objective ?extended
-      ?incremental ?db machine graph
+      ?incremental ?domain_prune ?db machine graph
   in
   let search_best, search_perf =
     match algo with

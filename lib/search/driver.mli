@@ -44,6 +44,7 @@ val run :
   ?objective:(Machine.t -> Exec.result -> float) ->
   ?extended:bool ->
   ?incremental:bool ->
+  ?domain_prune:bool ->
   ?db:Profiles_db.t ->
   algo ->
   Machine.t ->

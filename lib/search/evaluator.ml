@@ -44,6 +44,7 @@ type t = {
   mutable cut_runs : int;
   mutable cut_sims : int;
   mutable noop_skips : int;
+  mutable dead_coord_skips : int;
   mutable virtual_time : float;
   mutable eval_time : float;
   mutable best : (Mapping.t * float) option;
@@ -60,6 +61,7 @@ type stats = {
   s_cut_runs : int;
   s_cut_sims : int;
   s_noop_skips : int;
+  s_dead_coord_skips : int;
   s_delta_binds : int;
   s_full_binds : int;
   s_cone_replays : int;
@@ -73,7 +75,7 @@ let default_objective _machine (r : Exec.result) = r.Exec.per_iteration
 let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     ?(penalty = infinity) ?(seed = 0) ?(eval_overhead = 0.0002)
     ?(objective = default_objective) ?(extended = false) ?(prune = true)
-    ?(incremental = true) ?db machine graph =
+    ?(incremental = true) ?(domain_prune = true) ?db machine graph =
   if runs <= 0 then invalid_arg "Evaluator.create: runs must be positive";
   let scratch = Exec.scratch (Exec.compile machine graph) in
   Exec.set_incremental scratch incremental;
@@ -81,7 +83,11 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     machine;
     graph;
     scratch;
-    space = Space.make ~extended graph machine;
+    (* Domain certificates are proved against *strict* placement;
+       fallback mode can demote an over-capacity instance into another
+       kind and succeed, so domains only restrict the space when
+       fallback is off. *)
+    space = Space.make ~extended ~domains:(domain_prune && not fallback) graph machine;
     runs;
     noise_sigma;
     fallback;
@@ -105,6 +111,7 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     cut_runs = 0;
     cut_sims = 0;
     noop_skips = 0;
+    dead_coord_skips = 0;
     virtual_time = 0.0;
     eval_time = 0.0;
     best = None;
@@ -439,6 +446,10 @@ let note_suggestion_overhead t dt =
 
 let note_noop_neighbor t = t.noop_skips <- t.noop_skips + 1
 
+let note_dead_coords t n =
+  if n < 0 then invalid_arg "Evaluator.note_dead_coords: negative";
+  t.dead_coord_skips <- t.dead_coord_skips + n
+
 (* The searches report each newly accepted incumbent here so Exec keeps
    its committed timelines pinned: every subsequent neighbour then
    replays against a schedule at most a couple of coordinates away. *)
@@ -456,6 +467,7 @@ let cut_evals t = t.cut_evals
 let cut_runs t = t.cut_runs
 let cut_sims t = t.cut_sims
 let noop_skips t = t.noop_skips
+let dead_coord_skips t = t.dead_coord_skips
 let eval_time t = t.eval_time
 
 let stats t =
@@ -469,6 +481,7 @@ let stats t =
     s_cut_runs = t.cut_runs;
     s_cut_sims = t.cut_sims;
     s_noop_skips = t.noop_skips;
+    s_dead_coord_skips = t.dead_coord_skips;
     s_delta_binds = Exec.delta_binds t.scratch;
     s_full_binds = Exec.full_binds t.scratch;
     s_cone_replays = Exec.cone_replays t.scratch;

@@ -44,6 +44,7 @@ val create :
   ?extended:bool ->
   ?prune:bool ->
   ?incremental:bool ->
+  ?domain_prune:bool ->
   ?db:Profiles_db.t ->
   Machine.t ->
   Graph.t ->
@@ -139,6 +140,15 @@ val cut_sims : t -> int
 val noop_skips : t -> int
 (** No-op neighbours the search skipped (see {!note_noop_neighbor}). *)
 
+val dead_coord_skips : t -> int
+(** Coordinate values the searches never suggested because the
+    analyzer-computed domains exclude them (see
+    {!note_dead_coords}). *)
+
+val note_dead_coords : t -> int -> unit
+(** Record that a search skipped [n] domain-excluded candidate
+    values without suggesting them. *)
+
 val note_noop_neighbor : t -> unit
 (** Record that a search skipped a candidate identical to its
     incumbent without suggesting it. *)
@@ -160,6 +170,7 @@ type stats = {
   s_cut_runs : int;
   s_cut_sims : int;
   s_noop_skips : int;
+  s_dead_coord_skips : int;
   s_delta_binds : int;  (** {!Exec.delta_binds} of the evaluator's scratch *)
   s_full_binds : int;   (** {!Exec.full_binds} of the evaluator's scratch *)
   s_cone_replays : int;   (** {!Exec.cone_replays} *)

@@ -314,6 +314,11 @@ type compiled = {
      to c's placement can invalidate. *)
   cid_dep_off : int array;
   cid_dep_idx : int array;
+  (* slots in task-topological order (producers of every non-carried
+     dep before its consumers) — slot numbering itself is task-id
+     order, NOT topological, so the static critical-path floor must
+     relax along this permutation *)
+  topo_slots : int array;
   dispatch_cost : float;
 }
 
@@ -361,6 +366,7 @@ type scratch = {
   slot_dur : float array;      (* noise-free duration of one instance *)
   slot_pid : int array;
   slot_node : int array;
+  cp : float array;            (* static_floors' critical-path accumulator *)
   dep_chan : int array;        (* channel slot, or -1 for same-memory *)
   dep_class : int array;
   dep_cost : float array;
@@ -490,6 +496,15 @@ let compile machine (g : Graph.t) =
   touch (fun cid k ->
       cid_dep_idx.(cid_dep_off.(cid) + fill.(cid)) <- k;
       fill.(cid) <- fill.(cid) + 1);
+  let topo_slots = Array.make spi 0 in
+  (let i = ref 0 in
+   List.iter
+     (fun (task : Graph.task) ->
+       for s = 0 to task.group_size - 1 do
+         topo_slots.(!i) <- offset.(task.tid) + s;
+         incr i
+       done)
+     (Graph.topological_order g));
   {
     cmachine = machine;
     cgraph = g;
@@ -511,6 +526,7 @@ let compile machine (g : Graph.t) =
     dep_carried;
     cid_dep_off;
     cid_dep_idx;
+    topo_slots;
     dispatch_cost = machine.Machine.compute.Machine.runtime_dispatch;
   }
 
@@ -529,6 +545,7 @@ let scratch prob =
     slot_dur = Array.make (max prob.spi 1) 0.0;
     slot_pid = Array.make (max prob.spi 1) 0;
     slot_node = Array.make (max prob.spi 1) 0;
+    cp = Array.make (max prob.spi 1) 0.0;
     dep_chan = Array.make (max n_deps 1) 0;
     dep_class = Array.make (max n_deps 1) 0;
     dep_cost = Array.make (max n_deps 1) 0.0;
@@ -1203,6 +1220,41 @@ let static_floors sc iterations =
         let d = d *. iters_f in
         if d > !lb then lb := d)
       disp
+  end;
+  (* Critical-path floor over the bound dependence structure: every
+     instance completes no earlier than ready + dispatch_cost (the
+     event loop's do_ready adds dispatch_cost before any start, and
+     durations are nonnegative), and a consumer of a channel-bound dep
+     becomes ready no earlier than the producer's completion plus the
+     copy's cost (do_done's arrival is >= t_done + cost).  Compute
+     noise multipliers can be arbitrarily small, so compute durations
+     contribute nothing — only dispatch and copy costs chain, which
+     keeps the floor valid for every seed.  Relaxation runs over
+     [topo_slots] (slot ids are task-id-ordered, not topological) and
+     only intra-iteration deps; the per-slot cross-iteration
+     serialization (dep_arrived (i + spi)) then adds dispatch_cost per
+     extra iteration on top of the deepest first-iteration path. *)
+  if prob.dispatch_cost > 0.0 || Array.length prob.dep_bytes > 0 then begin
+    let cp = sc.cp in
+    Array.fill cp 0 spi 0.0;
+    let cp_max = ref 0.0 in
+    Array.iter
+      (fun slot ->
+        let done_floor = cp.(slot) +. prob.dispatch_cost in
+        if done_floor > !cp_max then cp_max := done_floor;
+        for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
+          if not prob.dep_carried.(k) then begin
+            let arrival =
+              if sc.dep_chan.(k) >= 0 then done_floor +. sc.dep_cost.(k)
+              else done_floor
+            in
+            let dst = prob.dep_dst_slot.(k) in
+            if arrival > cp.(dst) then cp.(dst) <- arrival
+          end
+        done)
+      prob.topo_slots;
+    let floor = !cp_max +. (float_of_int (iterations - 1) *. prob.dispatch_cost) in
+    if floor > !lb then lb := floor
   end;
   !lb
 

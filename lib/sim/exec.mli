@@ -124,11 +124,14 @@ val static_lower_bound :
   Mapping.t ->
   (float, error) Stdlib.result
 (** The noise-independent part of {!run_lower_bound}: the busiest
-    channel's total copy time and the busiest node's dispatch
-    serialization.  Valid for *every* noise seed, and an order of
-    magnitude cheaper than a per-run bound (no noise draws), so a
-    caller can certify "no run of this mapping can beat [b]" once
-    before paying for per-run bounds or simulations. *)
+    channel's total copy time, the busiest node's dispatch
+    serialization, and the dependence-graph critical path of dispatch
+    and copy costs under the bound placement (compute durations
+    contribute nothing — noise multipliers can be arbitrarily small).
+    Valid for *every* noise seed, and an order of magnitude cheaper
+    than a per-run bound (no noise draws), so a caller can certify "no
+    run of this mapping can beat [b]" once before paying for per-run
+    bounds or simulations. *)
 
 val run_lower_bound :
   ?noise_sigma:float ->

@@ -163,9 +163,11 @@ let account pl ~fallback mapping procs =
         | None when not fallback ->
             raise
               (Oom
-                 (Printf.sprintf "%s of node %d full placing %s (shard %d)"
+                 (Printf.sprintf
+                    "collection c%d (%s) of task %d (%s): %s of node %d full (shard %d)"
+                    c.cid c.cname task.tid task.tname
                     (Kinds.mem_kind_to_string arr.(s).Machine.mkind)
-                    arr.(s).Machine.mnode c.cname s))
+                    arr.(s).Machine.mnode s))
         | None -> (
             (* walk the priority list for a kind with room *)
             let proc = procs.(task.tid).(s) in
@@ -173,9 +175,11 @@ let account pl ~fallback mapping procs =
               | [] ->
                   raise
                     (Oom
-                       (Printf.sprintf "no memory accessible from %s can hold %s (shard %d)"
+                       (Printf.sprintf
+                          "collection c%d (%s) of task %d (%s): no memory accessible from %s can hold it (shard %d)"
+                          c.cid c.cname task.tid task.tname
                           (Kinds.proc_kind_to_string proc.Machine.pkind)
-                          c.cname s))
+                          s))
               | k :: rest -> (
                   let mem = Machine.closest_memory machine proc k in
                   match charge mem with

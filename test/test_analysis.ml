@@ -1,0 +1,266 @@
+(* Static feasibility analyzer (§4.2): preset lint severities, the
+   domain soundness contract against the runtime (Mapping.validate +
+   strict Placement.resolve), static-floor soundness, and the
+   acceptance criteria for domain-pruned search on the real apps. *)
+
+let small_apps =
+  [
+    (App.circuit, "n50w200");
+    (App.stencil, "500x500");
+    (App.pennant, "320x90");
+    (App.htr, "8x8y9z");
+    (App.maestro, "lf4r16");
+  ]
+
+(* A shepard-shaped cluster whose Frame-Buffer holds only 8 KB: every
+   sizable unaliased GPU-task argument certifiably cannot live in FB,
+   so the analyzer has real capacity certificates to prove on the
+   bundled apps while System/Zero-Copy keep the workload feasible. *)
+let tight_shepard ~nodes =
+  let s = Presets.shepard ~nodes in
+  Machine.make ~name:"TightShepard" ~nodes
+    ~node:{ s.Machine.node with Machine.fb_capacity = 8192.0 }
+    ~exec_bw:s.Machine.exec_bw ~compute:s.Machine.compute ~copy:s.Machine.copy
+
+let test_headless_error () =
+  let machine = Presets.headless ~nodes:1 in
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  let a = Analysis.analyze machine g in
+  Alcotest.(check bool) "infeasible" false (Analysis.feasible a);
+  Alcotest.(check bool)
+    "unreachable-memory error" true
+    (List.exists
+       (fun (d : Analysis.diagnostic) -> d.Analysis.code = "unreachable-memory")
+       (Analysis.errors a))
+
+let test_presets_clean () =
+  (* every working preset must analyze error-free on every bundled app
+     it can actually host (warnings and infos are allowed).  Two pairs
+     are genuinely infeasible and must be flagged instead: Maestro
+     sizes its high-fidelity arrays for 64 GB frame buffers, far past
+     the Testbed's 1 GB FB / 2 GB ZC, and its GPU-only tasks have no
+     variant CpuOnly can run. *)
+  let expect_infeasible machine_name app_name =
+    app_name = "Maestro" && (machine_name = "Testbed" || machine_name = "CpuOnly")
+  in
+  List.iter
+    (fun mk ->
+      let machine = mk ~nodes:2 in
+      List.iter
+        (fun ((app : App.t), input) ->
+          let g = app.App.graph ~nodes:2 ~input in
+          if expect_infeasible machine.Machine.name app.App.app_name then
+            Alcotest.(check bool)
+              (app.App.app_name ^ " on " ^ machine.Machine.name ^ " infeasible")
+              false
+              (Analysis.feasible (Analysis.analyze machine g))
+          else
+            match Analysis.errors (Analysis.analyze machine g) with
+            | [] -> ()
+            | d :: _ ->
+                Alcotest.fail
+                  (Printf.sprintf "%s on %s: [%s] %s: %s" app.App.app_name
+                     machine.Machine.name d.Analysis.code d.Analysis.subject
+                     d.Analysis.message))
+        small_apps)
+    [ Presets.shepard; Presets.lassen; Presets.testbed; Presets.cpu_only ]
+
+let test_api_gate () =
+  let machine = Presets.headless ~nodes:1 in
+  let g, _, _, _, _ = Fixtures.pipeline () in
+  match Automap_api.check_feasible machine g with
+  | exception Automap_api.Infeasible a ->
+      Alcotest.(check bool)
+        "message names the unreachable memory" true
+        (Str_helpers.contains (Automap_api.infeasible_message a) "unreachable-memory")
+  | _ -> Alcotest.fail "check_feasible accepted the headless machine"
+
+let test_tight_machine_prunes () =
+  (* non-vacuity: on the capacity-constrained machine the domains must
+     actually exclude Frame-Buffer for some collection, and Space must
+     expose the restriction *)
+  let machine = tight_shepard ~nodes:2 in
+  let g = App.circuit.App.graph ~nodes:2 ~input:"n50w200" in
+  let dom = Analysis.compute_domains machine g in
+  Alcotest.(check bool)
+    "some FB-infeasible collection" true
+    (List.exists
+       (fun (c : Graph.collection) ->
+         not (Analysis.mem_feasible dom ~cid:c.Graph.cid Kinds.Frame_buffer))
+       (Graph.collections g));
+  let space = Space.make g machine in
+  Alcotest.(check bool) "space pruned" true (Space.pruned space);
+  Alcotest.(check bool)
+    "some collection loses FB in mem_choices_for" true
+    (List.exists
+       (fun (c : Graph.collection) ->
+         List.length (Space.mem_choices_for space ~cid:c.Graph.cid Kinds.Gpu)
+         < List.length (Space.mem_choices space Kinds.Gpu))
+       (Graph.collections g))
+
+(* Soundness contract: the analyzer never excludes a coordinate value
+   the runtime accepts.  Random workloads, unconstrained random
+   mappings; whenever validate + strict resolve both pass, every
+   mapped coordinate must sit inside its computed domain.  The tight
+   machine makes the property non-vacuous (many values really are
+   excluded); the testbed covers the typical ample-capacity case. *)
+let prop_domains_sound =
+  QCheck.Test.make ~count:80
+    ~name:"domains never exclude a coordinate the runtime accepts"
+    Gen.arbitrary_spec
+    (fun spec ->
+      let g = Gen.graph_of_spec spec in
+      List.for_all
+        (fun machine ->
+          let dom = Analysis.compute_domains machine g in
+          let space = Space.make ~domains:false g machine in
+          let rng = Rng.create (spec.Gen.seed + 17) in
+          let sound = ref true in
+          for _ = 1 to 15 do
+            let m = Space.random_unconstrained space rng in
+            match Mapping.validate g machine m with
+            | Error _ -> ()
+            | Ok () -> (
+                match Placement.resolve machine g m with
+                | Error _ -> ()
+                | Ok _ ->
+                    for tid = 0 to Graph.n_tasks g - 1 do
+                      if
+                        not
+                          (List.mem (Mapping.proc_of m tid)
+                             (Analysis.proc_domain dom tid))
+                      then sound := false
+                    done;
+                    List.iter
+                      (fun (c : Graph.collection) ->
+                        let k = Mapping.proc_of m c.Graph.owner in
+                        if
+                          not
+                            (List.mem
+                               (Mapping.mem_of m c.Graph.cid)
+                               (Analysis.mem_domain dom ~cid:c.Graph.cid k))
+                        then sound := false)
+                      (Graph.collections g))
+          done;
+          !sound)
+        [ Presets.testbed ~nodes:2; tight_shepard ~nodes:2 ])
+
+(* The critical-path-tightened static floor must stay below every
+   simulated makespan of the same mapping, at any noise level/seed. *)
+let prop_static_floor_sound =
+  QCheck.Test.make ~count:40
+    ~name:"static lower bound never exceeds a simulated makespan"
+    Gen.arbitrary_spec
+    (fun spec ->
+      let g = Gen.graph_of_spec spec in
+      let machine = Presets.testbed ~nodes:2 in
+      let sc = Exec.scratch (Exec.compile machine g) in
+      let m = Mapping.default_start g machine in
+      match Exec.static_lower_bound sc m with
+      | Error _ -> true
+      | Ok floor ->
+          floor >= 0.0
+          && List.for_all
+               (fun (sigma, seed) ->
+                 match Exec.simulate ~noise_sigma:sigma ~seed sc m with
+                 | Ok r -> floor <= r.Exec.makespan *. (1.0 +. 1e-9) +. 1e-12
+                 | Error _ -> true)
+               [ (0.0, 0); (0.03, 1); (0.3, 7) ])
+
+let test_floor_covers_critical_path () =
+  (* pipeline: produce -> consume is a 2-task chain, so the floor must
+     be at least 2 dispatches deep — strictly more than the busiest
+     single node's serialization would give for one instance each *)
+  let machine = Presets.testbed ~nodes:4 in
+  let g, _, _, _, _ = Fixtures.pipeline ~group_size:4 () in
+  let sc = Exec.scratch (Exec.compile machine g) in
+  match Exec.static_lower_bound sc (Mapping.default_start g machine) with
+  | Error e -> Alcotest.fail (Placement.error_to_string e)
+  | Ok floor ->
+      Alcotest.(check bool)
+        "floor >= depth * dispatch" true
+        (floor >= 2.0 *. machine.Machine.compute.Machine.runtime_dispatch -. 1e-15)
+
+(* ISSUE acceptance: on every bundled app, the domain-pruned CCD search
+   must reach a best makespan no worse than the unpruned baseline while
+   paying for strictly fewer Placement resolutions — the skipped dead
+   coordinates were exactly the candidates whose strict resolve ends in
+   OOM — and must actually report skipped dead coordinates. *)
+let test_pruned_search_no_worse () =
+  (* per-app machine: one GPU memory kind holds only half the app's
+     largest per-shard argument — so that kind is certifiably dead for
+     at least that collection — while the remaining kinds stay ample,
+     keeping the workload feasible and the live coordinate space
+     identical between the pruned and unpruned runs.  Frame-Buffer is
+     the tightened kind except for Maestro, whose GPU-only tasks place
+     their arguments in FB at the start mapping (FB must stay at
+     Maestro's design size of 64 GB/node); there Zero-Copy is
+     tightened instead, forcing the hf arrays into FB. *)
+  let tight_for ?(knob = `Fb) g ~nodes =
+    let maxb =
+      List.fold_left
+        (fun acc (c : Graph.collection) -> Float.max acc c.Graph.bytes)
+        0.0 (Graph.collections g)
+    in
+    let s = Presets.shepard ~nodes in
+    let node =
+      match knob with
+      | `Fb ->
+          {
+            s.Machine.node with
+            Machine.fb_capacity = 0.5 *. maxb;
+            Machine.zc_capacity = 1e15;
+            Machine.sysmem_per_socket = 1e15;
+          }
+      | `Zc ->
+          {
+            s.Machine.node with
+            Machine.zc_capacity = 0.5 *. maxb;
+            Machine.sysmem_per_socket = 1e15;
+          }
+    in
+    Machine.make ~name:"Tight" ~nodes ~node ~exec_bw:s.Machine.exec_bw
+      ~compute:s.Machine.compute ~copy:s.Machine.copy
+  in
+  List.iter
+    (fun ((app : App.t), input) ->
+      let g = app.App.graph ~nodes:2 ~input in
+      let knob = if app.App.app_name = "Maestro" then `Zc else `Fb in
+      let machine = tight_for ~knob g ~nodes:2 in
+      let run domain_prune =
+        let ev =
+          Evaluator.create ~runs:1 ~noise_sigma:0.0 ~seed:0 ~domain_prune machine g
+        in
+        let _, perf = Ccd.search ~rotations:2 ev in
+        (perf, Evaluator.stats ev)
+      in
+      let p_on, st_on = run true in
+      let p_off, st_off = run false in
+      Alcotest.(check bool)
+        (app.App.app_name ^ " pruned no worse")
+        true
+        (p_on <= p_off +. 1e-12);
+      let resolutions (st : Evaluator.stats) =
+        st.Evaluator.s_delta_binds + st.Evaluator.s_full_binds + st.Evaluator.s_oom
+      in
+      Alcotest.(check bool)
+        (app.App.app_name ^ " strictly fewer resolutions")
+        true
+        (resolutions st_on < resolutions st_off);
+      Alcotest.(check bool)
+        (app.App.app_name ^ " dead coordinates skipped")
+        true
+        (st_on.Evaluator.s_dead_coord_skips > 0))
+    small_apps
+
+let suite =
+  [
+    Alcotest.test_case "headless unreachable memory" `Quick test_headless_error;
+    Alcotest.test_case "presets analyze clean" `Quick test_presets_clean;
+    Alcotest.test_case "api refuses infeasible" `Quick test_api_gate;
+    Alcotest.test_case "tight machine prunes" `Quick test_tight_machine_prunes;
+    QCheck_alcotest.to_alcotest prop_domains_sound;
+    QCheck_alcotest.to_alcotest prop_static_floor_sound;
+    Alcotest.test_case "floor covers critical path" `Quick test_floor_covers_critical_path;
+    Alcotest.test_case "pruned search acceptance" `Quick test_pruned_search_no_worse;
+  ]

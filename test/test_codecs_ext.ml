@@ -17,6 +17,33 @@ let test_machine_round_trip () =
         (machines_equal m (Machine_codec.round_trip_exn m)))
     [ Presets.shepard ~nodes:2; Presets.lassen ~nodes:4; Presets.testbed ~nodes:1 ]
 
+(* Every preset constructor — including the degenerate cpu_only and the
+   deliberately broken headless machine — must survive encode → decode
+   at any node count.  %.17g round-trips doubles exactly and the
+   processor/memory tables are derived deterministically from the node
+   description, so full structural equality is the right check. *)
+let all_presets =
+  [
+    ("shepard", Presets.shepard);
+    ("lassen", Presets.lassen);
+    ("testbed", Presets.testbed);
+    ("cpu_only", Presets.cpu_only);
+    ("headless", Presets.headless);
+  ]
+
+let qcheck_machine_round_trip =
+  QCheck.Test.make ~count:60
+    ~name:"machine codec round-trips every preset at any node count"
+    QCheck.(
+      pair
+        (map
+           (fun i -> List.nth all_presets (i mod List.length all_presets))
+           (int_range 0 (List.length all_presets - 1)))
+        (int_range 1 16))
+    (fun ((_, mk), nodes) ->
+      let m = mk ~nodes in
+      Machine_codec.round_trip_exn m = m)
+
 let test_machine_parse_errors () =
   let check_error input frag =
     match Machine_codec.of_string input with
@@ -151,6 +178,7 @@ let test_graph_minimal_example () =
 let suite =
   [
     Alcotest.test_case "machine round trip" `Quick test_machine_round_trip;
+    QCheck_alcotest.to_alcotest qcheck_machine_round_trip;
     Alcotest.test_case "machine parse errors" `Quick test_machine_parse_errors;
     Alcotest.test_case "machine comments" `Quick test_machine_comments;
     Alcotest.test_case "machine validation" `Quick test_machine_validation_propagates;

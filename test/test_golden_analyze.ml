@@ -1,0 +1,57 @@
+(* Golden analyze reports: the exact text the CLI's [analyze] command
+   emits for every bundled app on the Shepard and Lassen presets.
+   Regenerate after an intentional report change with:
+     for p in shepard lassen; do for a in "circuit n50w200" \
+       "stencil 500x500" "pennant 320x90" "htr 8x8y9z" "maestro lf4r16"; do
+       set -- $a; dune exec bin/automap_cli.exe -- analyze -a $1 -i $2 \
+         -n 2 -c $p -o test/golden/analyze_${1}_${p}.txt; done; done *)
+
+let cases =
+  [
+    (App.circuit, "n50w200");
+    (App.stencil, "500x500");
+    (App.pennant, "320x90");
+    (App.htr, "8x8y9z");
+    (App.maestro, "lf4r16");
+  ]
+
+let presets = [ ("shepard", Presets.shepard); ("lassen", Presets.lassen) ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* locate the first differing line so a mismatch is actionable *)
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go n = function
+    | x :: xs, y :: ys when x = y -> go (n + 1) (xs, ys)
+    | x :: _, y :: _ -> Printf.sprintf "line %d:\n  golden: %s\n  actual: %s" n x y
+    | x :: _, [] -> Printf.sprintf "line %d only in golden: %s" n x
+    | [], y :: _ -> Printf.sprintf "line %d only in actual: %s" n y
+    | [], [] -> "identical"
+  in
+  go 1 (la, lb)
+
+let test_golden () =
+  List.iter
+    (fun (pname, mk) ->
+      let machine = mk ~nodes:2 in
+      List.iter
+        (fun ((app : App.t), input) ->
+          let g = app.App.graph ~nodes:2 ~input in
+          let actual =
+            Format.asprintf "%a" Analysis.report (Analysis.analyze machine g)
+          in
+          let cli_name = String.lowercase_ascii app.App.app_name in
+          let path = Printf.sprintf "golden/analyze_%s_%s.txt" cli_name pname in
+          let golden = read_file path in
+          if actual <> golden then
+            Alcotest.fail
+              (Printf.sprintf "%s differs; %s" path (first_diff golden actual)))
+        cases)
+    presets
+
+let suite = [ Alcotest.test_case "analyze reports match golden" `Quick test_golden ]
