@@ -147,7 +147,8 @@ let bench_parallel machine g ~budget ~runs =
   let time domains =
     let t0 = now () in
     let results = Parallel.run_members ~domains ~members ~budget ~seed:1 ~runs machine g in
-    (now () -. t0, Parallel.best results)
+    let steps = List.fold_left (fun acc r -> acc + r.Parallel.steps) 0 results in
+    (now () -. t0, Parallel.best results, steps)
   in
   (* Timing more domains than cores measures scheduler thrash, not the
      portfolio: clamp the parallel leg to the cores actually available
@@ -156,29 +157,30 @@ let bench_parallel machine g ~budget ~runs =
   let cores = Domain.recommended_domain_count () in
   let domains_requested = 4 in
   let domains_used = max 1 (min domains_requested cores) in
-  let t1, best1 = time 1 in
+  let t1, best1, steps1 = time 1 in
   if domains_used = 1 then begin
     (* there is nothing to compare against on a 1-core box: reporting a
        1.000x "speedup" would read as a scaling regression, so mark the
        section skipped instead *)
     Printf.printf
-      "parallel portfolio (%d members): 1 domain %.2fs; scaling leg skipped (1 core \
-       available, %d domains requested)\n%!"
-      (List.length members) t1 domains_requested;
-    (t1, None, domains_requested, domains_used, best1.Parallel.perf)
+      "parallel portfolio (%d members): 1 domain %.2fs (%d engine steps); scaling leg \
+       skipped (1 core available, %d domains requested)\n%!"
+      (List.length members) t1 steps1 domains_requested;
+    (t1, None, domains_requested, domains_used, best1.Parallel.perf, steps1)
   end
   else begin
-    let tn, bestn = time domains_used in
+    let tn, bestn, stepsn = time domains_used in
     assert (best1.Parallel.perf = bestn.Parallel.perf);
+    assert (steps1 = stepsn);
     Printf.printf
       "parallel portfolio (%d members): 1 domain %.2fs, %d domains %.2fs -> %.2fx speedup \
-       (%d cores available%s)\n%!"
-      (List.length members) t1 domains_used tn (t1 /. tn) cores
+       (%d engine steps, %d cores available%s)\n%!"
+      (List.length members) t1 domains_used tn (t1 /. tn) steps1 cores
       (if cores < domains_requested then
          Printf.sprintf "; %d domains requested, clamped to the core count"
            domains_requested
        else "");
-    (t1, Some tn, domains_requested, domains_used, best1.Parallel.perf)
+    (t1, Some tn, domains_requested, domains_used, best1.Parallel.perf, steps1)
   end
 
 let json_rate r =
@@ -206,7 +208,7 @@ let () =
   in
   let par_budget = if !smoke then 0.02 else infinity in
   let par_runs = if !smoke then 1 else 7 in
-  let t1, tn, par_requested, par_used, par_perf =
+  let t1, tn, par_requested, par_used, par_perf, par_steps =
     bench_parallel machine par_g ~budget:par_budget ~runs:par_runs
   in
   let buf = Buffer.create 1024 in
@@ -230,19 +232,20 @@ let () =
         (Printf.sprintf
            "  \"parallel_portfolio\": {\"domains_requested\": %d, \"domains_used\": %d, \
             \"cores_available\": %d, \"skipped\": true, \
-            \"wall_1\": %.4f, \"best_perf\": %.6e}\n"
+            \"wall_1\": %.4f, \"best_perf\": %.6e, \"engine_steps\": %d}\n"
            par_requested par_used
            (Domain.recommended_domain_count ())
-           t1 par_perf)
+           t1 par_perf par_steps)
   | Some tn ->
       Buffer.add_string buf
         (Printf.sprintf
            "  \"parallel_portfolio\": {\"domains_requested\": %d, \"domains_used\": %d, \
             \"cores_available\": %d, \"oversubscribed\": %b, \"skipped\": false, \
-            \"wall_1\": %.4f, \"wall_n\": %.4f, \"speedup\": %.3f, \"best_perf\": %.6e}\n"
+            \"wall_1\": %.4f, \"wall_n\": %.4f, \"speedup\": %.3f, \"best_perf\": %.6e, \
+            \"engine_steps\": %d}\n"
            par_requested par_used
            (Domain.recommended_domain_count ())
-           (par_used < par_requested) t1 tn (t1 /. tn) par_perf));
+           (par_used < par_requested) t1 tn (t1 /. tn) par_perf par_steps));
   Buffer.add_string buf "}\n";
   let oc = open_out !out_file in
   output_string oc (Buffer.contents buf);

@@ -59,18 +59,19 @@ type leg = {
   cands_per_sec : float;
   best : Mapping.t;
   perf : float;
+  steps : int;  (* Engine strategy steps *)
   st : Evaluator.stats;
 }
 
 (* One full search on a fresh evaluator (pruning and timeline state
-   must not leak between repeats); only Ccd.search is timed —
+   must not leak between repeats); only the engine run is timed —
    Evaluator.create (the one-time compile, identical for all legs)
    stays outside. *)
 let search_once ~prune ~incremental ~rotations machine g =
   let ev = Evaluator.create ~prune ~incremental ~seed:3 machine g in
   let t0 = now () in
-  let best, perf = Ccd.search ~rotations ev in
-  (now () -. t0, best, perf, Evaluator.stats ev)
+  let o = Engine.run ~start:(Mapping.default_start g machine) ev (Ccd.make ~rotations ev) in
+  (now () -. t0, o.Engine.best, o.Engine.perf, o.Engine.steps, Evaluator.stats ev)
 
 type app_row = {
   row_app : string;
@@ -92,15 +93,15 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
   let n = ref 0 in
   let last_off = ref None and last_on = ref None and last_inc = ref None in
   let step () =
-    let d, b, p, s = search_once ~prune:false ~incremental:false ~rotations machine g in
+    let d, b, p, k, s = search_once ~prune:false ~incremental:false ~rotations machine g in
     t_off := !t_off +. d;
-    last_off := Some (b, p, s);
-    let d, b, p, s = search_once ~prune:true ~incremental:false ~rotations machine g in
+    last_off := Some (b, p, k, s);
+    let d, b, p, k, s = search_once ~prune:true ~incremental:false ~rotations machine g in
     t_on := !t_on +. d;
-    last_on := Some (b, p, s);
-    let d, b, p, s = search_once ~prune:true ~incremental:true ~rotations machine g in
+    last_on := Some (b, p, k, s);
+    let d, b, p, k, s = search_once ~prune:true ~incremental:true ~rotations machine g in
     t_inc := !t_inc +. d;
-    last_inc := Some (b, p, s);
+    last_inc := Some (b, p, k, s);
     incr n
   in
   step ();
@@ -108,13 +109,14 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
     step ()
   done;
   let leg_of total last =
-    let b, p, s = Option.get last in
+    let b, p, k, s = Option.get last in
     let wall = total /. float_of_int !n in
     {
       wall;
       cands_per_sec = float_of_int s.Evaluator.s_suggested /. wall;
       best = b;
       perf = p;
+      steps = k;
       st = s;
     }
   in
@@ -130,7 +132,10 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
       failwith (app.App.app_name ^ ": " ^ name ^ " search found a different best perf");
     if a.st.Evaluator.s_suggested <> b.st.Evaluator.s_suggested then
       failwith
-        (app.App.app_name ^ ": " ^ name ^ " search made a different number of suggestions")
+        (app.App.app_name ^ ": " ^ name ^ " search made a different number of suggestions");
+    if a.steps <> b.steps then
+      failwith
+        (app.App.app_name ^ ": " ^ name ^ " search took a different number of engine steps")
   in
   check "pruned" off on_;
   check "incremental" on_ inc;
@@ -156,14 +161,76 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
 
 let json_leg l =
   Printf.sprintf
-    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "dead_coord_skips": %d, "delta_binds": %d, "full_binds": %d, "cone_replays": %d, "cone_instances": %d, "full_replays": %d, "timeline_bytes": %d}|}
-    l.wall l.cands_per_sec l.perf l.st.Evaluator.s_suggested l.st.Evaluator.s_evaluated
+    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "engine_steps": %d, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "dead_coord_skips": %d, "delta_binds": %d, "full_binds": %d, "cone_replays": %d, "cone_instances": %d, "full_replays": %d, "timeline_bytes": %d}|}
+    l.wall l.cands_per_sec l.perf l.steps l.st.Evaluator.s_suggested l.st.Evaluator.s_evaluated
     l.st.Evaluator.s_cache_hits l.st.Evaluator.s_cut_evals l.st.Evaluator.s_cut_runs
     l.st.Evaluator.s_cut_sims l.st.Evaluator.s_noop_skips
     l.st.Evaluator.s_dead_coord_skips l.st.Evaluator.s_delta_binds
     l.st.Evaluator.s_full_binds l.st.Evaluator.s_cone_replays
     l.st.Evaluator.s_cone_instances l.st.Evaluator.s_full_replays
     l.st.Evaluator.s_timeline_bytes
+
+(* Checkpoint/resume self-check: a CCD search checkpointed mid-flight
+   and resumed must land on the same best as one uninterrupted run.
+   Returns (checkpoints written by the truncated run, resumed trials). *)
+let resume_check machine g ~rotations =
+  let start = Mapping.default_start g machine in
+  let fresh () = Evaluator.create ~seed:3 machine g in
+  let ev1 = fresh () in
+  let full = Engine.run ~start ev1 (Ccd.make ~rotations ev1) in
+  let t1 = max 2 (full.Engine.trials / 2) in
+  let path = Filename.temp_file "searchrate_resume" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let ev2 = fresh () in
+      let truncated =
+        Engine.run
+          ~budget:(Budget.make ~max_trials:t1 ())
+          ~checkpoint:{ Engine.every = t1; path } ~start ev2 (Ccd.make ~rotations ev2)
+      in
+      if truncated.Engine.checkpoints_written = 0 then
+        failwith "searchrate: resume check wrote no checkpoint";
+      let snap =
+        match Engine.load_snapshot path with Ok s -> s | Error e -> failwith e
+      in
+      let db =
+        match Profiles_db.load g snap.Engine.s_profiles with
+        | Ok db -> db
+        | Error e -> failwith e
+      in
+      let ev3 = Evaluator.create ~seed:3 ~db machine g in
+      (match Evaluator.restore_state ev3 snap.Engine.s_evaluator with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      let strat =
+        match Driver.decode_strategy ev3 ~algo:snap.Engine.s_algo snap.Engine.s_strategy with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      let best_m =
+        match Mapping.of_canonical_key g snap.Engine.s_best_key with
+        | Some m -> m
+        | None -> failwith "searchrate: bad best key in checkpoint"
+      in
+      let resumed =
+        Engine.run
+          ~carry:
+            {
+              Engine.c_trials = snap.Engine.s_trials;
+              c_steps = snap.Engine.s_steps;
+              c_wall = snap.Engine.s_wall;
+              c_best = (best_m, snap.Engine.s_best_perf);
+            }
+          ~start ev3 strat
+      in
+      if not (Mapping.equal resumed.Engine.best full.Engine.best) then
+        failwith "searchrate: resumed search found a different best mapping";
+      if resumed.Engine.perf <> full.Engine.perf then
+        failwith "searchrate: resumed search found a different best perf";
+      if resumed.Engine.trials <> full.Engine.trials then
+        failwith "searchrate: resumed search took a different number of trials";
+      (truncated.Engine.checkpoints_written, resumed.Engine.trials))
 
 let () =
   let nodes = 4 in
@@ -190,6 +257,13 @@ let () =
   let geo_inc = geomean (fun r -> r.incremental_speedup) in
   Printf.printf "geomean search speedup: prune %.2fx, incremental %.2fx over prune-on\n%!"
     geo_prune geo_inc;
+  let resume_g =
+    App.stencil.App.graph ~nodes ~input:(if !smoke then "500x500" else "2000x2000")
+  in
+  let checkpoints_written, resumed_trials = resume_check machine resume_g ~rotations in
+  Printf.printf
+    "resume self-check: %d checkpoint(s), resumed to %d trials, decision-identical\n%!"
+    checkpoints_written resumed_trials;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"bench\": \"searchrate\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"commit\": %S,\n" (git_commit ()));
@@ -209,8 +283,10 @@ let () =
     rows;
   Buffer.add_string buf
     (Printf.sprintf
-       "  ],\n  \"geomean_speedup\": %.3f,\n  \"geomean_incremental_speedup\": %.3f\n}\n"
-       geo_prune geo_inc);
+       "  ],\n  \"geomean_speedup\": %.3f,\n  \"geomean_incremental_speedup\": %.3f,\n  \
+        \"resume\": {\"checkpoints_written\": %d, \"resumed_trials\": %d, \
+        \"decision_identical\": true}\n}\n"
+       geo_prune geo_inc checkpoints_written resumed_trials);
   let oc = open_out !out_file in
   output_string oc (Buffer.contents buf);
   close_out oc;

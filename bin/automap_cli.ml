@@ -4,6 +4,7 @@
      apps                      -- list the bundled benchmark applications
      analyze                   -- static feasibility report (lint, domains, groups)
      tune                      -- search for a fast mapping and report it
+     search                    -- resumable engine search with progress events
      compare                   -- measure default/custom/HEFT/a saved mapping
      simulate                  -- run one mapping and export its execution trace
 
@@ -91,6 +92,8 @@ let algo_of = function
   | "ensemble" | "opentuner" | "ot" -> Driver.Ensemble_tuner
   | "random" -> Driver.Random_walk { max_evals = 1000 }
   | "annealing" -> Driver.Annealing { max_evals = 2000 }
+  | "portfolio" -> Driver.Portfolio
+  | "heft" -> Driver.Heft
   | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
 
 (* common options *)
@@ -128,7 +131,7 @@ let apps_cmd =
 let tune_cmd =
   let doc = "Search for a fast mapping (offline autotuning, §3.3)." in
   let algo_arg =
-    Arg.(value & opt string "ccd" & info [ "algo" ] ~docv:"ALGO" ~doc:"Search algorithm: ccd, cd, ensemble, random, annealing.")
+    Arg.(value & opt string "ccd" & info [ "algo" ] ~docv:"ALGO" ~doc:"Search algorithm: ccd, cd, ensemble, random, annealing, portfolio, heft.")
   in
   let objective_arg =
     Arg.(value & opt string "time" & info [ "objective" ] ~docv:"OBJ" ~doc:"Metric to minimize: time, energy or edp.")
@@ -212,6 +215,118 @@ let tune_cmd =
       $ machine_file_arg $ seed_arg $ algo_arg $ objective_arg $ runs_arg
       $ final_runs_arg $ budget_arg $ out_arg $ extended_arg $ db_arg
       $ no_incremental_arg)
+
+(* minimal JSON string escaping for the --events stream *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no literal for infinities (penalised/pruned proposals) *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let search_cmd =
+  let doc =
+    "Resumable budget-aware search through the strategy engine: stream progress \
+     events, checkpoint periodically, resume a killed run decision-identically."
+  in
+  let algo_arg =
+    Arg.(value & opt string "ccd" & info [ "algo" ] ~docv:"ALGO" ~doc:"Search algorithm: ccd, cd, ensemble, random, annealing, portfolio, heft.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 7 & info [ "runs" ] ~doc:"Executions per candidate mapping.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECONDS" ~doc:"Virtual search-time budget.")
+  in
+  let max_trials_arg =
+    Arg.(value & opt (some int) None & info [ "max-trials" ] ~docv:"N" ~doc:"Stop after N evaluated proposals (including the start).")
+  in
+  let max_wall_arg =
+    Arg.(value & opt (some float) None & info [ "max-wall" ] ~docv:"SECONDS" ~doc:"Stop after SECONDS of real elapsed time (resume-aware: carried across checkpoints).")
+  in
+  let progress_arg =
+    Arg.(value & flag & info [ "progress" ] ~doc:"Print each improvement and phase change to stderr as it happens.")
+  in
+  let events_arg =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc:"Append every engine event to FILE as JSON lines (eval, improve, phase, checkpoint).")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Write a resumable checkpoint to FILE (atomically) every --checkpoint-every trials.")
+  in
+  let checkpoint_every_arg =
+    Arg.(value & opt int 25 & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint interval in evaluated trials.")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc:"Resume from a checkpoint FILE written by the same workload and settings; the search continues decision-identically.")
+  in
+  let heft_seed_arg =
+    Arg.(value & flag & info [ "heft-seed" ] ~doc:"Start the search from the HEFT list schedule instead of the runtime-default mapping.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the best mapping to FILE.")
+  in
+  let run app input nodes cluster graph_file machine_file seed algo runs budget
+      max_trials max_wall progress events_file checkpoint checkpoint_every resume
+      heft_seed output =
+    let machine, g, _ =
+      resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
+    in
+    let events_oc = Option.map open_out events_file in
+    let emit line = Option.iter (fun oc -> output_string oc line; output_char oc '\n'; flush oc) events_oc in
+    let on_event = function
+      | Engine.Eval { trial; perf; vt; accepted; _ } ->
+          emit
+            (Printf.sprintf
+               {|{"event":"eval","trial":%d,"perf":%s,"vt":%.17g,"accepted":%b}|}
+               trial (json_float perf) vt accepted)
+      | Engine.Improve { trial; mapping; perf; vt } ->
+          emit
+            (Printf.sprintf
+               {|{"event":"improve","trial":%d,"perf":%s,"vt":%.17g,"mapping":"%s"}|}
+               trial (json_float perf) vt
+               (json_escape (Mapping.canonical_key mapping)));
+          if progress then
+            Printf.eprintf "[trial %6d, vt %8.2fs] best %.4f ms/iter\n%!" trial vt
+              (perf *. 1e3)
+      | Engine.Phase_change { name } ->
+          emit (Printf.sprintf {|{"event":"phase","name":"%s"}|} (json_escape name));
+          if progress then Printf.eprintf "[phase] %s\n%!" name
+      | Engine.Checkpointed { trial; path } ->
+          emit
+            (Printf.sprintf {|{"event":"checkpoint","trial":%d,"path":"%s"}|} trial
+               (json_escape path));
+          if progress then Printf.eprintf "[checkpoint] trial %d -> %s\n%!" trial path
+    in
+    let r =
+      Driver.run ~runs ~seed ?budget ?max_trials ?max_wall ~heft_seed ~on_event
+        ?checkpoint ~checkpoint_every ?resume_from:resume (algo_of algo) machine g
+    in
+    Option.iter close_out events_oc;
+    Format.printf "%a@." Driver.pp_result r;
+    Printf.printf "engine: %d steps, %d checkpoints written\n" r.Driver.engine_steps
+      r.Driver.checkpoints_written;
+    Printf.printf "best mapping: %s\n" (Report.placement_summary g r.Driver.best);
+    match output with
+    | None -> ()
+    | Some file ->
+        write_file file (Codec.to_string g r.Driver.best);
+        Printf.printf "mapping written to %s\n" file
+  in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(
+      const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
+      $ machine_file_arg $ seed_arg $ algo_arg $ runs_arg $ budget_arg
+      $ max_trials_arg $ max_wall_arg $ progress_arg $ events_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg $ heft_seed_arg $ out_arg)
 
 let analyze_cmd =
   let doc =
@@ -375,4 +490,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ apps_cmd; analyze_cmd; tune_cmd; compare_cmd; simulate_cmd; profile_cmd ]))
+          [
+            apps_cmd;
+            analyze_cmd;
+            tune_cmd;
+            search_cmd;
+            compare_cmd;
+            simulate_cmd;
+            profile_cmd;
+          ]))

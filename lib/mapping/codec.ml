@@ -98,6 +98,26 @@ let of_string g s =
       in
       match !missing with Some e -> Error e | None -> Ok mapping)
 
+(* Checkpoint primitives: hex floats round-trip bit-exactly, canonical
+   keys round-trip mappings exactly — together they let the search
+   layer serialize an incumbent in one line. *)
+
+let hex_of_float = Printf.sprintf "%h"
+
+let float_of_hex s = float_of_string_opt s
+
+let incumbent_line m perf =
+  Printf.sprintf "%h %s" perf (Mapping.canonical_key m)
+
+let parse_incumbent g line =
+  match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+  | [ p; key ] -> (
+      match (float_of_string_opt p, Mapping.of_canonical_key g key) with
+      | Some p, Some m -> Ok (m, p)
+      | None, _ -> Error ("Codec.parse_incumbent: bad perf " ^ p)
+      | _, None -> Error ("Codec.parse_incumbent: key does not match the graph"))
+  | _ -> Error ("Codec.parse_incumbent: malformed line " ^ line)
+
 let round_trip_exn g m =
   match of_string g (to_string g m) with
   | Ok m' -> m'

@@ -5,6 +5,21 @@
     solutions that require moving several overlapping collections
     together; the ablation bench quantifies that claim. *)
 
+val make :
+  ?seed:int ->
+  ?max_evals:int ->
+  ?t0:float ->
+  ?cooling:float ->
+  Evaluator.t ->
+  Engine.strategy
+(** Annealing as an engine strategy (name ["annealing"]); the
+    Metropolis threshold of each proposal travels as its
+    {!Engine.hint.bound}. *)
+
+val decode : Evaluator.t -> string list -> (Engine.strategy, string) result
+(** Rebuild a checkpointed annealing strategy: RNG state, temperature,
+    current point and evaluation count restored bit-exactly. *)
+
 val search :
   ?seed:int ->
   ?max_evals:int ->

@@ -1,0 +1,46 @@
+type t = {
+  max_trials : int option;
+  max_virtual : float option;
+  max_wall : float option;
+}
+
+let unlimited = { max_trials = None; max_virtual = None; max_wall = None }
+
+let make ?max_trials ?max_virtual ?max_wall () =
+  (match max_trials with
+  | Some n when n < 0 -> invalid_arg "Budget.make: max_trials must be non-negative"
+  | _ -> ());
+  let finite_cap name = function
+    | Some c when Float.is_nan c -> invalid_arg ("Budget.make: " ^ name ^ " is NaN")
+    | Some c when c = infinity -> None (* an infinite cap is no cap *)
+    | Some c when c < 0.0 -> invalid_arg ("Budget.make: " ^ name ^ " must be non-negative")
+    | c -> c
+  in
+  {
+    max_trials;
+    max_virtual = finite_cap "max_virtual" max_virtual;
+    max_wall = finite_cap "max_wall" max_wall;
+  }
+
+let of_virtual cap = make ~max_virtual:cap ()
+let of_trials n = make ~max_trials:n ()
+
+let is_unlimited b = b.max_trials = None && b.max_virtual = None && b.max_wall = None
+
+let exhausted b ~trials ~vt ~wall =
+  (match b.max_trials with Some n -> trials >= n | None -> false)
+  || (match b.max_virtual with Some cap -> vt > cap | None -> false)
+  || (match b.max_wall with Some cap -> wall > cap | None -> false)
+
+let pp ppf b =
+  let parts =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (Printf.sprintf "trials<=%d") b.max_trials;
+        Option.map (Printf.sprintf "virtual<=%gs") b.max_virtual;
+        Option.map (Printf.sprintf "wall<=%gs") b.max_wall;
+      ]
+  in
+  Format.pp_print_string ppf
+    (match parts with [] -> "unlimited" | ps -> String.concat " " ps)

@@ -15,6 +15,16 @@
     Each rotation starts from the best mapping of the previous one and
     re-profiles it to refresh the longest-running-first task order. *)
 
+val make : ?rotations:int -> Evaluator.t -> Engine.strategy
+(** CCD as an engine strategy (name ["ccd"]); emits a
+    {!Engine.Phase} marker at each rotation entry.
+    @raise Invalid_argument if [rotations < 2]. *)
+
+val decode : Evaluator.t -> string list -> (Engine.strategy, string) result
+(** Rebuild a checkpointed CCD strategy mid-rotation: the overlap graph
+    is re-derived (pruning is deterministic), the sweep cursor and
+    incumbent restored. *)
+
 val search :
   ?rotations:int ->
   ?start:Mapping.t ->
@@ -23,4 +33,5 @@ val search :
   Mapping.t * float
 (** [rotations] defaults to 5 (the paper's setting; fewer behaves like
     CD, more wastes search time — §5).  @raise Invalid_argument if
-    [rotations < 2]. *)
+    [rotations < 2].  Convenience wrapper over {!Engine.run} with
+    {!make}. *)

@@ -6,6 +6,13 @@
     collections in the fastest memory of the chosen kind.  Runtime is
     linear in tasks × collections. *)
 
+val make : Evaluator.t -> Engine.strategy
+(** CD as an engine strategy (name ["cd"]). *)
+
+val decode : Evaluator.t -> string list -> (Engine.strategy, string) result
+(** Rebuild a checkpointed CD strategy from its {!Engine.strategy.encode}
+    lines; re-pins the restored incumbent. *)
+
 val search :
   ?start:Mapping.t ->
   ?budget:float ->
@@ -13,4 +20,4 @@ val search :
   Mapping.t * float
 (** Returns the best mapping found and its measured performance.
     [budget] bounds the evaluator's virtual search time (default
-    unlimited). *)
+    unlimited).  Convenience wrapper over {!Engine.run} with {!make}. *)

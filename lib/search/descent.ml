@@ -1,44 +1,49 @@
-let test_mapping ev candidate (best, best_perf) =
-  (* the incumbent perf is the bound: a candidate pruned at it could
-     never satisfy the strict-improvement acceptance below *)
-  let perf = Evaluator.evaluate ~bound:best_perf ev candidate in
-  if perf < best_perf then begin
-    Evaluator.note_incumbent ev candidate;
-    (candidate, perf)
-  end
-  else (best, best_perf)
+(* The coordinate-descent sweep of Algorithm 1 (lines 11-18), expressed
+   as a cursor the engine can drive one proposal at a time.  The legacy
+   [sweep]/[optimize_task] loops enumerated candidates and evaluated
+   them in place; the cursor enumerates the same candidate *specs* in
+   the same order and materializes each against the caller's current
+   incumbent at proposal time — identical to the legacy loops, where a
+   candidate was also built from the incumbent as it stood after the
+   previous accept/reject.
 
-let optimize_task ev ~overlap ~should_stop (task : Graph.task) (f0, p0) =
-  let g = Evaluator.graph ev in
-  let machine = Evaluator.machine ev in
-  let space = Evaluator.space ev in
-  let incumbent = ref (f0, p0) in
-  let test candidate =
-    if not (should_stop ()) then
-      (* Setting a coordinate to its current value (after any
-         co-location repair) reproduces the incumbent: skip it instead
-         of burning a suggestion + DB lookup on a mapping that can
-         never be a strict improvement. *)
-      if Mapping.equal candidate (fst !incumbent) then Evaluator.note_noop_neighbor ev
-      else incumbent := test_mapping ev candidate !incumbent
-  in
-  (* lines 11-12: distribution setting (the extended space also
-     enumerates the cross-node strategy here) *)
-  List.iter
-    (fun (d, strat) ->
-      let f, _ = !incumbent in
-      test (Mapping.set_strategy (Mapping.set_distribute f task.tid d) task.tid strat))
-    (Space.distribution_choices space);
-  (* lines 13-18: processor kind x (collection x memory kind),
-     enumerating only analyzer-certified domains.  A skipped value is a
-     candidate the unpruned enumeration would have suggested only to
-     learn it validates-then-OOMs (or repairs to the incumbent):
-     counted in [dead_coord_skips] instead of paying for a resolve. *)
+   Accounting equivalence: the legacy loops counted dead coordinates
+   interleaved with evaluations but unconditionally for every *entered*
+   task (only the evaluations were budget-guarded), so doing all of a
+   task's dead-coordinate accounting at task entry yields the same
+   totals in every truncation scenario.  No-op candidates (a spec that
+   reproduces the incumbent after co-location repair) are counted and
+   skipped here, exactly like the legacy [test] guard. *)
+
+type spec =
+  | Dist of bool * Mapping.dist_strategy
+  | Proc_mem of Kinds.proc_kind * int * Kinds.mem_kind  (* kind, cid, mem *)
+
+type t = {
+  ev : Evaluator.t;
+  overlap : Overlap.t option;
+  order : int list;        (* tids in runtime-descending order at sweep start *)
+  mutable entered : int;   (* tasks entered so far; current = nth order (entered-1) *)
+  mutable specs : spec list;  (* remaining specs of the current task *)
+  mutable consumed : int;     (* specs consumed (proposed or no-op) in it *)
+}
+
+let specs_for space (task : Graph.task) =
+  List.map (fun (d, s) -> Dist (d, s)) (Space.distribution_choices space)
+  @ List.concat_map
+      (fun k ->
+        List.concat_map
+          (fun (c : Graph.collection) ->
+            List.map (fun r -> Proc_mem (k, c.cid, r))
+              (Space.mem_choices_for space ~cid:c.cid k))
+          (Profile.order_args_by_size task))
+      (Space.proc_choices space task.tid)
+
+let account ev space (task : Graph.task) =
   let live_kinds = Space.proc_choices space task.tid in
   List.iter
     (fun k ->
       if not (List.memq k live_kinds) then
-        (* every (arg, mem) combination of a dead kind is skipped *)
         Evaluator.note_dead_coords ev
           (List.length task.args * List.length (Space.mem_choices space k)))
     (Space.proc_choices_all space task.tid);
@@ -46,30 +51,102 @@ let optimize_task ev ~overlap ~should_stop (task : Graph.task) (f0, p0) =
     (fun k ->
       List.iter
         (fun (c : Graph.collection) ->
-          let live_mems = Space.mem_choices_for space ~cid:c.cid k in
-          let dead = List.length (Space.mem_choices space k) - List.length live_mems in
-          if dead > 0 then Evaluator.note_dead_coords ev dead;
-          List.iter
-            (fun r ->
-              let f, _ = !incumbent in
-              let f' = Mapping.set_mem (Mapping.set_proc f task.tid k) c.cid r in
-              let f'' =
-                match overlap with
-                | None -> f'
-                | Some o ->
-                    Colocation.apply g machine ~overlap:o ~mapping:f' ~t:task.tid
-                      ~c:c.cid ~k ~r
-              in
-              test f'')
-            live_mems)
-        (Profile.order_args_by_size task))
-    live_kinds;
-  !incumbent
+          let live = Space.mem_choices_for space ~cid:c.cid k in
+          let dead = List.length (Space.mem_choices space k) - List.length live in
+          if dead > 0 then Evaluator.note_dead_coords ev dead)
+        task.args)
+    live_kinds
 
-let sweep ev ~overlap ~should_stop ~profile (f0, p0) =
+let start ev ~overlap ~profile =
   let g = Evaluator.graph ev in
-  List.fold_left
-    (fun acc task ->
-      if should_stop () then acc else optimize_task ev ~overlap ~should_stop task acc)
-    (f0, p0)
-    (Profile.order_tasks_by_runtime g profile)
+  let order =
+    List.map (fun (t : Graph.task) -> t.tid) (Profile.order_tasks_by_runtime g profile)
+  in
+  { ev; overlap; order; entered = 0; specs = []; consumed = 0 }
+
+let build t incumbent tid spec =
+  let g = Evaluator.graph t.ev in
+  let machine = Evaluator.machine t.ev in
+  match spec with
+  | Dist (d, strat) ->
+      Mapping.set_strategy (Mapping.set_distribute incumbent tid d) tid strat
+  | Proc_mem (k, cid, r) -> (
+      let f' = Mapping.set_mem (Mapping.set_proc incumbent tid k) cid r in
+      match t.overlap with
+      | None -> f'
+      | Some o -> Colocation.apply g machine ~overlap:o ~mapping:f' ~t:tid ~c:cid ~k ~r)
+
+let next t ~incumbent =
+  let g = Evaluator.graph t.ev in
+  let space = Evaluator.space t.ev in
+  let rec go () =
+    match t.specs with
+    | spec :: rest ->
+        t.specs <- rest;
+        t.consumed <- t.consumed + 1;
+        let tid = List.nth t.order (t.entered - 1) in
+        let cand = build t incumbent tid spec in
+        if Mapping.equal cand incumbent then begin
+          Evaluator.note_noop_neighbor t.ev;
+          go ()
+        end
+        else Some cand
+    | [] ->
+        if t.entered >= List.length t.order then None
+        else begin
+          let tid = List.nth t.order t.entered in
+          let task = Graph.task g tid in
+          t.entered <- t.entered + 1;
+          t.consumed <- 0;
+          account t.ev space task;
+          t.specs <- specs_for space task;
+          go ()
+        end
+  in
+  go ()
+
+let encode t =
+  Printf.sprintf "sweep %d %s %d %d" (List.length t.order)
+    (String.concat " " (List.map string_of_int t.order))
+    t.entered t.consumed
+
+let decode ev ~overlap line =
+  let fail fmt = Printf.ksprintf (fun m -> Error ("Descent.decode: " ^ m)) fmt in
+  match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+  | "sweep" :: n :: rest -> (
+      match int_of_string_opt n with
+      | None -> fail "bad order length"
+      | Some n -> (
+          if List.length rest <> n + 2 then fail "bad field count"
+          else
+            let ints = List.filter_map int_of_string_opt rest in
+            if List.length ints <> n + 2 then fail "bad integer field"
+            else
+              let order = List.filteri (fun i _ -> i < n) ints in
+              match List.filteri (fun i _ -> i >= n) ints with
+              | [ entered; consumed ] ->
+                  if entered < 0 || entered > n || consumed < 0 then
+                    fail "cursor out of range"
+                  else
+                    let g = Evaluator.graph ev in
+                    let space = Evaluator.space ev in
+                    let n_tasks = Graph.n_tasks g in
+                    if List.exists (fun tid -> tid < 0 || tid >= n_tasks) order then
+                      fail "task id out of range"
+                    else
+                      let t = { ev; overlap; order; entered; specs = []; consumed } in
+                      if entered = 0 then
+                        if consumed <> 0 then fail "consumed before first task"
+                        else Ok t
+                      else
+                        let tid = List.nth order (entered - 1) in
+                        let full = specs_for space (Graph.task g tid) in
+                        if consumed > List.length full then fail "consumed too large"
+                        else begin
+                          (* re-entry: accounting already happened before
+                             the checkpoint — do not redo it *)
+                          t.specs <- List.filteri (fun i _ -> i >= consumed) full;
+                          Ok t
+                        end
+              | _ -> fail "bad cursor fields"))
+  | _ -> fail "not a sweep line"

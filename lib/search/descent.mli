@@ -1,38 +1,41 @@
-(** The inner loop shared by CD and CCD: OptimizeTask (Algorithm 1,
-    lines 10–19).
+(** The coordinate-descent sweep shared by CD and CCD — OptimizeTask
+    over every task, longest-running first (Algorithm 1 lines 6,
+    10–19) — expressed as a resumable cursor for {!Engine}.
 
-    For one group task, greedily optimize — accepting only strict
-    improvements (TestMapping, lines 20–24) — first the distribution
-    setting, then jointly the processor kind and, per collection
-    argument in decreasing size order, the memory kind.  When an
+    A cursor enumerates, task by task, the same candidate coordinates
+    the legacy loops tested: first the distribution setting, then
+    jointly the processor kind and, per collection argument in
+    decreasing size order, the memory kind.  Each candidate is
+    materialized against the caller's {e current} incumbent only when
+    {!next} is called, so an accept in between changes subsequent
+    candidates exactly as the in-place legacy loops did.  When an
     overlap graph is supplied (CCD), every candidate is repaired into
-    co-location-satisfying form by Algorithm 2 before being tested;
-    plain CD tests the raw candidate (Algorithm 1 "excluding
-    line 17"). *)
+    co-location-satisfying form by Algorithm 2 before being returned;
+    plain CD yields the raw candidate (Algorithm 1 "excluding
+    line 17").
 
-val test_mapping :
-  Evaluator.t -> Mapping.t -> Mapping.t * float -> Mapping.t * float
-(** [test_mapping ev candidate (best, best_perf)] evaluates the
-    candidate and returns it with its performance if strictly better,
-    otherwise the incumbent (Algorithm 1 lines 20-24). *)
+    The cursor also owns the sweep's bookkeeping side effects:
+    analyzer-dead coordinates are counted ({!Evaluator.note_dead_coords})
+    when a task is entered, and candidates equal to the incumbent after
+    repair are counted ({!Evaluator.note_noop_neighbor}) and skipped
+    rather than returned. *)
 
-val optimize_task :
-  Evaluator.t ->
-  overlap:Overlap.t option ->
-  should_stop:(unit -> bool) ->
-  Graph.task ->
-  Mapping.t * float ->
-  Mapping.t * float
-(** One OptimizeTask pass.  [should_stop] is polled between
-    evaluations so a time budget can cut the search short; the
-    incumbent is returned unchanged from that point on. *)
+type t
 
-val sweep :
-  Evaluator.t ->
-  overlap:Overlap.t option ->
-  should_stop:(unit -> bool) ->
-  profile:Profile.t ->
-  Mapping.t * float ->
-  Mapping.t * float
-(** One full rotation: OptimizeTask over every task, longest-running
-    first (Algorithm 1 line 6). *)
+val start : Evaluator.t -> overlap:Overlap.t option -> profile:Profile.t -> t
+(** Fresh sweep: task order is fixed now from [profile]
+    (runtime-descending), candidates are generated lazily. *)
+
+val next : t -> incumbent:Mapping.t -> Mapping.t option
+(** The next candidate to evaluate, built from [incumbent]; [None] when
+    the sweep is complete.  Advancing may consume no-op specs (counted)
+    and enter new tasks (dead-coordinate accounting). *)
+
+val encode : t -> string
+(** Checkpoint line: task order + position.  Candidate specs are
+    re-derived from the space on {!decode}, so the line stays small. *)
+
+val decode : Evaluator.t -> overlap:Overlap.t option -> string -> (t, string) result
+(** Rebuild a cursor mid-sweep.  Entry accounting for the current task
+    is {e not} redone — the restored evaluator counters already include
+    it. *)

@@ -4,6 +4,8 @@ type algo =
   | Ensemble_tuner
   | Random_walk of { max_evals : int }
   | Annealing of { max_evals : int }
+  | Portfolio
+  | Heft
 
 let algo_name = function
   | Cd -> "CD"
@@ -11,6 +13,8 @@ let algo_name = function
   | Ensemble_tuner -> "Ensemble(OT)"
   | Random_walk _ -> "Random"
   | Annealing _ -> "Annealing"
+  | Portfolio -> "Portfolio"
+  | Heft -> "HEFT"
 
 type result = {
   algo : algo;
@@ -27,25 +31,129 @@ type result = {
   cache_hits : int;
   invalid : int;
   oom : int;
+  engine_steps : int;
+  checkpoints_written : int;
 }
 
+(* HEFT is not a search: the list schedule *is* the mapping.  As a
+   strategy it stops immediately, so the engine evaluates the (HEFT)
+   start point and hands it straight to the final protocol. *)
+let heft_strategy =
+  {
+    Engine.name = "heft";
+    init = ignore;
+    step = (fun _ -> Engine.Stop);
+    receive = (fun _ _ -> false);
+    encode = (fun () -> []);
+  }
+
+let strategy_of_algo ~seed ?budget algo ev =
+  match algo with
+  | Cd -> Cd.make ev
+  | Ccd { rotations } -> Ccd.make ~rotations ev
+  | Ensemble_tuner ->
+      Ensemble.make ~config:{ Ensemble.default_config with seed = seed + 1 } ev
+  | Random_walk { max_evals } -> Random_search.make ~seed:(seed + 1) ~max_evals ev
+  | Annealing { max_evals } -> Annealing.make ~seed:(seed + 1) ~max_evals ev
+  | Portfolio -> Portfolio.make ?budget ~seed:(seed + 1) ev
+  | Heft -> heft_strategy
+
+(* Checkpoints name the strategy; decoding dispatches on that name
+   explicitly (no registration side effects, so no link-order traps). *)
+let decode_strategy ev ~algo lines =
+  match algo with
+  | "cd" -> Cd.decode ev lines
+  | "ccd" -> Ccd.decode ev lines
+  | "annealing" -> Annealing.decode ev lines
+  | "random" -> Random_search.decode ev lines
+  | "ensemble" -> Ensemble.decode ev lines
+  | "portfolio" -> Portfolio.decode ev lines
+  | "heft" -> Ok heft_strategy
+  | other -> Error (Printf.sprintf "unknown strategy %S in checkpoint" other)
+
 let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
-    ?(seed = 0) ?budget ?start ?objective ?extended ?incremental ?domain_prune ?db
-    algo machine graph =
+    ?(seed = 0) ?budget ?max_trials ?max_wall ?start ?(heft_seed = false)
+    ?objective ?extended ?incremental ?domain_prune ?db ?on_event ?checkpoint
+    ?(checkpoint_every = 25) ?resume_from algo machine graph =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let snapshot =
+    match resume_from with
+    | None -> None
+    | Some path -> (
+        match Engine.load_snapshot path with
+        | Ok s -> Some (path, s)
+        | Error e -> fail "%s: %s" path e)
+  in
+  let db =
+    (* a checkpoint carries its own profiles database — it supersedes
+       any warm-start [?db] *)
+    match snapshot with
+    | None -> db
+    | Some (path, s) -> (
+        match Profiles_db.load graph s.Engine.s_profiles with
+        | Ok db -> Some db
+        | Error e -> fail "%s: profiles section: %s" path e)
+  in
   let ev =
     Evaluator.create ?runs ?noise_sigma ?iterations ~seed ?objective ?extended
       ?incremental ?domain_prune ?db machine graph
   in
-  let search_best, search_perf =
-    match algo with
-    | Cd -> Cd.search ?start ?budget ev
-    | Ccd { rotations } -> Ccd.search ~rotations ?start ?budget ev
-    | Ensemble_tuner ->
-        Ensemble.search ~config:{ Ensemble.default_config with seed = seed + 1 } ?start
-          ?budget ev
-    | Random_walk { max_evals } -> Random_search.search ~seed:(seed + 1) ~max_evals ?start ?budget ev
-    | Annealing { max_evals } -> Annealing.search ~seed:(seed + 1) ~max_evals ?start ?budget ev
+  let checkpoint =
+    Option.map (fun path -> { Engine.every = checkpoint_every; path }) checkpoint
   in
+  let o =
+    match snapshot with
+    | None ->
+        let start =
+          match start with
+          | Some m -> m
+          | None ->
+              if heft_seed || algo = Heft then Heft.mapping machine graph
+              else Mapping.default_start graph machine
+        in
+        let strat = strategy_of_algo ~seed ?budget algo ev in
+        let budget =
+          (* the portfolio shares [budget] across members through its own
+             absolute deadlines; every other algorithm gets it as the
+             engine's virtual-time cap *)
+          let max_virtual = if algo = Portfolio then None else budget in
+          Budget.make ?max_trials ?max_virtual ?max_wall ()
+        in
+        Engine.run ~budget ?on_event ?checkpoint ~start ev strat
+    | Some (path, s) ->
+        if Evaluator.fingerprint ev <> s.Engine.s_fingerprint then
+          fail
+            "%s: fingerprint mismatch — checkpoint was written with a different \
+             machine, graph or evaluator configuration (%s vs %s)"
+            path s.Engine.s_fingerprint (Evaluator.fingerprint ev);
+        (match Evaluator.restore_state ev s.Engine.s_evaluator with
+        | Ok () -> ()
+        | Error e -> fail "%s: %s" path e);
+        let strat =
+          match decode_strategy ev ~algo:s.Engine.s_algo s.Engine.s_strategy with
+          | Ok strat -> strat
+          | Error e -> fail "%s: %s" path e
+        in
+        let best_m =
+          match Mapping.of_canonical_key graph s.Engine.s_best_key with
+          | Some m -> m
+          | None -> fail "%s: best-mapping key does not parse for this graph" path
+        in
+        let carry =
+          {
+            Engine.c_trials = s.Engine.s_trials;
+            c_steps = s.Engine.s_steps;
+            c_wall = s.Engine.s_wall;
+            c_best = (best_m, s.Engine.s_best_perf);
+          }
+        in
+        let budget =
+          let max_virtual = if s.Engine.s_algo = "portfolio" then None else budget in
+          Budget.make ?max_trials ?max_virtual ?max_wall ()
+        in
+        Engine.run ~budget ?on_event ?checkpoint ~carry ~start:best_m ev strat
+  in
+  let search_best, search_perf = (o.Engine.best, o.Engine.perf) in
   (* Final protocol: re-run the top-5 mappings 30 times each; report
      the one with the fastest average. *)
   let candidates =
@@ -80,6 +188,8 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
     cache_hits = Evaluator.cache_hits ev;
     invalid = Evaluator.invalid_count ev;
     oom = Evaluator.oom_count ev;
+    engine_steps = o.Engine.steps;
+    checkpoints_written = o.Engine.checkpoints_written;
   }
 
 let pp_result ppf r =

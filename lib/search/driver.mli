@@ -1,10 +1,10 @@
 (** The AutoMap driver (Figure 4): owns the evaluator/profiles
-    database, invokes a pluggable search algorithm, and applies the
-    paper's measurement protocol — during the search each candidate is
-    executed [runs] (7) times and averaged; afterwards the [final_top]
-    (5) best mappings are re-executed [final_runs] (30) times each and
-    the mapping with the fastest average is reported (§5,
-    "Experimental Setup"). *)
+    database, invokes a pluggable search algorithm through the
+    {!Engine}, and applies the paper's measurement protocol — during
+    the search each candidate is executed [runs] (7) times and
+    averaged; afterwards the [final_top] (5) best mappings are
+    re-executed [final_runs] (30) times each and the mapping with the
+    fastest average is reported (§5, "Experimental Setup"). *)
 
 type algo =
   | Cd
@@ -12,6 +12,8 @@ type algo =
   | Ensemble_tuner
   | Random_walk of { max_evals : int }
   | Annealing of { max_evals : int }
+  | Portfolio  (** {!Portfolio.default_members} sharing the budget *)
+  | Heft  (** no search: evaluate the HEFT list schedule (§5 baseline) *)
 
 val algo_name : algo -> string
 
@@ -30,7 +32,14 @@ type result = {
   cache_hits : int;
   invalid : int;
   oom : int;
+  engine_steps : int;          (** {!Engine} strategy steps taken *)
+  checkpoints_written : int;
 }
+
+val decode_strategy :
+  Evaluator.t -> algo:string -> string list -> (Engine.strategy, string) Stdlib.result
+(** Rebuild a checkpointed strategy from its [algo] name (as recorded in
+    {!Engine.snapshot.s_algo}) and encoded state lines. *)
 
 val run :
   ?runs:int ->
@@ -40,23 +49,46 @@ val run :
   ?iterations:int ->
   ?seed:int ->
   ?budget:float ->
+  ?max_trials:int ->
+  ?max_wall:float ->
   ?start:Mapping.t ->
+  ?heft_seed:bool ->
   ?objective:(Machine.t -> Exec.result -> float) ->
   ?extended:bool ->
   ?incremental:bool ->
   ?domain_prune:bool ->
   ?db:Profiles_db.t ->
+  ?on_event:(Engine.event -> unit) ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:string ->
   algo ->
   Machine.t ->
   Graph.t ->
   result
 (** [budget] caps virtual search time (seconds of simulated
-    application execution); the defaults follow §5: [runs] = 7,
+    application execution); [max_trials] and [max_wall] cap evaluated
+    proposals and real elapsed seconds — the three compose into one
+    {!Budget.t} and the first exhausted axis stops the search.  The
+    defaults follow §5: [runs] = 7,
     [final_top] = 5, [final_runs] = 30.  [objective] selects the
     metric the search minimizes (default: per-iteration time),
     [extended] opens the distribution-strategy dimension,
     [incremental] (default true) toggles incremental re-simulation and
     [db] warm-starts from a persisted profiles database (see
-    {!Evaluator.create}). *)
+    {!Evaluator.create}).
+
+    [heft_seed] starts the search from {!Heft.mapping} instead of
+    {!Mapping.default_start} (ignored when [start] is given).
+
+    [on_event] taps the engine's progress bus.  [checkpoint] names a
+    file rewritten atomically every [checkpoint_every] (25) evaluated
+    trials.  [resume_from] restores a checkpoint written by the same
+    (machine, graph, evaluator-configuration) run — the snapshot's own
+    strategy, evaluator state and profiles database replace [algo]'s
+    fresh strategy and [db], and the search continues
+    decision-identically from where it stopped.
+    @raise Failure if the checkpoint is unreadable, fingerprint-
+    mismatched, or names an unknown strategy. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,154 @@
+(** The search engine: one trial loop for every algorithm.
+
+    The paper's driver (Figure 4) treats search algorithms as
+    interchangeable suggestion sources behind a single measurement
+    protocol.  This module is that boundary made explicit: an algorithm
+    is a {!strategy} — a state machine that {e proposes} candidate
+    mappings and {e receives} verdicts — and the engine owns everything
+    the algorithms used to hand-roll separately:
+
+    - evaluation, with each proposal's pruning bound plumbed uniformly
+      through {!Evaluator.evaluate}'s [?bound];
+    - incumbent pinning ({!Evaluator.note_incumbent}) whenever the
+      strategy accepts a proposal;
+    - the stopping rule, via one {!Budget.t} (max trials / virtual
+      time / wall clock) tested before every step;
+    - the event bus ([on_event]) feeding progress displays, JSONL
+      streams and benches;
+    - the checkpoint codec: strategy state + evaluator state + profiles
+      database serialized so an interrupted search resumes
+      {e decision-identically} (same accept/reject sequence, same RNG
+      draws, same best mapping).
+
+    Budget checks happen between trials and virtual time only advances
+    inside evaluations, so moving the legacy loops' interleaved
+    [should_stop] tests to the engine's per-step check provably cannot
+    change any decision. *)
+
+type hint = {
+  bound : float option;
+      (** pruning bound for {!Evaluator.evaluate} — the value above
+          which this proposal is certainly rejected (incumbent perf,
+          Metropolis threshold, current best…) *)
+  overhead : float;
+      (** virtual seconds of proposal machinery to charge before
+          evaluating ({!Evaluator.note_suggestion_overhead}); 0 for
+          free proposals *)
+}
+
+val unbounded : hint
+(** [{ bound = None; overhead = 0.0 }] *)
+
+type step =
+  | Propose of Mapping.t * hint  (** evaluate this candidate next *)
+  | Phase of string              (** phase marker (rotation, member…) — no evaluation *)
+  | Stop                         (** the strategy is done *)
+
+type ctx = {
+  trials : int;           (** proposals evaluated so far, incl. the start *)
+  vt : float;             (** the evaluator's virtual clock *)
+  best : Mapping.t * float;  (** engine-tracked best-so-far *)
+}
+
+type strategy = {
+  name : string;  (** stable identifier, used by the checkpoint codec *)
+  init : Mapping.t * float -> unit;
+      (** called once with the evaluated start point before the first
+          [step] (never on resume — decode restores that state) *)
+  step : ctx -> step;
+  receive : Mapping.t -> float -> bool;
+      (** verdict for the proposal just evaluated; returns whether the
+          strategy {e accepts} it as its new incumbent — the engine
+          pins accepted mappings via {!Evaluator.note_incumbent} *)
+  encode : unit -> string list;
+      (** serialize the full decision state (RNG, cursors, incumbents)
+          as newline-free text lines; each algorithm module provides
+          the matching [decode] *)
+}
+
+type event =
+  | Eval of { trial : int; mapping : Mapping.t; perf : float; vt : float; accepted : bool }
+  | Improve of { trial : int; mapping : Mapping.t; perf : float; vt : float }
+  | Phase_change of { name : string }
+  | Checkpointed of { trial : int; path : string }
+
+type checkpoint_cfg = {
+  every : int;    (** write a checkpoint every [every] completed trials *)
+  path : string;  (** target file, replaced atomically (tmp + rename) *)
+}
+
+type carry = {
+  c_trials : int;
+  c_steps : int;
+  c_wall : float;
+  c_best : Mapping.t * float;
+}
+(** Engine counters restored from a {!snapshot} when resuming. *)
+
+type outcome = {
+  best : Mapping.t;
+  perf : float;
+  trials : int;             (** evaluated proposals, incl. the start *)
+  steps : int;              (** strategy [step] calls *)
+  checkpoints_written : int;
+}
+
+val run :
+  ?budget:Budget.t ->
+  ?on_event:(event -> unit) ->
+  ?checkpoint:checkpoint_cfg ->
+  ?carry:carry ->
+  start:Mapping.t ->
+  Evaluator.t ->
+  strategy ->
+  outcome
+(** Fresh run: evaluates [start] unbounded (trial 1), pins it, calls
+    [strategy.init], then loops [step]/evaluate/[receive] until the
+    strategy stops or the budget is {!Budget.exhausted}.  With [?carry]
+    (resume): skips the start evaluation and [init] — the caller must
+    have restored the evaluator ({!Evaluator.restore_state}) and
+    decoded the strategy from the same snapshot. *)
+
+(** {2 Checkpoint codec}
+
+    A checkpoint is a self-contained text envelope:
+    {v
+    automap-checkpoint 1
+    algo <strategy name>
+    fingerprint <Evaluator.fingerprint>
+    engine <trials> <steps> <wall %h>
+    best <perf %h> <canonical mapping key>
+    strategy <n>   ... n strategy lines ...
+    evaluator <n>  ... n Evaluator.save_state lines ...
+    profiles <n>   ... n Profiles_db.save lines ...
+    end
+    v}
+    Floats are hex ([%h]) so restore is bit-exact. *)
+
+type snapshot = {
+  s_algo : string;
+  s_fingerprint : string;
+  s_trials : int;
+  s_steps : int;
+  s_wall : float;
+  s_best_key : string;
+  s_best_perf : float;
+  s_strategy : string list;
+  s_evaluator : string list;
+  s_profiles : string;
+}
+
+val checkpoint_string :
+  Evaluator.t ->
+  strategy ->
+  trials:int ->
+  steps:int ->
+  wall:float ->
+  best:Mapping.t * float ->
+  string
+(** The envelope [run] writes; exposed for tests and manual snapshots. *)
+
+val snapshot_of_string : string -> (snapshot, string) result
+
+val load_snapshot : string -> (snapshot, string) result
+(** Read and parse a checkpoint file. *)

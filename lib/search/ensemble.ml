@@ -78,49 +78,185 @@ let pattern_step space cursor parent =
       in
       Mapping.set_mem parent cid (next (Mapping.mem_of parent cid))
 
-let search ?(config = default_config) ?start ?(budget = infinity) ev =
-  let g = Evaluator.graph ev in
-  let machine = Evaluator.machine ev in
-  let space = Evaluator.space ev in
-  let rng = Rng.create config.seed in
-  let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
-  let p0 = Evaluator.evaluate ev f0 in
-  let best = ref (f0, p0) in
-  let arms = Array.init 4 (fun _ -> { uses = 0; wins = 0 }) in
-  let pattern_cursor = ref 0 in
+type state = {
+  ev : Evaluator.t;
+  config : config;
+  rng : Rng.t;
+  arms : bandit_arm array;
+  mutable pattern_cursor : int;
+  mutable suggestions : int;
+  mutable best : (Mapping.t * float) option;
+  mutable pending_arm : int;  (* arm of the proposal in flight *)
+}
+
+let strategy_of st =
+  let g = Evaluator.graph st.ev in
+  let space = Evaluator.space st.ev in
   let elites () =
-    match Profiles_db.top (Evaluator.db ev) config.elite_size with
-    | [] -> [ fst !best ]
+    match Profiles_db.top (Evaluator.db st.ev) st.config.elite_size with
+    | [] -> [ (match st.best with Some (m, _) -> m | None -> assert false) ]
     | es -> List.map (fun e -> e.Profiles_db.mapping) es
   in
   let propose arm =
     match arm with
-    | 0 -> Space.random_unconstrained space rng
-    | 1 -> mutate space rng (Rng.choose_list rng (elites ()))
+    | 0 -> Space.random_unconstrained space st.rng
+    | 1 -> mutate space st.rng (Rng.choose_list st.rng (elites ()))
     | 2 -> (
         match elites () with
-        | [ only ] -> mutate space rng only
-        | es -> crossover g rng (Rng.choose_list rng es) (Rng.choose_list rng es))
+        | [ only ] -> mutate space st.rng only
+        | es ->
+            crossover g st.rng (Rng.choose_list st.rng es) (Rng.choose_list st.rng es))
     | 3 ->
-        let c = !pattern_cursor in
-        incr pattern_cursor;
-        pattern_step space c (fst !best)
+        let c = st.pattern_cursor in
+        st.pattern_cursor <- st.pattern_cursor + 1;
+        pattern_step space c (match st.best with Some (m, _) -> m | None -> assert false)
     | _ -> assert false
   in
-  let suggestions = ref 0 in
-  while
-    !suggestions < config.max_suggestions && Evaluator.virtual_time ev <= budget
-  do
-    incr suggestions;
-    let arm_idx = pick_arm rng ~exploration:config.exploration arms in
-    let candidate = propose arm_idx in
-    Evaluator.note_suggestion_overhead ev config.suggestion_overhead;
-    let perf = Evaluator.evaluate ev candidate in
-    let arm = arms.(arm_idx) in
-    arm.uses <- arm.uses + 1;
-    if perf < snd !best then begin
-      arm.wins <- arm.wins + 1;
-      best := (candidate, perf)
-    end
-  done;
-  !best
+  {
+    Engine.name = "ensemble";
+    init = (fun bp -> st.best <- Some bp);
+    step =
+      (fun _ctx ->
+        if st.suggestions >= st.config.max_suggestions || st.best = None then
+          Engine.Stop
+        else begin
+          st.suggestions <- st.suggestions + 1;
+          let arm_idx = pick_arm st.rng ~exploration:st.config.exploration st.arms in
+          let candidate = propose arm_idx in
+          st.pending_arm <- arm_idx;
+          (* every proposal charges the machinery overhead (§5.3) *)
+          Engine.Propose
+            (candidate,
+             { Engine.bound = None; overhead = st.config.suggestion_overhead })
+        end);
+    receive =
+      (fun m perf ->
+        let arm = st.arms.(st.pending_arm) in
+        arm.uses <- arm.uses + 1;
+        match st.best with
+        | Some (_, bp) when perf < bp ->
+            arm.wins <- arm.wins + 1;
+            st.best <- Some (m, perf);
+            (* accepting here makes the engine pin the new best as the
+               incumbent — the legacy loop forfeited incremental replay
+               by never calling note_incumbent *)
+            true
+        | _ -> false);
+    encode =
+      (fun () ->
+        let fl = Codec.hex_of_float in
+        [
+          Printf.sprintf "ens %d %d %s %s %d %d %d %Ld" st.config.seed
+            st.config.elite_size (fl st.config.exploration)
+            (fl st.config.suggestion_overhead) st.config.max_suggestions
+            st.suggestions st.pattern_cursor (Rng.state st.rng);
+          Printf.sprintf "arms %s"
+            (String.concat " "
+               (Array.to_list
+                  (Array.map (fun a -> Printf.sprintf "%d %d" a.uses a.wins) st.arms)));
+          (match st.best with
+          | None -> "best none"
+          | Some (m, p) -> "best " ^ Codec.incumbent_line m p);
+        ]);
+  }
+
+let make ?(config = default_config) ev =
+  strategy_of
+    {
+      ev;
+      config;
+      rng = Rng.create config.seed;
+      arms = Array.init 4 (fun _ -> { uses = 0; wins = 0 });
+      pattern_cursor = 0;
+      suggestions = 0;
+      best = None;
+      pending_arm = 0;
+    }
+
+let decode ev lines =
+  let g = Evaluator.graph ev in
+  match lines with
+  | [ head; arms_l; best_l ] -> (
+      let ( let* ) = Result.bind in
+      let* st =
+        match String.split_on_char ' ' head |> List.filter (( <> ) "") with
+        | [ "ens"; seed; elite; expl; ovh; maxs; sugg; pc; rng ] -> (
+            match
+              ( int_of_string_opt seed,
+                int_of_string_opt elite,
+                Codec.float_of_hex expl,
+                Codec.float_of_hex ovh,
+                int_of_string_opt maxs,
+                int_of_string_opt sugg,
+                int_of_string_opt pc,
+                Int64.of_string_opt rng )
+            with
+            | ( Some seed,
+                Some elite_size,
+                Some exploration,
+                Some suggestion_overhead,
+                Some max_suggestions,
+                Some suggestions,
+                Some pattern_cursor,
+                Some rng ) ->
+                Ok
+                  {
+                    ev;
+                    config =
+                      {
+                        seed;
+                        elite_size;
+                        exploration;
+                        suggestion_overhead;
+                        max_suggestions;
+                      };
+                    rng = Rng.of_state rng;
+                    arms = Array.init 4 (fun _ -> { uses = 0; wins = 0 });
+                    pattern_cursor;
+                    suggestions;
+                    best = None;
+                    pending_arm = 0;
+                  }
+            | _ -> Error "Ensemble.decode: bad ens fields")
+        | _ -> Error "Ensemble.decode: bad ens line"
+      in
+      let* () =
+        match String.split_on_char ' ' arms_l |> List.filter (( <> ) "") with
+        | [ "arms"; u0; w0; u1; w1; u2; w2; u3; w3 ] -> (
+            let ints = List.filter_map int_of_string_opt [ u0; w0; u1; w1; u2; w2; u3; w3 ] in
+            match ints with
+            | [ u0; w0; u1; w1; u2; w2; u3; w3 ] ->
+                List.iteri
+                  (fun i (u, w) ->
+                    st.arms.(i).uses <- u;
+                    st.arms.(i).wins <- w)
+                  [ (u0, w0); (u1, w1); (u2, w2); (u3, w3) ];
+                Ok ()
+            | _ -> Error "Ensemble.decode: bad arm counts")
+        | _ -> Error "Ensemble.decode: bad arms line"
+      in
+      let* () =
+        if best_l = "best none" then Ok ()
+        else
+          match String.index_opt best_l ' ' with
+          | Some i when String.sub best_l 0 i = "best" ->
+              let* mp =
+                Codec.parse_incumbent g
+                  (String.sub best_l (i + 1) (String.length best_l - i - 1))
+              in
+              st.best <- Some mp;
+              Evaluator.note_incumbent ev (fst mp);
+              Ok ()
+          | _ -> Error "Ensemble.decode: bad best line"
+      in
+      Ok (strategy_of st))
+  | _ -> Error "Ensemble.decode: expected 3 lines"
+
+let search ?(config = default_config) ?start ?(budget = infinity) ev =
+  let g = Evaluator.graph ev in
+  let machine = Evaluator.machine ev in
+  let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
+  let o =
+    Engine.run ~budget:(Budget.of_virtual budget) ~start:f0 ev (make ~config ev)
+  in
+  (o.Engine.best, o.Engine.perf)

@@ -490,6 +490,149 @@ let stats t =
     s_timeline_bytes = Exec.timeline_bytes t.scratch;
   }
 
+(* ---- checkpoint support -------------------------------------------------
+   The evaluator's mutable state is part of every search decision: the
+   virtual clock feeds the budget test, the partials table changes how a
+   re-suggested candidate is answered, and [seed_counter] decides the
+   seeds of any post-search [measure] calls.  Serializing it with hex
+   floats ([%h]) makes restore bit-exact.  The profiles database is
+   saved separately ({!Profiles_db.save}) by the checkpoint envelope;
+   Exec's per-seed caches are pure performance state (replay is
+   bit-identical, PR 3) and are rebuilt on demand after a restore. *)
+
+let fingerprint t =
+  Printf.sprintf "%s|%s|r%d|n%h|f%b|i%s|p%h|o%h|pr%b|c%d"
+    t.machine.Machine.name t.graph.Graph.gname t.runs t.noise_sigma t.fallback
+    (match t.iterations with None -> "-" | Some i -> string_of_int i)
+    t.penalty t.eval_overhead t.prune t.crn_base
+
+let save_state t =
+  let fl = Printf.sprintf "%h" in
+  let counters =
+    Printf.sprintf "counters %d %d %d %d %d %d %d %d %d %d" t.suggested
+      t.evaluated t.cache_hits t.invalid t.oom t.cut_evals t.cut_runs t.cut_sims
+      t.noop_skips t.dead_coord_skips
+  in
+  let clocks = Printf.sprintf "clocks %s %s" (fl t.virtual_time) (fl t.eval_time) in
+  let seed = Printf.sprintf "seed_counter %d" t.seed_counter in
+  let best =
+    match t.best with
+    | None -> "best none"
+    | Some (m, p) -> Printf.sprintf "best %s %s" (fl p) (Mapping.canonical_key m)
+  in
+  let trace =
+    Printf.sprintf "trace %d" (List.length t.trace)
+    :: List.map (fun (vt, p) -> Printf.sprintf "t %s %s" (fl vt) (fl p)) t.trace
+  in
+  let partial_lines =
+    Hashtbl.fold
+      (fun key p acc ->
+        Printf.sprintf "p %s %d %d %s %s %d%s" key p.pbase p.pnext (fl p.psum)
+          (fl p.plb) (List.length p.pdone)
+          (String.concat "" (List.map (fun x -> " " ^ fl x) p.pdone))
+        :: acc)
+      t.partials []
+    (* deterministic checkpoint bytes regardless of hash order *)
+    |> List.sort compare
+  in
+  (counters :: clocks :: seed :: best :: trace)
+  @ (Printf.sprintf "partials %d" (List.length partial_lines) :: partial_lines)
+
+let restore_state t lines =
+  let fail fmt = Printf.ksprintf (fun m -> Error ("Evaluator.restore_state: " ^ m)) fmt in
+  let float_of s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> failwith ("Evaluator.restore_state: bad float " ^ s)
+  in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> failwith ("Evaluator.restore_state: bad int " ^ s)
+  in
+  let words l = String.split_on_char ' ' l |> List.filter (( <> ) "") in
+  try
+    match lines with
+    | counters :: clocks :: seed :: best :: rest -> (
+        (match words counters with
+        | [ "counters"; a; b; c; d; e; f; g; h; i; j ] ->
+            t.suggested <- int_of a;
+            t.evaluated <- int_of b;
+            t.cache_hits <- int_of c;
+            t.invalid <- int_of d;
+            t.oom <- int_of e;
+            t.cut_evals <- int_of f;
+            t.cut_runs <- int_of g;
+            t.cut_sims <- int_of h;
+            t.noop_skips <- int_of i;
+            t.dead_coord_skips <- int_of j
+        | _ -> failwith "Evaluator.restore_state: bad counters line");
+        (match words clocks with
+        | [ "clocks"; vt; et ] ->
+            t.virtual_time <- float_of vt;
+            t.eval_time <- float_of et
+        | _ -> failwith "Evaluator.restore_state: bad clocks line");
+        (match words seed with
+        | [ "seed_counter"; s ] -> t.seed_counter <- int_of s
+        | _ -> failwith "Evaluator.restore_state: bad seed_counter line");
+        (match words best with
+        | [ "best"; "none" ] -> t.best <- None
+        | [ "best"; p; key ] -> (
+            match Mapping.of_canonical_key t.graph key with
+            | Some m -> t.best <- Some (m, float_of p)
+            | None -> failwith "Evaluator.restore_state: best key mismatch")
+        | _ -> failwith "Evaluator.restore_state: bad best line");
+        let take_count tag = function
+          | l :: rest -> (
+              match words l with
+              | [ w; n ] when w = tag -> (int_of n, rest)
+              | _ -> failwith ("Evaluator.restore_state: expected " ^ tag ^ " line"))
+          | [] -> failwith ("Evaluator.restore_state: missing " ^ tag ^ " line")
+        in
+        let n_trace, rest = take_count "trace" rest in
+        let rec read_trace n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else
+            match rest with
+            | l :: rest -> (
+                match words l with
+                | [ "t"; vt; p ] -> read_trace (n - 1) ((float_of vt, float_of p) :: acc) rest
+                | _ -> failwith "Evaluator.restore_state: bad trace line")
+            | [] -> failwith "Evaluator.restore_state: truncated trace"
+        in
+        let trace_rev, rest = read_trace n_trace [] rest in
+        (* lines were emitted newest-first; [read_trace] reversed them *)
+        t.trace <- List.rev trace_rev;
+        let n_partials, rest = take_count "partials" rest in
+        Hashtbl.reset t.partials;
+        let rec read_partials n rest =
+          if n = 0 then rest
+          else
+            match rest with
+            | l :: rest -> (
+                match words l with
+                | "p" :: key :: pbase :: pnext :: psum :: plb :: ndone :: done_s ->
+                    let nd = int_of ndone in
+                    if List.length done_s <> nd then
+                      failwith "Evaluator.restore_state: bad partial run count";
+                    Hashtbl.replace t.partials key
+                      {
+                        pbase = int_of pbase;
+                        pdone = List.map float_of done_s;
+                        psum = float_of psum;
+                        pnext = int_of pnext;
+                        plb = float_of plb;
+                      };
+                    read_partials (n - 1) rest
+                | _ -> failwith "Evaluator.restore_state: bad partial line")
+            | [] -> failwith "Evaluator.restore_state: truncated partials"
+        in
+        match read_partials n_partials rest with
+        | [] -> Ok ()
+        | l :: _ -> fail "trailing line %S" l)
+    | _ -> fail "truncated state"
+  with Failure m -> Error m
+
 let measure_with t ?runs ?iterations metric mapping =
   let runs = Option.value runs ~default:t.runs in
   let rec go n acc =

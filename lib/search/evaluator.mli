@@ -186,6 +186,35 @@ val eval_time : t -> float
 (** Virtual time spent actually executing candidates (for the
     useful-time fraction of §5.3). *)
 
+val fingerprint : t -> string
+(** One-line digest of the decision-relevant configuration (machine,
+    graph, runs, noise, fallback, iterations, penalty, overhead, prune
+    flag, CRN seed base).  A checkpoint written by one evaluator may
+    only be restored into an evaluator with an equal fingerprint —
+    anything else would silently change the decision sequence.
+    Incremental replay and domain pruning are deliberately excluded:
+    both are proven decision-neutral. *)
+
+val save_state : t -> string list
+(** Serialize the evaluator's mutable search state — counters, virtual
+    and eval clocks, [measure] seed counter, best-so-far, improvement
+    trace, and the partial-evaluation table — as text lines with
+    hex-float ([%h]) exactness.  The profiles database is {e not}
+    included; checkpoint it alongside with {!Profiles_db.save}.
+    Restoring these lines (plus the database) into a fresh evaluator
+    with the same {!fingerprint} makes every subsequent evaluation,
+    budget test, and [measure] draw bit-identical to the uninterrupted
+    run: cache answers come from the database, cut candidates resume
+    from the partials table with their original seeds, and the virtual
+    clock continues from the exact same value. *)
+
+val restore_state : t -> string list -> (unit, string) result
+(** Inverse of {!save_state}.  Overwrites the evaluator's mutable state;
+    the caller is responsible for having checked {!fingerprint} equality
+    and for loading the saved profiles database into [~db] at
+    {!create} time.  Exec's per-seed noise/timeline caches are rebuilt
+    lazily — they are bit-exact performance state, not decisions. *)
+
 val measure : t -> ?runs:int -> ?iterations:int -> Mapping.t -> float list
 (** Per-iteration *times* of [runs] executions, outside the search
     bookkeeping — for baseline comparisons.  Raises [Failure] on

@@ -45,6 +45,7 @@ type member_result = {
   perf : float;
   evaluated : int;
   suggested : int;
+  steps : int;
 }
 
 let run_members ?domains ?(members = Portfolio.default_members) ?(budget = infinity)
@@ -61,14 +62,19 @@ let run_members ?domains ?(members = Portfolio.default_members) ?(budget = infin
     let start = Mapping.default_start graph machine in
     let p0 = Evaluator.evaluate ev start in
     let deadline = Evaluator.virtual_time ev +. budget in
-    let m, p =
+    let strat =
       match member with
-      | Portfolio.Ccd rotations -> Ccd.search ~rotations ~start ~budget:deadline ev
-      | Portfolio.Cd -> Cd.search ~start ~budget:deadline ev
-      | Portfolio.Annealing -> Annealing.search ~seed:(seed + 13) ~start ~budget:deadline ev
-      | Portfolio.Random ->
-          Random_search.search ~seed:(seed + 29) ~start ~budget:deadline ev
+      | Portfolio.Ccd rotations -> Ccd.make ~rotations ev
+      | Portfolio.Cd -> Cd.make ev
+      | Portfolio.Annealing -> Annealing.make ~seed:(seed + 13) ev
+      | Portfolio.Random -> Random_search.make ~seed:(seed + 29) ev
     in
+    (* the engine re-evaluates [start] (a cache hit, keeping legacy
+       suggestion counts) and its budget check uses the evaluator's
+       absolute virtual clock, so the deadline computed above is the
+       member's private budget exactly as before *)
+    let o = Engine.run ~budget:(Budget.of_virtual deadline) ~start ev strat in
+    let m, p = (o.Engine.best, o.Engine.perf) in
     let m, p = if p0 < p then (start, p0) else (m, p) in
     {
       member = Portfolio.member_name member;
@@ -76,6 +82,7 @@ let run_members ?domains ?(members = Portfolio.default_members) ?(budget = infin
       perf = p;
       evaluated = Evaluator.evaluated ev;
       suggested = Evaluator.suggested ev;
+      steps = o.Engine.steps;
     }
   in
   map ?domains (List.mapi job members)

@@ -29,6 +29,7 @@ type member_result = {
   perf : float;
   evaluated : int;     (** executed evaluations of that member's evaluator *)
   suggested : int;
+  steps : int;         (** {!Engine} strategy steps taken by that member *)
 }
 
 val run_members :

@@ -16,6 +16,28 @@ val default_members : member list
 
 val member_name : member -> string
 
+val member_to_string : member -> string
+(** Checkpoint-stable spelling (["ccd:5"], ["cd"], …). *)
+
+val member_of_string : string -> member option
+
+val make :
+  ?members:member list ->
+  ?budget:float ->
+  ?seed:int ->
+  Evaluator.t ->
+  Engine.strategy
+(** The portfolio as a meta-strategy (name ["portfolio"]): members run
+    sequentially, each seeded with the best-so-far (proposed as a
+    normal trial — a cache hit) and cut at an absolute virtual-time
+    deadline of [budget / n_members] past its entry.  Member
+    transitions surface as {!Engine.Phase} events.
+    @raise Invalid_argument on an empty member list. *)
+
+val decode : Evaluator.t -> string list -> (Engine.strategy, string) result
+(** Rebuild a checkpointed portfolio, including the active member's own
+    nested strategy state. *)
+
 val search :
   ?members:member list ->
   ?budget:float ->

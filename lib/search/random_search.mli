@@ -3,6 +3,12 @@
     natural lower bar: it shares AutoMap's constraint knowledge yet
     makes no coordinated or local moves). *)
 
+val make : ?seed:int -> ?max_evals:int -> Evaluator.t -> Engine.strategy
+(** Random search as an engine strategy (name ["random"]); each
+    proposal is bounded by the engine's best-so-far. *)
+
+val decode : Evaluator.t -> string list -> (Engine.strategy, string) result
+
 val search :
   ?seed:int ->
   ?max_evals:int ->

@@ -4,6 +4,9 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
+let state t = t.state
+let of_state s = { state = s }
+let set_state t s = t.state <- s
 
 (* SplitMix64 output function: two xor-shift-multiply rounds. *)
 let mix z =

@@ -20,6 +20,16 @@ val copy : t -> t
 (** [copy t] duplicates the current state; the copy and the original
     subsequently produce identical streams. *)
 
+val state : t -> int64
+(** Raw 64-bit state, for checkpointing.  [of_state (state t)] resumes
+    the exact stream [t] would have produced. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a checkpointed {!state}. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the state in place (checkpoint restore). *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent from the remainder of [t]'s stream. *)

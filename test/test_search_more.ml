@@ -1,6 +1,9 @@
 (* Finer-grained search-layer coverage: TestMapping semantics, the
    OptimizeTask inner loop, ensemble technique internals, driver edge
-   cases. *)
+   cases.  The TestMapping/OptimizeTask/sweep tests exercise the frozen
+   legacy loops in Legacy_ref — the reference the engine is proven
+   decision-identical against in test_engine.ml — so their semantics
+   stay covered after the production loops moved into Engine/Descent. *)
 
 let machine () = Fixtures.default_machine ()
 
@@ -14,12 +17,12 @@ let test_test_mapping_strict_improvement () =
   let p_good = Evaluator.evaluate ev good in
   let worse = Mapping.set_mem good out Kinds.Zero_copy in
   (* candidate worse: incumbent kept *)
-  let kept, pk = Descent.test_mapping ev worse (good, p_good) in
+  let kept, pk = Legacy_ref.test_mapping ev worse (good, p_good) in
   Alcotest.(check bool) "incumbent kept" true (Mapping.equal kept good);
   Alcotest.(check (float 0.0)) "perf kept" p_good pk;
   (* candidate better: adopted *)
   let p_worse = Evaluator.evaluate ev worse in
-  let adopted, pa = Descent.test_mapping ev good (worse, p_worse) in
+  let adopted, pa = Legacy_ref.test_mapping ev good (worse, p_worse) in
   Alcotest.(check bool) "better adopted" true (Mapping.equal adopted good);
   Alcotest.(check bool) "perf improves" true (pa < p_worse)
 
@@ -31,7 +34,7 @@ let test_test_mapping_equal_not_adopted () =
   let p = Evaluator.evaluate ev m in
   let other = Mapping.set_distribute m 0 false in
   let incumbent = (other, p) in
-  let kept, _ = Descent.test_mapping ev m incumbent in
+  let kept, _ = Legacy_ref.test_mapping ev m incumbent in
   (* evaluate m returns the same cached value p: not strictly better *)
   Alcotest.(check bool) "tie keeps incumbent" true (Mapping.equal kept other)
 
@@ -44,7 +47,7 @@ let test_optimize_task_only_touches_target () =
   let p0 = Evaluator.evaluate ev start in
   let task = Graph.task g t1 in
   let best, _ =
-    Descent.optimize_task ev ~overlap:None ~should_stop:(fun () -> false) task
+    Legacy_ref.optimize_task ev ~overlap:None ~should_stop:(fun () -> false) task
       (start, p0)
   in
   Alcotest.(check bool) "valid" true (Mapping.is_valid g (machine ()) best);
@@ -61,7 +64,7 @@ let test_sweep_respects_stop () =
   let p0 = Evaluator.evaluate ev start in
   let before = Evaluator.suggested ev in
   let best, p =
-    Descent.sweep ev ~overlap:None ~should_stop:(fun () -> true)
+    Legacy_ref.sweep ev ~overlap:None ~should_stop:(fun () -> true)
       ~profile:(Profile.uniform g) (start, p0)
   in
   Alcotest.(check int) "no suggestions under stop" before (Evaluator.suggested ev);
