@@ -1,0 +1,156 @@
+(* Allocation-rate benchmark: how many minor-heap words does the search
+   allocate per suggested candidate, and at what candidate throughput,
+   for each evaluation mode?
+
+   For Stencil and Circuit it runs one full CCD search per leg —
+
+     full         prune off, full replay (the PR 2 baseline protocol)
+     pruned       bound-aware pruning on
+     incremental  pruning + incremental cone replay
+     batched      the above + whole-neighbour-set batch evaluation
+
+   — and reports Gc.minor_words per suggested candidate alongside
+   candidates/sec.  Allocation counts are deterministic for a fixed
+   build (unlike wall clock), so the words/candidate trajectory across
+   PRs is noise-free; the committed budget in
+   test/golden/alloc_budget.txt gates the batched leg's steady state.
+
+   Each leg's search runs twice: the first pass warms code pages and
+   the allocator, the second is measured (steady state — the same
+   discipline as evalrate and searchrate).
+
+   Results go to stdout and BENCH_allocrate.json.
+
+   Usage: dune exec bench/allocrate.exe [-- --smoke] [-- --out FILE] *)
+
+let out_file = ref "BENCH_allocrate.json"
+let smoke = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: f :: rest ->
+        out_file := f;
+        parse rest
+    | unknown :: _ ->
+        Printf.eprintf "allocrate: unknown argument %S\n" unknown;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let now = Unix.gettimeofday
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
+type leg = {
+  leg_name : string;
+  words_per_cand : float;
+  cands_per_sec : float;
+  suggested : int;
+  minor_words : float;
+  perf : float;
+}
+
+let run_leg ~name ~batch ~prune ~incremental ~rotations machine g =
+  let search () =
+    let ev = Evaluator.create ~prune ~incremental ~seed:3 machine g in
+    let t0 = now () in
+    let w0 = Gc.minor_words () in
+    let o =
+      Engine.run ~start:(Mapping.default_start g machine) ev (Ccd.make ~batch ~rotations ev)
+    in
+    let words = Gc.minor_words () -. w0 in
+    let wall = now () -. t0 in
+    (words, wall, o.Engine.perf, (Evaluator.stats ev).Evaluator.s_suggested)
+  in
+  ignore (search ());
+  let words, wall, perf, suggested = search () in
+  {
+    leg_name = name;
+    words_per_cand = words /. float_of_int suggested;
+    cands_per_sec = float_of_int suggested /. wall;
+    suggested;
+    minor_words = words;
+    perf;
+  }
+
+let bench_app (app : App.t) machine ~input ~rotations =
+  let g = app.App.graph ~nodes:machine.Machine.nodes ~input in
+  let legs =
+    [
+      run_leg ~name:"full" ~batch:false ~prune:false ~incremental:false ~rotations machine g;
+      run_leg ~name:"pruned" ~batch:false ~prune:true ~incremental:false ~rotations machine g;
+      run_leg ~name:"incremental" ~batch:false ~prune:true ~incremental:true ~rotations
+        machine g;
+      run_leg ~name:"batched" ~batch:true ~prune:true ~incremental:true ~rotations machine g;
+    ]
+  in
+  (* allocation discipline must never trade away decisions *)
+  (match legs with
+  | first :: rest ->
+      List.iter
+        (fun l ->
+          if l.perf <> first.perf then
+            failwith (app.App.app_name ^ ": " ^ l.leg_name ^ " found a different best perf");
+          if l.suggested <> first.suggested then
+            failwith
+              (app.App.app_name ^ ": " ^ l.leg_name
+             ^ " made a different number of suggestions"))
+        rest
+  | [] -> assert false);
+  Printf.printf "%-8s %-10s" app.App.app_name input;
+  List.iter
+    (fun l ->
+      Printf.printf " | %s %8.1f w/cand %9.1f cand/s" l.leg_name l.words_per_cand
+        l.cands_per_sec)
+    legs;
+  print_newline ();
+  (app.App.app_name, input, legs)
+
+let json_leg l =
+  Printf.sprintf
+    {|{"leg": %S, "minor_words_per_candidate": %.2f, "cands_per_sec": %.2f, "suggested": %d, "minor_words": %.0f}|}
+    l.leg_name l.words_per_cand l.cands_per_sec l.suggested l.minor_words
+
+let () =
+  let nodes = 4 in
+  let machine = Presets.shepard ~nodes in
+  let rotations = if !smoke then 2 else 5 in
+  let apps =
+    [ (App.stencil, if !smoke then "500x500" else "2000x2000");
+      (App.circuit, if !smoke then "n100w400" else "n200w800") ]
+  in
+  Printf.printf "allocrate: %s mode, shepard x%d, CCD(%d), minor words per candidate\n%!"
+    (if !smoke then "smoke" else "bench")
+    nodes rotations;
+  let rows = List.map (fun (app, input) -> bench_app app machine ~input ~rotations) apps in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"allocrate\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"commit\": %S,\n" (git_commit ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"nodes\": %d,\n  \"rotations\": %d,\n  \"apps\": [\n"
+       !smoke nodes rotations);
+  List.iteri
+    (fun i (name, input, legs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"app\": %S, \"input\": %S, \"legs\": [\n%s\n     ],
+     \"decision_identical\": true}%s\n"
+           name input
+           (String.concat ",\n" (List.map (fun l -> "      " ^ json_leg l) legs))
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out !out_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out_file

@@ -271,12 +271,15 @@ let search_cmd =
   let heft_seed_arg =
     Arg.(value & flag & info [ "heft-seed" ] ~doc:"Start the search from the HEFT list schedule instead of the runtime-default mapping.")
   in
+  let batch_arg =
+    Arg.(value & flag & info [ "batch" ] ~doc:"Evaluate each task's whole neighbour set as one batch (CD/CCD only): scratch setup and the incumbent rebind are amortized across the set and candidates past the first improvement are skipped. Decisions are bit-identical to the sequential search; this is purely a throughput switch.")
+  in
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the best mapping to FILE.")
   in
   let run app input nodes cluster graph_file machine_file seed algo runs budget
       max_trials max_wall progress events_file checkpoint checkpoint_every resume
-      heft_seed output =
+      heft_seed batch output =
     let machine, g, _ =
       resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
     in
@@ -307,13 +310,19 @@ let search_cmd =
           if progress then Printf.eprintf "[checkpoint] trial %d -> %s\n%!" trial path
     in
     let r =
-      Driver.run ~runs ~seed ?budget ?max_trials ?max_wall ~heft_seed ~on_event
+      Driver.run ~runs ~seed ?budget ?max_trials ?max_wall ~heft_seed ~batch ~on_event
         ?checkpoint ~checkpoint_every ?resume_from:resume (algo_of algo) machine g
     in
     Option.iter close_out events_oc;
     Format.printf "%a@." Driver.pp_result r;
     Printf.printf "engine: %d steps, %d checkpoints written\n" r.Driver.engine_steps
       r.Driver.checkpoints_written;
+    if batch then
+      Printf.printf "batches: %d evaluated, %d short-circuited past an improvement\n"
+        r.Driver.batch_calls r.Driver.batch_short_circuits;
+    if progress && batch then
+      Printf.eprintf "[batch] %d batches, %d short-circuits\n%!" r.Driver.batch_calls
+        r.Driver.batch_short_circuits;
     Printf.printf "best mapping: %s\n" (Report.placement_summary g r.Driver.best);
     match output with
     | None -> ()
@@ -326,7 +335,7 @@ let search_cmd =
       const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
       $ machine_file_arg $ seed_arg $ algo_arg $ runs_arg $ budget_arg
       $ max_trials_arg $ max_wall_arg $ progress_arg $ events_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg $ heft_seed_arg $ out_arg)
+      $ checkpoint_every_arg $ resume_arg $ heft_seed_arg $ batch_arg $ out_arg)
 
 let analyze_cmd =
   let doc =

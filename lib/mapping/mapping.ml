@@ -119,9 +119,27 @@ let memory_priority t (task : Graph.task) cid =
        (fun mk -> not (Kinds.equal_mem mk chosen))
        (Kinds.accessible_mem_kinds k)
 
+(* Monomorphic array walks: [equal] runs once per generated neighbour
+   (the no-op check), where the polymorphic compare's C calls dominate
+   on these small immediate-element arrays. *)
 let equal a b =
-  a.distribute = b.distribute && a.strategy = b.strategy && a.proc = b.proc
-  && a.mem = b.mem
+  let nt = Array.length a.proc and nc = Array.length a.mem in
+  nt = Array.length b.proc
+  && nc = Array.length b.mem
+  &&
+  let ok = ref true in
+  for tid = 0 to nt - 1 do
+    if
+      a.distribute.(tid) <> b.distribute.(tid)
+      || a.strategy.(tid) != b.strategy.(tid)
+      || a.proc.(tid) != b.proc.(tid)
+    then ok := false
+  done;
+  if !ok then
+    for cid = 0 to nc - 1 do
+      if a.mem.(cid) != b.mem.(cid) then ok := false
+    done;
+  !ok
 
 let diff a b =
   if
@@ -132,13 +150,13 @@ let diff a b =
   for tid = Array.length a.proc - 1 downto 0 do
     if
       a.distribute.(tid) <> b.distribute.(tid)
-      || a.strategy.(tid) <> b.strategy.(tid)
-      || a.proc.(tid) <> b.proc.(tid)
+      || a.strategy.(tid) != b.strategy.(tid)
+      || a.proc.(tid) != b.proc.(tid)
     then tids := tid :: !tids
   done;
   let cids = ref [] in
   for cid = Array.length a.mem - 1 downto 0 do
-    if a.mem.(cid) <> b.mem.(cid) then cids := cid :: !cids
+    if a.mem.(cid) != b.mem.(cid) then cids := cid :: !cids
   done;
   (!tids, !cids)
 

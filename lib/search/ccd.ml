@@ -6,6 +6,7 @@
 
 type state = {
   ev : Evaluator.t;
+  batch : bool;  (* emit whole neighbour sets via Propose_batch *)
   rotations : int;
   prune_per_rotation : int;
   mutable r : int;  (* current rotation, 0 before the first *)
@@ -46,15 +47,28 @@ let strategy_of st =
         | Some ((f, p) as inc) -> (
             match st.sweep with
             | None -> advance st inc
-            | Some cur -> (
-                match Descent.next cur ~incumbent:f with
-                | Some cand ->
-                    Engine.Propose (cand, { Engine.bound = Some p; overhead = 0.0 })
-                | None ->
+            | Some cur ->
+                if st.batch then begin
+                  let cands = Descent.next_batch cur ~incumbent:f in
+                  if Array.length cands = 0 then begin
                     st.sweep <- None;
-                    advance st inc)));
+                    advance st inc
+                  end
+                  else
+                    Engine.Propose_batch
+                      (cands, { Engine.bound = Some p; overhead = 0.0 })
+                end
+                else (
+                  match Descent.next cur ~incumbent:f with
+                  | Some cand ->
+                      Engine.Propose (cand, { Engine.bound = Some p; overhead = 0.0 })
+                  | None ->
+                      st.sweep <- None;
+                      advance st inc)));
     receive =
       (fun m perf ->
+        if st.batch then
+          (match st.sweep with Some c -> Descent.deliver c | None -> ());
         match st.incumbent with
         | Some (_, p) when perf < p ->
             st.incumbent <- Some (m, perf);
@@ -71,12 +85,13 @@ let strategy_of st =
         ]);
   }
 
-let make ?(rotations = 5) ev =
+let make ?(batch = false) ?(rotations = 5) ev =
   if rotations < 2 then invalid_arg "Ccd.search: rotations must be at least 2";
   let c0 = Overlap.of_graph (Evaluator.graph ev) in
   strategy_of
     {
       ev;
+      batch;
       rotations;
       prune_per_rotation = prune_per_rotation ~rotations c0;
       r = 0;
@@ -85,7 +100,7 @@ let make ?(rotations = 5) ev =
       incumbent = None;
     }
 
-let decode ev lines =
+let decode ?(batch = false) ev lines =
   let g = Evaluator.graph ev in
   match lines with
   | [ rot; inc; sweep ] -> (
@@ -109,6 +124,7 @@ let decode ev lines =
       let st =
         {
           ev;
+          batch;
           rotations;
           prune_per_rotation = ppr;
           r;
@@ -141,10 +157,10 @@ let decode ev lines =
       Ok (strategy_of st))
   | _ -> Error "Ccd.decode: expected 3 lines"
 
-let search ?(rotations = 5) ?start ?(budget = infinity) ev =
+let search ?batch ?(rotations = 5) ?start ?(budget = infinity) ev =
   let g = Evaluator.graph ev in
   let machine = Evaluator.machine ev in
-  let strat = make ~rotations ev in
+  let strat = make ?batch ~rotations ev in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
   let o = Engine.run ~budget:(Budget.of_virtual budget) ~start:f0 ev strat in
   (o.Engine.best, o.Engine.perf)

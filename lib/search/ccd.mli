@@ -15,17 +15,21 @@
     Each rotation starts from the best mapping of the previous one and
     re-profiles it to refresh the longest-running-first task order. *)
 
-val make : ?rotations:int -> Evaluator.t -> Engine.strategy
+val make : ?batch:bool -> ?rotations:int -> Evaluator.t -> Engine.strategy
 (** CCD as an engine strategy (name ["ccd"]); emits a
-    {!Engine.Phase} marker at each rotation entry.
+    {!Engine.Phase} marker at each rotation entry.  [batch] (default
+    false) emits each task's whole neighbour set as one
+    {!Engine.Propose_batch} (see {!Cd.make}); decision-identical,
+    faster.
     @raise Invalid_argument if [rotations < 2]. *)
 
-val decode : Evaluator.t -> string list -> (Engine.strategy, string) result
+val decode : ?batch:bool -> Evaluator.t -> string list -> (Engine.strategy, string) result
 (** Rebuild a checkpointed CCD strategy mid-rotation: the overlap graph
     is re-derived (pruning is deterministic), the sweep cursor and
-    incumbent restored. *)
+    incumbent restored.  [batch] as in {!Cd.decode}. *)
 
 val search :
+  ?batch:bool ->
   ?rotations:int ->
   ?start:Mapping.t ->
   ?budget:float ->

@@ -6,6 +6,7 @@
 
 type state = {
   ev : Evaluator.t;
+  batch : bool;  (* emit whole neighbour sets via Propose_batch *)
   mutable incumbent : (Mapping.t * float) option;
   mutable sweep : Descent.t option;
 }
@@ -40,12 +41,20 @@ let strategy_of st =
                   st.sweep <- Some c;
                   c
             in
-            match Descent.next cur ~incumbent:f with
-            | Some cand ->
-                Engine.Propose (cand, { Engine.bound = Some p; overhead = 0.0 })
-            | None -> Engine.Stop));
+            if st.batch then begin
+              let cands = Descent.next_batch cur ~incumbent:f in
+              if Array.length cands = 0 then Engine.Stop
+              else Engine.Propose_batch (cands, { Engine.bound = Some p; overhead = 0.0 })
+            end
+            else
+              match Descent.next cur ~incumbent:f with
+              | Some cand ->
+                  Engine.Propose (cand, { Engine.bound = Some p; overhead = 0.0 })
+              | None -> Engine.Stop));
     receive =
       (fun m perf ->
+        if st.batch then
+          (match st.sweep with Some c -> Descent.deliver c | None -> ());
         match st.incumbent with
         | Some (_, p) when perf < p ->
             st.incumbent <- Some (m, perf);
@@ -54,13 +63,13 @@ let strategy_of st =
     encode = (fun () -> encode_state st);
   }
 
-let make ev = strategy_of { ev; incumbent = None; sweep = None }
+let make ?(batch = false) ev = strategy_of { ev; batch; incumbent = None; sweep = None }
 
-let decode ev lines =
+let decode ?(batch = false) ev lines =
   let g = Evaluator.graph ev in
   match lines with
   | [ inc; sweep ] -> (
-      let st = { ev; incumbent = None; sweep = None } in
+      let st = { ev; batch; incumbent = None; sweep = None } in
       let ( let* ) = Result.bind in
       let* () =
         if inc = "incumbent none" then Ok ()
@@ -86,9 +95,9 @@ let decode ev lines =
       Ok (strategy_of st))
   | _ -> Error "Cd.decode: expected 2 lines"
 
-let search ?start ?(budget = infinity) ev =
+let search ?batch ?start ?(budget = infinity) ev =
   let g = Evaluator.graph ev in
   let machine = Evaluator.machine ev in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
-  let o = Engine.run ~budget:(Budget.of_virtual budget) ~start:f0 ev (make ev) in
+  let o = Engine.run ~budget:(Budget.of_virtual budget) ~start:f0 ev (make ?batch ev) in
   (o.Engine.best, o.Engine.perf)

@@ -6,14 +6,22 @@
     collections in the fastest memory of the chosen kind.  Runtime is
     linear in tasks × collections. *)
 
-val make : Evaluator.t -> Engine.strategy
-(** CD as an engine strategy (name ["cd"]). *)
+val make : ?batch:bool -> Evaluator.t -> Engine.strategy
+(** CD as an engine strategy (name ["cd"]).  [batch] (default false)
+    emits each task's whole neighbour set as one {!Engine.Propose_batch}
+    — decision-identical to sequential proposals (CD's acceptance test
+    is exactly [perf < incumbent], the batch contract) but faster:
+    {!Evaluator.evaluate_batch} orders evaluations for cache locality
+    and skips candidates past the first improvement. *)
 
-val decode : Evaluator.t -> string list -> (Engine.strategy, string) result
+val decode : ?batch:bool -> Evaluator.t -> string list -> (Engine.strategy, string) result
 (** Rebuild a checkpointed CD strategy from its {!Engine.strategy.encode}
-    lines; re-pins the restored incumbent. *)
+    lines; re-pins the restored incumbent.  Checkpoints carry no batch
+    flag (batching is decision-neutral); pass [batch] to resume in
+    batch mode. *)
 
 val search :
+  ?batch:bool ->
   ?start:Mapping.t ->
   ?budget:float ->
   Evaluator.t ->

@@ -10,8 +10,7 @@ end)
    processor kind.  We keep the collection's current kind when it is
    already addressable (no spurious move) and otherwise take the
    fastest addressable kind. *)
-let select_mem mapping proc_kind cid =
-  let current = Mapping.mem_of mapping cid in
+let select_mem current proc_kind =
   if Kinds.accessible proc_kind current then current
   else
     match Kinds.accessible_mem_kinds proc_kind with
@@ -20,14 +19,22 @@ let select_mem mapping proc_kind cid =
 
 let apply (g : Graph.t) _machine ~overlap ~mapping ~t ~c ~k ~r =
   let o cid = Overlap.o_map g overlap cid in
-  let f' = ref mapping in
+  (* The fixpoint runs many one-coordinate repairs; going through
+     Mapping.set_* would copy a whole array per repair, and [apply] is
+     on the candidate-construction hot path.  The repairs therefore
+     operate on flat working copies — the exact same reads and writes
+     in the exact same order — and the mapping is rebuilt once at the
+     end from the coordinates that actually changed. *)
+  let nc = Graph.n_collections g and nt = Graph.n_tasks g in
+  let mem = Array.init nc (Mapping.mem_of mapping) in
+  let proc = Array.init nt (Mapping.proc_of mapping) in
   let t_check = ref IS.empty in
   let c_check = ref PS.empty in
   (* lines 4-6: map every collection overlapping c to r and queue the
      owning tasks for re-checking *)
   List.iter
     (fun (ti, ci) ->
-      if ci <> c then f' := Mapping.set_mem !f' ci r;
+      if ci <> c then mem.(ci) <- r;
       t_check := IS.add ti !t_check)
     (o c);
   let steps = ref 0 in
@@ -49,39 +56,43 @@ let apply (g : Graph.t) _machine ~overlap ~mapping ~t ~c ~k ~r =
       let task = Graph.task g ti in
       let inaccessible kind =
         List.filter
-          (fun (ci : Graph.collection) ->
-            not (Kinds.accessible kind (Mapping.mem_of !f' ci.cid)))
+          (fun (ci : Graph.collection) -> not (Kinds.accessible kind mem.(ci.cid)))
           task.args
       in
-      if ti <> t && inaccessible (Mapping.proc_of !f' ti) <> [] then
-        f' := Mapping.set_proc !f' ti k;
+      if ti <> t && inaccessible proc.(ti) <> [] then proc.(ti) <- k;
       List.iter
         (fun (ci : Graph.collection) -> c_check := PS.add (ti, ci.cid) !c_check)
-        (inaccessible (Mapping.proc_of !f' ti))
+        (inaccessible proc.(ti))
     done;
     (* lines 14-26: repair collections of moved tasks *)
     while not (PS.is_empty !c_check) do
       bump ();
       let ((ti, ci) as pivot) = PS.min_elt !c_check in
       c_check := PS.remove pivot !c_check;
-      let proc_ti = Mapping.proc_of !f' ti in
-      let m = select_mem !f' proc_ti ci in
+      let m = select_mem mem.(ci) proc.(ti) in
       (* line 17: collections overlapping the original pivot (t, c) are
          pinned to r; do not disturb them *)
       if not (List.exists (fun (tj, cj) -> tj = t && cj = c) (o ci)) then begin
-        f' := Mapping.set_mem !f' ci m;
+        mem.(ci) <- m;
         List.iter
           (fun ((tj, cj) as partner) ->
-            if not (partner = (ti, ci) || Kinds.equal_mem (Mapping.mem_of !f' cj) m)
-            then begin
-              f' := Mapping.set_mem !f' cj m;
-              if not (Kinds.accessible (Mapping.proc_of !f' tj) m) then
-                t_check := IS.add tj !t_check;
+            if not (partner = (ti, ci) || Kinds.equal_mem mem.(cj) m) then begin
+              mem.(cj) <- m;
+              if not (Kinds.accessible proc.(tj) m) then t_check := IS.add tj !t_check;
               c_check := PS.remove partner !c_check
             end)
           (o ci)
       end
     done
+  done;
+  let f' = ref mapping in
+  for tid = 0 to nt - 1 do
+    if proc.(tid) != Mapping.proc_of mapping tid then
+      f' := Mapping.set_proc !f' tid proc.(tid)
+  done;
+  for cid = 0 to nc - 1 do
+    if mem.(cid) != Mapping.mem_of mapping cid then
+      f' := Mapping.set_mem !f' cid mem.(cid)
   done;
   !f'
 

@@ -26,6 +26,10 @@ type t = {
   mutable entered : int;   (* tasks entered so far; current = nth order (entered-1) *)
   mutable specs : spec list;  (* remaining specs of the current task *)
   mutable consumed : int;     (* specs consumed (proposed or no-op) in it *)
+  mutable pending : int list;
+      (* batch mode: per outstanding batch candidate, how many specs its
+         verdict consumes (preceding gap no-ops + its own spec); never
+         serialized — a batch is rebuilt from [specs] after restore *)
 }
 
 let specs_for space (task : Graph.task) =
@@ -62,7 +66,7 @@ let start ev ~overlap ~profile =
   let order =
     List.map (fun (t : Graph.task) -> t.tid) (Profile.order_tasks_by_runtime g profile)
   in
-  { ev; overlap; order; entered = 0; specs = []; consumed = 0 }
+  { ev; overlap; order; entered = 0; specs = []; consumed = 0; pending = [] }
 
 let build t incumbent tid spec =
   let g = Evaluator.graph t.ev in
@@ -105,6 +109,89 @@ let next t ~incumbent =
   in
   go ()
 
+(* ---- batch mode ---------------------------------------------------------
+   [next_batch] returns the current task's remaining non-no-op
+   candidates all materialized against one incumbent — without consuming
+   their specs — and [deliver] consumes one candidate's specs per
+   verdict.  Equivalence with driving [next] one proposal at a time:
+   within a batch the incumbent cannot change (the engine stops
+   delivering at the first acceptance), so the no-op determination and
+   the built candidates are identical; leading no-ops and task entries
+   are settled eagerly exactly where a [next] call would have performed
+   them; gap no-ops are counted when the preceding candidate's verdict
+   arrives (same totals, and no-op counts carry no clock); trailing
+   no-ops and unreached specs stay unconsumed for the next batch — or
+   are never consumed at all if the budget ends the search first, just
+   as a sequential run would never have reached them. *)
+
+let current_tid t = List.nth t.order (t.entered - 1)
+
+(* consume leading no-ops and enter tasks until [t.specs] starts with a
+   real candidate or the sweep is complete — the prefix work a [next]
+   call would do before returning a candidate *)
+let rec settle t ~incumbent =
+  match t.specs with
+  | spec :: rest ->
+      let cand = build t incumbent (current_tid t) spec in
+      if Mapping.equal cand incumbent then begin
+        t.specs <- rest;
+        t.consumed <- t.consumed + 1;
+        Evaluator.note_noop_neighbor t.ev;
+        settle t ~incumbent
+      end
+  | [] ->
+      if t.entered < List.length t.order then begin
+        let g = Evaluator.graph t.ev in
+        let space = Evaluator.space t.ev in
+        let tid = List.nth t.order t.entered in
+        let task = Graph.task g tid in
+        t.entered <- t.entered + 1;
+        t.consumed <- 0;
+        account t.ev space task;
+        t.specs <- specs_for space task;
+        settle t ~incumbent
+      end
+
+let next_batch t ~incumbent =
+  t.pending <- [];  (* any previous batch's unreached candidates are stale *)
+  settle t ~incumbent;
+  match t.specs with
+  | [] -> [||]
+  | specs ->
+      let tid = current_tid t in
+      let cands = ref [] in
+      let pending = ref [] in
+      let gap = ref 0 in
+      List.iter
+        (fun spec ->
+          let cand = build t incumbent tid spec in
+          if Mapping.equal cand incumbent then incr gap
+          else begin
+            cands := cand :: !cands;
+            pending := (!gap + 1) :: !pending;
+            gap := 0
+          end)
+        specs;
+      t.pending <- List.rev !pending;
+      Array.of_list (List.rev !cands)
+
+let deliver t =
+  match t.pending with
+  | [] -> invalid_arg "Descent.deliver: no outstanding batch candidate"
+  | c :: rest ->
+      t.pending <- rest;
+      (* the gap no-ops a sequential [next] would have consumed on its
+         way to this candidate *)
+      for _ = 2 to c do
+        Evaluator.note_noop_neighbor t.ev
+      done;
+      let rec drop n l =
+        if n = 0 then l
+        else match l with _ :: r -> drop (n - 1) r | [] -> assert false
+      in
+      t.specs <- drop c t.specs;
+      t.consumed <- t.consumed + c
+
 let encode t =
   Printf.sprintf "sweep %d %s %d %d" (List.length t.order)
     (String.concat " " (List.map string_of_int t.order))
@@ -134,7 +221,9 @@ let decode ev ~overlap line =
                     if List.exists (fun tid -> tid < 0 || tid >= n_tasks) order then
                       fail "task id out of range"
                     else
-                      let t = { ev; overlap; order; entered; specs = []; consumed } in
+                      let t =
+                        { ev; overlap; order; entered; specs = []; consumed; pending = [] }
+                      in
                       if entered = 0 then
                         if consumed <> 0 then fail "consumed before first task"
                         else Ok t

@@ -31,6 +31,23 @@ val next : t -> incumbent:Mapping.t -> Mapping.t option
     the sweep is complete.  Advancing may consume no-op specs (counted)
     and enter new tasks (dead-coordinate accounting). *)
 
+val next_batch : t -> incumbent:Mapping.t -> Mapping.t array
+(** Batch mode: the current task's remaining (non-no-op) candidates,
+    all built against [incumbent], {e without} consuming their specs —
+    leading no-ops and task-entry accounting are settled eagerly, gap
+    and trailing no-ops are not counted yet.  Empty iff the sweep is
+    complete.  Each candidate's verdict must be acknowledged with
+    {!deliver}; candidates past the last delivered one are forgotten
+    (the next call rebuilds them against the then-current incumbent),
+    which is exactly the state a sequential {!next} caller that stopped
+    at the same point would be in. *)
+
+val deliver : t -> unit
+(** Acknowledge the verdict of the next outstanding batch candidate:
+    consumes its spec plus the gap no-ops before it (counted now —
+    same totals as {!next}, which counts them on its way to the
+    candidate).  @raise Invalid_argument with no outstanding batch. *)
+
 val encode : t -> string
 (** Checkpoint line: task order + position.  Candidate specs are
     re-derived from the space on {!decode}, so the line stays small. *)

@@ -33,6 +33,8 @@ type result = {
   oom : int;
   engine_steps : int;
   checkpoints_written : int;
+  batch_calls : int;
+  batch_short_circuits : int;
 }
 
 (* HEFT is not a search: the list schedule *is* the mapping.  As a
@@ -47,10 +49,10 @@ let heft_strategy =
     encode = (fun () -> []);
   }
 
-let strategy_of_algo ~seed ?budget algo ev =
+let strategy_of_algo ~seed ?budget ~batch algo ev =
   match algo with
-  | Cd -> Cd.make ev
-  | Ccd { rotations } -> Ccd.make ~rotations ev
+  | Cd -> Cd.make ~batch ev
+  | Ccd { rotations } -> Ccd.make ~batch ~rotations ev
   | Ensemble_tuner ->
       Ensemble.make ~config:{ Ensemble.default_config with seed = seed + 1 } ev
   | Random_walk { max_evals } -> Random_search.make ~seed:(seed + 1) ~max_evals ev
@@ -60,10 +62,10 @@ let strategy_of_algo ~seed ?budget algo ev =
 
 (* Checkpoints name the strategy; decoding dispatches on that name
    explicitly (no registration side effects, so no link-order traps). *)
-let decode_strategy ev ~algo lines =
+let decode_strategy ?(batch = false) ev ~algo lines =
   match algo with
-  | "cd" -> Cd.decode ev lines
-  | "ccd" -> Ccd.decode ev lines
+  | "cd" -> Cd.decode ~batch ev lines
+  | "ccd" -> Ccd.decode ~batch ev lines
   | "annealing" -> Annealing.decode ev lines
   | "random" -> Random_search.decode ev lines
   | "ensemble" -> Ensemble.decode ev lines
@@ -73,8 +75,8 @@ let decode_strategy ev ~algo lines =
 
 let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
     ?(seed = 0) ?budget ?max_trials ?max_wall ?start ?(heft_seed = false)
-    ?objective ?extended ?incremental ?domain_prune ?db ?on_event ?checkpoint
-    ?(checkpoint_every = 25) ?resume_from algo machine graph =
+    ?objective ?extended ?incremental ?domain_prune ?(batch = false) ?db ?on_event
+    ?checkpoint ?(checkpoint_every = 25) ?resume_from algo machine graph =
   let fail fmt = Printf.ksprintf failwith fmt in
   let snapshot =
     match resume_from with
@@ -111,7 +113,7 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
               if heft_seed || algo = Heft then Heft.mapping machine graph
               else Mapping.default_start graph machine
         in
-        let strat = strategy_of_algo ~seed ?budget algo ev in
+        let strat = strategy_of_algo ~seed ?budget ~batch algo ev in
         let budget =
           (* the portfolio shares [budget] across members through its own
              absolute deadlines; every other algorithm gets it as the
@@ -130,7 +132,7 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
         | Ok () -> ()
         | Error e -> fail "%s: %s" path e);
         let strat =
-          match decode_strategy ev ~algo:s.Engine.s_algo s.Engine.s_strategy with
+          match decode_strategy ~batch ev ~algo:s.Engine.s_algo s.Engine.s_strategy with
           | Ok strat -> strat
           | Error e -> fail "%s: %s" path e
         in
@@ -190,6 +192,8 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
     oom = Evaluator.oom_count ev;
     engine_steps = o.Engine.steps;
     checkpoints_written = o.Engine.checkpoints_written;
+    batch_calls = Evaluator.batch_calls ev;
+    batch_short_circuits = Evaluator.batch_short_circuits ev;
   }
 
 let pp_result ppf r =

@@ -34,12 +34,19 @@ type result = {
   oom : int;
   engine_steps : int;          (** {!Engine} strategy steps taken *)
   checkpoints_written : int;
+  batch_calls : int;           (** {!Evaluator.batch_calls} *)
+  batch_short_circuits : int;  (** {!Evaluator.batch_short_circuits} *)
 }
 
 val decode_strategy :
-  Evaluator.t -> algo:string -> string list -> (Engine.strategy, string) Stdlib.result
+  ?batch:bool ->
+  Evaluator.t ->
+  algo:string ->
+  string list ->
+  (Engine.strategy, string) Stdlib.result
 (** Rebuild a checkpointed strategy from its [algo] name (as recorded in
-    {!Engine.snapshot.s_algo}) and encoded state lines. *)
+    {!Engine.snapshot.s_algo}) and encoded state lines.  [batch]
+    resumes CD/CCD in batch mode (see {!run}). *)
 
 val run :
   ?runs:int ->
@@ -57,6 +64,7 @@ val run :
   ?extended:bool ->
   ?incremental:bool ->
   ?domain_prune:bool ->
+  ?batch:bool ->
   ?db:Profiles_db.t ->
   ?on_event:(Engine.event -> unit) ->
   ?checkpoint:string ->
@@ -74,7 +82,11 @@ val run :
     [final_top] = 5, [final_runs] = 30.  [objective] selects the
     metric the search minimizes (default: per-iteration time),
     [extended] opens the distribution-strategy dimension,
-    [incremental] (default true) toggles incremental re-simulation and
+    [incremental] (default true) toggles incremental re-simulation,
+    [batch] (default false) runs CD/CCD through
+    {!Engine.Propose_batch} whole-neighbour-set evaluation
+    (decision-identical, faster — see {!Evaluator.evaluate_batch};
+    other algorithms ignore it) and
     [db] warm-starts from a persisted profiles database (see
     {!Evaluator.create}).
 

@@ -2,7 +2,11 @@ type hint = { bound : float option; overhead : float }
 
 let unbounded = { bound = None; overhead = 0.0 }
 
-type step = Propose of Mapping.t * hint | Phase of string | Stop
+type step =
+  | Propose of Mapping.t * hint
+  | Propose_batch of Mapping.t array * hint
+  | Phase of string
+  | Stop
 
 type ctx = { trials : int; vt : float; best : Mapping.t * float }
 
@@ -238,6 +242,59 @@ let run ?(budget = Budget.unlimited) ?(on_event = fun _ -> ()) ?checkpoint ?carr
         on_event (Eval { trial = !trials; mapping = candidate; perf; vt; accepted });
         if improved then on_event (Improve { trial = !trials; mapping = candidate; perf; vt });
         maybe_checkpoint ()
+    | Propose_batch (cands, hint) ->
+        (* Never evaluate past the trial cap: the sequential loop would
+           have stopped there, and extra evaluations would leak into the
+           db/partials/clocks and change later decisions. *)
+        let cands =
+          match budget.Budget.max_trials with
+          | Some cap when Array.length cands > cap - !trials ->
+              Array.sub cands 0 (max 0 (cap - !trials))
+          | _ -> cands
+        in
+        if Array.length cands > 0 then begin
+          let before = !trials in
+          let outcomes =
+            Evaluator.evaluate_batch ?bound:hint.bound ~overhead:hint.overhead ev
+              cands
+          in
+          (* Deliver verdicts in original order, stopping at the first
+             acceptance (the contract: the strategy accepts exactly
+             when perf < hint bound, so everything past it was skipped
+             or rolled back by the evaluator) — the trial counter,
+             receive sequence and incumbent pinning match the
+             sequential loop exactly. *)
+          (try
+             for i = 0 to Array.length cands - 1 do
+               match outcomes.(i) with
+               | Evaluator.Skipped -> raise Exit
+               | Evaluator.Evaluated perf ->
+                   let candidate = cands.(i) in
+                   incr trials;
+                   let accepted = strat.receive candidate perf in
+                   if accepted then Evaluator.note_incumbent ev candidate;
+                   let vt = Evaluator.virtual_time ev in
+                   let improved = perf < snd !best in
+                   if improved then best := (candidate, perf);
+                   on_event
+                     (Eval { trial = !trials; mapping = candidate; perf; vt; accepted });
+                   if improved then
+                     on_event (Improve { trial = !trials; mapping = candidate; perf; vt });
+                   if accepted then raise Exit
+             done
+           with Exit -> ());
+          (* at most one checkpoint per batch, at the first interval
+             boundary the batch crossed — mid-batch writes would pair a
+             mid-batch trial count with post-batch evaluator state *)
+          match checkpoint with
+          | Some { every; path } when !trials / every > before / every ->
+              write_file path
+                (checkpoint_string ev strat ~trials:!trials ~steps:!steps
+                   ~wall:(wall ()) ~best:!best);
+              incr checkpoints;
+              on_event (Checkpointed { trial = !trials; path })
+          | _ -> ()
+        end
   done;
   let bm, bp = !best in
   {

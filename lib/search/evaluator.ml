@@ -20,6 +20,7 @@ type t = {
   noise_sigma : float;
   fallback : bool;
   iterations : int option;
+  eff_iters : int;         (* [iterations] resolved against the graph *)
   penalty : float;
   eval_overhead : float;
   objective : Machine.t -> Exec.result -> float;
@@ -45,10 +46,23 @@ type t = {
   mutable cut_sims : int;
   mutable noop_skips : int;
   mutable dead_coord_skips : int;
+  mutable batch_calls : int;
+  mutable batch_short_circuits : int;
   mutable virtual_time : float;
   mutable eval_time : float;
   mutable best : (Mapping.t * float) option;
   mutable trace : (float * float) list;  (* newest first *)
+  (* Deferred-commit cell.  Every [evaluate] path applies at most ONE
+     clock charge and at most one best-note; with [defer] set (batch
+     mode) the charge is parked here instead of applied, so
+     [evaluate_batch] can evaluate in locality order and replay the
+     charges in original candidate order — the clocks, the best, and
+     the trace then match a sequential caller bit for bit. *)
+  mutable defer : bool;
+  mutable d_kind : int;   (* 0 none | 1 wall | 2 wall+overhead | 3 overhead *)
+  mutable d_wall : float;
+  mutable d_noted : bool;
+  mutable d_perf : float;
 }
 
 type stats = {
@@ -62,8 +76,12 @@ type stats = {
   s_cut_sims : int;
   s_noop_skips : int;
   s_dead_coord_skips : int;
+  s_batch_calls : int;
+  s_batch_short_circuits : int;
   s_delta_binds : int;
   s_full_binds : int;
+  s_bind_hits_shared : int;
+  s_bind_hits_private : int;
   s_cone_replays : int;
   s_cone_instances : int;
   s_full_replays : int;
@@ -75,9 +93,13 @@ let default_objective _machine (r : Exec.result) = r.Exec.per_iteration
 let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     ?(penalty = infinity) ?(seed = 0) ?(eval_overhead = 0.0002)
     ?(objective = default_objective) ?(extended = false) ?(prune = true)
-    ?(incremental = true) ?(domain_prune = true) ?db machine graph =
+    ?(incremental = true) ?(domain_prune = true) ?db ?scratch machine graph =
   if runs <= 0 then invalid_arg "Evaluator.create: runs must be positive";
-  let scratch = Exec.scratch (Exec.compile machine graph) in
+  let scratch =
+    match scratch with
+    | Some sc -> sc  (* shared compiled problem, e.g. portfolio members *)
+    | None -> Exec.scratch (Exec.compile machine graph)
+  in
   Exec.set_incremental scratch incremental;
   {
     machine;
@@ -92,6 +114,7 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     noise_sigma;
     fallback;
     iterations;
+    eff_iters = (match iterations with Some i -> i | None -> graph.Graph.iterations);
     penalty;
     eval_overhead;
     objective;
@@ -112,10 +135,17 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     cut_sims = 0;
     noop_skips = 0;
     dead_coord_skips = 0;
+    batch_calls = 0;
+    batch_short_circuits = 0;
     virtual_time = 0.0;
     eval_time = 0.0;
     best = None;
     trace = [];
+    defer = false;
+    d_kind = 0;
+    d_wall = 0.0;
+    d_noted = false;
+    d_perf = 0.0;
   }
 
 let machine t = t.machine
@@ -149,25 +179,75 @@ let note_best t mapping perf =
    fewer than any perf difference the search could act on. *)
 let prune_slack = 1.0 +. 1e-9
 
-let bounded_run t ~cutoff ~seed mapping =
-  Exec.simulate_bounded ~noise_sigma:t.noise_sigma ~seed ~fallback:t.fallback
-    ?iterations:t.iterations ~cutoff t.scratch mapping
+(* The hot-path simulation call: status code + plane accessors instead
+   of allocated result records.  In the search's steady state a quiet
+   run allocates nothing (see Exec's quiet interface). *)
+let quiet_run t ~cutoff ~seed mapping =
+  Exec.simulate_quiet t.scratch mapping ~noise_sigma:t.noise_sigma ~seed
+    ~fallback:t.fallback ~iterations:t.eff_iters ~cutoff
 
-let effective_iterations t =
-  float_of_int
-    (match t.iterations with Some i -> i | None -> t.graph.Graph.iterations)
+(* Objective of the run that just finished on the scratch planes.  The
+   default objective reads one plane slot; a custom objective gets the
+   materialized record it expects (allocating — custom objectives are
+   the cold case). *)
+let obj_of_run t =
+  if t.objective == default_objective then Exec.quiet_per_iteration t.scratch
+  else t.objective t.machine (Exec.quiet_result t.scratch)
 
-let complete_protocol t mapping times wall =
+let quiet_error_exn t =
+  match Exec.quiet_error t.scratch with Some e -> e | None -> assert false
+
+let effective_iterations t = float_of_int t.eff_iters
+
+(* ---- the single per-evaluation clock charge, routed through the
+   deferral cell in batch mode.  Associativity is preserved exactly:
+   sequential and replayed commits perform the same adds in the same
+   order on the same running clock. ---- *)
+
+let charge_wall t w =
+  if t.defer then begin
+    t.d_kind <- 1;
+    t.d_wall <- w
+  end
+  else begin
+    t.virtual_time <- t.virtual_time +. w;
+    t.eval_time <- t.eval_time +. w
+  end
+
+let charge_complete t w =
+  if t.defer then begin
+    t.d_kind <- 2;
+    t.d_wall <- w
+  end
+  else begin
+    t.virtual_time <- t.virtual_time +. w +. t.eval_overhead;
+    t.eval_time <- t.eval_time +. w
+  end
+
+let charge_overhead_only t =
+  if t.defer then t.d_kind <- 3
+  else t.virtual_time <- t.virtual_time +. t.eval_overhead
+
+let note_result t mapping perf =
+  if t.defer then begin
+    t.d_noted <- true;
+    t.d_perf <- perf
+  end
+  else note_best t mapping perf
+
+let complete_protocol t ~key mapping times wall =
   t.evaluated <- t.evaluated + 1;
-  t.virtual_time <- t.virtual_time +. wall +. t.eval_overhead;
-  t.eval_time <- t.eval_time +. wall;
-  let entry = Profiles_db.record t.db mapping times in
-  note_best t mapping entry.Profiles_db.perf;
+  charge_complete t wall;
+  let entry = Profiles_db.record_key t.db ~key mapping times in
+  note_result t mapping entry.Profiles_db.perf;
   entry.Profiles_db.perf
 
-let evaluate ?bound t mapping =
+(* [evaluate] with the canonical key already computed: the key serves
+   the db probe, the partials table and batch rollback, so it is
+   derived exactly once per suggestion. *)
+let eval_keyed ?bound t key mapping =
   t.suggested <- t.suggested + 1;
-  match Profiles_db.find t.db mapping with
+  match Profiles_db.find_key t.db key with
   | Some entry ->
       t.cache_hits <- t.cache_hits + 1;
       entry.Profiles_db.perf
@@ -194,7 +274,6 @@ let evaluate ?bound t mapping =
       (* Any value >= bound is decision-equivalent for the caller: the
          candidate provably cannot be accepted at this bound. *)
       let pruned_value () = Float.max t.penalty bound_v in
-      let key = Mapping.canonical_key mapping in
       match Hashtbl.find_opt t.partials key with
       | Some p ->
           if p.plb >= bound_v *. prune_slack then begin
@@ -213,35 +292,37 @@ let evaluate ?bound t mapping =
               if p.pnext > t.runs then begin
                 Hashtbl.remove t.partials key;
                 t.evaluated <- t.evaluated + 1;
-                t.virtual_time <- t.virtual_time +. !new_wall +. t.eval_overhead;
-                t.eval_time <- t.eval_time +. !new_wall;
-                let entry = Profiles_db.record t.db mapping p.pdone in
-                note_best t mapping entry.Profiles_db.perf;
+                charge_complete t !new_wall;
+                let entry = Profiles_db.record_key t.db ~key mapping p.pdone in
+                note_result t mapping entry.Profiles_db.perf;
                 entry.Profiles_db.perf
               end
-              else
-                match
-                  bounded_run t ~cutoff:(cutoff_for p.psum) ~seed:(p.pbase + p.pnext)
+              else begin
+                let st =
+                  quiet_run t ~cutoff:(cutoff_for p.psum) ~seed:(p.pbase + p.pnext)
                     mapping
-                with
-                | Ok (Exec.Finished r) ->
-                    let obj = t.objective t.machine r in
-                    p.pdone <- obj :: p.pdone;
-                    p.psum <- p.psum +. obj;
-                    p.pnext <- p.pnext + 1;
-                    new_wall := !new_wall +. r.Exec.makespan;
-                    go ()
-                | Ok (Exec.Cut tcut) ->
-                    t.cut_sims <- t.cut_sims + 1;
-                    t.cut_evals <- t.cut_evals + 1;
-                    t.cut_runs <- t.cut_runs + (t.runs - p.pnext);
-                    p.plb <- (p.psum +. (tcut /. iters)) /. runs_f;
-                    let w = !new_wall +. tcut in
-                    t.virtual_time <- t.virtual_time +. w;
-                    t.eval_time <- t.eval_time +. w;
-                    pruned_value ()
-                | Error e ->
-                    failwith ("Evaluator.evaluate: " ^ Placement.error_to_string e)
+                in
+                if st = Exec.st_finished then begin
+                  let obj = obj_of_run t in
+                  p.pdone <- obj :: p.pdone;
+                  p.psum <- p.psum +. obj;
+                  p.pnext <- p.pnext + 1;
+                  new_wall := !new_wall +. Exec.quiet_makespan t.scratch;
+                  go ()
+                end
+                else if st = Exec.st_cut then begin
+                  let tcut = Exec.quiet_cut_time t.scratch in
+                  t.cut_sims <- t.cut_sims + 1;
+                  t.cut_evals <- t.cut_evals + 1;
+                  t.cut_runs <- t.cut_runs + (t.runs - p.pnext);
+                  p.plb <- (p.psum +. (tcut /. iters)) /. runs_f;
+                  charge_wall t (!new_wall +. tcut);
+                  pruned_value ()
+                end
+                else
+                  failwith
+                    ("Evaluator.evaluate: " ^ Placement.error_to_string (quiet_error_exn t))
+              end
             in
             go ()
           end
@@ -271,7 +352,7 @@ let evaluate ?bound t mapping =
               with
               | Error (Placement.Out_of_memory _) ->
                   t.oom <- t.oom + 1;
-                  t.virtual_time <- t.virtual_time +. t.eval_overhead;
+                  charge_overhead_only t;
                   t.penalty
               | Error (Placement.Invalid_mapping _) ->
                   t.invalid <- t.invalid + 1;
@@ -291,8 +372,7 @@ let evaluate ?bound t mapping =
                     t.cut_runs <- t.cut_runs + (t.runs - k + 1);
                     Hashtbl.replace t.partials key
                       { pbase = base; pdone = !results; psum = !sum; pnext = k; plb };
-                    t.virtual_time <- t.virtual_time +. !wall;
-                    t.eval_time <- t.eval_time +. !wall;
+                    charge_wall t !wall;
                     pruned_value ()
                   in
                   if s *. runs_f >= threshold then
@@ -340,35 +420,39 @@ let evaluate ?bound t mapping =
                   done;
                   let prune_at k = prune_with ~k ~plb:((!sum +. suffix.(k - 1)) /. runs_f) in
                   let rec go k =
-                    if k > t.runs then complete_protocol t mapping !results !wall
+                    if k > t.runs then complete_protocol t ~key mapping !results !wall
                     else if !sum +. suffix.(k - 1) >= threshold then prune_at k
-                    else
+                    else begin
                       let cutoff = (threshold -. !sum -. suffix.(k)) *. iters in
-                      match bounded_run t ~cutoff ~seed:(base + k) mapping with
-                      | Ok (Exec.Finished r) ->
-                          let obj = t.objective t.machine r in
-                          results := obj :: !results;
-                          sum := !sum +. obj;
-                          wall := !wall +. r.Exec.makespan;
-                          go (k + 1)
-                      | Ok (Exec.Cut tcut) ->
-                          t.cut_sims <- t.cut_sims + 1;
-                          t.cut_evals <- t.cut_evals + 1;
-                          t.cut_runs <- t.cut_runs + (t.runs - k);
-                          Hashtbl.replace t.partials key
-                            {
-                              pbase = base;
-                              pdone = !results;
-                              psum = !sum;
-                              pnext = k;
-                              plb = (!sum +. (tcut /. iters) +. suffix.(k)) /. runs_f;
-                            };
-                          let w = !wall +. tcut in
-                          t.virtual_time <- t.virtual_time +. w;
-                          t.eval_time <- t.eval_time +. w;
-                          pruned_value ()
-                      | Error e ->
-                          failwith ("Evaluator.evaluate: " ^ Placement.error_to_string e)
+                      let st = quiet_run t ~cutoff ~seed:(base + k) mapping in
+                      if st = Exec.st_finished then begin
+                        let obj = obj_of_run t in
+                        results := obj :: !results;
+                        sum := !sum +. obj;
+                        wall := !wall +. Exec.quiet_makespan t.scratch;
+                        go (k + 1)
+                      end
+                      else if st = Exec.st_cut then begin
+                        let tcut = Exec.quiet_cut_time t.scratch in
+                        t.cut_sims <- t.cut_sims + 1;
+                        t.cut_evals <- t.cut_evals + 1;
+                        t.cut_runs <- t.cut_runs + (t.runs - k);
+                        Hashtbl.replace t.partials key
+                          {
+                            pbase = base;
+                            pdone = !results;
+                            psum = !sum;
+                            pnext = k;
+                            plb = (!sum +. (tcut /. iters) +. suffix.(k)) /. runs_f;
+                          };
+                        charge_wall t (!wall +. tcut);
+                        pruned_value ()
+                      end
+                      else
+                        failwith
+                          ("Evaluator.evaluate: "
+                          ^ Placement.error_to_string (quiet_error_exn t))
+                    end
                   in
                   go 1
                   end
@@ -379,66 +463,192 @@ let evaluate ?bound t mapping =
                  all; an OOM aborts the evaluation after one cheap
                  failed launch.  The cutoff only gates the event loop,
                  so OOM/invalid detection is unaffected by pruning. *)
-              match bounded_run t ~cutoff:(cutoff_for 0.0) ~seed:(base + 1) mapping with
-              | Error (Placement.Out_of_memory _) ->
-                  t.oom <- t.oom + 1;
-                  t.virtual_time <- t.virtual_time +. t.eval_overhead;
-                  t.penalty
-              | Error (Placement.Invalid_mapping _) ->
-                  t.invalid <- t.invalid + 1;
-                  t.penalty
-              | Ok first -> (
-                  let results = ref [] in
-                  let sum = ref 0.0 in
-                  let cut = ref None in
-                  let accept r =
-                    results := r :: !results;
-                    sum := !sum +. t.objective t.machine r
-                  in
-                  (match first with
-                  | Exec.Finished r -> accept r
-                  | Exec.Cut tcut -> cut := Some tcut);
-                  let k = ref 1 in
-                  while !cut = None && !k < t.runs do
-                    incr k;
-                    match
-                      bounded_run t ~cutoff:(cutoff_for !sum) ~seed:(base + !k) mapping
-                    with
-                    | Ok (Exec.Finished r) -> accept r
-                    | Ok (Exec.Cut tcut) -> cut := Some tcut
-                    | Error e ->
-                        (* placement is deterministic: later runs cannot
-                           fail if the first succeeded *)
-                        failwith ("Evaluator.evaluate: " ^ Placement.error_to_string e)
-                  done;
-                  match !cut with
-                  | None ->
-                      let times = List.map (fun r -> t.objective t.machine r) !results in
-                      let wall =
-                        List.fold_left (fun acc r -> acc +. r.Exec.makespan) 0.0 !results
-                      in
-                      complete_protocol t mapping times wall
-                  | Some tcut ->
-                      t.cut_sims <- t.cut_sims + 1;
-                      t.cut_evals <- t.cut_evals + 1;
-                      t.cut_runs <- t.cut_runs + (t.runs - !k);
-                      Hashtbl.replace t.partials key
-                        {
-                          pbase = base;
-                          pdone = List.map (fun r -> t.objective t.machine r) !results;
-                          psum = !sum;
-                          pnext = !k;
-                          plb = (!sum +. (tcut /. iters)) /. runs_f;
-                        };
-                      (* the per-evaluation relaunch overhead is charged
-                         when a protocol *completes* — an aborted
-                         candidate costs exactly its simulated wall *)
-                      let wall =
-                        List.fold_left (fun acc r -> acc +. r.Exec.makespan) tcut !results
-                      in
-                      t.virtual_time <- t.virtual_time +. wall;
-                      t.eval_time <- t.eval_time +. wall;
-                      pruned_value ()))))
+              let st0 = quiet_run t ~cutoff:(cutoff_for 0.0) ~seed:(base + 1) mapping in
+              if st0 = Exec.st_error then (
+                match quiet_error_exn t with
+                | Placement.Out_of_memory _ ->
+                    t.oom <- t.oom + 1;
+                    charge_overhead_only t;
+                    t.penalty
+                | Placement.Invalid_mapping _ ->
+                    t.invalid <- t.invalid + 1;
+                    t.penalty)
+              else begin
+                (* objectives and walls, both newest first: the final
+                   clock charge folds the walls newest-first exactly as
+                   the record-based protocol did *)
+                let objs = ref [] in
+                let walls = ref [] in
+                let sum = ref 0.0 in
+                let cut = ref false in
+                let tcut = ref 0.0 in
+                let accept () =
+                  let obj = obj_of_run t in
+                  objs := obj :: !objs;
+                  walls := Exec.quiet_makespan t.scratch :: !walls;
+                  sum := !sum +. obj
+                in
+                if st0 = Exec.st_finished then accept ()
+                else begin
+                  cut := true;
+                  tcut := Exec.quiet_cut_time t.scratch
+                end;
+                let k = ref 1 in
+                while (not !cut) && !k < t.runs do
+                  incr k;
+                  let st = quiet_run t ~cutoff:(cutoff_for !sum) ~seed:(base + !k) mapping in
+                  if st = Exec.st_finished then accept ()
+                  else if st = Exec.st_cut then begin
+                    cut := true;
+                    tcut := Exec.quiet_cut_time t.scratch
+                  end
+                  else
+                    (* placement is deterministic: later runs cannot
+                       fail if the first succeeded *)
+                    failwith
+                      ("Evaluator.evaluate: "
+                      ^ Placement.error_to_string (quiet_error_exn t))
+                done;
+                if not !cut then begin
+                  let wall = List.fold_left ( +. ) 0.0 !walls in
+                  complete_protocol t ~key mapping !objs wall
+                end
+                else begin
+                  t.cut_sims <- t.cut_sims + 1;
+                  t.cut_evals <- t.cut_evals + 1;
+                  t.cut_runs <- t.cut_runs + (t.runs - !k);
+                  Hashtbl.replace t.partials key
+                    {
+                      pbase = base;
+                      pdone = !objs;
+                      psum = !sum;
+                      pnext = !k;
+                      plb = (!sum +. (!tcut /. iters)) /. runs_f;
+                    };
+                  (* the per-evaluation relaunch overhead is charged
+                     when a protocol *completes* — an aborted
+                     candidate costs exactly its simulated wall *)
+                  let wall = List.fold_left ( +. ) !tcut !walls in
+                  charge_wall t wall;
+                  pruned_value ()
+                end
+              end)))
+
+let evaluate ?bound t mapping = eval_keyed ?bound t (Mapping.canonical_key mapping) mapping
+
+(* ---- batch evaluation --------------------------------------------------- *)
+
+type outcome = Evaluated of float | Skipped
+
+(* Evaluate a batch of candidates against one fixed bound.
+
+   Bounded ([?bound] given): the Engine's Propose_batch contract is
+   first-improvement — the sequential caller stops at the first
+   candidate whose value beats the bound, in original index order.
+   Index order is therefore the unique sim-optimal evaluation order
+   (a candidate evaluated out of turn past the eventual improver is
+   work the sequential protocol never performs), so the batch runs the
+   exact sequential loop — evaluate, charge, note — with an early
+   exit, no journal, and no allocation beyond the outcome array.
+
+   Unbounded: no short-circuit applies and every candidate is
+   evaluated, so the evaluation order is free — candidates evaluate in
+   diff-locality order, nearest the pinned replay anchor first, which
+   maximizes Exec's placement-patch and cone-replay reuse.  The sort
+   is stable on the original index, so duplicate candidates keep their
+   relative order (the earlier one evaluates, the later one
+   cache-hits, as sequentially).  Per-candidate clock charges and
+   best-notes are journaled during out-of-order evaluation and
+   replayed in original index order afterwards.
+
+   Either way, every counter, clock value, db entry, best and trace
+   line is bit-identical to the sequential loop of the contract. *)
+let evaluate_batch ?bound ?(overhead = 0.0) t cands =
+  t.batch_calls <- t.batch_calls + 1;
+  let n = Array.length cands in
+  if n = 0 then [||]
+  else
+    match bound with
+    | Some raw_bound ->
+        let outcomes = Array.make n Skipped in
+        let stopped_at = ref n in
+        (try
+           for i = 0 to n - 1 do
+             let m = cands.(i) in
+             if overhead > 0.0 then t.virtual_time <- t.virtual_time +. overhead;
+             let v = eval_keyed ~bound:raw_bound t (Mapping.canonical_key m) m in
+             outcomes.(i) <- Evaluated v;
+             if v < raw_bound then begin
+               stopped_at := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !stopped_at < n - 1 then
+          t.batch_short_circuits <- t.batch_short_circuits + 1;
+        outcomes
+    | None ->
+        (* evaluation order: ascending diff distance from the replay
+           anchor — the mapping last pinned by [note_incumbent], or
+           failing that the last bound mapping *)
+        let order = Array.init n (fun i -> i) in
+        (match
+           (match Exec.preferred_mapping t.scratch with
+           | Some _ as a -> a
+           | None -> Exec.bound_mapping t.scratch)
+         with
+        | Some anchor ->
+            let dist =
+              Array.map
+                (fun c ->
+                  if c == anchor then 0
+                  else begin
+                    let tids, cids = Mapping.diff anchor c in
+                    List.length tids + List.length cids
+                  end)
+                cands
+            in
+            Array.sort
+              (fun a b ->
+                if dist.(a) <> dist.(b) then compare dist.(a) dist.(b)
+                else compare a b)
+              order
+        | None -> ());
+        let values = Array.make n 0.0 in
+        let j_kind = Array.make n 0 in
+        let j_wall = Array.make n 0.0 in
+        let j_noted = Array.make n false in
+        let j_perf = Array.make n 0.0 in
+        for oi = 0 to n - 1 do
+          let i = order.(oi) in
+          let m = cands.(i) in
+          t.defer <- true;
+          t.d_kind <- 0;
+          t.d_noted <- false;
+          let v = eval_keyed t (Mapping.canonical_key m) m in
+          t.defer <- false;
+          j_kind.(i) <- t.d_kind;
+          j_wall.(i) <- t.d_wall;
+          j_noted.(i) <- t.d_noted;
+          j_perf.(i) <- t.d_perf;
+          values.(i) <- v
+        done;
+        let outcomes = Array.make n Skipped in
+        for i = 0 to n - 1 do
+          if overhead > 0.0 then t.virtual_time <- t.virtual_time +. overhead;
+          (match j_kind.(i) with
+          | 1 ->
+              t.virtual_time <- t.virtual_time +. j_wall.(i);
+              t.eval_time <- t.eval_time +. j_wall.(i)
+          | 2 ->
+              t.virtual_time <- t.virtual_time +. j_wall.(i) +. t.eval_overhead;
+              t.eval_time <- t.eval_time +. j_wall.(i)
+          | 3 -> t.virtual_time <- t.virtual_time +. t.eval_overhead
+          | _ -> ());
+          if j_noted.(i) then note_best t cands.(i) j_perf.(i);
+          outcomes.(i) <- Evaluated values.(i)
+        done;
+        outcomes
 
 let note_suggestion_overhead t dt =
   if dt < 0.0 then invalid_arg "Evaluator.note_suggestion_overhead: negative";
@@ -468,9 +678,12 @@ let cut_runs t = t.cut_runs
 let cut_sims t = t.cut_sims
 let noop_skips t = t.noop_skips
 let dead_coord_skips t = t.dead_coord_skips
+let batch_calls t = t.batch_calls
+let batch_short_circuits t = t.batch_short_circuits
 let eval_time t = t.eval_time
 
 let stats t =
+  let hits_shared, hits_private = Exec.bind_cache_hits t.scratch in
   {
     s_suggested = t.suggested;
     s_evaluated = t.evaluated;
@@ -482,8 +695,12 @@ let stats t =
     s_cut_sims = t.cut_sims;
     s_noop_skips = t.noop_skips;
     s_dead_coord_skips = t.dead_coord_skips;
+    s_batch_calls = t.batch_calls;
+    s_batch_short_circuits = t.batch_short_circuits;
     s_delta_binds = Exec.delta_binds t.scratch;
     s_full_binds = Exec.full_binds t.scratch;
+    s_bind_hits_shared = hits_shared;
+    s_bind_hits_private = hits_private;
     s_cone_replays = Exec.cone_replays t.scratch;
     s_cone_instances = Exec.cone_instances t.scratch;
     s_full_replays = Exec.full_replays t.scratch;
@@ -498,7 +715,9 @@ let stats t =
    floats ([%h]) makes restore bit-exact.  The profiles database is
    saved separately ({!Profiles_db.save}) by the checkpoint envelope;
    Exec's per-seed caches are pure performance state (replay is
-   bit-identical, PR 3) and are rebuilt on demand after a restore. *)
+   bit-identical, PR 3) and are rebuilt on demand after a restore.
+   Batch counters are bench telemetry, not decision state, and are
+   deliberately not persisted (the format predates them). *)
 
 let fingerprint t =
   Printf.sprintf "%s|%s|r%d|n%h|f%b|i%s|p%h|o%h|pr%b|c%d"

@@ -46,6 +46,7 @@ val create :
   ?incremental:bool ->
   ?domain_prune:bool ->
   ?db:Profiles_db.t ->
+  ?scratch:Exec.scratch ->
   Machine.t ->
   Graph.t ->
   t
@@ -75,7 +76,14 @@ val create :
     Seeding uses common random numbers: run [k] of every evaluation
     draws seed [seed * 1_000_003 + k], so all candidates face the same
     [runs] noise streams (paired comparisons), and Exec's per-seed
-    noise/timeline caches hit across the whole search. *)
+    noise/timeline caches hit across the whole search.
+
+    [scratch] supplies a pre-built {!Exec.scratch} instead of compiling
+    a fresh one — {!Parallel} compiles the problem once and gives each
+    domain's portfolio members one shared scratch (members on a domain
+    run sequentially, so sharing is safe and lets bind/noise/timeline
+    caches hit across members).  The scratch must come from
+    [Exec.compile machine graph] for the same (machine, graph) pair. *)
 
 val machine : t -> Machine.t
 val graph : t -> Graph.t
@@ -105,6 +113,59 @@ val evaluate : ?bound:float -> t -> Mapping.t -> float
     the unpruned measurements bit-for-bit.  Without [?bound] (or with
     [~prune:false], a non-default objective, or an infinite bound) the
     behaviour is the exact legacy protocol. *)
+
+type outcome =
+  | Evaluated of float  (** the value {!evaluate} would have returned *)
+  | Skipped
+      (** short-circuited: an earlier-index candidate beat the bound,
+          so a sequential caller stopping at its first acceptance would
+          never have evaluated this one *)
+
+val evaluate_batch :
+  ?bound:float -> ?overhead:float -> t -> Mapping.t array -> outcome array
+(** Evaluate a set of candidates against one fixed [bound], equivalent
+    to the sequential loop
+
+    {[for i = 0 to n-1 do
+        let v = evaluate ?bound t cands.(i) in
+        if overhead > 0.0 then note_suggestion_overhead t overhead;
+        if v < Option.value bound ~default:infinity then stop
+      done]}
+
+    (with [overhead] charged before each evaluated candidate's clock
+    charge) — every counter, clock value, db entry, partial, best and
+    trace line is bit-identical to that loop, which is the contract
+    {!Search} strategies rely on when they hand the engine whole
+    neighbour sets.  Note the loop stops at the {e first} candidate
+    strictly beating [bound]: batching is only decision-identical for
+    callers whose acceptance test is exactly [value < bound]
+    (first-improvement descent; see {!Search.Engine}).
+
+    With [?bound] the loop above stops at the first acceptance, so
+    original index order is the {e unique} sim-optimal evaluation
+    order — any candidate evaluated out of turn past the eventual
+    improver is work the sequential protocol never performs.  The
+    bounded path therefore runs the sequential loop literally, with an
+    early exit and no allocation beyond the outcome array; what
+    batching buys is the amortized scratch setup, the one shared
+    incumbent rebind, and the per-batch short-circuit accounting.
+
+    Without [?bound] no short-circuit applies and every candidate is
+    evaluated, so the evaluation order is free: candidates evaluate in
+    ascending diff distance from the pinned replay anchor (the last
+    {!note_incumbent} mapping, else the last bound mapping),
+    maximizing Exec's placement-patch and cone-replay reuse.  The sort
+    is stable on the original index, so duplicates keep their relative
+    order (earlier evaluates, later cache-hits, as sequentially), and
+    per-candidate clock charges and best-notes are journaled and
+    replayed in original index order afterwards. *)
+
+val batch_calls : t -> int
+(** Number of {!evaluate_batch} invocations. *)
+
+val batch_short_circuits : t -> int
+(** Batches in which at least one candidate was skipped because an
+    earlier-index candidate beat the bound. *)
 
 val note_suggestion_overhead : t -> float -> unit
 (** Charge extra virtual time attributed to the search algorithm
@@ -171,8 +232,14 @@ type stats = {
   s_cut_sims : int;
   s_noop_skips : int;
   s_dead_coord_skips : int;
+  s_batch_calls : int;           (** {!batch_calls} *)
+  s_batch_short_circuits : int;  (** {!batch_short_circuits} *)
   s_delta_binds : int;  (** {!Exec.delta_binds} of the evaluator's scratch *)
   s_full_binds : int;   (** {!Exec.full_binds} of the evaluator's scratch *)
+  s_bind_hits_shared : int;
+      (** {!Exec.bind_cache_hits} shared-label hits (portfolio members
+          reusing a sibling's bind) *)
+  s_bind_hits_private : int;  (** {!Exec.bind_cache_hits} private hits *)
   s_cone_replays : int;   (** {!Exec.cone_replays} *)
   s_cone_instances : int; (** {!Exec.cone_instances} *)
   s_full_replays : int;   (** {!Exec.full_replays} *)

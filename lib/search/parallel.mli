@@ -40,6 +40,8 @@ val run_members :
   ?runs:int ->
   ?noise_sigma:float ->
   ?iterations:int ->
+  ?batch:bool ->
+  ?share_bound:bool ->
   Machine.t ->
   Graph.t ->
   member_result list
@@ -52,6 +54,20 @@ val run_members :
     [seed] (default 0) derives a distinct evaluator noise stream per
     member; [runs] / [noise_sigma] / [iterations] are passed to each
     {!Evaluator.create}.
+
+    The simulation problem is compiled once and shared; each domain
+    builds one {!Exec.scratch} that all its members reuse (members on a
+    domain run sequentially), so bind/noise/timeline caches hit across
+    members — decision-neutral, results still match fully-private
+    evaluators bit-for-bit.  [batch] (default false) runs CD/CCD
+    members with {!Engine.Propose_batch} neighbour sets (also
+    decision-neutral, see {!Cd.make}).  [share_bound] (default false)
+    publishes each member's best perf to an atomic cell and tightens
+    every plain proposal's pruning bound with the global best —
+    cross-member pruning that can only convert certain-rejections into
+    cheaper ones, but whose exact cut set depends on cross-domain
+    timing: enable it for throughput, not for reproducible decision
+    sequences.
     @raise Invalid_argument if [members] is empty. *)
 
 val best : member_result list -> member_result
@@ -67,6 +83,8 @@ val search :
   ?runs:int ->
   ?noise_sigma:float ->
   ?iterations:int ->
+  ?batch:bool ->
+  ?share_bound:bool ->
   Machine.t ->
   Graph.t ->
   Mapping.t * float

@@ -4,12 +4,19 @@ type t = { tbl : (string, entry) Hashtbl.t }
 
 let create () = { tbl = Hashtbl.create 256 }
 
-let find t m = Hashtbl.find_opt t.tbl (Mapping.canonical_key m)
+(* Keyed variants let a caller that already holds the canonical key (the
+   evaluator computes it once per evaluation) skip recomputing it. *)
+let find_key t key = Hashtbl.find_opt t.tbl key
+let find t m = find_key t (Mapping.canonical_key m)
 
-let record t m runs =
+let record_key t ~key m runs =
   let entry = { mapping = m; runs; perf = Stats.mean runs } in
-  Hashtbl.replace t.tbl (Mapping.canonical_key m) entry;
+  Hashtbl.replace t.tbl key entry;
   entry
+
+let record t m runs = record_key t ~key:(Mapping.canonical_key m) m runs
+
+let remove_key t key = Hashtbl.remove t.tbl key
 
 let size t = Hashtbl.length t.tbl
 

@@ -350,6 +350,25 @@ type noise_cache = {
   nsigma : float;
 }
 
+(* Indices into the [r_acc] accumulator plane.  Scalar float outputs of
+   a simulation live in one preallocated float array rather than in
+   [ref] cells: a [float ref] write from an unboxed local re-boxes the
+   float, a float-array store never does. *)
+let acc_makespan = 0
+let acc_bytes = 1
+let acc_cut = 2
+let acc_per_iter = 3
+let acc_sfloor = 4
+let n_acc = 5
+
+(* Both per-seed tables are keyed by noise seed; the evaluator's
+   common-random-numbers protocol draws every run's seed from a fixed
+   window of [runs] values, so a small cap never evicts in practice and
+   merely bounds memory for unusual callers.  (64 leaves room for a
+   whole portfolio of members sharing one scratch — 8 members x 8 CRN
+   seeds.) *)
+let seed_table_cap = 64
+
 type scratch = {
   prob : compiled;
   (* per-instance state, grown on demand when [iterations] increases *)
@@ -357,6 +376,11 @@ type scratch = {
   mutable ready_time : float array;
   mutable indeg : int array;
   mutable noise : float array;
+  (* instance -> (slot, iteration) — [i mod spi] / [i / spi]
+     precomputed once per capacity growth, so the per-event handlers
+     perform no integer division *)
+  mutable inst_slot : int array;
+  mutable inst_iter : int array;
   (* per-resource state, fixed size *)
   proc_free : float array;
   chan_free : float array;
@@ -382,10 +406,23 @@ type scratch = {
   (* bind-path counters for the pruning benches/tests *)
   mutable delta_binds : int;
   mutable full_binds : int;
+  (* bind-cache hits, split by whether this scratch is advertised as
+     shared between portfolio members (see {!set_shared}) *)
+  mutable shared_scratch : bool;
+  mutable bind_hits_shared : int;
+  mutable bind_hits_private : int;
   (* ---- incremental re-simulation state ---- *)
   mutable incremental : bool;                    (* master switch *)
-  timelines : (int, timeline) Hashtbl.t;         (* seed -> committed pops *)
-  noises : (int, noise_cache) Hashtbl.t;         (* seed -> shared noise *)
+  (* flat per-seed tables (struct-of-arrays).  A search touches a
+     handful of CRN seeds, so a linear scan beats hashing — and unlike
+     [Hashtbl.find_opt], which boxes its [Some], a scan allocates
+     nothing on the per-candidate path. *)
+  tl_seed : int array;                           (* length seed_table_cap *)
+  mutable tls : timeline array;                  (* first n_tls live *)
+  mutable n_tls : int;
+  nz_seed : int array;
+  mutable nzs : noise_cache array;
+  mutable n_nzs : int;
   mutable preferred : Mapping.t option;          (* incumbent protection *)
   mutable pop_buf : int array;                   (* pops of the current run *)
   (* virtual heap used while admitting a clean prefix: per-payload push
@@ -401,6 +438,35 @@ type scratch = {
   mutable cone_replays : int;
   mutable cone_instances : int;
   mutable full_replays : int;
+  (* ---- result planes (struct-of-arrays): [sim_core] writes every
+     run's outputs here; the record-returning wrappers copy them out,
+     so the zero-allocation quiet path and the compat API share one
+     event loop ---- *)
+  r_task_times : float array;
+  r_proc_busy : float array;
+  r_channel_bytes : float array;
+  r_acc : float array;
+  mutable r_n_copies : int;
+  mutable r_error : Placement.error option;
+  (* ---- per-call event-loop state.  Scratch-resident so the event
+     helpers ([push_ev] / [dep_arrived] / [do_ready] / [do_done]) are
+     plain top-level functions: no closures means no per-call
+     environment allocation, and [@inline] call sites keep every float
+     unboxed between them. ---- *)
+  mutable sim_iters : int;
+  mutable sim_vmode : bool;          (* admission pass: pushes go to adm_* *)
+  mutable sim_vseq : int;
+  mutable sim_noise : float array;   (* active noise buffer *)
+  mutable sim_nfilled : int;
+  mutable sim_fill : int;            (* 0 prefilled | 1 shared cache | 2 private rng *)
+  mutable sim_ncache : noise_cache;  (* valid when sim_fill = 1 *)
+  mutable sim_nrng : Rng.t;          (* valid when sim_fill = 2 *)
+  mutable sim_sigma : float;
+  mutable sim_trace : Trace.t option;
+  (* static-floor memo: {!static_floors} is pure in the bind tables and
+     [iterations], so its value survives until the next re-bind *)
+  mutable sfloor_valid : bool;
+  mutable sfloor_iters : int;
 }
 
 let compile machine (g : Graph.t) =
@@ -533,12 +599,15 @@ let compile machine (g : Graph.t) =
 let scratch prob =
   let machine = prob.cmachine in
   let n_deps = Array.length prob.dep_bytes in
+  let dummy_noise = { nbuf = [||]; nfilled = 0; nrng = Rng.create 0; nsigma = 0.0 } in
   {
     prob;
     cap_instances = 0;
     ready_time = [||];
     indeg = [||];
     noise = [||];
+    inst_slot = [||];
+    inst_iter = [||];
     proc_free = Array.make (Array.length machine.Machine.processors) 0.0;
     chan_free = Array.make (machine.Machine.nodes * n_channel_classes) 0.0;
     dispatch_free = Array.make machine.Machine.nodes 0.0;
@@ -555,9 +624,16 @@ let scratch prob =
     bound_placement = None;
     delta_binds = 0;
     full_binds = 0;
+    shared_scratch = false;
+    bind_hits_shared = 0;
+    bind_hits_private = 0;
     incremental = true;
-    timelines = Hashtbl.create 16;
-    noises = Hashtbl.create 16;
+    tl_seed = Array.make seed_table_cap 0;
+    tls = [||];
+    n_tls = 0;
+    nz_seed = Array.make seed_table_cap 0;
+    nzs = [||];
+    n_nzs = 0;
     preferred = None;
     pop_buf = [||];
     adm_prio = [||];
@@ -569,17 +645,53 @@ let scratch prob =
     cone_replays = 0;
     cone_instances = 0;
     full_replays = 0;
+    r_task_times = Array.make (max (Graph.n_tasks prob.cgraph) 1) 0.0;
+    r_proc_busy = Array.make (Array.length machine.Machine.processors) 0.0;
+    r_channel_bytes = Array.make n_channel_classes 0.0;
+    r_acc = Array.make n_acc 0.0;
+    r_n_copies = 0;
+    r_error = None;
+    sim_iters = 0;
+    sim_vmode = false;
+    sim_vseq = 0;
+    sim_noise = [||];
+    sim_nfilled = 0;
+    sim_fill = 0;
+    sim_ncache = dummy_noise;
+    sim_nrng = dummy_noise.nrng;
+    sim_sigma = 0.0;
+    sim_trace = None;
+    sfloor_valid = false;
+    sfloor_iters = 0;
   }
 
 let compiled_of_scratch sc = sc.prob
 let compiled_machine prob = prob.cmachine
 let compiled_graph prob = prob.cgraph
 
+let set_shared sc on = sc.shared_scratch <- on
+let bind_cache_hits sc = (sc.bind_hits_shared, sc.bind_hits_private)
+let bound_mapping sc = sc.bound_mapping
+
 let ensure_capacity sc n =
   if n > sc.cap_instances then begin
     sc.ready_time <- Array.make n 0.0;
     sc.indeg <- Array.make n 0;
     sc.noise <- Array.make n 1.0;
+    let spi = sc.prob.spi in
+    let is = Array.make n 0 and ii = Array.make n 0 in
+    let slot = ref 0 and iter = ref 0 in
+    for i = 0 to n - 1 do
+      is.(i) <- !slot;
+      ii.(i) <- !iter;
+      incr slot;
+      if !slot = spi then begin
+        slot := 0;
+        incr iter
+      end
+    done;
+    sc.inst_slot <- is;
+    sc.inst_iter <- ii;
     (* generation stamps start over at 0; [adm_run] keeps increasing, so
        stale zeros can never alias a live run's mark *)
     sc.pop_buf <- Array.make (2 * n) 0;
@@ -599,8 +711,10 @@ let set_incremental sc on =
   if not on then begin
     (* nothing will consult the retained state while disabled; dropping
        it keeps [timeline_bytes] an honest account of live memory *)
-    Hashtbl.reset sc.timelines;
-    Hashtbl.reset sc.noises
+    sc.n_tls <- 0;
+    sc.tls <- [||];
+    sc.n_nzs <- 0;
+    sc.nzs <- [||]
   end
 let incremental sc = sc.incremental
 
@@ -609,6 +723,7 @@ let incremental sc = sc.incremental
    entries every neighbour diffs against stay close (1-2 coordinates)
    to the mappings being explored. *)
 let prefer_timeline sc mapping = sc.preferred <- Some mapping
+let preferred_mapping sc = sc.preferred
 
 let cone_replays sc = sc.cone_replays
 let cone_instances sc = sc.cone_instances
@@ -616,27 +731,47 @@ let full_replays sc = sc.full_replays
 
 let timeline_bytes sc =
   let b = ref 0 in
-  Hashtbl.iter (fun _ tl -> b := !b + (8 * Array.length tl.tl_pops)) sc.timelines;
-  Hashtbl.iter (fun _ c -> b := !b + (8 * Array.length c.nbuf)) sc.noises;
+  for i = 0 to sc.n_tls - 1 do
+    b := !b + (8 * Array.length sc.tls.(i).tl_pops)
+  done;
+  for i = 0 to sc.n_nzs - 1 do
+    b := !b + (8 * Array.length sc.nzs.(i).nbuf)
+  done;
   !b
 
-(* Both tables are keyed by noise seed; the evaluator's common-random-
-   numbers protocol draws every run's seed from a fixed window of
-   [runs] values, so a small cap never evicts in practice and merely
-   bounds memory for unusual callers. *)
-let seed_table_cap = 32
+(* Linear scans over the flat seed tables; -1 = absent. *)
+let find_timeline sc seed =
+  let n = sc.n_tls in
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < n do
+    if sc.tl_seed.(!i) = seed then found := !i else incr i
+  done;
+  !found
 
-let noise_cache_for sc ~seed ~sigma =
-  match Hashtbl.find_opt sc.noises seed with
-  | Some c when c.nsigma = sigma -> Some c
-  | Some _ -> None (* same seed under a different sigma: leave the stream alone *)
-  | None ->
-      if Hashtbl.length sc.noises >= seed_table_cap then None
-      else begin
-        let c = { nbuf = [||]; nfilled = 0; nrng = Rng.create seed; nsigma = sigma } in
-        Hashtbl.add sc.noises seed c;
-        Some c
-      end
+(* Index of the noise cache for [seed], creating it when the table has
+   room.  -1 = none usable (sigma mismatch on an existing stream, or
+   table full): the caller must fall back to a private Rng. *)
+let noise_cache_idx sc ~seed ~sigma =
+  let n = sc.n_nzs in
+  let found = ref (-2) in
+  let i = ref 0 in
+  while !found = -2 && !i < n do
+    if sc.nz_seed.(!i) = seed then
+      (* same seed under a different sigma: leave the stream alone *)
+      found := (if sc.nzs.(!i).nsigma = sigma then !i else -1)
+    else incr i
+  done;
+  if !found > -2 then !found
+  else if n >= seed_table_cap then -1
+  else begin
+    let c = { nbuf = [||]; nfilled = 0; nrng = Rng.create seed; nsigma = sigma } in
+    sc.nz_seed.(n) <- seed;
+    if Array.length sc.nzs > n then sc.nzs.(n) <- c
+    else sc.nzs <- Array.append sc.nzs [| c |];
+    sc.n_nzs <- n + 1;
+    n
+  end
 
 let noise_reserve c n =
   if Array.length c.nbuf < n then begin
@@ -653,51 +788,82 @@ let noise_fill c upto =
     c.nfilled <- upto
   end
 
+(* Top-level rather than a local closure of [commit_timeline]: commits
+   run once per finished candidate, and a closure environment there
+   would be the hot path's only surviving allocation. *)
+let write_timeline sc tl ~mapping ~sigma ~iters ~n_pops =
+  if Array.length tl.tl_pops < n_pops then tl.tl_pops <- Array.make n_pops 0;
+  Array.blit sc.pop_buf 0 tl.tl_pops 0 n_pops;
+  tl.tl_n <- n_pops;
+  tl.tl_mapping <- mapping;
+  tl.tl_sigma <- sigma;
+  tl.tl_iters <- iters
+
 let commit_timeline sc ~seed ~mapping ~sigma ~iters ~n_pops =
-  let write tl =
-    if Array.length tl.tl_pops < n_pops then tl.tl_pops <- Array.make n_pops 0;
-    Array.blit sc.pop_buf 0 tl.tl_pops 0 n_pops;
-    tl.tl_n <- n_pops;
-    tl.tl_mapping <- mapping;
-    tl.tl_sigma <- sigma;
-    tl.tl_iters <- iters
-  in
-  match Hashtbl.find_opt sc.timelines seed with
-  | Some tl ->
-      (* keep the incumbent's committed schedule while candidates churn;
-         the protection lapses as soon as the preferred mapping moves *)
-      let keep =
-        match sc.preferred with
-        | Some pref -> tl.tl_mapping == pref && mapping != pref
-        | None -> false
-      in
-      if not keep then write tl
-  | None ->
-      if Hashtbl.length sc.timelines < seed_table_cap then
-        Hashtbl.add sc.timelines seed
-          {
-            tl_pops = Array.sub sc.pop_buf 0 n_pops;
-            tl_n = n_pops;
-            tl_mapping = mapping;
-            tl_sigma = sigma;
-            tl_iters = iters;
-          }
+  let i = find_timeline sc seed in
+  if i >= 0 then begin
+    let tl = sc.tls.(i) in
+    (* keep the incumbent's committed schedule while candidates churn;
+       the protection lapses as soon as the preferred mapping moves *)
+    let keep =
+      match sc.preferred with
+      | Some pref -> tl.tl_mapping == pref && mapping != pref
+      | None -> false
+    in
+    if not keep then write_timeline sc tl ~mapping ~sigma ~iters ~n_pops
+  end
+  else if sc.n_tls < seed_table_cap then begin
+    let tl =
+      {
+        tl_pops = Array.sub sc.pop_buf 0 n_pops;
+        tl_n = n_pops;
+        tl_mapping = mapping;
+        tl_sigma = sigma;
+        tl_iters = iters;
+      }
+    in
+    let n = sc.n_tls in
+    sc.tl_seed.(n) <- seed;
+    if Array.length sc.tls > n then sc.tls.(n) <- tl
+    else sc.tls <- Array.append sc.tls [| tl |];
+    sc.n_tls <- n + 1
+  end
 
 (* Fill the mapping-dependent scratch tables: durations, processors and
    copy channels are the same for an instance slot in every
-   iteration. *)
-let bind_slot sc pl mapping slot =
+   iteration.  One task's slots are bound together: a placement with no
+   demotions serves every shard its mapped memory kinds, so the
+   duration is shard-invariant and is computed once for the whole
+   group — rebinding a task then costs one {!Cost.task_duration}, not
+   one per shard. *)
+let bind_task sc pl mapping tid =
   let prob = sc.prob in
   let machine = prob.cmachine and g = prob.cgraph in
-  let tid = prob.slot_tid.(slot) and s = prob.slot_shard.(slot) in
-  let p = Placement.processor pl ~tid ~shard:s in
-  sc.slot_pid.(slot) <- p.Machine.pid;
-  sc.slot_node.(slot) <- p.Machine.pnode;
   let task = Graph.task g tid in
   let kind = Mapping.proc_of mapping tid in
-  sc.slot_dur.(slot) <-
-    Cost.task_duration machine task kind ~arg_mem:(fun c ->
-        Placement.effective_mem_kind pl ~cid:c.Graph.cid ~shard:s)
+  let lo = prob.task_off.(tid) and hi = prob.task_off.(tid + 1) - 1 in
+  if Placement.demotions pl = 0 then begin
+    let d =
+      Cost.task_duration machine task kind ~arg_mem:(fun c ->
+          Mapping.mem_of mapping c.Graph.cid)
+    in
+    for slot = lo to hi do
+      let p = Placement.processor pl ~tid ~shard:prob.slot_shard.(slot) in
+      sc.slot_pid.(slot) <- p.Machine.pid;
+      sc.slot_node.(slot) <- p.Machine.pnode;
+      sc.slot_dur.(slot) <- d
+    done
+  end
+  else
+    for slot = lo to hi do
+      let s = prob.slot_shard.(slot) in
+      let p = Placement.processor pl ~tid ~shard:s in
+      sc.slot_pid.(slot) <- p.Machine.pid;
+      sc.slot_node.(slot) <- p.Machine.pnode;
+      sc.slot_dur.(slot) <-
+        Cost.task_duration machine task kind ~arg_mem:(fun c ->
+            Placement.effective_mem_kind pl ~cid:c.Graph.cid ~shard:s)
+    done
 
 let bind_dep sc pl k =
   let prob = sc.prob in
@@ -721,8 +887,8 @@ let bind_dep sc pl k =
 
 let bind sc pl mapping =
   let prob = sc.prob in
-  for slot = 0 to prob.spi - 1 do
-    bind_slot sc pl mapping slot
+  for tid = 0 to Graph.n_tasks prob.cgraph - 1 do
+    bind_task sc pl mapping tid
   done;
   for k = 0 to Array.length prob.dep_bytes - 1 do
     bind_dep sc pl k
@@ -738,16 +904,11 @@ let bind sc pl mapping =
 let bind_delta sc pl mapping ~tids ~cids =
   let prob = sc.prob in
   let g = prob.cgraph in
-  let rebind_task tid =
-    for slot = prob.task_off.(tid) to prob.task_off.(tid + 1) - 1 do
-      bind_slot sc pl mapping slot
-    done
-  in
-  List.iter rebind_task tids;
+  List.iter (fun tid -> bind_task sc pl mapping tid) tids;
   List.iter
     (fun cid ->
       let o = prob.col_owner.(cid) in
-      if not (List.mem o tids) then rebind_task o)
+      if not (List.mem o tids) then bind_task sc pl mapping o)
     cids;
   let rebind_deps_of_cid cid =
     for j = prob.cid_dep_off.(cid) to prob.cid_dep_off.(cid + 1) - 1 do
@@ -781,7 +942,10 @@ let patch_coord_limit = 32
    of the cached one — the hill-climbing common case. *)
 let resolve_bound sc ~fallback mapping =
   match (sc.bound_mapping, sc.bound_placement) with
-  | Some m, Some pl when m == mapping && sc.bound_fallback = fallback -> Ok pl
+  | Some m, Some pl when m == mapping && sc.bound_fallback = fallback ->
+      if sc.shared_scratch then sc.bind_hits_shared <- sc.bind_hits_shared + 1
+      else sc.bind_hits_private <- sc.bind_hits_private + 1;
+      Ok pl
   | cached -> (
       let prob = sc.prob in
       let delta =
@@ -796,6 +960,7 @@ let resolve_bound sc ~fallback mapping =
               match Placement.patch prob.cplan pl mapping ~tids ~cids with
               | Ok pl' ->
                   sc.delta_binds <- sc.delta_binds + 1;
+                  sc.sfloor_valid <- false;
                   bind_delta sc pl' mapping ~tids ~cids;
                   Some (Ok pl')
               | Error _ as e ->
@@ -812,6 +977,7 @@ let resolve_bound sc ~fallback mapping =
             | Error _ as e -> e
             | Ok pl ->
                 sc.full_binds <- sc.full_binds + 1;
+                sc.sfloor_valid <- false;
                 bind sc pl mapping;
                 Ok pl)
       in
@@ -833,344 +999,452 @@ let full_binds sc = sc.full_binds
 
 type outcome = Finished of result | Cut of float
 
-let simulate_bounded ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations
-    ?trace ?(cutoff = infinity) sc mapping =
-  let prob = sc.prob in
-  let machine = prob.cmachine and g = prob.cgraph in
-  match resolve_bound sc ~fallback mapping with
-  | Error e -> Error e
-  | Ok pl ->
-      let iterations = Option.value iterations ~default:g.iterations in
-      if iterations <= 0 then invalid_arg "Exec.simulate: iterations must be positive";
-      let spi = prob.spi in
-      let n_instances = iterations * spi in
-      ensure_capacity sc n_instances;
-      (* Noise draws are strictly sequential (instance-ascending, like
-         the reference's upfront pass), but filled lazily as the event
-         loop first touches an instance: a cutoff-aborted run then
-         skips the (Box–Muller) draws for instances it never reached,
-         while a full run performs the identical draw sequence.  When a
-         per-seed cache is available the stream is shared across runs:
-         continuing [nrng] after [nfilled] draws produces exactly the
-         values a fresh [Rng.create seed] would, so reuse is
-         bit-identical and each seed's draws happen once per search. *)
-      let cache =
-        if sc.incremental && noise_sigma > 0.0 then
-          noise_cache_for sc ~seed ~sigma:noise_sigma
-        else None
-      in
-      let noise, ensure_noise =
-        match cache with
-        | Some c ->
-            noise_reserve c n_instances;
-            (c.nbuf, fun upto -> noise_fill c upto)
-        | None ->
-            if noise_sigma > 0.0 then begin
-              let rng = Rng.create seed in
-              let filled = ref 0 in
-              ( sc.noise,
-                fun upto ->
-                  if upto > !filled then begin
-                    for i = !filled to upto - 1 do
-                      sc.noise.(i) <- Rng.lognormal rng ~sigma:noise_sigma
-                    done;
-                    filled := upto
-                  end )
-            end
-            else begin
-              Array.fill sc.noise 0 n_instances 1.0;
-              (sc.noise, fun _ -> ())
-            end
-      in
-      let slot_tid = prob.slot_tid and slot_shard = prob.slot_shard in
-      (* O(n) scratch reset; no allocation *)
-      Array.fill sc.proc_free 0 (Array.length sc.proc_free) 0.0;
-      Array.fill sc.chan_free 0 (Array.length sc.chan_free) 0.0;
-      Array.fill sc.dispatch_free 0 (Array.length sc.dispatch_free) 0.0;
-      let ready_time = sc.ready_time and indeg = sc.indeg in
-      Array.fill ready_time 0 n_instances 0.0;
-      let indeg_base = prob.indeg_base and indeg_carried = prob.indeg_carried in
-      for iter = 0 to iterations - 1 do
-        let base = iter * spi in
-        for slot = 0 to spi - 1 do
-          indeg.(base + slot) <-
-            (indeg_base.(slot) + if iter > 0 then 1 + indeg_carried.(slot) else 0)
-        done
+(* ------------------------------------------------------------------ *)
+(* The event loop.                                                     *)
+(*                                                                     *)
+(* Events are (instance lsl 1) lor tag, tag 0 = Ready, 1 = Done; push  *)
+(* order matches the reference so FIFO tie-breaks agree.  The helpers  *)
+(* below are top-level [@inline] functions over scratch-resident state *)
+(* rather than per-call closures: the admission pass and the live heap *)
+(* loop still execute the *same* code path (push_ev branches on        *)
+(* [sim_vmode]), but a call to [sim_core] allocates no environment,    *)
+(* and inlining keeps every float in registers between helpers.  In    *)
+(* the steady state (cached bind, cached noise, committed timeline)    *)
+(* a simulation performs zero minor-heap allocation — pinned by        *)
+(* test_alloc. *)
+(* ------------------------------------------------------------------ *)
+
+(* status codes of [sim_core] / [simulate_quiet] *)
+let st_finished = 0
+let st_cut = 1
+let st_error = 2
+
+(* Lazy noise refill, out of line: int-only signature, and in the
+   steady state [sim_nfilled] already covers the run so it is never
+   called. *)
+let fill_noise sc upto =
+  match sc.sim_fill with
+  | 1 ->
+      let c = sc.sim_ncache in
+      noise_fill c upto;
+      sc.sim_nfilled <- c.nfilled
+  | 2 ->
+      let buf = sc.sim_noise in
+      let rng = sc.sim_nrng in
+      let sigma = sc.sim_sigma in
+      for i = sc.sim_nfilled to upto - 1 do
+        buf.(i) <- Rng.lognormal rng ~sigma
       done;
-      let events = sc.events in
-      Fheap.reset events;
-      let nt = Graph.n_tasks g in
-      (* result arrays are returned to the caller, so they are the one
-         thing simulate allocates fresh *)
-      let task_times = Array.make nt 0.0 in
-      let proc_busy = Array.make (Array.length machine.Machine.processors) 0.0 in
-      let channel_bytes = Array.make n_channel_classes 0.0 in
-      let bytes_moved = ref 0.0 in
-      let n_copies = ref 0 in
-      let makespan = ref 0.0 in
-      (* events are (instance lsl 1) lor tag, tag 0 = Ready, 1 = Done;
-         push order matches the reference so FIFO tie-breaks agree.
-         Event processing is parameterized over [push] so the admission
-         pass and the live heap loop execute the *same* code path: the
-         only difference is where a produced event goes. *)
-      let dep_arrived push i t =
-        if t > ready_time.(i) then ready_time.(i) <- t;
-        indeg.(i) <- indeg.(i) - 1;
-        if indeg.(i) = 0 then push ready_time.(i) (i lsl 1)
-      in
-      let do_ready push i t =
-        let slot = i mod spi in
-        let node = sc.slot_node.(slot) in
-        let free = sc.dispatch_free.(node) in
-        let dispatched = (if t > free then t else free) +. prob.dispatch_cost in
-        sc.dispatch_free.(node) <- dispatched;
-        let pid = sc.slot_pid.(slot) in
-        let pfree = sc.proc_free.(pid) in
-        let start = if dispatched > pfree then dispatched else pfree in
-        ensure_noise (i + 1);
-        let d = sc.slot_dur.(slot) *. noise.(i) in
-        let t_done = start +. d in
-        sc.proc_free.(pid) <- t_done;
-        proc_busy.(pid) <- proc_busy.(pid) +. d;
-        let tid = slot_tid.(slot) in
-        task_times.(tid) <- task_times.(tid) +. d;
-        (match trace with
-        | Some collector ->
-            let p = Placement.processor pl ~tid ~shard:slot_shard.(slot) in
-            Trace.add collector
-              {
-                Trace.label =
-                  Printf.sprintf "%s.%d" (Graph.task g tid).Graph.tname slot_shard.(slot);
-                kind = Trace.Task_exec;
-                resource = proc_resource_name p;
-                start_time = start;
-                duration = d;
-              }
+      sc.sim_nfilled <- upto
+  | _ -> ()
+
+(* Trace emission, out of line: tracing callers are cold by
+   construction (admission and timelines are disabled under a trace). *)
+let trace_exec_event sc collector slot start d =
+  let prob = sc.prob in
+  let g = prob.cgraph in
+  let tid = prob.slot_tid.(slot) in
+  let pl = match sc.bound_placement with Some pl -> pl | None -> assert false in
+  let p = Placement.processor pl ~tid ~shard:prob.slot_shard.(slot) in
+  Trace.add collector
+    {
+      Trace.label =
+        Printf.sprintf "%s.%d" (Graph.task g tid).Graph.tname prob.slot_shard.(slot);
+      kind = Trace.Task_exec;
+      resource = proc_resource_name p;
+      start_time = start;
+      duration = d;
+    }
+
+let trace_copy_event sc collector slot k start cost =
+  let prob = sc.prob in
+  let g = prob.cgraph in
+  let pl = match sc.bound_placement with Some pl -> pl | None -> assert false in
+  let src_mem =
+    Placement.arg_memory pl ~cid:prob.dep_src_cid.(k) ~shard:prob.slot_shard.(slot)
+  in
+  Trace.add collector
+    {
+      Trace.label =
+        Printf.sprintf "%s -> %s"
+          (Graph.collection g prob.dep_src_cid.(k)).Graph.cname
+          (Graph.collection g prob.dep_dst_cid.(k)).Graph.cname;
+      kind = Trace.Copy;
+      resource =
+        Printf.sprintf "node%d/%s" src_mem.Machine.mnode
+          channel_class_names.(sc.dep_class.(k));
+      start_time = start;
+      duration = cost;
+    }
+
+let[@inline] push_ev sc prio payload =
+  if sc.sim_vmode then begin
+    sc.adm_prio.(payload) <- prio;
+    sc.adm_seq.(payload) <- sc.sim_vseq;
+    sc.adm_mark.(payload) <- sc.adm_run;
+    sc.sim_vseq <- sc.sim_vseq + 1
+  end
+  else Fheap.push sc.events prio payload
+
+let[@inline] dep_arrived sc i t =
+  let ready_time = sc.ready_time in
+  if t > ready_time.(i) then ready_time.(i) <- t;
+  let indeg = sc.indeg in
+  let d = indeg.(i) - 1 in
+  indeg.(i) <- d;
+  if d = 0 then push_ev sc ready_time.(i) (i lsl 1)
+
+let[@inline] do_ready sc i t =
+  let prob = sc.prob in
+  let slot = sc.inst_slot.(i) in
+  let node = sc.slot_node.(slot) in
+  let free = sc.dispatch_free.(node) in
+  let dispatched = (if t > free then t else free) +. prob.dispatch_cost in
+  sc.dispatch_free.(node) <- dispatched;
+  let pid = sc.slot_pid.(slot) in
+  let pfree = sc.proc_free.(pid) in
+  let start = if dispatched > pfree then dispatched else pfree in
+  if i >= sc.sim_nfilled then fill_noise sc (i + 1);
+  let d = sc.slot_dur.(slot) *. sc.sim_noise.(i) in
+  let t_done = start +. d in
+  sc.proc_free.(pid) <- t_done;
+  sc.r_proc_busy.(pid) <- sc.r_proc_busy.(pid) +. d;
+  let tid = prob.slot_tid.(slot) in
+  sc.r_task_times.(tid) <- sc.r_task_times.(tid) +. d;
+  (match sc.sim_trace with
+  | Some collector -> trace_exec_event sc collector slot start d
+  | None -> ());
+  push_ev sc t_done ((i lsl 1) lor 1)
+
+let[@inline] do_done sc i t_done =
+  let prob = sc.prob in
+  let spi = prob.spi in
+  let iter = sc.inst_iter.(i) in
+  let slot = sc.inst_slot.(i) in
+  let acc = sc.r_acc in
+  if t_done > acc.(acc_makespan) then acc.(acc_makespan) <- t_done;
+  let iterations = sc.sim_iters in
+  (* next-iteration self dependence *)
+  if iter + 1 < iterations then dep_arrived sc (i + spi) t_done;
+  (* feed consumers *)
+  for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
+    let target_iter = if prob.dep_carried.(k) then iter + 1 else iter in
+    if target_iter < iterations then begin
+      let ci = (target_iter * spi) + prob.dep_dst_slot.(k) in
+      let chan = sc.dep_chan.(k) in
+      if chan < 0 then dep_arrived sc ci t_done
+      else begin
+        let cost = sc.dep_cost.(k) in
+        let cfree = sc.chan_free.(chan) in
+        let start = if t_done > cfree then t_done else cfree in
+        let arrival = start +. cost in
+        sc.chan_free.(chan) <- arrival;
+        let bytes = prob.dep_bytes.(k) in
+        acc.(acc_bytes) <- acc.(acc_bytes) +. bytes;
+        let cls = sc.dep_class.(k) in
+        sc.r_channel_bytes.(cls) <- sc.r_channel_bytes.(cls) +. bytes;
+        sc.r_n_copies <- sc.r_n_copies + 1;
+        (match sc.sim_trace with
+        | Some collector -> trace_copy_event sc collector slot k start cost
         | None -> ());
-        push t_done ((i lsl 1) lor 1)
-      in
-      let do_done push i t_done =
-        let iter = i / spi in
-        let slot = i - (iter * spi) in
-        if t_done > !makespan then makespan := t_done;
-        (* next-iteration self dependence *)
-        if iter + 1 < iterations then dep_arrived push (i + spi) t_done;
-        (* feed consumers *)
-        for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
-          let target_iter = if prob.dep_carried.(k) then iter + 1 else iter in
-          if target_iter < iterations then begin
-            let ci = (target_iter * spi) + prob.dep_dst_slot.(k) in
-            let chan = sc.dep_chan.(k) in
-            if chan < 0 then dep_arrived push ci t_done
-            else begin
-              let cost = sc.dep_cost.(k) in
-              let start = if t_done > sc.chan_free.(chan) then t_done else sc.chan_free.(chan) in
-              let arrival = start +. cost in
-              sc.chan_free.(chan) <- arrival;
-              let bytes = prob.dep_bytes.(k) in
-              bytes_moved := !bytes_moved +. bytes;
-              channel_bytes.(sc.dep_class.(k)) <- channel_bytes.(sc.dep_class.(k)) +. bytes;
-              incr n_copies;
-              (match trace with
-              | Some collector ->
-                  let src_shard = slot_shard.(slot) in
-                  let src_mem =
-                    Placement.arg_memory pl ~cid:prob.dep_src_cid.(k) ~shard:src_shard
-                  in
-                  Trace.add collector
-                    {
-                      Trace.label =
-                        Printf.sprintf "%s -> %s"
-                          (Graph.collection g prob.dep_src_cid.(k)).Graph.cname
-                          (Graph.collection g prob.dep_dst_cid.(k)).Graph.cname;
-                      kind = Trace.Copy;
-                      resource =
-                        Printf.sprintf "node%d/%s" src_mem.Machine.mnode
-                          channel_class_names.(sc.dep_class.(k));
-                      start_time = start;
-                      duration = cost;
-                    }
-              | None -> ());
-              dep_arrived push ci arrival
-            end
+        dep_arrived sc ci arrival
+      end
+    end
+  done
+
+(* One full simulation into the scratch's result planes.  Returns a
+   status code ([st_finished] / [st_cut] / [st_error]) instead of a
+   constructor so the call frame carries no allocation; the wrappers
+   below rebuild the [result] / [outcome] views for record-API
+   callers. *)
+let sim_core sc mapping ~noise_sigma ~seed ~fallback ~iterations ~trace ~cutoff =
+  let prob = sc.prob in
+  let bound_ok =
+    (* same inline fast path as {!resolve_bound}, minus its [Ok]
+       allocation; the slow branch delegates (and the fast condition
+       failing here means it cannot re-fire there, so hits are counted
+       exactly once) *)
+    match sc.bound_mapping with
+    | Some m when m == mapping && sc.bound_fallback = fallback ->
+        if sc.shared_scratch then sc.bind_hits_shared <- sc.bind_hits_shared + 1
+        else sc.bind_hits_private <- sc.bind_hits_private + 1;
+        true
+    | _ -> (
+        match resolve_bound sc ~fallback mapping with
+        | Ok _ -> true
+        | Error e ->
+            sc.r_error <- Some e;
+            false)
+  in
+  if not bound_ok then st_error
+  else begin
+    if iterations <= 0 then invalid_arg "Exec.simulate: iterations must be positive";
+    let spi = prob.spi in
+    let n_instances = iterations * spi in
+    ensure_capacity sc n_instances;
+    (* Noise draws are strictly sequential (instance-ascending, like
+       the reference's upfront pass), but filled lazily as the event
+       loop first touches an instance: a cutoff-aborted run then skips
+       the (Box–Muller) draws for instances it never reached, while a
+       full run performs the identical draw sequence.  When a per-seed
+       cache is available the stream is shared across runs: continuing
+       [nrng] after [nfilled] draws produces exactly the values a
+       fresh [Rng.create seed] would, so reuse is bit-identical and
+       each seed's draws happen once per search. *)
+    sc.sim_sigma <- noise_sigma;
+    let ci =
+      if sc.incremental && noise_sigma > 0.0 then
+        noise_cache_idx sc ~seed ~sigma:noise_sigma
+      else -1
+    in
+    if ci >= 0 then begin
+      let c = sc.nzs.(ci) in
+      noise_reserve c n_instances;
+      sc.sim_fill <- 1;
+      sc.sim_ncache <- c;
+      sc.sim_noise <- c.nbuf;
+      sc.sim_nfilled <- c.nfilled
+    end
+    else if noise_sigma > 0.0 then begin
+      sc.sim_fill <- 2;
+      sc.sim_nrng <- Rng.create seed;
+      sc.sim_noise <- sc.noise;
+      sc.sim_nfilled <- 0
+    end
+    else begin
+      Array.fill sc.noise 0 n_instances 1.0;
+      sc.sim_fill <- 0;
+      sc.sim_noise <- sc.noise;
+      sc.sim_nfilled <- n_instances
+    end;
+    (* O(n) scratch reset; no allocation *)
+    Array.fill sc.proc_free 0 (Array.length sc.proc_free) 0.0;
+    Array.fill sc.chan_free 0 (Array.length sc.chan_free) 0.0;
+    Array.fill sc.dispatch_free 0 (Array.length sc.dispatch_free) 0.0;
+    let indeg = sc.indeg in
+    Array.fill sc.ready_time 0 n_instances 0.0;
+    let indeg_base = prob.indeg_base and indeg_carried = prob.indeg_carried in
+    for iter = 0 to iterations - 1 do
+      let base = iter * spi in
+      for slot = 0 to spi - 1 do
+        indeg.(base + slot) <-
+          (indeg_base.(slot) + if iter > 0 then 1 + indeg_carried.(slot) else 0)
+      done
+    done;
+    let events = sc.events in
+    Fheap.reset events;
+    (* result planes *)
+    Array.fill sc.r_task_times 0 (Array.length sc.r_task_times) 0.0;
+    Array.fill sc.r_proc_busy 0 (Array.length sc.r_proc_busy) 0.0;
+    Array.fill sc.r_channel_bytes 0 n_channel_classes 0.0;
+    sc.r_acc.(acc_makespan) <- 0.0;
+    sc.r_acc.(acc_bytes) <- 0.0;
+    sc.r_acc.(acc_cut) <- 0.0;
+    sc.r_n_copies <- 0;
+    sc.sim_iters <- iterations;
+    sc.sim_trace <- trace;
+    let has_trace = match trace with Some _ -> true | None -> false in
+    (* ---- incremental admission eligibility: how many leading pops
+       of this seed's committed timeline are provably identical under
+       [mapping]. ---- *)
+    let ti =
+      if (not sc.incremental) || fallback || has_trace then -1
+      else begin
+        let i = find_timeline sc seed in
+        if i < 0 then -1
+        else begin
+          let tl = sc.tls.(i) in
+          if
+            tl.tl_sigma = noise_sigma && tl.tl_iters = iterations
+            && tl.tl_n = 2 * n_instances
+          then i
+          else -1
+        end
+      end
+    in
+    let admit_upto =
+      if ti < 0 then 0
+      else begin
+        let tl = sc.tls.(ti) in
+        if tl.tl_mapping == mapping then
+          (* identical mapping: the whole committed timeline is clean
+             (an empty diff dirties nothing, so the prefix scan the
+             general path runs would accept every pop) *)
+          tl.tl_n
+        else begin
+          let tids, cids = Mapping.diff tl.tl_mapping mapping in
+          if List.length tids + List.length cids > delta_coord_limit then begin
+            sc.full_replays <- sc.full_replays + 1;
+            0
           end
-        done
-      in
-      (* ---- incremental admission eligibility: how many leading pops
-         of this seed's committed timeline are provably identical under
-         [mapping]. ---- *)
-      let tl =
-        if (not sc.incremental) || fallback || trace <> None then None
-        else
-          match Hashtbl.find_opt sc.timelines seed with
-          | Some tl
-            when tl.tl_sigma = noise_sigma && tl.tl_iters = iterations
-                 && tl.tl_n = 2 * n_instances ->
-              Some tl
-          | _ -> None
-      in
-      let admit_upto =
-        match tl with
-        | None -> 0
-        | Some tl ->
-            let tids, cids = Mapping.diff tl.tl_mapping mapping in
-            if List.length tids + List.length cids > delta_coord_limit then begin
+          else begin
+            (* Dirty masks over instance slots.  Ready processing
+               reads slot_dur/slot_pid/slot_node — rebound exactly for
+               changed tasks and owners of affected collections; Done
+               processing reads dep_chan/dep_class/dep_cost — rebound
+               exactly for deps touching an affected collection.  A
+               pop whose slot is clean therefore reads only bindings
+               both runs share, and (by induction over the prefix)
+               only resource state written by earlier clean pops, so
+               its times equal the committed run's bit for bit. *)
+            let rd = sc.ready_dirty and dd = sc.done_dirty in
+            Array.fill rd 0 spi false;
+            Array.fill dd 0 spi false;
+            List.iter
+              (fun tid ->
+                for slot = prob.task_off.(tid) to prob.task_off.(tid + 1) - 1 do
+                  rd.(slot) <- true
+                done)
+              tids;
+            List.iter
+              (fun cid ->
+                let o = prob.col_owner.(cid) in
+                for slot = prob.task_off.(o) to prob.task_off.(o + 1) - 1 do
+                  rd.(slot) <- true
+                done;
+                for j = prob.cid_dep_off.(cid) to prob.cid_dep_off.(cid + 1) - 1 do
+                  dd.(prob.dep_src_slot.(prob.cid_dep_idx.(j))) <- true
+                done)
+              (Placement.affected_collections prob.cplan ~tids ~cids);
+            (* temporal prefix: everything before the first dirty pop
+               replays verbatim; the live loop takes over from there,
+               which closes the cone through dependence edges and
+               same-queue FIFO successors without computing it *)
+            let pops = tl.tl_pops in
+            let n_pops = tl.tl_n in
+            let c = ref 0 in
+            let stop = ref false in
+            let inst_slot = sc.inst_slot in
+            while (not !stop) && !c < n_pops do
+              let p = pops.(!c) in
+              let slot = inst_slot.(p lsr 1) in
+              if (if p land 1 = 0 then rd.(slot) else dd.(slot)) then stop := true
+              else incr c
+            done;
+            if !c < n_pops / 8 then begin
+              (* clean prefix too short to beat the plain loop *)
               sc.full_replays <- sc.full_replays + 1;
               0
             end
-            else begin
-              (* Dirty masks over instance slots.  Ready processing
-                 reads slot_dur/slot_pid/slot_node — rebound exactly for
-                 changed tasks and owners of affected collections; Done
-                 processing reads dep_chan/dep_class/dep_cost — rebound
-                 exactly for deps touching an affected collection.  A
-                 pop whose slot is clean therefore reads only bindings
-                 both runs share, and (by induction over the prefix)
-                 only resource state written by earlier clean pops, so
-                 its times equal the committed run's bit for bit. *)
-              let rd = sc.ready_dirty and dd = sc.done_dirty in
-              Array.fill rd 0 spi false;
-              Array.fill dd 0 spi false;
-              List.iter
-                (fun tid ->
-                  for slot = prob.task_off.(tid) to prob.task_off.(tid + 1) - 1 do
-                    rd.(slot) <- true
-                  done)
-                tids;
-              List.iter
-                (fun cid ->
-                  let o = prob.col_owner.(cid) in
-                  for slot = prob.task_off.(o) to prob.task_off.(o + 1) - 1 do
-                    rd.(slot) <- true
-                  done;
-                  for j = prob.cid_dep_off.(cid) to prob.cid_dep_off.(cid + 1) - 1 do
-                    dd.(prob.dep_src_slot.(prob.cid_dep_idx.(j))) <- true
-                  done)
-                (Placement.affected_collections prob.cplan ~tids ~cids);
-              (* temporal prefix: everything before the first dirty pop
-                 replays verbatim; the live loop takes over from there,
-                 which closes the cone through dependence edges and
-                 same-queue FIFO successors without computing it *)
-              let pops = tl.tl_pops in
-              let n_pops = tl.tl_n in
-              let c = ref 0 in
-              let stop = ref false in
-              while (not !stop) && !c < n_pops do
-                let p = pops.(!c) in
-                let slot = (p lsr 1) mod spi in
-                if (if p land 1 = 0 then rd.(slot) else dd.(slot)) then stop := true
-                else incr c
-              done;
-              if !c < n_pops / 8 then begin
-                (* clean prefix too short to beat the plain loop *)
-                sc.full_replays <- sc.full_replays + 1;
-                0
-              end
-              else !c
-            end
-      in
-      let pop_buf = sc.pop_buf in
-      let cut = ref false and cut_time = ref 0.0 in
-      let n_popped = ref 0 in
-      let in_cone = admit_upto > 0 in
-      if in_cone then begin
-        (* Admission: replay the clean prefix in committed pop order,
-           heap-free.  Pushes are tracked per payload (each event is
-           pushed exactly once) with the insertion seq the live heap
-           would have assigned; each pop's time is its recorded push
-           priority, re-derived by the shared closures above, and the
-           caller's cutoff is checked exactly where the live loop checks
-           it (before the pop), so a Cut is bit-identical too. *)
-        sc.cone_replays <- sc.cone_replays + 1;
-        sc.adm_run <- sc.adm_run + 1;
-        let run_id = sc.adm_run in
-        let adm_prio = sc.adm_prio and adm_seq = sc.adm_seq and adm_mark = sc.adm_mark in
-        let vseq = ref 0 in
-        let push_virtual prio payload =
-          adm_prio.(payload) <- prio;
-          adm_seq.(payload) <- !vseq;
-          adm_mark.(payload) <- run_id;
-          incr vseq
-        in
-        for i = 0 to n_instances - 1 do
-          if indeg.(i) = 0 then push_virtual 0.0 (i lsl 1)
-        done;
-        let tlp = (match tl with Some tl -> tl.tl_pops | None -> assert false) in
-        Array.blit tlp 0 pop_buf 0 admit_upto;
-        while (not !cut) && !n_popped < admit_upto do
-          let payload = tlp.(!n_popped) in
-          assert (adm_mark.(payload) = run_id);
-          let t = adm_prio.(payload) in
-          if t >= cutoff then begin
-            cut := true;
-            cut_time := t
+            else !c
           end
-          else begin
-            adm_mark.(payload) <- 0;
-            let i = payload lsr 1 in
-            if payload land 1 = 0 then do_ready push_virtual i t
-            else do_done push_virtual i t;
-            incr n_popped
-          end
-        done;
-        if not !cut then begin
-          (* Reconstruct the heap exactly as the live loop would hold it
-             after [admit_upto] pops: every still-pending event re-enters
-             with its original insertion seq (heap order is the total
-             order (prio, seq), so insertion order is irrelevant), and
-             the seq counter resumes where the virtual one left off. *)
-          for p = 0 to (2 * n_instances) - 1 do
-            if adm_mark.(p) = run_id then
-              Fheap.push_with_seq events adm_prio.(p) p ~seq:adm_seq.(p)
-          done;
-          Fheap.set_next_seq events !vseq
         end
       end
-      else
-        for i = 0 to n_instances - 1 do
-          if indeg.(i) = 0 then Fheap.push events 0.0 (i lsl 1)
-        done;
-      let push_live prio payload = Fheap.push events prio payload in
-      while (not !cut) && not (Fheap.is_empty events) do
-        let t = Fheap.top_prio events in
+    in
+    let pop_buf = sc.pop_buf in
+    let cut = ref false in
+    let n_popped = ref 0 in
+    let in_cone = admit_upto > 0 in
+    if in_cone then begin
+      (* Admission: replay the clean prefix in committed pop order,
+         heap-free.  Pushes are tracked per payload (each event is
+         pushed exactly once) with the insertion seq the live heap
+         would have assigned; each pop's time is its recorded push
+         priority, re-derived by the shared helpers above, and the
+         caller's cutoff is checked exactly where the live loop checks
+         it (before the pop), so a Cut is bit-identical too. *)
+      sc.cone_replays <- sc.cone_replays + 1;
+      sc.adm_run <- sc.adm_run + 1;
+      sc.sim_vmode <- true;
+      sc.sim_vseq <- 0;
+      for i = 0 to n_instances - 1 do
+        if indeg.(i) = 0 then push_ev sc 0.0 (i lsl 1)
+      done;
+      let tlp = sc.tls.(ti).tl_pops in
+      Array.blit tlp 0 pop_buf 0 admit_upto;
+      let adm_prio = sc.adm_prio and adm_mark = sc.adm_mark in
+      let run_id = sc.adm_run in
+      while (not !cut) && !n_popped < admit_upto do
+        let payload = tlp.(!n_popped) in
+        assert (adm_mark.(payload) = run_id);
+        let t = adm_prio.(payload) in
         if t >= cutoff then begin
-          (* events pop in nondecreasing time order and every pending
-             instance still has nonnegative work left, so the final
-             makespan is >= t: the caller's bound is unreachable *)
           cut := true;
-          cut_time := t
+          sc.r_acc.(acc_cut) <- t
         end
         else begin
-          let payload = Fheap.top events in
-          Fheap.drop events;
-          pop_buf.(!n_popped) <- payload;
-          incr n_popped;
+          adm_mark.(payload) <- 0;
           let i = payload lsr 1 in
-          if payload land 1 = 0 then begin
-            if in_cone then sc.cone_instances <- sc.cone_instances + 1;
-            do_ready push_live i t
-          end
-          else do_done push_live i t
+          if payload land 1 = 0 then do_ready sc i t else do_done sc i t;
+          incr n_popped
         end
       done;
-      if !cut then Ok (Cut !cut_time)
-      else begin
-        if sc.incremental && (not fallback) && trace = None then
-          commit_timeline sc ~seed ~mapping ~sigma:noise_sigma ~iters:iterations
-            ~n_pops:!n_popped;
-        Ok
-          (Finished
-             {
-               makespan = !makespan;
-               per_iteration = !makespan /. float_of_int iterations;
-               task_times;
-               proc_busy;
-               bytes_moved = !bytes_moved;
-               channel_bytes;
-               n_copies = !n_copies;
-               demotions = Placement.demotions pl;
-             })
+      sc.sim_vmode <- false;
+      if not !cut then begin
+        (* Reconstruct the heap exactly as the live loop would hold it
+           after [admit_upto] pops: every still-pending event re-enters
+           with its original insertion seq (heap order is the total
+           order (prio, seq), so insertion order is irrelevant), and
+           the seq counter resumes where the virtual one left off. *)
+        let adm_seq = sc.adm_seq in
+        for p = 0 to (2 * n_instances) - 1 do
+          if adm_mark.(p) = run_id then
+            Fheap.push_with_seq events adm_prio.(p) p ~seq:adm_seq.(p)
+        done;
+        Fheap.set_next_seq events sc.sim_vseq
       end
+    end
+    else begin
+      sc.sim_vmode <- false;
+      for i = 0 to n_instances - 1 do
+        if indeg.(i) = 0 then Fheap.push events 0.0 (i lsl 1)
+      done
+    end;
+    while (not !cut) && not (Fheap.is_empty events) do
+      let t = Fheap.top_prio events in
+      if t >= cutoff then begin
+        (* events pop in nondecreasing time order and every pending
+           instance still has nonnegative work left, so the final
+           makespan is >= t: the caller's bound is unreachable *)
+        cut := true;
+        sc.r_acc.(acc_cut) <- t
+      end
+      else begin
+        let payload = Fheap.top events in
+        Fheap.drop events;
+        pop_buf.(!n_popped) <- payload;
+        incr n_popped;
+        let i = payload lsr 1 in
+        if payload land 1 = 0 then begin
+          if in_cone then sc.cone_instances <- sc.cone_instances + 1;
+          do_ready sc i t
+        end
+        else do_done sc i t
+      end
+    done;
+    if !cut then st_cut
+    else begin
+      if sc.incremental && (not fallback) && not has_trace then
+        commit_timeline sc ~seed ~mapping ~sigma:noise_sigma ~iters:iterations
+          ~n_pops:!n_popped;
+      sc.r_acc.(acc_per_iter) <- sc.r_acc.(acc_makespan) /. float_of_int iterations;
+      st_finished
+    end
+  end
+
+(* Record view over the result planes.  The returned arrays are fresh
+   copies, so they stay valid across subsequent simulations — the one
+   thing the record API allocates. *)
+let result_of_planes sc =
+  {
+    makespan = sc.r_acc.(acc_makespan);
+    per_iteration = sc.r_acc.(acc_per_iter);
+    task_times = Array.copy sc.r_task_times;
+    proc_busy = Array.copy sc.r_proc_busy;
+    bytes_moved = sc.r_acc.(acc_bytes);
+    channel_bytes = Array.copy sc.r_channel_bytes;
+    n_copies = sc.r_n_copies;
+    demotions =
+      (match sc.bound_placement with Some pl -> Placement.demotions pl | None -> 0);
+  }
+
+let simulate_bounded ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterations
+    ?trace ?(cutoff = infinity) sc mapping =
+  let iterations = Option.value iterations ~default:sc.prob.cgraph.Graph.iterations in
+  let st = sim_core sc mapping ~noise_sigma ~seed ~fallback ~iterations ~trace ~cutoff in
+  if st = st_error then Error (match sc.r_error with Some e -> e | None -> assert false)
+  else if st = st_cut then Ok (Cut sc.r_acc.(acc_cut))
+  else Ok (Finished (result_of_planes sc))
 
 let simulate ?noise_sigma ?seed ?fallback ?iterations ?trace sc mapping =
   match simulate_bounded ?noise_sigma ?seed ?fallback ?iterations ?trace sc mapping with
@@ -1178,9 +1452,31 @@ let simulate ?noise_sigma ?seed ?fallback ?iterations ?trace sc mapping =
   | Ok (Cut _) -> assert false (* unreachable without a cutoff *)
   | Error e -> Error e
 
+(* ------------------------------------------------------------------ *)
+(* Quiet API: the evaluator's batch loop reads scalar outputs straight *)
+(* from the planes, so a steady-state candidate costs zero minor-heap  *)
+(* words end to end.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_quiet sc mapping ~noise_sigma ~seed ~fallback ~iterations ~cutoff =
+  sim_core sc mapping ~noise_sigma ~seed ~fallback ~iterations ~trace:None ~cutoff
+
+let[@inline] quiet_makespan sc = sc.r_acc.(acc_makespan)
+let[@inline] quiet_per_iteration sc = sc.r_acc.(acc_per_iter)
+let[@inline] quiet_cut_time sc = sc.r_acc.(acc_cut)
+let quiet_error sc = sc.r_error
+let quiet_result sc = result_of_planes sc
+
 (* Noise-independent makespan floors, shared by {!static_lower_bound}
-   and {!run_lower_bound}.  Assumes the mapping is already bound. *)
+   and {!run_lower_bound}.  Assumes the mapping is already bound.
+   Memoized on the bind tables: the evaluator probes the same bound
+   mapping once per run plus once per lower-bound check, and the
+   floors only depend on the bind tables and [iterations], so the
+   scans below run once per (re-)bind instead of once per probe.
+   {!resolve_bound} clears [sfloor_valid] whenever it rebinds. *)
 let static_floors sc iterations =
+  if sc.sfloor_valid && sc.sfloor_iters = iterations then sc.r_acc.(acc_sfloor)
+  else begin
   let prob = sc.prob in
   let spi = prob.spi in
   let iters_f = float_of_int iterations in
@@ -1256,7 +1552,11 @@ let static_floors sc iterations =
     let floor = !cp_max +. (float_of_int (iterations - 1) *. prob.dispatch_cost) in
     if floor > !lb then lb := floor
   end;
+  sc.r_acc.(acc_sfloor) <- !lb;
+  sc.sfloor_iters <- iterations;
+  sc.sfloor_valid <- true;
   !lb
+  end
 
 let static_lower_bound ?(fallback = false) ?iterations sc mapping =
   match resolve_bound sc ~fallback mapping with
@@ -1296,31 +1596,34 @@ let run_lower_bound ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?itera
            per-seed cache substitutes values without changing a single
            float operation — and turns the per-candidate Box–Muller cost
            into a once-per-seed cost across the whole search. *)
-        match
-          if sc.incremental then noise_cache_for sc ~seed ~sigma:noise_sigma else None
-        with
-        | Some c ->
-            let n = iterations * spi in
-            noise_reserve c n;
-            noise_fill c n;
-            let nbuf = c.nbuf in
-            for iter = 0 to iterations - 1 do
-              let base = iter * spi in
-              for slot = 0 to spi - 1 do
-                let x = nbuf.(base + slot) in
-                let pid = sc.slot_pid.(slot) in
-                busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. x)
-              done
+        let ci =
+          if sc.incremental then noise_cache_idx sc ~seed ~sigma:noise_sigma else -1
+        in
+        if ci >= 0 then begin
+          let c = sc.nzs.(ci) in
+          let n = iterations * spi in
+          noise_reserve c n;
+          noise_fill c n;
+          let nbuf = c.nbuf in
+          for iter = 0 to iterations - 1 do
+            let base = iter * spi in
+            for slot = 0 to spi - 1 do
+              let x = nbuf.(base + slot) in
+              let pid = sc.slot_pid.(slot) in
+              busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. x)
             done
-        | None ->
-            let rng = Rng.create seed in
-            for _iter = 1 to iterations do
-              for slot = 0 to spi - 1 do
-                let x = Rng.lognormal rng ~sigma:noise_sigma in
-                let pid = sc.slot_pid.(slot) in
-                busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. x)
-              done
+          done
+        end
+        else begin
+          let rng = Rng.create seed in
+          for _iter = 1 to iterations do
+            for slot = 0 to spi - 1 do
+              let x = Rng.lognormal rng ~sigma:noise_sigma in
+              let pid = sc.slot_pid.(slot) in
+              busy.(pid) <- busy.(pid) +. (sc.slot_dur.(slot) *. x)
             done
+          done
+        end
       end
       else
         for slot = 0 to spi - 1 do

@@ -117,6 +117,50 @@ val simulate_bounded :
   Mapping.t ->
   (outcome, error) Stdlib.result
 
+(** {1 Quiet (zero-allocation) interface}
+
+    [simulate_quiet] is {!simulate_bounded} minus every allocation: the
+    run's outputs are written into preallocated planes inside the
+    scratch and the call returns a status code.  In the search's steady
+    state — bind cached (same mapping re-run under a new noise seed or
+    re-admitted over a committed timeline), noise stream cached,
+    incremental replay on — a candidate costs {e zero} minor-heap words
+    (pinned by test/test_alloc.ml), which keeps the GC silent across
+    millions of candidates.  Decisions, floats and RNG draws are
+    bit-identical to {!simulate_bounded}; the two share one event
+    loop. *)
+
+val simulate_quiet :
+  scratch ->
+  Mapping.t ->
+  noise_sigma:float ->
+  seed:int ->
+  fallback:bool ->
+  iterations:int ->
+  cutoff:float ->
+  int
+(** Returns {!st_finished}, {!st_cut} or {!st_error}.  The scalar
+    accessors below are valid until the next simulation on the same
+    scratch; {!quiet_result} materializes a full {!result} record (and
+    allocates — use it off the hot path only). *)
+
+val st_finished : int
+val st_cut : int
+val st_error : int
+
+val quiet_makespan : scratch -> float
+val quiet_per_iteration : scratch -> float
+
+val quiet_cut_time : scratch -> float
+(** Clock at which the run was cut; valid after {!st_cut} only. *)
+
+val quiet_error : scratch -> error option
+(** The placement/bind error of the last {!st_error} return. *)
+
+val quiet_result : scratch -> result
+(** Record view over the result planes of the last finished run.  The
+    arrays are fresh copies (safe to retain). *)
+
 val static_lower_bound :
   ?fallback:bool ->
   ?iterations:int ->
@@ -189,6 +233,10 @@ val prefer_timeline : scratch -> Mapping.t -> unit
     a 1–2 coordinate-away timeline) until a different mapping is
     preferred.  Physical equality identifies the incumbent's runs. *)
 
+val preferred_mapping : scratch -> Mapping.t option
+(** The mapping last passed to {!prefer_timeline} — the replay anchor
+    batch evaluation orders candidates against. *)
+
 val cone_replays : scratch -> int
 (** Runs that admitted a nonempty clean prefix from a committed
     timeline. *)
@@ -215,7 +263,25 @@ val delta_binds : scratch -> int
 val full_binds : scratch -> int
 (** How many resolve+bind operations ran the full path.  Physical-
     equality cache hits (re-running the same mapping with a new noise
-    seed) are counted by neither counter. *)
+    seed) are counted by neither counter — they show up in
+    {!bind_cache_hits} instead. *)
+
+val set_shared : scratch -> bool -> unit
+(** Mark this scratch as shared between several search strategies
+    (portfolio members on one domain).  Purely an accounting label: it
+    routes physical-equality bind-cache hits to the shared counter of
+    {!bind_cache_hits} so benches can attribute reuse across members
+    vs. within one member.  Default false. *)
+
+val bind_cache_hits : scratch -> int * int
+(** [(shared, private_)] physical-equality bind-cache hits — resolves
+    served without touching placement or the bind tables, split by the
+    {!set_shared} label at hit time. *)
+
+val bound_mapping : scratch -> Mapping.t option
+(** The mapping of the currently cached bind, if any.  Batch evaluation
+    sorts candidates by diff distance to this mapping so consecutive
+    runs maximize patch locality and cone replay. *)
 
 val run :
   ?noise_sigma:float ->

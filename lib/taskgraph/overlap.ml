@@ -6,7 +6,14 @@ end
 
 module PM = Map.Make (Pair)
 
-type t = { weights : float PM.t }
+type t = {
+  weights : float PM.t;
+  (* per-cid adjacency, memoized at construction: [neighbors] sits on
+     the co-location repair path, which queries it once per candidate
+     coordinate — folding over the whole edge map there would dominate
+     candidate construction *)
+  nbr : (int * float) list array;
+}
 
 let normalize (a, b, w) = if a <= b then (a, b, w) else (b, a, w)
 
@@ -22,7 +29,17 @@ let of_edges raw =
           acc)
       PM.empty raw
   in
-  { weights }
+  let maxc = PM.fold (fun (a, b) _ m -> max m (max a b)) weights (-1) in
+  let nbr = Array.make (maxc + 1) [] in
+  (* ascending map order with a final reverse: element order matches
+     what a fold over [weights] would have produced *)
+  PM.iter
+    (fun (a, b) w ->
+      nbr.(a) <- (b, w) :: nbr.(a);
+      nbr.(b) <- (a, w) :: nbr.(b))
+    weights;
+  Array.iteri (fun i l -> nbr.(i) <- List.rev l) nbr;
+  { weights; nbr }
 
 let of_graph (g : Graph.t) = of_edges g.overlaps
 
@@ -31,11 +48,7 @@ let edges t = PM.fold (fun (a, b) w acc -> (a, b, w) :: acc) t.weights [] |> Lis
 let is_empty t = PM.is_empty t.weights
 
 let neighbors t cid =
-  PM.fold
-    (fun (a, b) w acc ->
-      if a = cid then (b, w) :: acc else if b = cid then (a, w) :: acc else acc)
-    t.weights []
-  |> List.rev
+  if cid >= 0 && cid < Array.length t.nbr then t.nbr.(cid) else []
 
 let partners t cid = List.map fst (neighbors t cid)
 

@@ -17,22 +17,12 @@ let create ?(capacity = 16) () =
   }
 
 let length h = h.size
-let is_empty h = h.size = 0
+let[@inline] is_empty h = h.size = 0
 
-(* strict ordering: priority, then insertion sequence (FIFO on ties) *)
-let lt h i j =
-  h.prio.(i) < h.prio.(j) || (h.prio.(i) = h.prio.(j) && h.seq.(i) < h.seq.(j))
-
-let swap h i j =
-  let p = h.prio.(i) in
-  h.prio.(i) <- h.prio.(j);
-  h.prio.(j) <- p;
-  let s = h.seq.(i) in
-  h.seq.(i) <- h.seq.(j);
-  h.seq.(j) <- s;
-  let v = h.payload.(i) in
-  h.payload.(i) <- h.payload.(j);
-  h.payload.(j) <- v
+(* strict ordering: priority, then insertion sequence (FIFO on ties).
+   The sift loops move the displaced element as a hole (read once,
+   shift the path, write once) rather than swapping at every level —
+   half the array traffic on the event loop's hottest inner loops. *)
 
 let grow h =
   let cap = Array.length h.prio in
@@ -47,19 +37,32 @@ let grow h =
     h.payload <- nv
   end
 
+(* Unsafe indexing below: every index is either [start] (< size, by the
+   callers) or a parent/child index derived from one, and the three
+   arrays always share one capacity >= size. *)
 let sift_up h start =
+  let prio = h.prio and seq = h.seq and payload = h.payload in
+  let p = Array.unsafe_get prio start
+  and s = Array.unsafe_get seq start
+  and v = Array.unsafe_get payload start in
   let i = ref start in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if lt h !i parent then begin
-      swap h !i parent;
+    let pp = Array.unsafe_get prio parent in
+    if p < pp || (p = pp && s < Array.unsafe_get seq parent) then begin
+      Array.unsafe_set prio !i pp;
+      Array.unsafe_set seq !i (Array.unsafe_get seq parent);
+      Array.unsafe_set payload !i (Array.unsafe_get payload parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  Array.unsafe_set prio !i p;
+  Array.unsafe_set seq !i s;
+  Array.unsafe_set payload !i v
 
-let push_with_seq h prio payload ~seq =
+let[@inline] push_with_seq h prio payload ~seq =
   grow h;
   let i = h.size in
   h.prio.(i) <- prio;
@@ -71,39 +74,61 @@ let push_with_seq h prio payload ~seq =
 let set_next_seq h seq = h.next_seq <- seq
 let next_seq h = h.next_seq
 
-let push h prio payload =
+(* [@inline] on the per-event entry points keeps float arguments and
+   returns unboxed at native call sites — the event loop's no-allocation
+   invariant (see Exec) depends on it. *)
+let[@inline] push h prio payload =
   grow h;
-  let i = ref h.size in
-  h.prio.(!i) <- prio;
-  h.seq.(!i) <- h.next_seq;
-  h.payload.(!i) <- payload;
+  let i = h.size in
+  h.prio.(i) <- prio;
+  h.seq.(i) <- h.next_seq;
+  h.payload.(i) <- payload;
   h.next_seq <- h.next_seq + 1;
   h.size <- h.size + 1;
-  sift_up h !i
+  sift_up h i
 
-let top_prio h = h.prio.(0)
-let top h = h.payload.(0)
+let[@inline] top_prio h = h.prio.(0)
+let[@inline] top h = h.payload.(0)
 
 let drop h =
   if h.size > 0 then begin
     h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.prio.(0) <- h.prio.(h.size);
-      h.seq.(0) <- h.seq.(h.size);
-      h.payload.(0) <- h.payload.(h.size);
+    let n = h.size in
+    if n > 0 then begin
+      let prio = h.prio and seq = h.seq and payload = h.payload in
+      let p = Array.unsafe_get prio n
+      and s = Array.unsafe_get seq n
+      and v = Array.unsafe_get payload n in
       let i = ref 0 in
       let continue = ref true in
       while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && lt h l !smallest then smallest := l;
-        if r < h.size && lt h r !smallest then smallest := r;
-        if !smallest <> !i then begin
-          swap h !i !smallest;
-          i := !smallest
+        let l = (2 * !i) + 1 in
+        if l >= n then continue := false
+        else begin
+          let r = l + 1 in
+          let pl = Array.unsafe_get prio l in
+          let c =
+            if
+              r < n
+              && (let pr = Array.unsafe_get prio r in
+                  pr < pl
+                  || (pr = pl && Array.unsafe_get seq r < Array.unsafe_get seq l))
+            then r
+            else l
+          in
+          let pc = Array.unsafe_get prio c in
+          if pc < p || (pc = p && Array.unsafe_get seq c < s) then begin
+            Array.unsafe_set prio !i pc;
+            Array.unsafe_set seq !i (Array.unsafe_get seq c);
+            Array.unsafe_set payload !i (Array.unsafe_get payload c);
+            i := c
+          end
+          else continue := false
         end
-        else continue := false
-      done
+      done;
+      Array.unsafe_set prio !i p;
+      Array.unsafe_set seq !i s;
+      Array.unsafe_set payload !i v
     end
   end
 

@@ -1,0 +1,121 @@
+(* Allocation discipline of the hot evaluation path.
+
+   Two gates:
+
+   - the event loop proper: once the scratch is warm (bind cached,
+     noise stream cached, heaps grown), re-simulating a candidate
+     allocates exactly zero minor-heap words — the property Exec's
+     quiet interface documents and the GC-quiet steady state rests on;
+
+   - the whole search: minor words per suggested candidate of a full
+     batched CCD run stays within the budget committed in
+     golden/alloc_budget.txt, so allocation regressions anywhere in
+     the suggest/build/evaluate cycle fail loudly instead of slowly
+     eroding the steady state.
+
+   Both measurements only make sense compiled to native code —
+   bytecode boxes freely — so the tests skip under other backends. *)
+
+let native = match Sys.backend_type with Sys.Native -> true | _ -> false
+
+let skip_unless_native () =
+  if not native then Alcotest.skip ()
+
+let problem () =
+  let machine = Presets.shepard ~nodes:4 in
+  let g = App.stencil.App.graph ~nodes:4 ~input:"500x500" in
+  (machine, g)
+
+(* Gc.minor_words is [@@noalloc] with an unboxed float result: reading
+   the counter does not itself disturb the measurement. *)
+let minor_words_during f =
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let test_quiet_steady_state_zero_alloc () =
+  skip_unless_native ();
+  let machine, g = problem () in
+  let sc = Exec.scratch (Exec.compile machine g) in
+  let m = Mapping.default_start g machine in
+  let run seed =
+    Exec.simulate_quiet sc m ~noise_sigma:0.03 ~seed ~fallback:false
+      ~iterations:g.Graph.iterations ~cutoff:infinity
+  in
+  (* warm-up: first run binds and grows every pool; a second run under
+     a different seed fills that seed's noise stream *)
+  Alcotest.(check int) "finished" Exec.st_finished (run 1);
+  Alcotest.(check int) "finished" Exec.st_finished (run 2);
+  (* steady state: same mapping, already-filled seeds.  Nothing but the
+     simulation itself may sit inside the measured window — even an
+     Alcotest check allocates hundreds of words. *)
+  for trial = 1 to 50 do
+    let seed = 1 + (trial mod 2) in
+    let w0 = Gc.minor_words () in
+    let st = run seed in
+    let w = Gc.minor_words () -. w0 in
+    if st <> Exec.st_finished then Alcotest.failf "simulation failed (trial %d)" trial;
+    if w <> 0.0 then
+      Alcotest.failf "steady-state simulate_quiet allocated %.0f minor words (trial %d)"
+        w trial
+  done
+
+(* Budget gate: a full batched CCD search's minor-heap traffic per
+   suggested candidate, measured over the second (steady-state) search
+   on a process that has already run one.  The committed budget is
+   generous against run-to-run jitter but small enough that an
+   accidental per-candidate record or closure (tens of words x
+   thousands of candidates) trips it. *)
+let read_budget () =
+  let path = Filename.concat "golden" "alloc_budget.txt" in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec next () =
+        match String.trim (input_line ic) with
+        | "" -> next ()
+        | line when line.[0] = '#' -> next ()
+        | line -> float_of_string line
+      in
+      next ())
+
+let search_words_per_candidate () =
+  let machine, g = problem () in
+  let ev = Evaluator.create ~prune:true ~incremental:true ~seed:3 machine g in
+  let out =
+    Engine.run
+      ~start:(Mapping.default_start g machine)
+      ev
+      (Ccd.make ~batch:true ~rotations:2 ev)
+  in
+  let suggested = (Evaluator.stats ev).Evaluator.s_suggested in
+  Alcotest.(check bool) "searched" true (suggested > 0 && out.Engine.trials > 0);
+  let ev2 = Evaluator.create ~prune:true ~incremental:true ~seed:3 machine g in
+  let words =
+    minor_words_during (fun () ->
+        ignore
+          (Engine.run
+             ~start:(Mapping.default_start g machine)
+             ev2
+             (Ccd.make ~batch:true ~rotations:2 ev2)))
+  in
+  words /. float_of_int suggested
+
+let test_search_alloc_budget () =
+  skip_unless_native ();
+  let budget = read_budget () in
+  let per_cand = search_words_per_candidate () in
+  if per_cand > budget then
+    Alcotest.failf
+      "batched CCD search allocates %.1f minor words per suggested candidate, over \
+       the committed budget of %.1f (golden/alloc_budget.txt)"
+      per_cand budget
+
+let suite =
+  [
+    Alcotest.test_case "quiet steady state allocates zero minor words" `Quick
+      test_quiet_steady_state_zero_alloc;
+    Alcotest.test_case "search minor words per candidate within budget" `Quick
+      test_search_alloc_budget;
+  ]

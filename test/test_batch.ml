@@ -1,0 +1,73 @@
+(* Order-independence of batch evaluation (qcheck).
+
+   For a random candidate set and a random permutation of it,
+   [Evaluator.evaluate_batch] (unbounded — the path free to reorder
+   evaluation by diff locality) must yield, per index, exactly the
+   value sequential [Evaluator.evaluate] calls produce in that same
+   order, leave the evaluator in an identical state (clocks, RNG
+   cursors, profile db — everything {!Evaluator.save_state} captures),
+   and the permuted values must be the base-order values modulo the
+   permutation.  Exercised across all five benchmark apps. *)
+
+let cases =
+  [
+    (App.circuit, "n50w200");
+    (App.stencil, "500x500");
+    (App.pennant, "320x90");
+    (App.htr, "8x8y9z");
+    (App.maestro, "lf4r16");
+  ]
+
+let machine_for (app : App.t) ~nodes =
+  (* Maestro's HF sample is sized for a Lassen node's frame buffer *)
+  if app.App.app_name = "Maestro" then Presets.lassen ~nodes else Presets.shepard ~nodes
+
+let shuffle rng n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let fresh_evaluator machine g = Evaluator.create ~prune:true ~incremental:true ~seed:3 machine g
+
+let batch_matches_sequential (app : App.t) input seed =
+  let nodes = 2 in
+  let machine = machine_for app ~nodes in
+  let g = app.App.graph ~nodes ~input in
+  let space = Space.make g machine in
+  let rng = Rng.create seed in
+  let n = 1 + Rng.int rng 7 in
+  let cands = Array.init n (fun _ -> Space.random_unconstrained space rng) in
+  let perm = shuffle rng n in
+  let permuted = Array.map (fun i -> cands.(i)) perm in
+  let seq ev ms = Array.map (fun m -> Evaluator.evaluate ev m) ms in
+  let ev_base = fresh_evaluator machine g in
+  let vals_base = seq ev_base cands in
+  let ev_seq = fresh_evaluator machine g in
+  let vals_seq = seq ev_seq permuted in
+  let state_seq = Evaluator.save_state ev_seq in
+  let ev_bat = fresh_evaluator machine g in
+  let outcomes = Evaluator.evaluate_batch ev_bat permuted in
+  let state_bat = Evaluator.save_state ev_bat in
+  Array.length outcomes = n
+  && Array.for_all2
+       (fun o v -> match o with Evaluator.Evaluated v' -> v' = v | Evaluator.Skipped -> false)
+       outcomes vals_seq
+  && state_bat = state_seq
+  && Array.for_all (fun j -> vals_seq.(j) = vals_base.(perm.(j))) (Array.init n Fun.id)
+
+let props =
+  List.map
+    (fun ((app : App.t), input) ->
+      QCheck.Test.make ~count:8
+        ~name:
+          (Printf.sprintf "batch = sequential under permutation (%s)" app.App.app_name)
+        QCheck.small_nat
+        (fun seed -> batch_matches_sequential app input seed))
+    cases
+
+let suite = List.map QCheck_alcotest.to_alcotest props
