@@ -55,6 +55,11 @@ let git_commit () =
     | _ -> "unknown"
   with Unix.Unix_error _ | Sys_error _ -> "unknown"
 
+(* surrogate-ranked legs are reported but never part of the identity
+   check (reranking legitimately changes the trajectory); the env knob
+   mirrors the CLI's --no-surrogate *)
+let no_surrogate = Sys.getenv_opt "AUTOMAP_NO_SURROGATE" <> None
+
 type leg = {
   wall : float;
   cands_per_sec : float;
@@ -68,11 +73,15 @@ type leg = {
    must not leak between repeats); only the engine run is timed —
    Evaluator.create (the one-time compile, identical for all legs)
    stays outside. *)
-let search_once ?(batch = false) ~prune ~incremental ~rotations machine g =
+let search_once ?(batch = false) ?(surrogate = false) ~prune ~incremental ~rotations
+    machine g =
   let ev = Evaluator.create ~prune ~incremental ~seed:3 machine g in
+  let sg = if surrogate then Some (Surrogate.create (Evaluator.space ev)) else None in
+  Option.iter (Evaluator.attach_surrogate ev) sg;
   let t0 = now () in
   let o =
-    Engine.run ~start:(Mapping.default_start g machine) ev (Ccd.make ~batch ~rotations ev)
+    Engine.run ?surrogate:sg ~start:(Mapping.default_start g machine) ev
+      (Ccd.make ~batch ?surrogate:sg ~rotations ev)
   in
   (now () -. t0, o.Engine.best, o.Engine.perf, o.Engine.steps, Evaluator.stats ev)
 
@@ -83,6 +92,7 @@ type app_row = {
   on_ : leg;
   inc : leg;
   bat : leg;
+  sur : leg option;            (* surrogate-ranked batches; None when disabled *)
   speedup : float;             (* prune on vs. off, both full-replay *)
   incremental_speedup : float; (* incremental vs. the PR 2 baseline  *)
   batched_speedup : float;     (* batched vs. incremental            *)
@@ -98,10 +108,10 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
      only ever add time, so the minimum is the run least polluted by
      the machine, and every leg gets the same treatment. *)
   let t_off = ref infinity and t_on = ref infinity in
-  let t_inc = ref infinity and t_bat = ref infinity in
+  let t_inc = ref infinity and t_bat = ref infinity and t_sur = ref infinity in
   let spent = ref 0.0 in
   let last_off = ref None and last_on = ref None and last_inc = ref None in
-  let last_bat = ref None in
+  let last_bat = ref None and last_sur = ref None in
   let step () =
     let d, b, p, k, s = search_once ~prune:false ~incremental:false ~rotations machine g in
     t_off := Float.min !t_off d;
@@ -121,6 +131,15 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
     t_bat := Float.min !t_bat d;
     spent := !spent +. d;
     last_bat := Some (b, p, k, s);
+    if not no_surrogate then begin
+      let d, b, p, k, s =
+        search_once ~batch:true ~surrogate:true ~prune:true ~incremental:true
+          ~rotations machine g
+      in
+      t_sur := Float.min !t_sur d;
+      spent := !spent +. d;
+      last_sur := Some (b, p, k, s)
+    end
   in
   step ();
   while !spent < min_time do
@@ -141,6 +160,7 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
   and on_ = leg_of !t_on !last_on
   and inc = leg_of !t_inc !last_inc
   and bat = leg_of !t_bat !last_bat in
+  let sur = if no_surrogate then None else Some (leg_of !t_sur !last_sur) in
   (* neither pruning, incremental replay, nor batching may be visible
      to the search's decisions.  Batching folds each neighbour set into
      one engine step, so engine-step counts are only compared between
@@ -182,7 +202,19 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
     (float_of_int inc.st.Evaluator.s_timeline_bytes /. 1024.0)
     bat.st.Evaluator.s_batch_calls bat.st.Evaluator.s_batch_short_circuits
     bat.st.Evaluator.s_bind_hits_shared bat.st.Evaluator.s_bind_hits_private;
-  { row_app = app.App.app_name; row_input = input; off; on_; inc; bat; speedup;
+  Option.iter
+    (fun (l : leg) ->
+      Printf.printf
+        "         surrogate %6.2fms (%7.1f cand/s) | %d trained, %d reranks, %d skims \
+         | spearman %s | best %.4g vs exact %.4g\n%!"
+        (1e3 *. l.wall) l.cands_per_sec l.st.Evaluator.s_surrogate_trained
+        l.st.Evaluator.s_surrogate_reranks l.st.Evaluator.s_surrogate_skips
+        (if Float.is_finite l.st.Evaluator.s_spearman then
+           Printf.sprintf "%.3f" l.st.Evaluator.s_spearman
+         else "n/a")
+        l.perf bat.perf)
+    sur;
+  { row_app = app.App.app_name; row_input = input; off; on_; inc; bat; sur; speedup;
     incremental_speedup; batched_speedup }
 
 let json_leg l =
@@ -197,6 +229,21 @@ let json_leg l =
     l.st.Evaluator.s_timeline_bytes l.st.Evaluator.s_batch_calls
     l.st.Evaluator.s_batch_short_circuits l.st.Evaluator.s_bind_hits_shared
     l.st.Evaluator.s_bind_hits_private
+
+(* the surrogate leg reranks batches, so it is reported — counters,
+   rank quality, final best — but excluded from the identity check;
+   AUTOMAP_NO_SURROGATE stamps the section skipped instead *)
+let json_surrogate = function
+  | None -> {|{"skipped": true}|}
+  | Some l ->
+      Printf.sprintf
+        {|{"skipped": false, "wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "engine_steps": %d, "suggested": %d, "surrogate_trained": %d, "surrogate_reranks": %d, "surrogate_skips": %d, "spearman_rank_corr": %s}|}
+        l.wall l.cands_per_sec l.perf l.steps l.st.Evaluator.s_suggested
+        l.st.Evaluator.s_surrogate_trained l.st.Evaluator.s_surrogate_reranks
+        l.st.Evaluator.s_surrogate_skips
+        (if Float.is_finite l.st.Evaluator.s_spearman then
+           Printf.sprintf "%.4f" l.st.Evaluator.s_spearman
+         else "null")
 
 (* Checkpoint/resume self-check: a CCD search checkpointed mid-flight
    and resumed must land on the same best as one uninterrupted run.
@@ -308,11 +355,12 @@ let () =
         (Printf.sprintf
            "    {\"app\": %S, \"input\": %S,\n     \"prune_off\": %s,\n     \
             \"prune_on\": %s,\n     \"incremental\": %s,\n     \"batched\": %s,\n     \
+            \"surrogate\": %s,\n     \
             \"speedup\": %.3f, \"incremental_speedup\": %.3f, \
             \"batched_speedup\": %.3f, \"decision_identical\": true}%s\n"
            row.row_app row.row_input (json_leg row.off) (json_leg row.on_)
-           (json_leg row.inc) (json_leg row.bat) row.speedup row.incremental_speedup
-           row.batched_speedup
+           (json_leg row.inc) (json_leg row.bat) (json_surrogate row.sur) row.speedup
+           row.incremental_speedup row.batched_speedup
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf

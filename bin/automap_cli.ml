@@ -274,12 +274,18 @@ let search_cmd =
   let batch_arg =
     Arg.(value & flag & info [ "batch" ] ~doc:"Evaluate each task's whole neighbour set as one batch (CD/CCD only): scratch setup and the incumbent rebind are amortized across the set and candidates past the first improvement are skipped. Decisions are bit-identical to the sequential search; this is purely a throughput switch.")
   in
+  let no_surrogate_arg =
+    Arg.(value & flag & info [ "no-surrogate" ] ~doc:"Disable the online surrogate cost model (trained by default on every exact evaluation; with --batch it also reranks each candidate batch best-predicted-first). The AUTOMAP_NO_SURROGATE environment variable has the same effect.")
+  in
+  let surrogate_skim_arg =
+    Arg.(value & opt (some int) None & info [ "surrogate-skim" ] ~docv:"K" ~doc:"Simulate only the surrogate's top-K predictions of each candidate batch (CD/CCD only; implies --batch). Unlike plain reranking this can change the search trajectory — the bench gate holds it never-worse at equal trial budgets.")
+  in
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the best mapping to FILE.")
   in
   let run app input nodes cluster graph_file machine_file seed algo runs budget
       max_trials max_wall progress events_file checkpoint checkpoint_every resume
-      heft_seed batch output =
+      heft_seed batch no_surrogate surrogate_skim output =
     let machine, g, _ =
       resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
     in
@@ -309,9 +315,13 @@ let search_cmd =
                (json_escape path));
           if progress then Printf.eprintf "[checkpoint] trial %d -> %s\n%!" trial path
     in
+    let surrogate =
+      (not no_surrogate) && Sys.getenv_opt "AUTOMAP_NO_SURROGATE" = None
+    in
     let r =
-      Driver.run ~runs ~seed ?budget ?max_trials ?max_wall ~heft_seed ~batch ~on_event
-        ?checkpoint ~checkpoint_every ?resume_from:resume (algo_of algo) machine g
+      Driver.run ~runs ~seed ?budget ?max_trials ?max_wall ~heft_seed ~batch
+        ~surrogate ?surrogate_skim ~on_event ?checkpoint ~checkpoint_every
+        ?resume_from:resume (algo_of algo) machine g
     in
     Option.iter close_out events_oc;
     Format.printf "%a@." Driver.pp_result r;
@@ -323,6 +333,19 @@ let search_cmd =
     if progress && batch then
       Printf.eprintf "[batch] %d batches, %d short-circuits\n%!" r.Driver.batch_calls
         r.Driver.batch_short_circuits;
+    if surrogate then begin
+      Printf.printf
+        "surrogate: %d observations, %d batches reranked, %d candidates skimmed%s\n"
+        r.Driver.surrogate_trained r.Driver.surrogate_reranks
+        r.Driver.surrogate_skips
+        (if Float.is_finite r.Driver.spearman then
+           Printf.sprintf ", spearman %.3f" r.Driver.spearman
+         else "");
+      if progress then
+        Printf.eprintf "[surrogate] %d trained, %d reranks, %d skips\n%!"
+          r.Driver.surrogate_trained r.Driver.surrogate_reranks
+          r.Driver.surrogate_skips
+    end;
     Printf.printf "best mapping: %s\n" (Report.placement_summary g r.Driver.best);
     match output with
     | None -> ()
@@ -335,7 +358,8 @@ let search_cmd =
       const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
       $ machine_file_arg $ seed_arg $ algo_arg $ runs_arg $ budget_arg
       $ max_trials_arg $ max_wall_arg $ progress_arg $ events_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg $ heft_seed_arg $ batch_arg $ out_arg)
+      $ checkpoint_every_arg $ resume_arg $ heft_seed_arg $ batch_arg
+      $ no_surrogate_arg $ surrogate_skim_arg $ out_arg)
 
 let analyze_cmd =
   let doc =

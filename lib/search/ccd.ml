@@ -7,6 +7,7 @@
 type state = {
   ev : Evaluator.t;
   batch : bool;  (* emit whole neighbour sets via Propose_batch *)
+  surrogate : Surrogate.t option;  (* ranked batches (see Descent) *)
   rotations : int;
   prune_per_rotation : int;
   mutable r : int;  (* current rotation, 0 before the first *)
@@ -32,7 +33,10 @@ let advance st (f, _p) =
     (* refresh the longest-running-first order against the incumbent,
        exactly at rotation entry as the legacy loop did *)
     let profile = Evaluator.profile_for st.ev f in
-    st.sweep <- Some (Descent.start st.ev ~overlap:(overlap_opt st.overlap) ~profile);
+    st.sweep <-
+      Some
+        (Descent.start ?surrogate:st.surrogate st.ev
+           ~overlap:(overlap_opt st.overlap) ~profile);
     Engine.Phase (Printf.sprintf "rotation %d/%d" st.r st.rotations)
   end
 
@@ -67,11 +71,20 @@ let strategy_of st =
                       advance st inc)));
     receive =
       (fun m perf ->
+        (* ranked batches consume their specs at build time; each
+           verdict drains one queued candidate instead, so a
+           budget-truncated batch leaves exactly the undelivered
+           remainder for the checkpoint *)
         if st.batch then
-          (match st.sweep with Some c -> Descent.deliver c | None -> ());
+          (match (st.sweep, st.surrogate) with
+          | Some c, None -> Descent.deliver c
+          | Some c, Some _ -> Descent.deliver_ranked c
+          | None, _ -> ());
         match st.incumbent with
         | Some (_, p) when perf < p ->
             st.incumbent <- Some (m, perf);
+            if st.surrogate <> None then
+              (match st.sweep with Some c -> Descent.abandon c | None -> ());
             true
         | _ -> false);
     encode =
@@ -85,13 +98,14 @@ let strategy_of st =
         ]);
   }
 
-let make ?(batch = false) ?(rotations = 5) ev =
+let make ?(batch = false) ?surrogate ?(rotations = 5) ev =
   if rotations < 2 then invalid_arg "Ccd.search: rotations must be at least 2";
   let c0 = Overlap.of_graph (Evaluator.graph ev) in
   strategy_of
     {
       ev;
       batch;
+      surrogate;
       rotations;
       prune_per_rotation = prune_per_rotation ~rotations c0;
       r = 0;
@@ -100,7 +114,7 @@ let make ?(batch = false) ?(rotations = 5) ev =
       incumbent = None;
     }
 
-let decode ?(batch = false) ev lines =
+let decode ?(batch = false) ?surrogate ev lines =
   let g = Evaluator.graph ev in
   match lines with
   | [ rot; inc; sweep ] -> (
@@ -125,6 +139,7 @@ let decode ?(batch = false) ev lines =
         {
           ev;
           batch;
+          surrogate;
           rotations;
           prune_per_rotation = ppr;
           r;
@@ -150,17 +165,17 @@ let decode ?(batch = false) ev lines =
       let* () =
         if sweep = "sweep none" then Ok ()
         else
-          let* c = Descent.decode ev ~overlap:(overlap_opt !overlap) sweep in
+          let* c = Descent.decode ?surrogate ev ~overlap:(overlap_opt !overlap) sweep in
           st.sweep <- Some c;
           Ok ()
       in
       Ok (strategy_of st))
   | _ -> Error "Ccd.decode: expected 3 lines"
 
-let search ?batch ?(rotations = 5) ?start ?(budget = infinity) ev =
+let search ?batch ?surrogate ?(rotations = 5) ?start ?(budget = infinity) ev =
   let g = Evaluator.graph ev in
   let machine = Evaluator.machine ev in
-  let strat = make ?batch ~rotations ev in
+  let strat = make ?batch ?surrogate ~rotations ev in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
-  let o = Engine.run ~budget:(Budget.of_virtual budget) ~start:f0 ev strat in
+  let o = Engine.run ?surrogate ~budget:(Budget.of_virtual budget) ~start:f0 ev strat in
   (o.Engine.best, o.Engine.perf)

@@ -15,21 +15,33 @@
     Each rotation starts from the best mapping of the previous one and
     re-profiles it to refresh the longest-running-first task order. *)
 
-val make : ?batch:bool -> ?rotations:int -> Evaluator.t -> Engine.strategy
+val make :
+  ?batch:bool ->
+  ?surrogate:Surrogate.t ->
+  ?rotations:int ->
+  Evaluator.t ->
+  Engine.strategy
 (** CCD as an engine strategy (name ["ccd"]); emits a
     {!Engine.Phase} marker at each rotation entry.  [batch] (default
     false) emits each task's whole neighbour set as one
     {!Engine.Propose_batch} (see {!Cd.make}); decision-identical,
-    faster.
+    faster.  [surrogate] ranks each batch best-predicted-first (see
+    {!Cd.make} and {!Descent.start}) in every rotation.
     @raise Invalid_argument if [rotations < 2]. *)
 
-val decode : ?batch:bool -> Evaluator.t -> string list -> (Engine.strategy, string) result
+val decode :
+  ?batch:bool ->
+  ?surrogate:Surrogate.t ->
+  Evaluator.t ->
+  string list ->
+  (Engine.strategy, string) result
 (** Rebuild a checkpointed CCD strategy mid-rotation: the overlap graph
     is re-derived (pruning is deterministic), the sweep cursor and
-    incumbent restored.  [batch] as in {!Cd.decode}. *)
+    incumbent restored.  [batch] and [surrogate] as in {!Cd.decode}. *)
 
 val search :
   ?batch:bool ->
+  ?surrogate:Surrogate.t ->
   ?rotations:int ->
   ?start:Mapping.t ->
   ?budget:float ->

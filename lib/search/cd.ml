@@ -7,6 +7,7 @@
 type state = {
   ev : Evaluator.t;
   batch : bool;  (* emit whole neighbour sets via Propose_batch *)
+  surrogate : Surrogate.t option;  (* ranked batches (see Descent) *)
   mutable incumbent : (Mapping.t * float) option;
   mutable sweep : Descent.t option;
 }
@@ -35,7 +36,7 @@ let strategy_of st =
                   (* task order from the start point's noise-free
                      profile, as the legacy loop computed it *)
                   let c =
-                    Descent.start st.ev ~overlap:None
+                    Descent.start ?surrogate:st.surrogate st.ev ~overlap:None
                       ~profile:(Evaluator.profile_for st.ev f)
                   in
                   st.sweep <- Some c;
@@ -53,23 +54,33 @@ let strategy_of st =
               | None -> Engine.Stop));
     receive =
       (fun m perf ->
+        (* ranked batches consume their specs at build time; each
+           verdict drains one queued candidate instead, so a
+           budget-truncated batch leaves exactly the undelivered
+           remainder for the checkpoint *)
         if st.batch then
-          (match st.sweep with Some c -> Descent.deliver c | None -> ());
+          (match (st.sweep, st.surrogate) with
+          | Some c, None -> Descent.deliver c
+          | Some c, Some _ -> Descent.deliver_ranked c
+          | None, _ -> ());
         match st.incumbent with
         | Some (_, p) when perf < p ->
             st.incumbent <- Some (m, perf);
+            if st.surrogate <> None then
+              (match st.sweep with Some c -> Descent.abandon c | None -> ());
             true
         | _ -> false);
     encode = (fun () -> encode_state st);
   }
 
-let make ?(batch = false) ev = strategy_of { ev; batch; incumbent = None; sweep = None }
+let make ?(batch = false) ?surrogate ev =
+  strategy_of { ev; batch; surrogate; incumbent = None; sweep = None }
 
-let decode ?(batch = false) ev lines =
+let decode ?(batch = false) ?surrogate ev lines =
   let g = Evaluator.graph ev in
   match lines with
   | [ inc; sweep ] -> (
-      let st = { ev; batch; incumbent = None; sweep = None } in
+      let st = { ev; batch; surrogate; incumbent = None; sweep = None } in
       let ( let* ) = Result.bind in
       let* () =
         if inc = "incumbent none" then Ok ()
@@ -88,16 +99,19 @@ let decode ?(batch = false) ev lines =
       let* () =
         if sweep = "sweep none" then Ok ()
         else
-          let* c = Descent.decode ev ~overlap:None sweep in
+          let* c = Descent.decode ?surrogate ev ~overlap:None sweep in
           st.sweep <- Some c;
           Ok ()
       in
       Ok (strategy_of st))
   | _ -> Error "Cd.decode: expected 2 lines"
 
-let search ?batch ?start ?(budget = infinity) ev =
+let search ?batch ?surrogate ?start ?(budget = infinity) ev =
   let g = Evaluator.graph ev in
   let machine = Evaluator.machine ev in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
-  let o = Engine.run ~budget:(Budget.of_virtual budget) ~start:f0 ev (make ?batch ev) in
+  let o =
+    Engine.run ?surrogate ~budget:(Budget.of_virtual budget) ~start:f0 ev
+      (make ?batch ?surrogate ev)
+  in
   (o.Engine.best, o.Engine.perf)

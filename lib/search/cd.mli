@@ -6,22 +6,34 @@
     collections in the fastest memory of the chosen kind.  Runtime is
     linear in tasks × collections. *)
 
-val make : ?batch:bool -> Evaluator.t -> Engine.strategy
+val make : ?batch:bool -> ?surrogate:Surrogate.t -> Evaluator.t -> Engine.strategy
 (** CD as an engine strategy (name ["cd"]).  [batch] (default false)
     emits each task's whole neighbour set as one {!Engine.Propose_batch}
     — decision-identical to sequential proposals (CD's acceptance test
     is exactly [perf < incumbent], the batch contract) but faster:
     {!Evaluator.evaluate_batch} orders evaluations for cache locality
-    and skips candidates past the first improvement. *)
+    and skips candidates past the first improvement.
 
-val decode : ?batch:bool -> Evaluator.t -> string list -> (Engine.strategy, string) result
+    [surrogate] runs the sweep cursor in ranked mode: each task's batch
+    is permuted best-predicted-first (and skimmed to the top-K when the
+    model carries a skim setting) — see {!Descent.start}.  Pass the
+    same model to {!Engine.run} so it trains from the evaluations. *)
+
+val decode :
+  ?batch:bool ->
+  ?surrogate:Surrogate.t ->
+  Evaluator.t ->
+  string list ->
+  (Engine.strategy, string) result
 (** Rebuild a checkpointed CD strategy from its {!Engine.strategy.encode}
     lines; re-pins the restored incumbent.  Checkpoints carry no batch
     flag (batching is decision-neutral); pass [batch] to resume in
-    batch mode. *)
+    batch mode and [surrogate] (restored from the checkpoint's
+    surrogate section) to resume ranked mode decision-identically. *)
 
 val search :
   ?batch:bool ->
+  ?surrogate:Surrogate.t ->
   ?start:Mapping.t ->
   ?budget:float ->
   Evaluator.t ->

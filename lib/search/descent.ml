@@ -22,6 +22,9 @@ type spec =
 type t = {
   ev : Evaluator.t;
   overlap : Overlap.t option;
+  surrogate : Surrogate.t option;
+      (* ranked mode: batches are built task-atomically and permuted
+         best-predicted-first (skim truncates them) — see [ranked_batch] *)
   order : int list;        (* tids in runtime-descending order at sweep start *)
   mutable entered : int;   (* tasks entered so far; current = nth order (entered-1) *)
   mutable specs : spec list;  (* remaining specs of the current task *)
@@ -30,6 +33,15 @@ type t = {
       (* batch mode: per outstanding batch candidate, how many specs its
          verdict consumes (preceding gap no-ops + its own spec); never
          serialized — a batch is rebuilt from [specs] after restore *)
+  mutable queue : Mapping.t list;
+      (* ranked mode: the rest of the current ranked batch.  Sequential
+         ranking proposes from it one candidate at a time; batch ranking
+         drains it one [deliver_ranked] per verdict, so after a
+         budget-truncated batch it holds exactly the undelivered
+         remainder.  [abandon] drops it on an accept.  Serialized by
+         [encode] (the permutation depends on the model state *before*
+         the batch trained on its own results, so it cannot be rebuilt
+         at decode time). *)
 }
 
 let specs_for space (task : Graph.task) =
@@ -61,12 +73,22 @@ let account ev space (task : Graph.task) =
         task.args)
     live_kinds
 
-let start ev ~overlap ~profile =
+let start ?surrogate ev ~overlap ~profile =
   let g = Evaluator.graph ev in
   let order =
     List.map (fun (t : Graph.task) -> t.tid) (Profile.order_tasks_by_runtime g profile)
   in
-  { ev; overlap; order; entered = 0; specs = []; consumed = 0; pending = [] }
+  {
+    ev;
+    overlap;
+    surrogate;
+    order;
+    entered = 0;
+    specs = [];
+    consumed = 0;
+    pending = [];
+    queue = [];
+  }
 
 let build t incumbent tid spec =
   let g = Evaluator.graph t.ev in
@@ -80,7 +102,7 @@ let build t incumbent tid spec =
       | None -> f'
       | Some o -> Colocation.apply g machine ~overlap:o ~mapping:f' ~t:tid ~c:cid ~k ~r)
 
-let next t ~incumbent =
+let next_seq t ~incumbent =
   let g = Evaluator.graph t.ev in
   let space = Evaluator.space t.ev in
   let rec go () =
@@ -152,8 +174,7 @@ let rec settle t ~incumbent =
         settle t ~incumbent
       end
 
-let next_batch t ~incumbent =
-  t.pending <- [];  (* any previous batch's unreached candidates are stale *)
+let plain_batch t ~incumbent =
   settle t ~incumbent;
   match t.specs with
   | [] -> [||]
@@ -175,6 +196,91 @@ let next_batch t ~incumbent =
       t.pending <- List.rev !pending;
       Array.of_list (List.rev !cands)
 
+(* ---- ranked mode --------------------------------------------------------
+   With a surrogate, a batch is the *whole* current task, permuted
+   best-predicted-first so the bounded first-improvement short-circuit
+   fires as early as the model can arrange.  The task is consumed
+   atomically at build time ([deliver] has nothing left to do): spec
+   positions are meaningless under a permutation, and an accept
+   abandons the rest of the task's candidates — they were built
+   against a now-replaced incumbent.  Skim mode additionally truncates
+   the permuted batch to the top-K predictions; the dropped candidates
+   are counted as surrogate skips, never suggested.
+
+   [next] supports the same ranked order sequentially (one proposal per
+   call from an internal queue, [abandon] dropping the queue on an
+   accept), so ranked-batched ≡ ranked-sequential is bit-testable the
+   same way plain batching is tested against [next_seq]. *)
+
+let ranked_batch t ~incumbent sg =
+  settle t ~incumbent;
+  match t.specs with
+  | [] -> [||]
+  | specs ->
+      let tid = current_tid t in
+      let cands = ref [] in
+      List.iter
+        (fun spec ->
+          let cand = build t incumbent tid spec in
+          if Mapping.equal cand incumbent then Evaluator.note_noop_neighbor t.ev
+          else cands := cand :: !cands)
+        specs;
+      t.consumed <- t.consumed + List.length specs;
+      t.specs <- [];
+      (* settle stops only at a real candidate, so the array is non-empty *)
+      let arr = Array.of_list (List.rev !cands) in
+      let perm = Surrogate.rank sg arr in
+      let ranked = Array.map (fun i -> arr.(i)) perm in
+      (match Surrogate.skim_active sg with
+      | Some k when k < Array.length ranked ->
+          Surrogate.note_skips sg (Array.length ranked - k);
+          Array.sub ranked 0 k
+      | _ -> ranked)
+
+let next_batch t ~incumbent =
+  t.pending <- [];  (* any previous batch's unreached candidates are stale *)
+  match t.surrogate with
+  | Some sg -> (
+      (* a non-empty queue is the undelivered remainder of a ranked
+         batch the engine truncated at the trial budget — only a
+         resumed run can observe one here.  Propose it in its original
+         model order: re-ranking with the since-trained weights would
+         diverge from the uninterrupted run. *)
+      match t.queue with
+      | [] ->
+          let arr = ranked_batch t ~incumbent sg in
+          t.queue <- Array.to_list arr;
+          arr
+      | q -> Array.of_list q)
+  | None ->
+      t.queue <- [];
+      plain_batch t ~incumbent
+
+let next t ~incumbent =
+  match t.surrogate with
+  | None -> next_seq t ~incumbent
+  | Some sg -> (
+      match t.queue with
+      | c :: rest ->
+          t.queue <- rest;
+          Some c
+      | [] ->
+          let arr = ranked_batch t ~incumbent sg in
+          if Array.length arr = 0 then None
+          else begin
+            t.queue <- List.tl (Array.to_list arr);
+            Some arr.(0)
+          end)
+
+let abandon t =
+  t.queue <- [];
+  t.pending <- []
+
+let deliver_ranked t =
+  match t.queue with
+  | _ :: rest -> t.queue <- rest
+  | [] -> invalid_arg "Descent.deliver_ranked: no outstanding ranked candidate"
+
 let deliver t =
   match t.pending with
   | [] -> invalid_arg "Descent.deliver: no outstanding batch candidate"
@@ -193,20 +299,29 @@ let deliver t =
       t.consumed <- t.consumed + c
 
 let encode t =
-  Printf.sprintf "sweep %d %s %d %d" (List.length t.order)
-    (String.concat " " (List.map string_of_int t.order))
-    t.entered t.consumed
+  let base =
+    Printf.sprintf "sweep %d %s %d %d" (List.length t.order)
+      (String.concat " " (List.map string_of_int t.order))
+      t.entered t.consumed
+  in
+  match t.queue with
+  | [] -> base
+  | q ->
+      Printf.sprintf "%s queue %d %s" base (List.length q)
+        (String.concat " " (List.map Mapping.canonical_key q))
 
-let decode ev ~overlap line =
+let decode ?surrogate ev ~overlap line =
   let fail fmt = Printf.ksprintf (fun m -> Error ("Descent.decode: " ^ m)) fmt in
   match String.split_on_char ' ' line |> List.filter (( <> ) "") with
   | "sweep" :: n :: rest -> (
       match int_of_string_opt n with
       | None -> fail "bad order length"
       | Some n -> (
-          if List.length rest <> n + 2 then fail "bad field count"
+          if List.length rest < n + 2 then fail "bad field count"
           else
-            let ints = List.filter_map int_of_string_opt rest in
+            let cursor = List.filteri (fun i _ -> i < n + 2) rest in
+            let tail = List.filteri (fun i _ -> i >= n + 2) rest in
+            let ints = List.filter_map int_of_string_opt cursor in
             if List.length ints <> n + 2 then fail "bad integer field"
             else
               let order = List.filteri (fun i _ -> i < n) ints in
@@ -221,8 +336,33 @@ let decode ev ~overlap line =
                     if List.exists (fun tid -> tid < 0 || tid >= n_tasks) order then
                       fail "task id out of range"
                     else
+                      let ( let* ) = Result.bind in
+                      let* queue =
+                        match tail with
+                        | [] -> Ok []
+                        | "queue" :: k :: keys -> (
+                            match int_of_string_opt k with
+                            | Some k when List.length keys = k && k > 0 ->
+                                let ms =
+                                  List.filter_map (Mapping.of_canonical_key g) keys
+                                in
+                                if List.length ms = k then Ok ms
+                                else fail "unparsable queue key"
+                            | _ -> fail "bad queue count")
+                        | _ -> fail "bad queue suffix"
+                      in
                       let t =
-                        { ev; overlap; order; entered; specs = []; consumed; pending = [] }
+                        {
+                          ev;
+                          overlap;
+                          surrogate;
+                          order;
+                          entered;
+                          specs = [];
+                          consumed;
+                          pending = [];
+                          queue;
+                        }
                       in
                       if entered = 0 then
                         if consumed <> 0 then fail "consumed before first task"

@@ -22,9 +22,29 @@
 
 type t
 
-val start : Evaluator.t -> overlap:Overlap.t option -> profile:Profile.t -> t
+val start :
+  ?surrogate:Surrogate.t ->
+  Evaluator.t ->
+  overlap:Overlap.t option ->
+  profile:Profile.t ->
+  t
 (** Fresh sweep: task order is fixed now from [profile]
-    (runtime-descending), candidates are generated lazily. *)
+    (runtime-descending), candidates are generated lazily.
+
+    With [surrogate] the cursor runs in {e ranked mode}: {!next_batch}
+    returns the whole current task's candidates permuted
+    best-predicted-first by {!Surrogate.rank} (truncated to the top-K
+    when the surrogate carries a skim setting, dropped candidates
+    counted as surrogate skips), and the task's specs are consumed
+    atomically at build time — {!deliver} must {e not} be called.
+    {!next} proposes the same ranked order one candidate at a time
+    from an internal queue ({!abandon} drops it on an accept), so
+    ranked-batched and ranked-sequential drives are bit-identical.
+    The queue {e is} serialized by {!encode}: the permutation depends
+    on the model weights as they stood before the batch trained on its
+    own results, so it cannot be re-derived at decode time — carrying
+    it makes resume exact even when the engine truncated a ranked
+    batch at the trial budget. *)
 
 val next : t -> incumbent:Mapping.t -> Mapping.t option
 (** The next candidate to evaluate, built from [incumbent]; [None] when
@@ -40,19 +60,43 @@ val next_batch : t -> incumbent:Mapping.t -> Mapping.t array
     {!deliver}; candidates past the last delivered one are forgotten
     (the next call rebuilds them against the then-current incumbent),
     which is exactly the state a sequential {!next} caller that stopped
-    at the same point would be in. *)
+    at the same point would be in.  In ranked mode (see {!start}) the
+    contract changes: the array is the whole task permuted by predicted
+    makespan, its specs are already consumed, and each verdict is
+    acknowledged with {!deliver_ranked} instead — a resumed cursor
+    holding an undelivered remainder returns it verbatim, in its
+    original model order. *)
 
 val deliver : t -> unit
 (** Acknowledge the verdict of the next outstanding batch candidate:
     consumes its spec plus the gap no-ops before it (counted now —
     same totals as {!next}, which counts them on its way to the
-    candidate).  @raise Invalid_argument with no outstanding batch. *)
+    candidate).  Plain batch mode only.
+    @raise Invalid_argument with no outstanding batch. *)
+
+val deliver_ranked : t -> unit
+(** Ranked batch mode: acknowledge one verdict by draining the queued
+    candidate it belongs to, so a budget-truncated batch leaves exactly
+    the undelivered remainder in the (serialized) queue.
+    @raise Invalid_argument with no outstanding ranked candidate. *)
+
+val abandon : t -> unit
+(** Ranked mode, on an accept: drop the rest of the current ranked
+    batch — those candidates were built against the replaced incumbent.
+    No-op in plain mode and after batched delivery. *)
 
 val encode : t -> string
 (** Checkpoint line: task order + position.  Candidate specs are
     re-derived from the space on {!decode}, so the line stays small. *)
 
-val decode : Evaluator.t -> overlap:Overlap.t option -> string -> (t, string) result
+val decode :
+  ?surrogate:Surrogate.t ->
+  Evaluator.t ->
+  overlap:Overlap.t option ->
+  string ->
+  (t, string) result
 (** Rebuild a cursor mid-sweep.  Entry accounting for the current task
     is {e not} redone — the restored evaluator counters already include
-    it. *)
+    it.  [surrogate] resumes the cursor in ranked mode (the caller
+    restores the model itself from the checkpoint's surrogate
+    section). *)

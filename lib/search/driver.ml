@@ -35,6 +35,10 @@ type result = {
   checkpoints_written : int;
   batch_calls : int;
   batch_short_circuits : int;
+  surrogate_trained : int;
+  surrogate_reranks : int;
+  surrogate_skips : int;
+  spearman : float;
 }
 
 (* HEFT is not a search: the list schedule *is* the mapping.  As a
@@ -49,35 +53,38 @@ let heft_strategy =
     encode = (fun () -> []);
   }
 
-let strategy_of_algo ~seed ?budget ~batch algo ev =
+let strategy_of_algo ~seed ?budget ~batch ?surrogate algo ev =
   match algo with
-  | Cd -> Cd.make ~batch ev
-  | Ccd { rotations } -> Ccd.make ~batch ~rotations ev
+  | Cd -> Cd.make ~batch ?surrogate ev
+  | Ccd { rotations } -> Ccd.make ~batch ?surrogate ~rotations ev
   | Ensemble_tuner ->
       Ensemble.make ~config:{ Ensemble.default_config with seed = seed + 1 } ev
   | Random_walk { max_evals } -> Random_search.make ~seed:(seed + 1) ~max_evals ev
   | Annealing { max_evals } -> Annealing.make ~seed:(seed + 1) ~max_evals ev
-  | Portfolio -> Portfolio.make ?budget ~seed:(seed + 1) ev
+  | Portfolio -> Portfolio.make ?budget ~seed:(seed + 1) ~batch ?surrogate ev
   | Heft -> heft_strategy
 
 (* Checkpoints name the strategy; decoding dispatches on that name
    explicitly (no registration side effects, so no link-order traps). *)
-let decode_strategy ?(batch = false) ev ~algo lines =
+let decode_strategy ?(batch = false) ?surrogate ev ~algo lines =
   match algo with
-  | "cd" -> Cd.decode ~batch ev lines
-  | "ccd" -> Ccd.decode ~batch ev lines
+  | "cd" -> Cd.decode ~batch ?surrogate ev lines
+  | "ccd" -> Ccd.decode ~batch ?surrogate ev lines
   | "annealing" -> Annealing.decode ev lines
   | "random" -> Random_search.decode ev lines
   | "ensemble" -> Ensemble.decode ev lines
-  | "portfolio" -> Portfolio.decode ev lines
+  | "portfolio" -> Portfolio.decode ~batch ?surrogate ev lines
   | "heft" -> Ok heft_strategy
   | other -> Error (Printf.sprintf "unknown strategy %S in checkpoint" other)
 
 let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
     ?(seed = 0) ?budget ?max_trials ?max_wall ?start ?(heft_seed = false)
-    ?objective ?extended ?incremental ?domain_prune ?(batch = false) ?db ?on_event
-    ?checkpoint ?(checkpoint_every = 25) ?resume_from algo machine graph =
+    ?objective ?extended ?incremental ?domain_prune ?(batch = false)
+    ?(surrogate = true) ?surrogate_skim ?db ?on_event ?checkpoint
+    ?(checkpoint_every = 25) ?resume_from algo machine graph =
   let fail fmt = Printf.ksprintf failwith fmt in
+  (* skim only makes sense on ranked batches *)
+  let batch = batch || surrogate_skim <> None in
   let snapshot =
     match resume_from with
     | None -> None
@@ -113,7 +120,16 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
               if heft_seed || algo = Heft then Heft.mapping machine graph
               else Mapping.default_start graph machine
         in
-        let strat = strategy_of_algo ~seed ?budget ~batch algo ev in
+        let sg =
+          if not surrogate then None
+          else Some (Surrogate.create ?skim:surrogate_skim (Evaluator.space ev))
+        in
+        Option.iter (Evaluator.attach_surrogate ev) sg;
+        (* ranking needs batch proposals (checkpoints then fall strictly
+           between ranked batches — see Descent); without batch the
+           model still trains for telemetry and a later batched run *)
+        let rank_sg = if batch then sg else None in
+        let strat = strategy_of_algo ~seed ?budget ~batch ?surrogate:rank_sg algo ev in
         let budget =
           (* the portfolio shares [budget] across members through its own
              absolute deadlines; every other algorithm gets it as the
@@ -121,7 +137,7 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
           let max_virtual = if algo = Portfolio then None else budget in
           Budget.make ?max_trials ?max_virtual ?max_wall ()
         in
-        Engine.run ~budget ?on_event ?checkpoint ~start ev strat
+        Engine.run ~budget ?on_event ?checkpoint ?surrogate:sg ~start ev strat
     | Some (path, s) ->
         if Evaluator.fingerprint ev <> s.Engine.s_fingerprint then
           fail
@@ -131,8 +147,27 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
         (match Evaluator.restore_state ev s.Engine.s_evaluator with
         | Ok () -> ()
         | Error e -> fail "%s: %s" path e);
+        (* the snapshot decides whether a surrogate resumes: restoring
+           one into a surrogate-free run (or dropping it from a
+           surrogate run) would silently change the decision sequence.
+           The model's own header rejects a skim/config mismatch. *)
+        let sg =
+          if s.Engine.s_surrogate = [] then None
+          else begin
+            let m = Surrogate.create ?skim:surrogate_skim (Evaluator.space ev) in
+            (match Surrogate.restore m s.Engine.s_surrogate with
+            | Ok () -> ()
+            | Error e -> fail "%s: %s" path e);
+            Some m
+          end
+        in
+        Option.iter (Evaluator.attach_surrogate ev) sg;
+        let rank_sg = if batch then sg else None in
         let strat =
-          match decode_strategy ~batch ev ~algo:s.Engine.s_algo s.Engine.s_strategy with
+          match
+            decode_strategy ~batch ?surrogate:rank_sg ev ~algo:s.Engine.s_algo
+              s.Engine.s_strategy
+          with
           | Ok strat -> strat
           | Error e -> fail "%s: %s" path e
         in
@@ -153,7 +188,8 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
           let max_virtual = if s.Engine.s_algo = "portfolio" then None else budget in
           Budget.make ?max_trials ?max_virtual ?max_wall ()
         in
-        Engine.run ~budget ?on_event ?checkpoint ~carry ~start:best_m ev strat
+        Engine.run ~budget ?on_event ?checkpoint ~carry ?surrogate:sg ~start:best_m
+          ev strat
   in
   let search_best, search_perf = (o.Engine.best, o.Engine.perf) in
   (* Final protocol: re-run the top-5 mappings 30 times each; report
@@ -175,6 +211,7 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
       (List.hd candidates) (List.tl candidates)
   in
   let vt = Evaluator.virtual_time ev in
+  let st = Evaluator.stats ev in
   {
     algo;
     db = Evaluator.db ev;
@@ -194,6 +231,10 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
     checkpoints_written = o.Engine.checkpoints_written;
     batch_calls = Evaluator.batch_calls ev;
     batch_short_circuits = Evaluator.batch_short_circuits ev;
+    surrogate_trained = st.Evaluator.s_surrogate_trained;
+    surrogate_reranks = st.Evaluator.s_surrogate_reranks;
+    surrogate_skips = st.Evaluator.s_surrogate_skips;
+    spearman = st.Evaluator.s_spearman;
   }
 
 let pp_result ppf r =

@@ -36,17 +36,23 @@ type result = {
   checkpoints_written : int;
   batch_calls : int;           (** {!Evaluator.batch_calls} *)
   batch_short_circuits : int;  (** {!Evaluator.batch_short_circuits} *)
+  surrogate_trained : int;     (** SGD observations absorbed (0 without model) *)
+  surrogate_reranks : int;     (** batches reordered by the model *)
+  surrogate_skips : int;       (** candidates never simulated (skim mode) *)
+  spearman : float;            (** rank correlation, recent window; nan early *)
 }
 
 val decode_strategy :
   ?batch:bool ->
+  ?surrogate:Surrogate.t ->
   Evaluator.t ->
   algo:string ->
   string list ->
   (Engine.strategy, string) Stdlib.result
 (** Rebuild a checkpointed strategy from its [algo] name (as recorded in
     {!Engine.snapshot.s_algo}) and encoded state lines.  [batch]
-    resumes CD/CCD in batch mode (see {!run}). *)
+    resumes CD/CCD in batch mode; [surrogate] resumes them with ranked
+    batches (see {!run}). *)
 
 val run :
   ?runs:int ->
@@ -65,6 +71,8 @@ val run :
   ?incremental:bool ->
   ?domain_prune:bool ->
   ?batch:bool ->
+  ?surrogate:bool ->
+  ?surrogate_skim:int ->
   ?db:Profiles_db.t ->
   ?on_event:(Engine.event -> unit) ->
   ?checkpoint:string ->
@@ -89,6 +97,17 @@ val run :
     other algorithms ignore it) and
     [db] warm-starts from a persisted profiles database (see
     {!Evaluator.create}).
+
+    [surrogate] (default true) trains an online {!Surrogate} cost
+    model on every exact evaluation; combined with [batch] it also
+    reranks CD/CCD candidate batches best-predicted-first (same
+    candidates, same acceptance rule — the exact simulator still
+    decides).  [surrogate_skim] additionally simulates only the top-K
+    predictions of each ranked batch (implies [batch]); skimming can
+    change the search trajectory, so it is guarded by the never-worse
+    bench gate rather than an identity proof.  Resume note: the
+    checkpoint decides — a snapshot with a surrogate section restores
+    it (skim config must match), one without runs surrogate-free.
 
     [heft_seed] starts the search from {!Heft.mapping} instead of
     {!Mapping.default_start} (ignored when [start] is given).

@@ -54,11 +54,12 @@ type snapshot = {
   s_strategy : string list;
   s_evaluator : string list;
   s_profiles : string;
+  s_surrogate : string list;  (* empty: no surrogate ran (or pre-section envelope) *)
 }
 
 let magic = "automap-checkpoint 1"
 
-let checkpoint_string ev strat ~trials ~steps ~wall ~best =
+let checkpoint_string ?surrogate ev strat ~trials ~steps ~wall ~best =
   let bm, bp = best in
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
@@ -76,6 +77,12 @@ let checkpoint_string ev strat ~trials ~steps ~wall ~best =
   section "profiles"
     (String.split_on_char '\n' (Profiles_db.save (Evaluator.db ev))
     |> List.filter (( <> ) ""));
+  (* optional trailing section: absent when no surrogate ran, so
+     surrogate-free checkpoints stay byte-compatible with readers and
+     writers that predate the model *)
+  (match surrogate with
+  | None -> ()
+  | Some sg -> section "surrogate" (Surrogate.save sg));
   line "end";
   Buffer.contents buf
 
@@ -139,6 +146,11 @@ let snapshot_of_string s =
       let* s_strategy, rest = take_section "strategy" rest in
       let* s_evaluator, rest = take_section "evaluator" rest in
       let* s_profiles_lines, rest = take_section "profiles" rest in
+      let* s_surrogate, rest =
+        match rest with
+        | [ "end" ] -> Ok ([], rest)
+        | _ -> take_section "surrogate" rest
+      in
       match rest with
       | [ "end" ] ->
           Ok
@@ -153,6 +165,7 @@ let snapshot_of_string s =
               s_strategy;
               s_evaluator;
               s_profiles = String.concat "\n" s_profiles_lines;
+              s_surrogate;
             }
       | _ -> fail "missing end marker")
   | _ -> fail "bad magic"
@@ -179,11 +192,26 @@ let load_snapshot path =
 (* ---- the one trial loop ------------------------------------------------- *)
 
 let run ?(budget = Budget.unlimited) ?(on_event = fun _ -> ()) ?checkpoint ?carry
-    ~start ev strat =
+    ?surrogate ~start ev strat =
   (match checkpoint with
   | Some { every; _ } when every <= 0 ->
       invalid_arg "Engine.run: checkpoint interval must be positive"
   | _ -> ());
+  (* the surrogate trains from the event bus: every exact evaluation is
+     one SGD observation, every accepted mapping the new diff reference
+     — all strategies and algorithms feed it for free *)
+  let on_event =
+    match surrogate with
+    | None -> on_event
+    | Some sg ->
+        fun e ->
+          (match e with
+          | Eval { mapping; perf; accepted; _ } ->
+              Surrogate.observe sg mapping perf;
+              if accepted then Surrogate.note_incumbent sg mapping
+          | _ -> ());
+          on_event e
+  in
   let t0 = Unix.gettimeofday () in
   let trials = ref 0 in
   let steps = ref 0 in
@@ -214,8 +242,8 @@ let run ?(budget = Budget.unlimited) ?(on_event = fun _ -> ()) ?checkpoint ?carr
     match checkpoint with
     | Some { every; path } when !trials mod every = 0 ->
         write_file path
-          (checkpoint_string ev strat ~trials:!trials ~steps:!steps ~wall:(wall ())
-             ~best:!best);
+          (checkpoint_string ?surrogate ev strat ~trials:!trials ~steps:!steps
+             ~wall:(wall ()) ~best:!best);
         incr checkpoints;
         on_event (Checkpointed { trial = !trials; path })
     | _ -> ()
@@ -289,7 +317,7 @@ let run ?(budget = Budget.unlimited) ?(on_event = fun _ -> ()) ?checkpoint ?carr
           match checkpoint with
           | Some { every; path } when !trials / every > before / every ->
               write_file path
-                (checkpoint_string ev strat ~trials:!trials ~steps:!steps
+                (checkpoint_string ?surrogate ev strat ~trials:!trials ~steps:!steps
                    ~wall:(wall ()) ~best:!best);
               incr checkpoints;
               on_event (Checkpointed { trial = !trials; path })

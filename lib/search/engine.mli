@@ -112,6 +112,7 @@ val run :
   ?on_event:(event -> unit) ->
   ?checkpoint:checkpoint_cfg ->
   ?carry:carry ->
+  ?surrogate:Surrogate.t ->
   start:Mapping.t ->
   Evaluator.t ->
   strategy ->
@@ -121,7 +122,14 @@ val run :
     strategy stops or the budget is {!Budget.exhausted}.  With [?carry]
     (resume): skips the start evaluation and [init] — the caller must
     have restored the evaluator ({!Evaluator.restore_state}) and
-    decoded the strategy from the same snapshot. *)
+    decoded the strategy from the same snapshot.
+
+    [surrogate] taps the event bus: every [Eval] event trains the model
+    ({!Surrogate.observe}) and every accepted mapping becomes its diff
+    reference — training needs no strategy cooperation.  Checkpoints
+    written by this run then carry a [surrogate] section.  Whether the
+    model also {e ranks} proposals is the strategy's own configuration
+    (pass it to {!Cd.make}/{!Ccd.make}/{!Portfolio.make} too). *)
 
 (** {2 Checkpoint codec}
 
@@ -135,9 +143,13 @@ val run :
     strategy <n>   ... n strategy lines ...
     evaluator <n>  ... n Evaluator.save_state lines ...
     profiles <n>   ... n Profiles_db.save lines ...
+    surrogate <n>  ... n Surrogate.save lines ...   (only when one ran)
     end
     v}
-    Floats are hex ([%h]) so restore is bit-exact. *)
+    Floats are hex ([%h]) so restore is bit-exact.  The surrogate
+    section is optional and trailing: envelopes without one parse as
+    before ([s_surrogate = []]), so pre-surrogate checkpoints remain
+    loadable. *)
 
 type snapshot = {
   s_algo : string;
@@ -150,9 +162,12 @@ type snapshot = {
   s_strategy : string list;
   s_evaluator : string list;
   s_profiles : string;
+  s_surrogate : string list;
+      (** empty when the checkpointed run had no surrogate *)
 }
 
 val checkpoint_string :
+  ?surrogate:Surrogate.t ->
   Evaluator.t ->
   strategy ->
   trials:int ->

@@ -63,6 +63,9 @@ type t = {
   mutable d_wall : float;
   mutable d_noted : bool;
   mutable d_perf : float;
+  mutable surrogate : Surrogate.t option;
+      (* telemetry attach only — the model is trained by the engine and
+         consulted by the strategies; [stats] reads its counters here *)
 }
 
 type stats = {
@@ -86,6 +89,10 @@ type stats = {
   s_cone_instances : int;
   s_full_replays : int;
   s_timeline_bytes : int;
+  s_surrogate_trained : int;
+  s_surrogate_reranks : int;
+  s_surrogate_skips : int;
+  s_spearman : float;
 }
 
 let default_objective _machine (r : Exec.result) = r.Exec.per_iteration
@@ -146,6 +153,7 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     d_wall = 0.0;
     d_noted = false;
     d_perf = 0.0;
+    surrogate = None;
   }
 
 let machine t = t.machine
@@ -664,6 +672,7 @@ let note_dead_coords t n =
    its committed timelines pinned: every subsequent neighbour then
    replays against a schedule at most a couple of coordinates away. *)
 let note_incumbent t mapping = Exec.prefer_timeline t.scratch mapping
+let attach_surrogate t sg = t.surrogate <- Some sg
 
 let best t = t.best
 let trace t = List.rev t.trace
@@ -705,6 +714,10 @@ let stats t =
     s_cone_instances = Exec.cone_instances t.scratch;
     s_full_replays = Exec.full_replays t.scratch;
     s_timeline_bytes = Exec.timeline_bytes t.scratch;
+    s_surrogate_trained = (match t.surrogate with Some s -> Surrogate.trained s | None -> 0);
+    s_surrogate_reranks = (match t.surrogate with Some s -> Surrogate.reranks s | None -> 0);
+    s_surrogate_skips = (match t.surrogate with Some s -> Surrogate.skips s | None -> 0);
+    s_spearman = (match t.surrogate with Some s -> Surrogate.spearman s | None -> Float.nan);
   }
 
 (* ---- checkpoint support -------------------------------------------------

@@ -221,6 +221,12 @@ val note_incumbent : t -> Mapping.t -> unit
     at most a couple of coordinates away.  Purely a performance hint —
     never changes any evaluation result. *)
 
+val attach_surrogate : t -> Surrogate.t -> unit
+(** Register the search's surrogate model so {!stats} reports its
+    counters (trained observations, reranks, skim skips, rank
+    correlation).  Telemetry only: the evaluator never consults the
+    model — training is the engine's, ranking the strategies'. *)
+
 type stats = {
   s_suggested : int;
   s_evaluated : int;
@@ -244,6 +250,10 @@ type stats = {
   s_cone_instances : int; (** {!Exec.cone_instances} *)
   s_full_replays : int;   (** {!Exec.full_replays} *)
   s_timeline_bytes : int; (** {!Exec.timeline_bytes} *)
+  s_surrogate_trained : int;  (** {!Surrogate.trained} (0 when none attached) *)
+  s_surrogate_reranks : int;  (** {!Surrogate.reranks} *)
+  s_surrogate_skips : int;    (** {!Surrogate.skips} *)
+  s_spearman : float;  (** {!Surrogate.spearman} ([nan] when none attached) *)
 }
 (** One-shot snapshot of every counter, for benches and tests. *)
 

@@ -40,6 +40,8 @@ type state = {
   ev : Evaluator.t;
   seed : int;
   share : float;
+  batch : bool;  (* CD/CCD members propose whole neighbour sets *)
+  surrogate : Surrogate.t option;  (* CD/CCD members rank their batches *)
   mutable remaining : member list;
   mutable phase : phase;
   mutable deadline : float;
@@ -47,17 +49,18 @@ type state = {
 }
 
 let child_of st = function
-  | Ccd rotations -> Ccd.make ~rotations st.ev
-  | Cd -> Cd.make st.ev
+  | Ccd rotations ->
+      Ccd.make ~batch:st.batch ?surrogate:st.surrogate ~rotations st.ev
+  | Cd -> Cd.make ~batch:st.batch ?surrogate:st.surrogate st.ev
   | Annealing -> Annealing.make ~seed:(st.seed + 13) st.ev
   | Random -> Random_search.make ~seed:(st.seed + 29) st.ev
 
-let child_decode ev member lines =
+let child_decode st member lines =
   match member with
-  | Ccd _ -> Ccd.decode ev lines
-  | Cd -> Cd.decode ev lines
-  | Annealing -> Annealing.decode ev lines
-  | Random -> Random_search.decode ev lines
+  | Ccd _ -> Ccd.decode ~batch:st.batch ?surrogate:st.surrogate st.ev lines
+  | Cd -> Cd.decode ~batch:st.batch ?surrogate:st.surrogate st.ev lines
+  | Annealing -> Annealing.decode st.ev lines
+  | Random -> Random_search.decode st.ev lines
 
 let strategy_of st =
   let rec step ctx =
@@ -141,7 +144,8 @@ let strategy_of st =
             Printf.sprintf "child %s %d" (member_to_string m) (List.length blob) :: blob);
   }
 
-let make ?(members = default_members) ?(budget = infinity) ?(seed = 0) ev =
+let make ?(members = default_members) ?(budget = infinity) ?(seed = 0)
+    ?(batch = false) ?surrogate ev =
   if members = [] then invalid_arg "Portfolio.search: no members";
   let share =
     if Float.is_finite budget then budget /. float_of_int (List.length members)
@@ -152,13 +156,15 @@ let make ?(members = default_members) ?(budget = infinity) ?(seed = 0) ev =
       ev;
       seed;
       share;
+      batch;
+      surrogate;
       remaining = members;
       phase = Idle;
       deadline = infinity;
       best = None;
     }
 
-let decode ev lines =
+let decode ?(batch = false) ?surrogate ev lines =
   let g = Evaluator.graph ev in
   let fail fmt = Printf.ksprintf (fun m -> Error ("Portfolio.decode: " ^ m)) fmt in
   match lines with
@@ -183,7 +189,19 @@ let decode ev lines =
             else Ok parsed
         | _ -> fail "bad remaining line"
       in
-      let st = { ev; seed; share; remaining; phase = Idle; deadline; best = None } in
+      let st =
+        {
+          ev;
+          seed;
+          share;
+          batch;
+          surrogate;
+          remaining;
+          phase = Idle;
+          deadline;
+          best = None;
+        }
+      in
       let* () =
         if best_l = "best none" then Ok ()
         else
@@ -205,7 +223,7 @@ let decode ev lines =
           | [ "child"; m; n ] -> (
               match (member_of_string m, int_of_string_opt n) with
               | Some m, Some n when n = List.length blob ->
-                  let* child = child_decode ev m blob in
+                  let* child = child_decode st m blob in
                   st.phase <- Active (m, child);
                   Ok ()
               | _ -> fail "bad child header")

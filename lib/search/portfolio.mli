@@ -25,18 +25,30 @@ val make :
   ?members:member list ->
   ?budget:float ->
   ?seed:int ->
+  ?batch:bool ->
+  ?surrogate:Surrogate.t ->
   Evaluator.t ->
   Engine.strategy
 (** The portfolio as a meta-strategy (name ["portfolio"]): members run
     sequentially, each seeded with the best-so-far (proposed as a
     normal trial — a cache hit) and cut at an absolute virtual-time
     deadline of [budget / n_members] past its entry.  Member
-    transitions surface as {!Engine.Phase} events.
+    transitions surface as {!Engine.Phase} events.  [batch] (default
+    false) runs CD/CCD members through {!Engine.Propose_batch}, and
+    [surrogate] additionally ranks their batches (see {!Cd.make}) —
+    the one model is shared across members, so annealing/random
+    evaluations train the ranker the descent members use.
     @raise Invalid_argument on an empty member list. *)
 
-val decode : Evaluator.t -> string list -> (Engine.strategy, string) result
+val decode :
+  ?batch:bool ->
+  ?surrogate:Surrogate.t ->
+  Evaluator.t ->
+  string list ->
+  (Engine.strategy, string) result
 (** Rebuild a checkpointed portfolio, including the active member's own
-    nested strategy state. *)
+    nested strategy state; [batch]/[surrogate] apply to the restored
+    CD/CCD members exactly as in {!make}. *)
 
 val search :
   ?members:member list ->

@@ -60,6 +60,39 @@ let batch_matches_sequential (app : App.t) input seed =
   && state_bat = state_seq
   && Array.for_all (fun j -> vals_seq.(j) = vals_base.(perm.(j))) (Array.init n Fun.id)
 
+(* Same property, but the permutation is the one the surrogate would
+   actually apply: train a model on a few observations, rank the
+   candidate set, and check batch evaluation of the model's order
+   against sequential evaluation of that same order.  Reranking only
+   ever permutes — so this is exactly the order-independence the ranked
+   batch mode (Descent) leans on. *)
+let batch_matches_surrogate_order (app : App.t) input seed =
+  let nodes = 2 in
+  let machine = machine_for app ~nodes in
+  let g = app.App.graph ~nodes ~input in
+  let space = Space.make g machine in
+  let rng = Rng.create (seed + 100) in
+  let n = 2 + Rng.int rng 6 in
+  let cands = Array.init n (fun _ -> Space.random_unconstrained space rng) in
+  let sg = Surrogate.create space in
+  Surrogate.note_incumbent sg (Mapping.default_start g machine);
+  for _ = 1 to 12 do
+    Surrogate.observe sg
+      (Space.random_unconstrained space rng)
+      (0.001 +. Rng.float rng 0.01)
+  done;
+  let perm = Surrogate.rank sg cands in
+  let ranked = Array.map (fun i -> cands.(i)) perm in
+  let ev_seq = fresh_evaluator machine g in
+  let vals_seq = Array.map (fun m -> Evaluator.evaluate ev_seq m) ranked in
+  let state_seq = Evaluator.save_state ev_seq in
+  let ev_bat = fresh_evaluator machine g in
+  let outcomes = Evaluator.evaluate_batch ev_bat ranked in
+  Array.for_all2
+    (fun o v -> match o with Evaluator.Evaluated v' -> v' = v | Evaluator.Skipped -> false)
+    outcomes vals_seq
+  && Evaluator.save_state ev_bat = state_seq
+
 let props =
   List.map
     (fun ((app : App.t), input) ->
@@ -69,5 +102,14 @@ let props =
         QCheck.small_nat
         (fun seed -> batch_matches_sequential app input seed))
     cases
+  @ List.map
+      (fun ((app : App.t), input) ->
+        QCheck.Test.make ~count:4
+          ~name:
+            (Printf.sprintf "batch = sequential under surrogate rank (%s)"
+               app.App.app_name)
+          QCheck.small_nat
+          (fun seed -> batch_matches_surrogate_order app input seed))
+      cases
 
 let suite = List.map QCheck_alcotest.to_alcotest props
