@@ -219,7 +219,7 @@ let bench_app (app : App.t) machine ~input ~rotations ~min_time =
 
 let json_leg l =
   Printf.sprintf
-    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "engine_steps": %d, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "dead_coord_skips": %d, "delta_binds": %d, "full_binds": %d, "cone_replays": %d, "cone_instances": %d, "full_replays": %d, "timeline_bytes": %d, "batch_calls": %d, "batch_short_circuits": %d, "bind_hits_shared": %d, "bind_hits_private": %d}|}
+    {|{"wall": %.5f, "cands_per_sec": %.2f, "perf": %.6e, "engine_steps": %d, "suggested": %d, "evaluated": %d, "cache_hits": %d, "cut_evals": %d, "cut_runs": %d, "cut_sims": %d, "noop_skips": %d, "dead_coord_skips": %d, "delta_binds": %d, "full_binds": %d, "cone_replays": %d, "cone_instances": %d, "full_replays": %d, "timeline_bytes": %d, "batch_calls": %d, "batch_short_circuits": %d, "bind_hits_shared": %d, "bind_hits_private": %d, "compile_cache_hits": %d, "compile_cache_misses": %d, "result_cache_hits": %d, "warm_starts": %d}|}
     l.wall l.cands_per_sec l.perf l.steps l.st.Evaluator.s_suggested l.st.Evaluator.s_evaluated
     l.st.Evaluator.s_cache_hits l.st.Evaluator.s_cut_evals l.st.Evaluator.s_cut_runs
     l.st.Evaluator.s_cut_sims l.st.Evaluator.s_noop_skips
@@ -228,7 +228,9 @@ let json_leg l =
     l.st.Evaluator.s_cone_instances l.st.Evaluator.s_full_replays
     l.st.Evaluator.s_timeline_bytes l.st.Evaluator.s_batch_calls
     l.st.Evaluator.s_batch_short_circuits l.st.Evaluator.s_bind_hits_shared
-    l.st.Evaluator.s_bind_hits_private
+    l.st.Evaluator.s_bind_hits_private l.st.Evaluator.s_compile_cache_hits
+    l.st.Evaluator.s_compile_cache_misses l.st.Evaluator.s_result_cache_hits
+    l.st.Evaluator.s_warm_starts
 
 (* the surrogate leg reranks batches, so it is reported — counters,
    rank quality, final best — but excluded from the identity check;

@@ -7,6 +7,8 @@
      search                    -- resumable engine search with progress events
      compare                   -- measure default/custom/HEFT/a saved mapping
      simulate                  -- run one mapping and export its execution trace
+     serve                     -- mapping-as-a-service daemon (JSON over a socket)
+     request                   -- send one request to a running serve daemon
 
    The workload can be a bundled benchmark (-a/--app with -i/--input)
    or external description files (--graph FILE, and --machine FILE in
@@ -274,6 +276,9 @@ let search_cmd =
   let batch_arg =
     Arg.(value & flag & info [ "batch" ] ~doc:"Evaluate each task's whole neighbour set as one batch (CD/CCD only): scratch setup and the incumbent rebind are amortized across the set and candidates past the first improvement are skipped. Decisions are bit-identical to the sequential search; this is purely a throughput switch.")
   in
+  let batch_min_arg =
+    Arg.(value & opt int Descent.default_min_batch & info [ "batch-min" ] ~docv:"N" ~doc:"Minimum candidate-set size for batched evaluation: smaller sets run through the sequential path, whose per-candidate overhead is lower than batch amortization can recover at that size (BENCH_searchrate.json). Decisions are identical either way; 1 always batches.")
+  in
   let no_surrogate_arg =
     Arg.(value & flag & info [ "no-surrogate" ] ~doc:"Disable the online surrogate cost model (trained by default on every exact evaluation; with --batch it also reranks each candidate batch best-predicted-first). The AUTOMAP_NO_SURROGATE environment variable has the same effect.")
   in
@@ -285,7 +290,7 @@ let search_cmd =
   in
   let run app input nodes cluster graph_file machine_file seed algo runs budget
       max_trials max_wall progress events_file checkpoint checkpoint_every resume
-      heft_seed batch no_surrogate surrogate_skim output =
+      heft_seed batch batch_min no_surrogate surrogate_skim output =
     let machine, g, _ =
       resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
     in
@@ -320,8 +325,8 @@ let search_cmd =
     in
     let r =
       Driver.run ~runs ~seed ?budget ?max_trials ?max_wall ~heft_seed ~batch
-        ~surrogate ?surrogate_skim ~on_event ?checkpoint ~checkpoint_every
-        ?resume_from:resume (algo_of algo) machine g
+        ~min_batch:batch_min ~surrogate ?surrogate_skim ~on_event ?checkpoint
+        ~checkpoint_every ?resume_from:resume (algo_of algo) machine g
     in
     Option.iter close_out events_oc;
     Format.printf "%a@." Driver.pp_result r;
@@ -359,7 +364,7 @@ let search_cmd =
       $ machine_file_arg $ seed_arg $ algo_arg $ runs_arg $ budget_arg
       $ max_trials_arg $ max_wall_arg $ progress_arg $ events_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ heft_seed_arg $ batch_arg
-      $ no_surrogate_arg $ surrogate_skim_arg $ out_arg)
+      $ batch_min_arg $ no_surrogate_arg $ surrogate_skim_arg $ out_arg)
 
 let analyze_cmd =
   let doc =
@@ -517,6 +522,89 @@ let profile_cmd =
       const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
       $ machine_file_arg $ seed_arg $ out_arg)
 
+(* common endpoint options for serve / request *)
+let socket_arg =
+  Arg.(value & opt string "automap.sock" & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path (ignored with --port).")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"Listen/connect on loopback TCP PORT instead of a Unix socket.")
+
+let endpoint_of ~socket ~port =
+  match port with Some p -> Server.Tcp p | None -> Server.Unix_path socket
+
+let serve_cmd =
+  let doc =
+    "Run the mapping service: a daemon answering concurrent map/analyze requests \
+     as JSON lines over a socket.  Searches are time-sliced across a worker pool \
+     (fair scheduling — a long search never starves a short request) and memoized \
+     across requests: compiled simulations, finished results and measured \
+     profiles are all shared.  With --state-dir, SIGTERM checkpoints every \
+     in-flight search and a restarted daemon resumes them decision-identically."
+  in
+  let workers_arg =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains running search slices.")
+  in
+  let slice_arg =
+    Arg.(value & opt int 40 & info [ "slice-trials" ] ~docv:"N" ~doc:"Scheduling quantum: evaluated trials per slice before a search re-queues.")
+  in
+  let state_dir_arg =
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc:"Persist job metadata and per-slice checkpoints under DIR; on startup, orphaned jobs found there are resumed.")
+  in
+  let run socket port workers slice_trials state_dir =
+    let srv = Server.create ~slice_trials ?state_dir () in
+    let recovered = Server.recover srv in
+    if recovered > 0 then Printf.printf "recovered %d in-flight job(s)\n" recovered;
+    (match port with
+    | Some p -> Printf.printf "listening on tcp 127.0.0.1:%d\n%!" p
+    | None -> Printf.printf "listening on %s\n%!" socket);
+    Server.serve ~workers srv (endpoint_of ~socket ~port);
+    Printf.printf "daemon stopped\n"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ workers_arg $ slice_arg $ state_dir_arg)
+
+let request_cmd =
+  let doc =
+    "Send one JSON request line to a running serve daemon and print the JSON \
+     response.  The request is validated locally before sending.  Examples: \
+     '{\"type\":\"ping\"}', '{\"type\":\"map\",\"id\":\"j1\",\"app\":\"stencil\",\
+     \"nodes\":2,\"max_trials\":200,\"wait\":true}', \
+     '{\"type\":\"result\",\"id\":\"j1\"}', '{\"type\":\"status\"}'."
+  in
+  let request_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc:"The request object, as one line of JSON.")
+  in
+  let die fmt = Printf.ksprintf (fun m -> prerr_endline ("request: " ^ m); exit 1) fmt in
+  let run socket port request =
+    (match Wire.request_of_string request with
+    | Ok _ -> ()
+    | Error e -> die "bad request: %s" e);
+    let fd =
+      try
+        match port with
+        | Some p ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+            fd
+        | None ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            fd
+      with Unix.Unix_error (e, _, _) ->
+        die "cannot connect to the daemon: %s" (Unix.error_message e)
+    in
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc request;
+    output_char oc '\n';
+    flush oc;
+    (match input_line ic with
+    | line -> print_endline line
+    | exception End_of_file -> die "connection closed without a response");
+    Unix.close fd
+  in
+  Cmd.v (Cmd.info "request" ~doc) Term.(const run $ socket_arg $ port_arg $ request_arg)
+
 let () =
   let doc = "AutoMap: automated mapping of task-based programs" in
   let info = Cmd.info "automap_cli" ~doc in
@@ -531,4 +619,6 @@ let () =
             compare_cmd;
             simulate_cmd;
             profile_cmd;
+            serve_cmd;
+            request_cmd;
           ]))

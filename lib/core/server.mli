@@ -1,0 +1,91 @@
+(** Mapping-as-a-service: the [automap_cli serve] daemon's core.
+
+    `map` requests become jobs whose searches run as chains of {!Slice}
+    quanta on a pool of worker domains; between quanta a job re-enters
+    the back of a FIFO, so concurrent requests make interleaved
+    progress — a long search cannot starve an [analyze] or a short
+    search.  Everything cross-request is memoized behind one mutex:
+
+    - a compile LRU of {!Exec.compiled} artifacts keyed by (machine
+      fingerprint, graph fingerprint), weighed by {!Exec.compiled_words};
+    - a result memo keyed additionally by {!Slice.fingerprint}: an
+      exact repeat is answered at submit time, bit-equal to the run
+      that populated the entry, without invoking the simulator;
+    - an incumbent table per (machine, graph): near-repeats (different
+      search config) warm-start from the best known mapping;
+    - a profiles pool per (machine, graph, eval fingerprint), merged
+      after every slice, seeding fresh starts.  Resumed slices restore
+      their profiles from the checkpoint envelope, never the pool, so
+      per-job decision identity survives restarts.
+
+    Durability: accepted jobs persist a meta file (the request with the
+    workload inlined as codec text, the warm-start choice pinned) and,
+    after every paused slice, the checkpoint envelope — temp+rename
+    writes into [state_dir].  {!recover} rescans that directory; each
+    orphan resumes from its envelope decision-identically. *)
+
+type t
+
+val create :
+  ?slice_trials:int ->
+  ?compile_entries:int ->
+  ?compile_bytes:int ->
+  ?memo_entries:int ->
+  ?state_dir:string ->
+  unit ->
+  t
+(** A server with no workers yet.  [slice_trials] (default 40) is the
+    scheduling quantum in evaluated trials; [compile_entries] /
+    [compile_bytes] (32 / 256 MiB) bound the compile LRU;
+    [memo_entries] (512) the result memo.  [state_dir] (created if
+    missing) enables checkpoint persistence. *)
+
+val recover : t -> int
+(** Rescan [state_dir] and re-enqueue every orphaned job (meta file
+    present, no terminal result).  Returns the number recovered. *)
+
+(** {1 Request handling}
+
+    Safe from any domain.  [analyze], [status], [ping] and memo-hit
+    [map] requests are answered inline; other [map] requests enqueue a
+    job and return [accepted]. *)
+
+val handle : t -> Wire.request -> Wire.response
+
+val handle_line : t -> string -> Wire.response
+(** Parse one request line (with the {!Wire.default_max_bytes} guard)
+    and handle it; parse errors become error responses. *)
+
+(** {1 Driving}
+
+    In-process mode (tests, benches): no domains — call {!step} /
+    {!drain} to run queued slices on the calling thread, deterministic
+    and single-threaded.  Daemon mode: {!start_workers} + {!serve}. *)
+
+val step : t -> bool
+(** Run one queued job for one slice quantum; false if the queue was
+    empty.  A paused job re-enters the back of the queue. *)
+
+val drain : t -> unit
+(** {!step} until the queue is empty. *)
+
+val start_workers : t -> int -> unit Domain.t list
+
+val stop : t -> unit
+(** Ask workers to exit at their next slice boundary (their current
+    slice's envelope is persisted before the job becomes visible
+    again, so stopping never loses committed progress). *)
+
+val stopping : t -> bool
+
+(** {1 Socket serving} *)
+
+type endpoint = Unix_path of string | Tcp of int
+(** A Unix-domain socket path, or a TCP port on loopback. *)
+
+val serve : ?workers:int -> t -> endpoint -> unit
+(** Blocking accept loop: newline-delimited JSON requests in,
+    responses out; [workers] (default 1) domains run the slices.
+    Returns after a [shutdown] request or SIGTERM/SIGINT, having
+    joined the workers and restored signal handlers — all in-flight
+    search state is then on disk (given [state_dir]). *)

@@ -150,3 +150,5 @@ let round_trip_exn m =
   match of_string (to_string m) with
   | Ok m' -> m'
   | Error e -> failwith ("Machine_codec.round_trip_exn: " ^ e)
+
+let fingerprint m = Digest.to_hex (Digest.string (to_string m))

@@ -23,3 +23,9 @@ val of_string : string -> (Machine.t, string) result
 
 val round_trip_exn : Machine.t -> Machine.t
 (** Test helper. *)
+
+val fingerprint : Machine.t -> string
+(** Hex digest of {!to_string} — the canonical identity of a machine
+    model.  Two machines fingerprint equal iff their serialized
+    descriptions are byte-equal; the serve daemon keys its compile and
+    result caches on it. *)

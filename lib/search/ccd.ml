@@ -7,6 +7,7 @@
 type state = {
   ev : Evaluator.t;
   batch : bool;  (* emit whole neighbour sets via Propose_batch *)
+  min_batch : int;  (* rounds smaller than this run sequentially *)
   surrogate : Surrogate.t option;  (* ranked batches (see Descent) *)
   rotations : int;
   prune_per_rotation : int;
@@ -53,14 +54,17 @@ let strategy_of st =
             | None -> advance st inc
             | Some cur ->
                 if st.batch then begin
-                  let cands = Descent.next_batch cur ~incumbent:f in
-                  if Array.length cands = 0 then begin
-                    st.sweep <- None;
-                    advance st inc
-                  end
-                  else
-                    Engine.Propose_batch
-                      (cands, { Engine.bound = Some p; overhead = 0.0 })
+                  match
+                    Descent.next_gated cur ~incumbent:f ~min_batch:st.min_batch
+                  with
+                  | `Done ->
+                      st.sweep <- None;
+                      advance st inc
+                  | `Batch cands ->
+                      Engine.Propose_batch
+                        (cands, { Engine.bound = Some p; overhead = 0.0 })
+                  | `Seq cand ->
+                      Engine.Propose (cand, { Engine.bound = Some p; overhead = 0.0 })
                 end
                 else (
                   match Descent.next cur ~incumbent:f with
@@ -71,15 +75,13 @@ let strategy_of st =
                       advance st inc)));
     receive =
       (fun m perf ->
-        (* ranked batches consume their specs at build time; each
-           verdict drains one queued candidate instead, so a
-           budget-truncated batch leaves exactly the undelivered
-           remainder for the checkpoint *)
+        (* batched rounds consume per verdict (plain: specs; ranked:
+           the queued candidate), gated sequential rounds consumed at
+           proposal time — [deliver_verdict] dispatches *)
         if st.batch then
-          (match (st.sweep, st.surrogate) with
-          | Some c, None -> Descent.deliver c
-          | Some c, Some _ -> Descent.deliver_ranked c
-          | None, _ -> ());
+          (match st.sweep with
+          | Some c -> Descent.deliver_verdict c
+          | None -> ());
         match st.incumbent with
         | Some (_, p) when perf < p ->
             st.incumbent <- Some (m, perf);
@@ -98,13 +100,14 @@ let strategy_of st =
         ]);
   }
 
-let make ?(batch = false) ?surrogate ?(rotations = 5) ev =
+let make ?(batch = false) ?(min_batch = 1) ?surrogate ?(rotations = 5) ev =
   if rotations < 2 then invalid_arg "Ccd.search: rotations must be at least 2";
   let c0 = Overlap.of_graph (Evaluator.graph ev) in
   strategy_of
     {
       ev;
       batch;
+      min_batch;
       surrogate;
       rotations;
       prune_per_rotation = prune_per_rotation ~rotations c0;
@@ -114,7 +117,7 @@ let make ?(batch = false) ?surrogate ?(rotations = 5) ev =
       incumbent = None;
     }
 
-let decode ?(batch = false) ?surrogate ev lines =
+let decode ?(batch = false) ?(min_batch = 1) ?surrogate ev lines =
   let g = Evaluator.graph ev in
   match lines with
   | [ rot; inc; sweep ] -> (
@@ -139,6 +142,7 @@ let decode ?(batch = false) ?surrogate ev lines =
         {
           ev;
           batch;
+          min_batch;
           surrogate;
           rotations;
           prune_per_rotation = ppr;
@@ -172,10 +176,11 @@ let decode ?(batch = false) ?surrogate ev lines =
       Ok (strategy_of st))
   | _ -> Error "Ccd.decode: expected 3 lines"
 
-let search ?batch ?surrogate ?(rotations = 5) ?start ?(budget = infinity) ev =
+let search ?batch ?min_batch ?surrogate ?(rotations = 5) ?start ?(budget = infinity)
+    ev =
   let g = Evaluator.graph ev in
   let machine = Evaluator.machine ev in
-  let strat = make ?batch ?surrogate ~rotations ev in
+  let strat = make ?batch ?min_batch ?surrogate ~rotations ev in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
   let o = Engine.run ?surrogate ~budget:(Budget.of_virtual budget) ~start:f0 ev strat in
   (o.Engine.best, o.Engine.perf)

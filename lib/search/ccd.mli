@@ -17,6 +17,7 @@
 
 val make :
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:Surrogate.t ->
   ?rotations:int ->
   Evaluator.t ->
@@ -25,22 +26,28 @@ val make :
     {!Engine.Phase} marker at each rotation entry.  [batch] (default
     false) emits each task's whole neighbour set as one
     {!Engine.Propose_batch} (see {!Cd.make}); decision-identical,
-    faster.  [surrogate] ranks each batch best-predicted-first (see
-    {!Cd.make} and {!Descent.start}) in every rotation.
+    faster.  [min_batch] (default 1) gates sub-threshold rounds back
+    to sequential proposals (see {!Cd.make} and
+    {!Descent.next_gated}).  [surrogate] ranks each batch
+    best-predicted-first (see {!Cd.make} and {!Descent.start}) in
+    every rotation.
     @raise Invalid_argument if [rotations < 2]. *)
 
 val decode :
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:Surrogate.t ->
   Evaluator.t ->
   string list ->
   (Engine.strategy, string) result
 (** Rebuild a checkpointed CCD strategy mid-rotation: the overlap graph
     is re-derived (pruning is deterministic), the sweep cursor and
-    incumbent restored.  [batch] and [surrogate] as in {!Cd.decode}. *)
+    incumbent restored.  [batch], [min_batch] and [surrogate] as in
+    {!Cd.decode}. *)
 
 val search :
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:Surrogate.t ->
   ?rotations:int ->
   ?start:Mapping.t ->

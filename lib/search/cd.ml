@@ -7,6 +7,7 @@
 type state = {
   ev : Evaluator.t;
   batch : bool;  (* emit whole neighbour sets via Propose_batch *)
+  min_batch : int;  (* rounds smaller than this run sequentially *)
   surrogate : Surrogate.t option;  (* ranked batches (see Descent) *)
   mutable incumbent : (Mapping.t * float) option;
   mutable sweep : Descent.t option;
@@ -43,9 +44,12 @@ let strategy_of st =
                   c
             in
             if st.batch then begin
-              let cands = Descent.next_batch cur ~incumbent:f in
-              if Array.length cands = 0 then Engine.Stop
-              else Engine.Propose_batch (cands, { Engine.bound = Some p; overhead = 0.0 })
+              match Descent.next_gated cur ~incumbent:f ~min_batch:st.min_batch with
+              | `Done -> Engine.Stop
+              | `Batch cands ->
+                  Engine.Propose_batch (cands, { Engine.bound = Some p; overhead = 0.0 })
+              | `Seq cand ->
+                  Engine.Propose (cand, { Engine.bound = Some p; overhead = 0.0 })
             end
             else
               match Descent.next cur ~incumbent:f with
@@ -54,15 +58,13 @@ let strategy_of st =
               | None -> Engine.Stop));
     receive =
       (fun m perf ->
-        (* ranked batches consume their specs at build time; each
-           verdict drains one queued candidate instead, so a
-           budget-truncated batch leaves exactly the undelivered
-           remainder for the checkpoint *)
+        (* batched rounds consume per verdict (plain: specs; ranked:
+           the queued candidate), gated sequential rounds consumed at
+           proposal time — [deliver_verdict] dispatches *)
         if st.batch then
-          (match (st.sweep, st.surrogate) with
-          | Some c, None -> Descent.deliver c
-          | Some c, Some _ -> Descent.deliver_ranked c
-          | None, _ -> ());
+          (match st.sweep with
+          | Some c -> Descent.deliver_verdict c
+          | None -> ());
         match st.incumbent with
         | Some (_, p) when perf < p ->
             st.incumbent <- Some (m, perf);
@@ -73,14 +75,14 @@ let strategy_of st =
     encode = (fun () -> encode_state st);
   }
 
-let make ?(batch = false) ?surrogate ev =
-  strategy_of { ev; batch; surrogate; incumbent = None; sweep = None }
+let make ?(batch = false) ?(min_batch = 1) ?surrogate ev =
+  strategy_of { ev; batch; min_batch; surrogate; incumbent = None; sweep = None }
 
-let decode ?(batch = false) ?surrogate ev lines =
+let decode ?(batch = false) ?(min_batch = 1) ?surrogate ev lines =
   let g = Evaluator.graph ev in
   match lines with
   | [ inc; sweep ] -> (
-      let st = { ev; batch; surrogate; incumbent = None; sweep = None } in
+      let st = { ev; batch; min_batch; surrogate; incumbent = None; sweep = None } in
       let ( let* ) = Result.bind in
       let* () =
         if inc = "incumbent none" then Ok ()
@@ -106,12 +108,12 @@ let decode ?(batch = false) ?surrogate ev lines =
       Ok (strategy_of st))
   | _ -> Error "Cd.decode: expected 2 lines"
 
-let search ?batch ?surrogate ?start ?(budget = infinity) ev =
+let search ?batch ?min_batch ?surrogate ?start ?(budget = infinity) ev =
   let g = Evaluator.graph ev in
   let machine = Evaluator.machine ev in
   let f0 = match start with Some f -> f | None -> Mapping.default_start g machine in
   let o =
     Engine.run ?surrogate ~budget:(Budget.of_virtual budget) ~start:f0 ev
-      (make ?batch ?surrogate ev)
+      (make ?batch ?min_batch ?surrogate ev)
   in
   (o.Engine.best, o.Engine.perf)

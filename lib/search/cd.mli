@@ -6,13 +6,22 @@
     collections in the fastest memory of the chosen kind.  Runtime is
     linear in tasks × collections. *)
 
-val make : ?batch:bool -> ?surrogate:Surrogate.t -> Evaluator.t -> Engine.strategy
+val make :
+  ?batch:bool ->
+  ?min_batch:int ->
+  ?surrogate:Surrogate.t ->
+  Evaluator.t ->
+  Engine.strategy
 (** CD as an engine strategy (name ["cd"]).  [batch] (default false)
     emits each task's whole neighbour set as one {!Engine.Propose_batch}
     — decision-identical to sequential proposals (CD's acceptance test
     is exactly [perf < incumbent], the batch contract) but faster:
     {!Evaluator.evaluate_batch} orders evaluations for cache locality
-    and skips candidates past the first improvement.
+    and skips candidates past the first improvement.  [min_batch]
+    (default 1: always batch) gates each round through
+    {!Descent.next_gated}: rounds below the threshold are proposed
+    sequentially, past the amortization point as batches — still
+    decision-identical for any value.
 
     [surrogate] runs the sweep cursor in ranked mode: each task's batch
     is permuted best-predicted-first (and skimmed to the top-K when the
@@ -21,18 +30,21 @@ val make : ?batch:bool -> ?surrogate:Surrogate.t -> Evaluator.t -> Engine.strate
 
 val decode :
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:Surrogate.t ->
   Evaluator.t ->
   string list ->
   (Engine.strategy, string) result
 (** Rebuild a checkpointed CD strategy from its {!Engine.strategy.encode}
     lines; re-pins the restored incumbent.  Checkpoints carry no batch
-    flag (batching is decision-neutral); pass [batch] to resume in
-    batch mode and [surrogate] (restored from the checkpoint's
-    surrogate section) to resume ranked mode decision-identically. *)
+    flag (batching is decision-neutral, and so is the [min_batch]
+    gate); pass [batch]/[min_batch] to resume in (gated) batch mode
+    and [surrogate] (restored from the checkpoint's surrogate section)
+    to resume ranked mode decision-identically. *)
 
 val search :
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:Surrogate.t ->
   ?start:Mapping.t ->
   ?budget:float ->

@@ -42,6 +42,15 @@ type t = {
          [encode] (the permutation depends on the model state *before*
          the batch trained on its own results, so it cannot be rebuilt
          at decode time). *)
+  mutable gated : bool;
+      (* the current proposal round fell below the batch-size gate and
+         runs sequentially: candidates are consumed at proposal time,
+         so [deliver_verdict] must not consume them again.  Only
+         meaningful alongside a non-empty ranked [queue] (the plain
+         path re-decides the gate from the spec count every round), and
+         serialized exactly then — a resumed gated ranked remainder
+         must keep draining one proposal per step for trial counts to
+         match the uninterrupted run. *)
 }
 
 let specs_for space (task : Graph.task) =
@@ -88,6 +97,7 @@ let start ?surrogate ev ~overlap ~profile =
     consumed = 0;
     pending = [];
     queue = [];
+    gated = false;
   }
 
 let build t incumbent tid spec =
@@ -274,7 +284,8 @@ let next t ~incumbent =
 
 let abandon t =
   t.queue <- [];
-  t.pending <- []
+  t.pending <- [];
+  t.gated <- false
 
 let deliver_ranked t =
   match t.queue with
@@ -298,6 +309,69 @@ let deliver t =
       t.specs <- drop c t.specs;
       t.consumed <- t.consumed + c
 
+(* ---- gated batch mode ---------------------------------------------------
+   BENCH_searchrate.json showed batching *losing* at smoke sizes
+   (geomean 0.981): the per-batch fixed costs (candidate rebuild,
+   verdict bookkeeping) only amortize past a minimum batch size.
+   [next_gated] keeps the batch representation for rounds of at least
+   [min_batch] candidates and falls back to the sequential drive for
+   smaller ones.  Decision-identity is free: both representations are
+   already proven bit-identical to the sequential drive, and the gate
+   itself is a deterministic function of checkpointed cursor state, so
+   sliced/resumed runs re-decide it identically. *)
+
+let default_min_batch = 24
+
+let next_gated t ~incumbent ~min_batch =
+  match t.surrogate with
+  | Some sg -> (
+      match t.queue with
+      | c :: rest when t.gated ->
+          (* mid-round sequential drain of a sub-threshold ranked batch *)
+          t.queue <- rest;
+          `Seq c
+      | _ :: _ ->
+          (* undelivered remainder of a truncated ranked batch (resume);
+             propose verbatim, original model order — see [next_batch] *)
+          `Batch (Array.of_list t.queue)
+      | [] ->
+          let arr = ranked_batch t ~incumbent sg in
+          if Array.length arr = 0 then `Done
+          else if Array.length arr >= min_batch then begin
+            t.queue <- Array.to_list arr;
+            t.gated <- false;
+            `Batch arr
+          end
+          else begin
+            t.queue <- List.tl (Array.to_list arr);
+            t.gated <- true;
+            `Seq arr.(0)
+          end)
+  | None ->
+      t.queue <- [];
+      let cands = plain_batch t ~incumbent in
+      if Array.length cands = 0 then `Done
+      else if Array.length cands >= min_batch then begin
+        t.gated <- false;
+        `Batch cands
+      end
+      else begin
+        (* below the gate: discard the trial batch (its specs were not
+           consumed — [pending] carries them) and drive sequentially;
+           [next_seq] rebuilds the same first candidate *)
+        t.pending <- [];
+        t.gated <- true;
+        match next_seq t ~incumbent with
+        | Some c -> `Seq c
+        | None -> assert false (* plain_batch was non-empty *)
+      end
+
+let deliver_verdict t =
+  if not t.gated then
+    match t.surrogate with
+    | Some _ -> deliver_ranked t
+    | None -> deliver t
+
 let encode t =
   let base =
     Printf.sprintf "sweep %d %s %d %d" (List.length t.order)
@@ -307,8 +381,9 @@ let encode t =
   match t.queue with
   | [] -> base
   | q ->
-      Printf.sprintf "%s queue %d %s" base (List.length q)
+      Printf.sprintf "%s queue %d %s%s" base (List.length q)
         (String.concat " " (List.map Mapping.canonical_key q))
+        (if t.gated then " gated" else "")
 
 let decode ?surrogate ev ~overlap line =
   let fail fmt = Printf.ksprintf (fun m -> Error ("Descent.decode: " ^ m)) fmt in
@@ -337,16 +412,21 @@ let decode ?surrogate ev ~overlap line =
                       fail "task id out of range"
                     else
                       let ( let* ) = Result.bind in
-                      let* queue =
+                      let* queue, gated =
                         match tail with
-                        | [] -> Ok []
+                        | [] -> Ok ([], false)
                         | "queue" :: k :: keys -> (
+                            let keys, gated =
+                              match List.rev keys with
+                              | "gated" :: r -> (List.rev r, true)
+                              | _ -> (keys, false)
+                            in
                             match int_of_string_opt k with
                             | Some k when List.length keys = k && k > 0 ->
                                 let ms =
                                   List.filter_map (Mapping.of_canonical_key g) keys
                                 in
-                                if List.length ms = k then Ok ms
+                                if List.length ms = k then Ok (ms, gated)
                                 else fail "unparsable queue key"
                             | _ -> fail "bad queue count")
                         | _ -> fail "bad queue suffix"
@@ -362,6 +442,7 @@ let decode ?surrogate ev ~overlap line =
                           consumed;
                           pending = [];
                           queue;
+                          gated;
                         }
                       in
                       if entered = 0 then

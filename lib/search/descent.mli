@@ -67,6 +67,35 @@ val next_batch : t -> incumbent:Mapping.t -> Mapping.t array
     holding an undelivered remainder returns it verbatim, in its
     original model order. *)
 
+val default_min_batch : int
+(** Default minimum round size below which {!next_gated} prefers the
+    sequential drive — BENCH_searchrate.json showed sub-this-size
+    batches losing to sequential evaluation (geomean 0.981 at smoke
+    sizes), so batching only engages past the amortization point. *)
+
+val next_gated :
+  t ->
+  incumbent:Mapping.t ->
+  min_batch:int ->
+  [ `Done | `Batch of Mapping.t array | `Seq of Mapping.t ]
+(** Size-gated proposal round: [`Batch] with the same array
+    {!next_batch} would return when it holds at least [min_batch]
+    candidates, [`Seq] with one candidate at a time (the same
+    candidates in the same order) below the gate, [`Done] when the
+    sweep is complete.  Every verdict — batched or sequential — is
+    acknowledged with {!deliver_verdict}.  Decision-identical to both
+    {!next_batch} and the sequential drive for any [min_batch]: the
+    gate only switches between two representations that are themselves
+    bit-identical, and it is re-decided each round from checkpointed
+    cursor state, so resumed runs reproduce it.  [min_batch <= 1]
+    always batches; [max_int] never does. *)
+
+val deliver_verdict : t -> unit
+(** Acknowledge one verdict after a {!next_gated} round: dispatches to
+    {!deliver} (plain) or {!deliver_ranked} (ranked) for batched
+    rounds, and is a no-op for gated sequential rounds, whose
+    candidates were already consumed at proposal time. *)
+
 val deliver : t -> unit
 (** Acknowledge the verdict of the next outstanding batch candidate:
     consumes its spec plus the gap no-ops before it (counted now —

@@ -16,6 +16,28 @@ let algo_name = function
   | Portfolio -> "Portfolio"
   | Heft -> "HEFT"
 
+(* CLI/wire spelling — one parser shared by automap_cli and the serve
+   daemon, so a request names algorithms exactly like the command line *)
+let algo_of_string ?(max_evals = 1000) s =
+  match String.lowercase_ascii s with
+  | "cd" -> Ok Cd
+  | "ccd" -> Ok (Ccd { rotations = 5 })
+  | "ensemble" -> Ok Ensemble_tuner
+  | "random" -> Ok (Random_walk { max_evals })
+  | "annealing" -> Ok (Annealing { max_evals })
+  | "portfolio" -> Ok Portfolio
+  | "heft" -> Ok Heft
+  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+
+let algo_to_string = function
+  | Cd -> "cd"
+  | Ccd _ -> "ccd"
+  | Ensemble_tuner -> "ensemble"
+  | Random_walk _ -> "random"
+  | Annealing _ -> "annealing"
+  | Portfolio -> "portfolio"
+  | Heft -> "heft"
+
 type result = {
   algo : algo;
   db : Profiles_db.t;
@@ -53,35 +75,57 @@ let heft_strategy =
     encode = (fun () -> []);
   }
 
-let strategy_of_algo ~seed ?budget ~batch ?surrogate algo ev =
+let make_strategy ~seed ?budget ~batch ?(min_batch = 1) ?surrogate algo ev =
   match algo with
-  | Cd -> Cd.make ~batch ?surrogate ev
-  | Ccd { rotations } -> Ccd.make ~batch ?surrogate ~rotations ev
+  | Cd -> Cd.make ~batch ~min_batch ?surrogate ev
+  | Ccd { rotations } -> Ccd.make ~batch ~min_batch ?surrogate ~rotations ev
   | Ensemble_tuner ->
       Ensemble.make ~config:{ Ensemble.default_config with seed = seed + 1 } ev
   | Random_walk { max_evals } -> Random_search.make ~seed:(seed + 1) ~max_evals ev
   | Annealing { max_evals } -> Annealing.make ~seed:(seed + 1) ~max_evals ev
-  | Portfolio -> Portfolio.make ?budget ~seed:(seed + 1) ~batch ?surrogate ev
+  | Portfolio -> Portfolio.make ?budget ~seed:(seed + 1) ~batch ~min_batch ?surrogate ev
   | Heft -> heft_strategy
 
 (* Checkpoints name the strategy; decoding dispatches on that name
    explicitly (no registration side effects, so no link-order traps). *)
-let decode_strategy ?(batch = false) ?surrogate ev ~algo lines =
+let decode_strategy ?(batch = false) ?(min_batch = 1) ?surrogate ev ~algo lines =
   match algo with
-  | "cd" -> Cd.decode ~batch ?surrogate ev lines
-  | "ccd" -> Ccd.decode ~batch ?surrogate ev lines
+  | "cd" -> Cd.decode ~batch ~min_batch ?surrogate ev lines
+  | "ccd" -> Ccd.decode ~batch ~min_batch ?surrogate ev lines
   | "annealing" -> Annealing.decode ev lines
   | "random" -> Random_search.decode ev lines
   | "ensemble" -> Ensemble.decode ev lines
-  | "portfolio" -> Portfolio.decode ~batch ?surrogate ev lines
+  | "portfolio" -> Portfolio.decode ~batch ~min_batch ?surrogate ev lines
   | "heft" -> Ok heft_strategy
   | other -> Error (Printf.sprintf "unknown strategy %S in checkpoint" other)
+
+(* Final protocol (§5): re-run the [final_top] best mappings of the
+   profiles database [final_runs] times each; report the one with the
+   fastest average.  Shared by [run] and the serve daemon's slice
+   driver, which applies it when a sliced search finishes. *)
+let final_protocol ?(final_top = 5) ?(final_runs = 30) ev ~search_best ~search_perf
+    =
+  let candidates =
+    match Profiles_db.top (Evaluator.db ev) final_top with
+    | [] -> [ (search_best, [ search_perf ]) ]
+    | tops ->
+        List.map
+          (fun e ->
+            let m = e.Profiles_db.mapping in
+            (m, Evaluator.measure_objective ev ~runs:final_runs m))
+          tops
+  in
+  List.fold_left
+    (fun ((_, bruns) as acc) ((_, runs) as cand) ->
+      if Stats.mean runs < Stats.mean bruns then cand else acc)
+    (List.hd candidates) (List.tl candidates)
 
 let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
     ?(seed = 0) ?budget ?max_trials ?max_wall ?start ?(heft_seed = false)
     ?objective ?extended ?incremental ?domain_prune ?(batch = false)
-    ?(surrogate = true) ?surrogate_skim ?db ?on_event ?checkpoint
-    ?(checkpoint_every = 25) ?resume_from algo machine graph =
+    ?(min_batch = Descent.default_min_batch) ?(surrogate = true) ?surrogate_skim
+    ?db ?on_event ?checkpoint ?(checkpoint_every = 25) ?resume_from algo machine
+    graph =
   let fail fmt = Printf.ksprintf failwith fmt in
   (* skim only makes sense on ranked batches *)
   let batch = batch || surrogate_skim <> None in
@@ -129,7 +173,9 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
            between ranked batches — see Descent); without batch the
            model still trains for telemetry and a later batched run *)
         let rank_sg = if batch then sg else None in
-        let strat = strategy_of_algo ~seed ?budget ~batch ?surrogate:rank_sg algo ev in
+        let strat =
+          make_strategy ~seed ?budget ~batch ~min_batch ?surrogate:rank_sg algo ev
+        in
         let budget =
           (* the portfolio shares [budget] across members through its own
              absolute deadlines; every other algorithm gets it as the
@@ -165,8 +211,8 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
         let rank_sg = if batch then sg else None in
         let strat =
           match
-            decode_strategy ~batch ?surrogate:rank_sg ev ~algo:s.Engine.s_algo
-              s.Engine.s_strategy
+            decode_strategy ~batch ~min_batch ?surrogate:rank_sg ev
+              ~algo:s.Engine.s_algo s.Engine.s_strategy
           with
           | Ok strat -> strat
           | Error e -> fail "%s: %s" path e
@@ -192,23 +238,8 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
           ev strat
   in
   let search_best, search_perf = (o.Engine.best, o.Engine.perf) in
-  (* Final protocol: re-run the top-5 mappings 30 times each; report
-     the one with the fastest average. *)
-  let candidates =
-    match Profiles_db.top (Evaluator.db ev) final_top with
-    | [] -> [ (search_best, [ search_perf ]) ]
-    | tops ->
-        List.map
-          (fun e ->
-            let m = e.Profiles_db.mapping in
-            (m, Evaluator.measure_objective ev ~runs:final_runs m))
-          tops
-  in
   let best, best_runs =
-    List.fold_left
-      (fun ((_, bruns) as acc) ((_, runs) as cand) ->
-        if Stats.mean runs < Stats.mean bruns then cand else acc)
-      (List.hd candidates) (List.tl candidates)
+    final_protocol ~final_top ~final_runs ev ~search_best ~search_perf
   in
   let vt = Evaluator.virtual_time ev in
   let st = Evaluator.stats ev in

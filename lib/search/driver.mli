@@ -17,6 +17,16 @@ type algo =
 
 val algo_name : algo -> string
 
+val algo_of_string : ?max_evals:int -> string -> (algo, string) Stdlib.result
+(** CLI/wire spelling (["cd"], ["ccd"], ["ensemble"], ["random"],
+    ["annealing"], ["portfolio"], ["heft"]; case-insensitive).
+    [max_evals] (default 1000) parameterizes the stochastic
+    algorithms. *)
+
+val algo_to_string : algo -> string
+(** Inverse spelling of {!algo_of_string} (parameters dropped:
+    [Ccd _] is ["ccd"]).  Matches {!Engine.snapshot.s_algo}. *)
+
 type result = {
   algo : algo;
   db : Profiles_db.t;           (** every measurement of the search *)
@@ -42,8 +52,25 @@ type result = {
   spearman : float;            (** rank correlation, recent window; nan early *)
 }
 
+val make_strategy :
+  seed:int ->
+  ?budget:float ->
+  batch:bool ->
+  ?min_batch:int ->
+  ?surrogate:Surrogate.t ->
+  algo ->
+  Evaluator.t ->
+  Engine.strategy
+(** A fresh strategy for [algo], exactly as {!run} builds one: [seed]
+    derives the stochastic algorithms' seeds, [budget] becomes the
+    portfolio's member shares, [batch]/[min_batch]/[surrogate]
+    configure CD/CCD proposal batching (gated — see
+    {!Descent.next_gated} — and ranked).  Exposed for callers that
+    drive {!Engine.run} themselves (the serve daemon's slice driver). *)
+
 val decode_strategy :
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:Surrogate.t ->
   Evaluator.t ->
   algo:string ->
@@ -51,8 +78,23 @@ val decode_strategy :
   (Engine.strategy, string) Stdlib.result
 (** Rebuild a checkpointed strategy from its [algo] name (as recorded in
     {!Engine.snapshot.s_algo}) and encoded state lines.  [batch]
-    resumes CD/CCD in batch mode; [surrogate] resumes them with ranked
-    batches (see {!run}). *)
+    resumes CD/CCD in batch mode ([min_batch] gating sub-threshold
+    rounds, default 1); [surrogate] resumes them with ranked batches
+    (see {!run}). *)
+
+val final_protocol :
+  ?final_top:int ->
+  ?final_runs:int ->
+  Evaluator.t ->
+  search_best:Mapping.t ->
+  search_perf:float ->
+  Mapping.t * float list
+(** The paper's final measurement protocol: re-run the [final_top] (5)
+    best mappings of the evaluator's profiles database [final_runs]
+    (30) times each and return the fastest-on-average with its runs
+    (falling back to [(search_best, [search_perf])] on an empty
+    database).  {!run} applies it automatically; the serve daemon's
+    slice driver calls it when a sliced search completes. *)
 
 val run :
   ?runs:int ->
@@ -71,6 +113,7 @@ val run :
   ?incremental:bool ->
   ?domain_prune:bool ->
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:bool ->
   ?surrogate_skim:int ->
   ?db:Profiles_db.t ->
@@ -94,7 +137,10 @@ val run :
     [batch] (default false) runs CD/CCD through
     {!Engine.Propose_batch} whole-neighbour-set evaluation
     (decision-identical, faster — see {!Evaluator.evaluate_batch};
-    other algorithms ignore it) and
+    other algorithms ignore it), [min_batch] (default
+    {!Descent.default_min_batch}) keeps sub-threshold rounds on the
+    sequential path where batching does not amortize (still
+    decision-identical; pass 1 to always batch) and
     [db] warm-starts from a persisted profiles database (see
     {!Evaluator.create}).
 

@@ -48,6 +48,18 @@ type t = {
   mutable dead_coord_skips : int;
   mutable batch_calls : int;
   mutable batch_short_circuits : int;
+  (* Serve-daemon cache telemetry.  The evaluator doesn't own the
+     caches (the server does); it is the one stats carrier every
+     report already reads, so the server notes hits/misses here.
+     [compile_cache_*] also count locally: create-with-[?scratch] is
+     by definition a compile reuse.  Never serialized ([save_state]) —
+     cache history is observability, not decision state. *)
+  mutable compile_cache_hits : int;
+  mutable compile_cache_misses : int;
+  mutable result_cache_hits : int;
+  mutable warm_starts : int;
+  mutable cache_evictions : int;
+  mutable cache_resident_bytes : int;
   mutable virtual_time : float;
   mutable eval_time : float;
   mutable best : (Mapping.t * float) option;
@@ -81,6 +93,12 @@ type stats = {
   s_dead_coord_skips : int;
   s_batch_calls : int;
   s_batch_short_circuits : int;
+  s_compile_cache_hits : int;
+  s_compile_cache_misses : int;
+  s_result_cache_hits : int;
+  s_warm_starts : int;
+  s_cache_evictions : int;
+  s_cache_resident_bytes : int;
   s_delta_binds : int;
   s_full_binds : int;
   s_bind_hits_shared : int;
@@ -102,6 +120,7 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     ?(objective = default_objective) ?(extended = false) ?(prune = true)
     ?(incremental = true) ?(domain_prune = true) ?db ?scratch machine graph =
   if runs <= 0 then invalid_arg "Evaluator.create: runs must be positive";
+  let shared_compile = scratch <> None in
   let scratch =
     match scratch with
     | Some sc -> sc  (* shared compiled problem, e.g. portfolio members *)
@@ -144,6 +163,12 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     dead_coord_skips = 0;
     batch_calls = 0;
     batch_short_circuits = 0;
+    compile_cache_hits = (if shared_compile then 1 else 0);
+    compile_cache_misses = (if shared_compile then 0 else 1);
+    result_cache_hits = 0;
+    warm_starts = 0;
+    cache_evictions = 0;
+    cache_resident_bytes = 0;
     virtual_time = 0.0;
     eval_time = 0.0;
     best = None;
@@ -672,6 +697,14 @@ let note_dead_coords t n =
    its committed timelines pinned: every subsequent neighbour then
    replays against a schedule at most a couple of coordinates away. *)
 let note_incumbent t mapping = Exec.prefer_timeline t.scratch mapping
+let note_result_cache_hit t = t.result_cache_hits <- t.result_cache_hits + 1
+let note_warm_start t = t.warm_starts <- t.warm_starts + 1
+
+let note_cache_state t ~hits ~misses ~evictions ~resident_bytes =
+  t.compile_cache_hits <- hits;
+  t.compile_cache_misses <- misses;
+  t.cache_evictions <- evictions;
+  t.cache_resident_bytes <- resident_bytes
 let attach_surrogate t sg = t.surrogate <- Some sg
 
 let best t = t.best
@@ -706,6 +739,12 @@ let stats t =
     s_dead_coord_skips = t.dead_coord_skips;
     s_batch_calls = t.batch_calls;
     s_batch_short_circuits = t.batch_short_circuits;
+    s_compile_cache_hits = t.compile_cache_hits;
+    s_compile_cache_misses = t.compile_cache_misses;
+    s_result_cache_hits = t.result_cache_hits;
+    s_warm_starts = t.warm_starts;
+    s_cache_evictions = t.cache_evictions;
+    s_cache_resident_bytes = t.cache_resident_bytes;
     s_delta_binds = Exec.delta_binds t.scratch;
     s_full_binds = Exec.full_binds t.scratch;
     s_bind_hits_shared = hits_shared;

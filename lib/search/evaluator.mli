@@ -221,6 +221,20 @@ val note_incumbent : t -> Mapping.t -> unit
     at most a couple of coordinates away.  Purely a performance hint —
     never changes any evaluation result. *)
 
+val note_result_cache_hit : t -> unit
+(** The serve daemon answered a request from its result memo without
+    simulating — counted here so {!stats} carries cache telemetry. *)
+
+val note_warm_start : t -> unit
+(** This evaluator's search was seeded from a memoized incumbent of an
+    earlier request (same machine and graph, different search config). *)
+
+val note_cache_state : t ->
+  hits:int -> misses:int -> evictions:int -> resident_bytes:int -> unit
+(** Overwrite the compile-cache counters with the server's global LRU
+    statistics before reading {!stats}.  Telemetry only — never
+    serialized by {!save_state}, never decision-relevant. *)
+
 val attach_surrogate : t -> Surrogate.t -> unit
 (** Register the search's surrogate model so {!stats} reports its
     counters (trained observations, reranks, skim skips, rank
@@ -240,6 +254,18 @@ type stats = {
   s_dead_coord_skips : int;
   s_batch_calls : int;           (** {!batch_calls} *)
   s_batch_short_circuits : int;  (** {!batch_short_circuits} *)
+  s_compile_cache_hits : int;
+      (** compiled-problem reuses: 1 when this evaluator was created
+          with [?scratch], plus any server compile-cache hits noted via
+          {!note_cache_state} *)
+  s_compile_cache_misses : int;  (** fresh {!Exec.compile} invocations *)
+  s_result_cache_hits : int;
+      (** requests answered from the server's result memo without any
+          simulation ({!note_result_cache_hit}) *)
+  s_warm_starts : int;
+      (** searches seeded from a memoized incumbent ({!note_warm_start}) *)
+  s_cache_evictions : int;       (** server LRU evictions *)
+  s_cache_resident_bytes : int;  (** server cache footprint, bytes *)
   s_delta_binds : int;  (** {!Exec.delta_binds} of the evaluator's scratch *)
   s_full_binds : int;   (** {!Exec.full_binds} of the evaluator's scratch *)
   s_bind_hits_shared : int;

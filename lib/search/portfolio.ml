@@ -41,6 +41,7 @@ type state = {
   seed : int;
   share : float;
   batch : bool;  (* CD/CCD members propose whole neighbour sets *)
+  min_batch : int;  (* CD/CCD rounds smaller than this run sequentially *)
   surrogate : Surrogate.t option;  (* CD/CCD members rank their batches *)
   mutable remaining : member list;
   mutable phase : phase;
@@ -50,15 +51,20 @@ type state = {
 
 let child_of st = function
   | Ccd rotations ->
-      Ccd.make ~batch:st.batch ?surrogate:st.surrogate ~rotations st.ev
-  | Cd -> Cd.make ~batch:st.batch ?surrogate:st.surrogate st.ev
+      Ccd.make ~batch:st.batch ~min_batch:st.min_batch ?surrogate:st.surrogate
+        ~rotations st.ev
+  | Cd -> Cd.make ~batch:st.batch ~min_batch:st.min_batch ?surrogate:st.surrogate st.ev
   | Annealing -> Annealing.make ~seed:(st.seed + 13) st.ev
   | Random -> Random_search.make ~seed:(st.seed + 29) st.ev
 
 let child_decode st member lines =
   match member with
-  | Ccd _ -> Ccd.decode ~batch:st.batch ?surrogate:st.surrogate st.ev lines
-  | Cd -> Cd.decode ~batch:st.batch ?surrogate:st.surrogate st.ev lines
+  | Ccd _ ->
+      Ccd.decode ~batch:st.batch ~min_batch:st.min_batch ?surrogate:st.surrogate
+        st.ev lines
+  | Cd ->
+      Cd.decode ~batch:st.batch ~min_batch:st.min_batch ?surrogate:st.surrogate
+        st.ev lines
   | Annealing -> Annealing.decode st.ev lines
   | Random -> Random_search.decode st.ev lines
 
@@ -145,7 +151,7 @@ let strategy_of st =
   }
 
 let make ?(members = default_members) ?(budget = infinity) ?(seed = 0)
-    ?(batch = false) ?surrogate ev =
+    ?(batch = false) ?(min_batch = 1) ?surrogate ev =
   if members = [] then invalid_arg "Portfolio.search: no members";
   let share =
     if Float.is_finite budget then budget /. float_of_int (List.length members)
@@ -157,6 +163,7 @@ let make ?(members = default_members) ?(budget = infinity) ?(seed = 0)
       seed;
       share;
       batch;
+      min_batch;
       surrogate;
       remaining = members;
       phase = Idle;
@@ -164,7 +171,7 @@ let make ?(members = default_members) ?(budget = infinity) ?(seed = 0)
       best = None;
     }
 
-let decode ?(batch = false) ?surrogate ev lines =
+let decode ?(batch = false) ?(min_batch = 1) ?surrogate ev lines =
   let g = Evaluator.graph ev in
   let fail fmt = Printf.ksprintf (fun m -> Error ("Portfolio.decode: " ^ m)) fmt in
   match lines with
@@ -195,6 +202,7 @@ let decode ?(batch = false) ?surrogate ev lines =
           seed;
           share;
           batch;
+          min_batch;
           surrogate;
           remaining;
           phase = Idle;

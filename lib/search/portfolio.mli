@@ -26,6 +26,7 @@ val make :
   ?budget:float ->
   ?seed:int ->
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:Surrogate.t ->
   Evaluator.t ->
   Engine.strategy
@@ -34,7 +35,9 @@ val make :
     normal trial — a cache hit) and cut at an absolute virtual-time
     deadline of [budget / n_members] past its entry.  Member
     transitions surface as {!Engine.Phase} events.  [batch] (default
-    false) runs CD/CCD members through {!Engine.Propose_batch}, and
+    false) runs CD/CCD members through {!Engine.Propose_batch}
+    ([min_batch], default 1, gates sub-threshold rounds back to
+    sequential proposals — see {!Descent.next_gated}), and
     [surrogate] additionally ranks their batches (see {!Cd.make}) —
     the one model is shared across members, so annealing/random
     evaluations train the ranker the descent members use.
@@ -42,13 +45,14 @@ val make :
 
 val decode :
   ?batch:bool ->
+  ?min_batch:int ->
   ?surrogate:Surrogate.t ->
   Evaluator.t ->
   string list ->
   (Engine.strategy, string) result
 (** Rebuild a checkpointed portfolio, including the active member's own
-    nested strategy state; [batch]/[surrogate] apply to the restored
-    CD/CCD members exactly as in {!make}. *)
+    nested strategy state; [batch]/[min_batch]/[surrogate] apply to
+    the restored CD/CCD members exactly as in {!make}. *)
 
 val search :
   ?members:member list ->

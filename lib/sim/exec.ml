@@ -668,6 +668,7 @@ let scratch prob =
 let compiled_of_scratch sc = sc.prob
 let compiled_machine prob = prob.cmachine
 let compiled_graph prob = prob.cgraph
+let compiled_words prob = Obj.reachable_words (Obj.repr prob)
 
 let set_shared sc on = sc.shared_scratch <- on
 let bind_cache_hits sc = (sc.bind_hits_shared, sc.bind_hits_private)

@@ -76,6 +76,11 @@ val compiled_of_scratch : scratch -> compiled
 val compiled_machine : compiled -> Machine.t
 val compiled_graph : compiled -> Graph.t
 
+val compiled_words : compiled -> int
+(** Heap words reachable from the compiled problem — the weight the
+    serve daemon's LRU compile cache charges an entry (multiply by
+    [Sys.word_size / 8] for bytes). *)
+
 val simulate :
   ?noise_sigma:float ->
   ?seed:int ->

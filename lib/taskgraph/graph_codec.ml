@@ -214,3 +214,5 @@ let round_trip_exn g =
   match of_string (to_string g) with
   | Ok g' -> g'
   | Error e -> failwith ("Graph_codec.round_trip_exn: " ^ e)
+
+let fingerprint g = Digest.to_hex (Digest.string (to_string g))

@@ -31,3 +31,8 @@ val of_string : string -> (Graph.t, string) result
 
 val round_trip_exn : Graph.t -> Graph.t
 (** Test helper: serialize then parse, raising on error. *)
+
+val fingerprint : Graph.t -> string
+(** Hex digest of {!to_string} — the canonical identity of a task
+    graph, used (with {!Machine_codec.fingerprint}) as the serve
+    daemon's compile- and result-cache key. *)
