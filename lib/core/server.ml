@@ -116,6 +116,12 @@ let machine_of_preset ~cluster ~nodes =
 
 let resolve (w : Wire.workload) =
   let ( let* ) = Result.bind in
+  let* () =
+    (* preset and app constructors raise Invalid_argument on a bad node
+       count; reject it here so a hostile request gets an error response *)
+    if w.Wire.w_nodes >= 1 then Ok ()
+    else Error (Printf.sprintf "nodes must be >= 1 (got %d)" w.Wire.w_nodes)
+  in
   let* machine =
     match w.Wire.w_machine with
     | Some text -> Machine_codec.of_string text
@@ -606,22 +612,35 @@ let handle t req =
   Mutex.lock t.mu;
   t.requests <- t.requests + 1;
   Mutex.unlock t.mu;
-  match req with
-  | Wire.Ping -> Wire.Pong
-  | Wire.Status -> status t
-  | Wire.Shutdown ->
-      stop t;
-      Wire.R_accepted { a_id = "shutdown" }
-  | Wire.Poll { p_id } -> poll t p_id
-  | Wire.Analyze { an_id; workload } ->
-      if id_ok an_id then analyze t ~id:an_id workload
-      else err "id must be 1..128 filename-safe characters"
-  | Wire.Map { m_id; workload; cfg; wait = _; warm } -> (
-      if not (id_ok m_id) then err "id must be 1..128 filename-safe characters"
-      else
-        match resolve_cached t workload with
-        | Error e -> err ~id:m_id e
-        | Ok (machine, graph, pair) -> submit t ~id:m_id ~cfg ~warm ~pair machine graph)
+  (* last line of defense: no request may kill the daemon.  Workload
+     resolution, analysis and submission run outside t.mu (locked
+     regions below are straight-line), so catching here cannot leak a
+     held mutex. *)
+  let id =
+    match req with
+    | Wire.Poll { p_id } -> Some p_id
+    | Wire.Analyze { an_id; _ } -> Some an_id
+    | Wire.Map { m_id; _ } -> Some m_id
+    | Wire.Ping | Wire.Status | Wire.Shutdown -> None
+  in
+  try
+    match req with
+    | Wire.Ping -> Wire.Pong
+    | Wire.Status -> status t
+    | Wire.Shutdown ->
+        stop t;
+        Wire.R_accepted { a_id = "shutdown" }
+    | Wire.Poll { p_id } -> poll t p_id
+    | Wire.Analyze { an_id; workload } ->
+        if id_ok an_id then analyze t ~id:an_id workload
+        else err "id must be 1..128 filename-safe characters"
+    | Wire.Map { m_id; workload; cfg; wait = _; warm } -> (
+        if not (id_ok m_id) then err "id must be 1..128 filename-safe characters"
+        else
+          match resolve_cached t workload with
+          | Error e -> err ~id:m_id e
+          | Ok (machine, graph, pair) -> submit t ~id:m_id ~cfg ~warm ~pair machine graph)
+  with exn -> err ?id (Printexc.to_string exn)
 
 let handle_line t line =
   match Wire.request_of_string line with
@@ -711,12 +730,33 @@ let listen_socket = function
 type client = {
   fd : Unix.file_descr;
   buf : Buffer.t;  (* bytes received, not yet terminated by '\n' *)
-  mutable waiting : string option;  (* job id a wait:true map is blocked on *)
+  mutable waiting : string list;  (* job ids of wait:true maps, FIFO *)
 }
 
+(* Write the whole response line.  The client fd is non-blocking, so a
+   single write may be partial or fail with EAGAIN: loop, waiting (with
+   a deadline) for writability between attempts — truncating a response
+   mid-line would corrupt the framing for everything after it.  EPIPE /
+   ECONNRESET (SIGPIPE is ignored, so a vanished reader surfaces as an
+   error, not a signal) and a client that stops draining both report
+   [false]: the caller must drop the connection, never reuse it. *)
 let send_response fd resp =
   let line = Wire.response_to_string resp ^ "\n" in
-  ignore (Unix.write_substring fd line 0 (String.length line))
+  let len = String.length line in
+  let rec go off budget =
+    if off >= len then true
+    else if budget <= 0 then false
+    else
+      match Unix.write_substring fd line off (len - off) with
+      | n -> go (off + n) budget
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (try ignore (Unix.select [] [ fd ] [] 1.0)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go off (budget - 1)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off budget
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0 5
 
 (* Serve until shutdown: accepts connections, one JSON request per
    line, one JSON response per line.  Search work happens on the
@@ -740,14 +780,17 @@ let serve ?(workers = 1) t endpoint =
     Hashtbl.remove clients c.fd;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   in
+  (* a failed send means the client is gone or wedged: drop it rather
+     than risk a half-written line followed by more responses *)
+  let send c resp = if not (send_response c.fd resp) then close_client c in
   let handle_request c line =
     match Wire.request_of_string line with
-    | Error e -> send_response c.fd (err e)
+    | Error e -> send c (err e)
     | Ok (Wire.Map { wait = true; _ } as req) -> (
         match handle t req with
-        | Wire.R_accepted { a_id } -> c.waiting <- Some a_id
-        | resp -> send_response c.fd resp)
-    | Ok req -> send_response c.fd (handle t req)
+        | Wire.R_accepted { a_id } -> c.waiting <- c.waiting @ [ a_id ]
+        | resp -> send c resp)
+    | Ok req -> send c (handle t req)
   in
   let feed c data =
     Buffer.add_string c.buf data;
@@ -756,7 +799,7 @@ let serve ?(workers = 1) t endpoint =
       match String.index_opt s '\n' with
       | None ->
           if String.length s > Wire.default_max_bytes then begin
-            send_response c.fd (err "request line too long");
+            ignore (send_response c.fd (err "request line too long"));
             close_client c
           end
       | Some i ->
@@ -769,17 +812,23 @@ let serve ?(workers = 1) t endpoint =
     split ()
   in
   let flush_waiters () =
-    Hashtbl.iter
-      (fun _ c ->
-        match c.waiting with
-        | None -> ()
-        | Some id -> (
-            match handle t (Wire.Poll { p_id = id }) with
-            | Wire.R_result p when p.Wire.r_state = Wire.Done || p.Wire.r_state = Wire.Failed ->
-                c.waiting <- None;
-                send_response c.fd (Wire.R_result p)
-            | _ -> ()))
-      clients
+    (* snapshot: send can close a client, which mutates the table *)
+    let cs = Hashtbl.fold (fun _ c acc -> c :: acc) clients [] in
+    List.iter
+      (fun c ->
+        let rec deliver = function
+          | [] -> []
+          | pending when not (Hashtbl.mem clients c.fd) -> pending
+          | id :: rest -> (
+              match handle t (Wire.Poll { p_id = id }) with
+              | Wire.R_result p
+                when p.Wire.r_state = Wire.Done || p.Wire.r_state = Wire.Failed ->
+                  send c (Wire.R_result p);
+                  deliver rest
+              | _ -> id :: deliver rest)
+        in
+        c.waiting <- deliver c.waiting)
+      cs
   in
   let chunk = Bytes.create 65536 in
   let rec loop () =
@@ -798,7 +847,7 @@ let serve ?(workers = 1) t endpoint =
             | cfd, _ ->
                 Unix.set_nonblock cfd;
                 Hashtbl.replace clients cfd
-                  { fd = cfd; buf = Buffer.create 256; waiting = None }
+                  { fd = cfd; buf = Buffer.create 256; waiting = [] }
             | exception Unix.Unix_error _ -> ())
           else
             match Hashtbl.find_opt clients fd with

@@ -129,11 +129,40 @@ let of_string ?max_bytes s =
           Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
           Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
         end
-        else begin
+        else if cp < 0x10000 then begin
           Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
           Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
           Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
         end
+        else begin
+          Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+        end
+      in
+      (* A \u escape in 0xD800-0xDBFF is a UTF-16 high surrogate: combine
+         it with an immediately following \uDC00-\uDFFF low surrogate
+         into one non-BMP code point.  A lone surrogate keeps the legacy
+         3-byte encoding (the input was already non-conforming). *)
+      let parse_escaped_cp () =
+        let hi = parse_hex4 () in
+        if hi >= 0xD800 && hi <= 0xDBFF
+           && !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+        then begin
+          let save = !pos in
+          advance ();
+          advance ();
+          let lo = parse_hex4 () in
+          if lo >= 0xDC00 && lo <= 0xDFFF then
+            0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
+          else begin
+            (* not a low surrogate: rewind and let go () re-parse it *)
+            pos := save;
+            hi
+          end
+        end
+        else hi
       in
       let parse_string () =
         expect '"';
@@ -154,7 +183,7 @@ let of_string ?max_bytes s =
               | 'f' -> Buffer.add_char buf '\012'; advance ()
               | 'u' ->
                   advance ();
-                  add_utf8 buf (parse_hex4 ())
+                  add_utf8 buf (parse_escaped_cp ())
               | c -> fail "bad escape \\%C" c);
               go ()
           | c when Char.code c < 0x20 -> fail "raw control character in string"
@@ -179,7 +208,12 @@ let of_string ?max_bytes s =
         | Some f -> Num f
         | None -> fail "bad number %S" tok
       in
-      let rec parse_value () =
+      (* The recursion is bounded: a hostile request of millions of '['
+         would otherwise overflow the stack, and Stack_overflow escapes
+         the Parse handler below. *)
+      let max_depth = 256 in
+      let rec parse_value depth =
+        if depth > max_depth then fail "nesting deeper than %d" max_depth;
         skip_ws ();
         match peek () with
         | 'n' -> literal "null" Null
@@ -191,11 +225,11 @@ let of_string ?max_bytes s =
             skip_ws ();
             if peek () = ']' then begin advance (); Arr [] end
             else begin
-              let items = ref [ parse_value () ] in
+              let items = ref [ parse_value (depth + 1) ] in
               skip_ws ();
               while peek () = ',' do
                 advance ();
-                items := parse_value () :: !items;
+                items := parse_value (depth + 1) :: !items;
                 skip_ws ()
               done;
               expect ']';
@@ -211,7 +245,7 @@ let of_string ?max_bytes s =
                 let k = parse_string () in
                 skip_ws ();
                 expect ':';
-                let v = parse_value () in
+                let v = parse_value (depth + 1) in
                 (k, v)
               in
               let fields = ref [ field () ] in
@@ -227,11 +261,13 @@ let of_string ?max_bytes s =
         | _ -> parse_number ()
       in
       try
-        let v = parse_value () in
+        let v = parse_value 0 in
         skip_ws ();
         if !pos <> n then Error (Printf.sprintf "trailing garbage at byte %d" !pos)
         else Ok v
-      with Parse m -> Error m)
+      with
+      | Parse m -> Error m
+      | Stack_overflow -> Error "input too deeply nested")
 
 (* ---- field helpers ---------------------------------------------------- *)
 

@@ -203,9 +203,22 @@ let check_analyze_and_errors () =
   | Wire.R_error { message; _ } ->
       Alcotest.(check bool) "names the app" true (Str_helpers.contains message "nosuch")
   | _ -> Alcotest.fail "unknown app must be an error");
-  match Server.handle_line srv "{nonsense" with
+  (match Server.handle_line srv "{nonsense" with
   | Wire.R_error _ -> ()
-  | _ -> Alcotest.fail "unparseable line must be an error"
+  | _ -> Alcotest.fail "unparseable line must be an error");
+  (* hostile field values must become error responses, never exceptions
+     out of handle (nodes:0 used to raise through Machine.make) *)
+  (match
+     Server.handle_line srv {|{"type":"map","id":"bad-nodes","app":"stencil","nodes":0}|}
+   with
+  | Wire.R_error { message; _ } ->
+      Alcotest.(check bool) "names nodes" true (Str_helpers.contains message "nodes")
+  | _ -> Alcotest.fail "nodes:0 must be a typed error");
+  match
+    Server.handle_line srv {|{"type":"analyze","id":"neg","app":"stencil","nodes":-3}|}
+  with
+  | Wire.R_error _ -> ()
+  | _ -> Alcotest.fail "negative nodes must be a typed error"
 
 (* ---- the LRU cache underneath ----------------------------------------- *)
 

@@ -205,6 +205,37 @@ let check_parse_errors () =
   bad "\"raw\ncontrol\"";
   bad {|{"unterminated|}
 
+let check_depth_limit () =
+  (* a nesting bomb within the byte cap must come back as Error, not
+     Stack_overflow *)
+  let bomb = String.make 100_000 '[' in
+  (match Wire.of_string bomb with
+  | Error e ->
+      Alcotest.(check bool) "mentions nesting" true (Str_helpers.contains e "nest")
+  | Ok _ -> Alcotest.fail "nesting bomb must be rejected");
+  (* modest nesting still parses *)
+  let modest = String.make 50 '[' ^ "1" ^ String.make 50 ']' in
+  match Wire.of_string modest with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "50-deep nesting must parse: %s" e
+
+let check_surrogate_pairs () =
+  (* U+1F600 (grinning face) arrives as a UTF-16 surrogate pair and
+     must decode to one 4-byte UTF-8 sequence *)
+  (match Wire.of_string {|"\ud83d\ude00"|} with
+  | Ok (Wire.Str s) -> Alcotest.(check string) "pair combines" "\xF0\x9F\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair must parse");
+  (* BMP escapes are unaffected *)
+  (match Wire.of_string {|"\u00e9"|} with
+  | Ok (Wire.Str s) -> Alcotest.(check string) "BMP escape" "\xC3\xA9" s
+  | _ -> Alcotest.fail "BMP escape must parse");
+  (* a high surrogate not followed by a low one parses (legacy 3-byte
+     form), and the following escape is decoded independently *)
+  match Wire.of_string {|"\ud83dA"|} with
+  | Ok (Wire.Str s) ->
+      Alcotest.(check string) "lone surrogate + BMP" "\xED\xA0\xBDA" s
+  | _ -> Alcotest.fail "lone surrogate must still parse"
+
 let check_oversized () =
   let big = "\"" ^ String.make 200 'x' ^ "\"" in
   (match Wire.of_string ~max_bytes:64 big with
@@ -268,6 +299,9 @@ let suite =
   @ [
       Alcotest.test_case "parser accepts the JSON grammar" `Quick check_parse;
       Alcotest.test_case "parser rejects malformed input" `Quick check_parse_errors;
+      Alcotest.test_case "nesting bombs are rejected" `Quick check_depth_limit;
+      Alcotest.test_case "surrogate pairs decode to 4-byte UTF-8" `Quick
+        check_surrogate_pairs;
       Alcotest.test_case "oversized payloads are rejected" `Quick check_oversized;
       Alcotest.test_case "bad requests become typed errors" `Quick check_request_errors;
       Alcotest.test_case "error responses round-trip" `Quick check_error_response_round_trip;
