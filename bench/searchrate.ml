@@ -247,6 +247,91 @@ let json_surrogate = function
            Printf.sprintf "%.4f" l.st.Evaluator.s_spearman
          else "null")
 
+(* Symmetry leg: the same CCD search at an equal trial budget with and
+   without the PR 9 reduction stack (orbit canonicalization + engine
+   seen-set + dominance-pruned domains).  The reduction changes the
+   trajectory — skipped duplicates free budget for distinct candidates
+   — so instead of an identity check it is held to the never-worse
+   gate: the reduced run's final best must be equal-or-better, else the
+   bench hard-fails.  Noise-free evaluation keeps the comparison about
+   search decisions rather than measurement luck. *)
+type sym_row = {
+  sy_app : string;
+  sy_input : string;
+  sy_trials : int;
+  sy_base : leg;
+  sy_red : leg;
+  sy_skips : int;          (* symmetric duplicates answered from the seen-set *)
+  sy_log2_space : float;   (* log2 |space| after domain+dominance pruning *)
+  sy_log2_reduction : float; (* further bits the orbit quotient saves *)
+}
+
+let symmetry_check (app : App.t) machine ~input ~rotations ~max_trials =
+  let g = app.App.graph ~nodes:machine.Machine.nodes ~input in
+  let run ~symmetry ~dominance =
+    let ev =
+      Evaluator.create ~noise_sigma:0.0 ~seed:3 ~symmetry ~dominance machine g
+    in
+    let seen =
+      if symmetry then
+        Some (Engine.seen_create (Space.canonicalize (Evaluator.space ev)))
+      else None
+    in
+    let t0 = now () in
+    let o =
+      Engine.run
+        ~budget:(Budget.make ~max_trials ())
+        ?seen
+        ~start:(Mapping.default_start g machine)
+        ev (Ccd.make ~rotations ev)
+    in
+    let wall = now () -. t0 in
+    let s = Evaluator.stats ev in
+    {
+      wall;
+      cands_per_sec = float_of_int s.Evaluator.s_suggested /. wall;
+      best = o.Engine.best;
+      perf = o.Engine.perf;
+      steps = o.Engine.steps;
+      st = s;
+    }
+  in
+  let base = run ~symmetry:false ~dominance:false in
+  let red = run ~symmetry:true ~dominance:true in
+  if red.perf > base.perf then
+    failwith
+      (Printf.sprintf
+         "%s: symmetry-reduced search final best %.6g is worse than unreduced %.6g"
+         app.App.app_name red.perf base.perf);
+  let an = Analysis.analyze machine g in
+  let row =
+    {
+      sy_app = app.App.app_name;
+      sy_input = input;
+      sy_trials = max_trials;
+      sy_base = base;
+      sy_red = red;
+      sy_skips = red.st.Evaluator.s_symmetry_skips;
+      sy_log2_space = Analysis.log2_space an;
+      sy_log2_reduction = Analysis.log2_symmetry_reduction an;
+    }
+  in
+  Printf.printf
+    "%-8s %-10s symmetry @%d trials: base %.6g (%d distinct evals) | reduced %.6g \
+     (%d distinct evals, %d skips) | space %.1f bits, quotient -%.2f bits | \
+     never-worse ok\n%!"
+    app.App.app_name input max_trials base.perf base.st.Evaluator.s_evaluated
+    red.perf red.st.Evaluator.s_evaluated row.sy_skips row.sy_log2_space
+    row.sy_log2_reduction;
+  row
+
+let json_sym r =
+  Printf.sprintf
+    {|{"app": %S, "input": %S, "trials": %d, "base_perf": %.6e, "reduced_perf": %.6e, "base_evaluated": %d, "reduced_evaluated": %d, "base_wall": %.5f, "reduced_wall": %.5f, "symmetry_skips": %d, "log2_space": %.4f, "log2_symmetry_reduction": %.4f, "never_worse": true}|}
+    r.sy_app r.sy_input r.sy_trials r.sy_base.perf r.sy_red.perf
+    r.sy_base.st.Evaluator.s_evaluated r.sy_red.st.Evaluator.s_evaluated
+    r.sy_base.wall r.sy_red.wall r.sy_skips r.sy_log2_space r.sy_log2_reduction
+
 (* Checkpoint/resume self-check: a CCD search checkpointed mid-flight
    and resumed must land on the same best as one uninterrupted run.
    Returns (checkpoints written by the truncated run, resumed trials). *)
@@ -338,6 +423,28 @@ let () =
     "geomean search speedup: prune %.2fx, incremental %.2fx over prune-on, batched \
      %.2fx over incremental\n%!"
     geo_prune geo_inc geo_bat;
+  (* symmetry leg over all five bundled apps — the reduction's
+     never-worse guarantee is about search structure, so every graph
+     shape is exercised, not just the two throughput apps *)
+  let sym_apps =
+    [ (App.stencil, if !smoke then "500x500" else "2000x2000");
+      (App.circuit, if !smoke then "n100w400" else "n200w800");
+      (App.pennant, "320x90");
+      (App.htr, "8x8y9z");
+      (App.maestro, "lf4r16") ]
+  in
+  let sym_trials = if !smoke then 120 else 400 in
+  let sym_rows =
+    List.map
+      (fun (app, input) ->
+        symmetry_check app machine ~input ~rotations ~max_trials:sym_trials)
+      sym_apps
+  in
+  let sym_apps_with_skips =
+    List.length (List.filter (fun r -> r.sy_skips > 0) sym_rows)
+  in
+  Printf.printf "symmetry: %d/%d apps skipped at least one duplicate\n%!"
+    sym_apps_with_skips (List.length sym_rows);
   let resume_g =
     App.stencil.App.graph ~nodes ~input:(if !smoke then "500x500" else "2000x2000")
   in
@@ -368,10 +475,13 @@ let () =
   Buffer.add_string buf
     (Printf.sprintf
        "  ],\n  \"geomean_speedup\": %.3f,\n  \"geomean_incremental_speedup\": %.3f,\n  \
-        \"geomean_batched_speedup\": %.3f,\n  \
+        \"geomean_batched_speedup\": %.3f,\n  \"symmetry\": [\n%s\n  ],\n  \
+        \"symmetry_apps_with_skips\": %d,\n  \
         \"resume\": {\"checkpoints_written\": %d, \"resumed_trials\": %d, \
         \"decision_identical\": true}\n}\n"
-       geo_prune geo_inc geo_bat checkpoints_written resumed_trials);
+       geo_prune geo_inc geo_bat
+       (String.concat ",\n" (List.map (fun r -> "    " ^ json_sym r) sym_rows))
+       sym_apps_with_skips checkpoints_written resumed_trials);
   let oc = open_out !out_file in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -119,6 +119,18 @@ let machine_file_arg =
 
 let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
 
+let no_symmetry_arg =
+  Arg.(value & flag & info [ "no-symmetry" ] ~doc:"Disable symmetry reduction (on by default): orbit canonicalization of sampled mappings and the engine seen-set that rejects symmetric duplicates of already-evaluated candidates without re-simulating. The AUTOMAP_NO_SYMMETRY environment variable has the same effect. Symmetry changes the search trajectory, so checkpoints only resume under the flag they were written with.")
+
+let no_dominance_arg =
+  Arg.(value & flag & info [ "no-dominance" ] ~doc:"Disable dominance pruning (on by default): processor/memory-kind values the static analysis proves dominated — some surviving value is equal-or-better in every candidate — are dropped from the search domains. The AUTOMAP_NO_DOMINANCE environment variable has the same effect.")
+
+let symmetry_enabled no_symmetry =
+  (not no_symmetry) && Sys.getenv_opt "AUTOMAP_NO_SYMMETRY" = None
+
+let dominance_enabled no_dominance =
+  (not no_dominance) && Sys.getenv_opt "AUTOMAP_NO_DOMINANCE" = None
+
 let apps_cmd =
   let doc = "List the bundled benchmark applications and their inputs." in
   let run () =
@@ -160,7 +172,8 @@ let tune_cmd =
     Arg.(value & flag & info [ "no-incremental" ] ~doc:"Force full re-simulation of every candidate (disable timeline capture and dirty-cone replay). Results are bit-identical either way; this is a debugging/measurement switch. The AUTOMAP_NO_INCREMENTAL environment variable has the same effect.")
   in
   let run app input nodes cluster graph_file machine_file seed algo objective runs
-      final_runs budget output extended db_file no_incremental =
+      final_runs budget output extended db_file no_incremental no_symmetry
+      no_dominance =
     let machine, g, custom =
       resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
     in
@@ -180,8 +193,9 @@ let tune_cmd =
       (not no_incremental) && Sys.getenv_opt "AUTOMAP_NO_INCREMENTAL" = None
     in
     let r =
-      Driver.run ~runs ~final_runs ~seed ?budget ?objective ~extended ~incremental ?db
-        (algo_of algo) machine g
+      Driver.run ~runs ~final_runs ~seed ?budget ?objective ~extended ~incremental
+        ~symmetry:(symmetry_enabled no_symmetry)
+        ~dominance:(dominance_enabled no_dominance) ?db (algo_of algo) machine g
     in
     Option.iter
       (fun f ->
@@ -216,7 +230,7 @@ let tune_cmd =
       const run $ app_arg $ input_arg $ nodes_arg $ cluster_arg $ graph_file_arg
       $ machine_file_arg $ seed_arg $ algo_arg $ objective_arg $ runs_arg
       $ final_runs_arg $ budget_arg $ out_arg $ extended_arg $ db_arg
-      $ no_incremental_arg)
+      $ no_incremental_arg $ no_symmetry_arg $ no_dominance_arg)
 
 (* minimal JSON string escaping for the --events stream *)
 let json_escape s =
@@ -290,7 +304,8 @@ let search_cmd =
   in
   let run app input nodes cluster graph_file machine_file seed algo runs budget
       max_trials max_wall progress events_file checkpoint checkpoint_every resume
-      heft_seed batch batch_min no_surrogate surrogate_skim output =
+      heft_seed batch batch_min no_surrogate surrogate_skim no_symmetry
+      no_dominance output =
     let machine, g, _ =
       resolve_workload ~app ~input ~nodes ~cluster ~graph_file ~machine_file
     in
@@ -323,9 +338,11 @@ let search_cmd =
     let surrogate =
       (not no_surrogate) && Sys.getenv_opt "AUTOMAP_NO_SURROGATE" = None
     in
+    let symmetry = symmetry_enabled no_symmetry in
     let r =
       Driver.run ~runs ~seed ?budget ?max_trials ?max_wall ~heft_seed ~batch
-        ~min_batch:batch_min ~surrogate ?surrogate_skim ~on_event ?checkpoint
+        ~min_batch:batch_min ~surrogate ?surrogate_skim ~symmetry
+        ~dominance:(dominance_enabled no_dominance) ~on_event ?checkpoint
         ~checkpoint_every ?resume_from:resume (algo_of algo) machine g
     in
     Option.iter close_out events_oc;
@@ -335,6 +352,9 @@ let search_cmd =
     if batch then
       Printf.printf "batches: %d evaluated, %d short-circuited past an improvement\n"
         r.Driver.batch_calls r.Driver.batch_short_circuits;
+    if symmetry then
+      Printf.printf "symmetry: %d symmetric duplicates skipped without re-simulation\n"
+        r.Driver.symmetry_skips;
     if progress && batch then
       Printf.eprintf "[batch] %d batches, %d short-circuits\n%!" r.Driver.batch_calls
         r.Driver.batch_short_circuits;
@@ -364,7 +384,8 @@ let search_cmd =
       $ machine_file_arg $ seed_arg $ algo_arg $ runs_arg $ budget_arg
       $ max_trials_arg $ max_wall_arg $ progress_arg $ events_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ heft_seed_arg $ batch_arg
-      $ batch_min_arg $ no_surrogate_arg $ surrogate_skim_arg $ out_arg)
+      $ batch_min_arg $ no_surrogate_arg $ surrogate_skim_arg $ no_symmetry_arg
+      $ no_dominance_arg $ out_arg)
 
 let analyze_cmd =
   let doc =

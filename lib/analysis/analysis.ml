@@ -113,6 +113,202 @@ let mem_domain d ~cid k =
   List.filter (fun m -> mem_feasible d ~cid m) (Kinds.accessible_mem_kinds k)
 
 (* ------------------------------------------------------------------ *)
+(* Dominance                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type dominance = {
+  dm_proc : (Kinds.proc_kind * Kinds.proc_kind) list array;
+      (* tid -> (dominated, dominator) *)
+  dm_mem : (Kinds.proc_kind * Kinds.mem_kind * Kinds.mem_kind) list array;
+      (* cid -> (owner kind, dominated, dominator) *)
+}
+
+(* Value dominance must survive every completion of the partial
+   assignment, which is a much higher bar than "locally faster":
+   Same_memory channels are free (a slower memory co-resident with a
+   producer beats a faster one across a channel), channel classes are
+   asymmetric, capacities are shared across collections, and the DES
+   admits Graham anomalies.  The two rules below are the ones whose
+   certificates close over all of that:
+
+   - memory kinds, per (collection, owner kind): only for
+     communication-free collections (no dependence edge in or out, no
+     overlap), where the placement of the collection affects exactly
+     one cost term — the owner's access-bandwidth time.  M1 dominates
+     M2 when its execution bandwidth is >= under the owner kind, the
+     footprint fits M1 directly, and M1 cannot be crowded: even if
+     every possibly-M1-resident collection lands its worst case (all
+     shards of an undistributed owner in one memory instance) there,
+     capacity still admits it, so swapping M2 -> M1 can never OOM any
+     completion.
+
+   - processor kinds, per task: when every argument is forced to
+     Zero_copy under B, the B->A swap keeps every memory instance
+     bit-identical (Zero_copy is node-level, so closest_memory picks
+     the same instance for either kind), hence identical copies and
+     capacity charges.  A dominates B when additionally A's launch
+     overhead and all-Zero_copy duration are <=, A has at least as many
+     processors per node, and no other task's domain contains A (an
+     exclusive pool: moving this task onto A cannot contend with
+     anything else in any completion). *)
+let compute_dominance (machine : Machine.t) (g : Graph.t) dom =
+  let nt = Graph.n_tasks g and nc = Graph.n_collections g in
+  let touched = Array.make (max nc 1) false in
+  List.iter
+    (fun (e : Graph.edge) ->
+      touched.(e.src) <- true;
+      touched.(e.dst) <- true)
+    g.Graph.edges;
+  List.iter
+    (fun (c1, c2, _) ->
+      touched.(c1) <- true;
+      touched.(c2) <- true)
+    g.Graph.overlaps;
+  (* worst-case standing demand per memory kind over all collections
+     that could reside there under some in-domain owner kind *)
+  let demand = Array.make (List.length Kinds.all_mem_kinds) 0.0 in
+  List.iter
+    (fun (c : Graph.collection) ->
+      let owner = Graph.task g c.owner in
+      List.iter
+        (fun m ->
+          if
+            mem_feasible dom ~cid:c.cid m
+            && List.exists
+                 (fun k -> Kinds.accessible k m)
+                 (proc_domain dom c.owner)
+          then
+            demand.(Kinds.rank_mem m) <-
+              demand.(Kinds.rank_mem m)
+              +. (float_of_int owner.group_size *. c.bytes))
+        Kinds.all_mem_kinds)
+    (Graph.collections g);
+  let dm_mem = Array.make (max nc 1) [] in
+  List.iter
+    (fun (c : Graph.collection) ->
+      if not touched.(c.cid) then
+        List.iter
+          (fun k ->
+            match mem_domain dom ~cid:c.cid k with
+            | [] | [ _ ] -> ()
+            | dom_mems ->
+                (* scan fastest-first; prune a value when an earlier
+                   surviving value dominates it *)
+                let surviving = ref [] in
+                List.iter
+                  (fun m2 ->
+                    let dominator =
+                      List.find_opt
+                        (fun m1 ->
+                          Machine.exec_bandwidth machine k m1
+                          >= Machine.exec_bandwidth machine k m2
+                          && c.bytes <= Machine.mem_kind_capacity machine m1
+                          && demand.(Kinds.rank_mem m1)
+                             <= Machine.mem_kind_capacity machine m1)
+                        (List.rev !surviving)
+                    in
+                    match dominator with
+                    | Some m1 ->
+                        dm_mem.(c.cid) <- (k, m2, m1) :: dm_mem.(c.cid)
+                    | None -> surviving := m2 :: !surviving)
+                  dom_mems)
+          (proc_domain dom c.owner))
+    (Graph.collections g);
+  Array.iteri (fun cid l -> dm_mem.(cid) <- List.rev l) dm_mem;
+  (* how many tasks may use each processor kind in some in-space
+     mapping: the exclusive-pool condition *)
+  let kind_users = Array.make (List.length Kinds.all_proc_kinds) 0 in
+  Array.iter
+    (fun (t : Graph.task) ->
+      List.iter
+        (fun k -> kind_users.(Kinds.rank_proc k) <- kind_users.(Kinds.rank_proc k) + 1)
+        (proc_domain dom t.tid))
+    g.Graph.tasks;
+  let dm_proc = Array.make (max nt 1) [] in
+  Array.iter
+    (fun (t : Graph.task) ->
+      match proc_domain dom t.tid with
+      | [] | [ _ ] -> ()
+      | kinds ->
+          let forced_zc k =
+            List.for_all
+              (fun (c : Graph.collection) ->
+                mem_domain dom ~cid:c.cid k = [ Kinds.Zero_copy ])
+              t.args
+          in
+          let zc_ok k =
+            List.for_all
+              (fun (c : Graph.collection) ->
+                List.memq Kinds.Zero_copy (mem_domain dom ~cid:c.cid k))
+              t.args
+          in
+          let total_bytes =
+            List.fold_left
+              (fun s (c : Graph.collection) -> s +. c.bytes)
+              0.0 t.args
+          in
+          let all_zc_duration k =
+            let eff =
+              match k with
+              | Kinds.Cpu -> t.cpu_efficiency
+              | Kinds.Gpu -> t.gpu_efficiency
+            in
+            Machine.launch_overhead machine k
+            +. Float.max
+                 (t.flops /. (Machine.compute_rate machine k *. eff))
+                 (total_bytes /. Machine.exec_bandwidth machine k Kinds.Zero_copy)
+          in
+          let surviving = ref [] in
+          List.iter
+            (fun b ->
+              let dominator =
+                List.find_opt
+                  (fun a ->
+                    kind_users.(Kinds.rank_proc a) = 1
+                    && forced_zc b && zc_ok a
+                    && Machine.procs_of_kind_per_node machine a
+                       >= Machine.procs_of_kind_per_node machine b
+                    && Machine.launch_overhead machine a
+                       <= Machine.launch_overhead machine b
+                    && all_zc_duration a <= all_zc_duration b)
+                  (List.rev !surviving)
+              in
+              match dominator with
+              | Some a -> dm_proc.(t.tid) <- (b, a) :: dm_proc.(t.tid)
+              | None -> surviving := b :: !surviving)
+            kinds)
+    g.Graph.tasks;
+  Array.iteri (fun tid l -> dm_proc.(tid) <- List.rev l) dm_proc;
+  { dm_proc; dm_mem }
+
+let dominated_procs dmn tid = dmn.dm_proc.(tid)
+
+let dominated_mems dmn ~cid k =
+  List.filter_map
+    (fun (k', m2, m1) -> if Kinds.equal_proc k' k then Some (m2, m1) else None)
+    dmn.dm_mem.(cid)
+
+let proc_surviving dmn tid ks =
+  match dmn.dm_proc.(tid) with
+  | [] -> ks
+  | pruned ->
+      List.filter
+        (fun k -> not (List.exists (fun (b, _) -> Kinds.equal_proc b k) pruned))
+        ks
+
+let mem_surviving dmn ~cid k ms =
+  match dominated_mems dmn ~cid k with
+  | [] -> ms
+  | pruned ->
+      List.filter
+        (fun m -> not (List.exists (fun (b, _) -> Kinds.equal_mem b m) pruned))
+        ms
+
+let n_dominated dmn =
+  Array.fold_left (fun n l -> n + List.length l) 0 dmn.dm_proc
+  + Array.fold_left (fun n l -> n + List.length l) 0 dmn.dm_mem
+
+(* ------------------------------------------------------------------ *)
 (* Co-location groups                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -467,9 +663,49 @@ type t = {
   graph : Graph.t;
   diags : diagnostic list;
   dom : domains;
+  dmn : dominance;
+  sym : Symmetry.t;
+  node_cls : int array array;
   grps : group list list;
   summ : summary;
 }
+
+(* per-task assignment combinations in the paper's space (distribution
+   bit x kinds x argument memories), mirroring Space.log2_size; domain
+   lists fall back to the unpruned ones when empty, exactly as Space
+   does, and [dmn] additionally removes dominated values *)
+let task_combos (machine : Machine.t) (g : Graph.t) dom dmn tid =
+  let t = Graph.task g tid in
+  let procs =
+    let all =
+      List.filter
+        (fun k -> Machine.procs_of_kind_per_node machine k > 0)
+        t.variants
+    in
+    let l = match proc_domain dom tid with [] -> all | l -> l in
+    match dmn with None -> l | Some d -> proc_surviving d tid l
+  in
+  let mems cid k =
+    let l =
+      match mem_domain dom ~cid k with
+      | [] -> Kinds.accessible_mem_kinds k
+      | l -> l
+    in
+    match dmn with None -> l | Some d -> mem_surviving d ~cid k l
+  in
+  let per_kind k =
+    List.fold_left
+      (fun p (c : Graph.collection) ->
+        p *. float_of_int (List.length (mems c.cid k)))
+      1.0 t.args
+  in
+  2.0 *. List.fold_left (fun s k -> s +. per_kind k) 0.0 procs
+
+let space_log2 (machine : Machine.t) (g : Graph.t) dom dmn =
+  Array.fold_left
+    (fun acc (t : Graph.task) ->
+      acc +. Float.log2 (task_combos machine g dom dmn t.tid))
+    0.0 g.Graph.tasks
 
 let analyze ?(rotations = 5) (machine : Machine.t) (g : Graph.t) =
   if rotations < 2 then invalid_arg "Analysis.analyze: rotations must be at least 2";
@@ -499,15 +735,28 @@ let analyze ?(rotations = 5) (machine : Machine.t) (g : Graph.t) =
       (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
       diags
   in
-  { machine; graph = g; diags; dom; grps; summ = make_summary machine g dom }
+  { machine; graph = g; diags; dom;
+    dmn = compute_dominance machine g dom;
+    sym = Symmetry.build g;
+    node_cls = Symmetry.node_classes machine;
+    grps; summ = make_summary machine g dom }
 
 let diagnostics t = t.diags
 let errors t = List.filter (fun d -> d.severity = Error) t.diags
 let warnings t = List.filter (fun d -> d.severity = Warning) t.diags
 let feasible t = errors t = []
 let domains t = t.dom
+let dominance t = t.dmn
+let symmetry t = t.sym
+let node_classes t = t.node_cls
 let groups t = t.grps
 let summary t = t.summ
+
+let log2_space t = space_log2 t.machine t.graph t.dom (Some t.dmn)
+
+let log2_symmetry_reduction t =
+  Symmetry.log2_reduction t.sym
+    ~combos:(task_combos t.machine t.graph t.dom (Some t.dmn))
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
@@ -530,6 +779,34 @@ let report ppf t =
     s.work_seconds;
   Format.fprintf ppf "domains: %d/%d forced task coordinates, %d/%d forced collection coordinates@."
     s.forced_tasks s.n_tasks s.forced_collections s.n_collections;
+  Format.fprintf ppf
+    "symmetry: %d task orbit(s) (%d nontrivial, largest %d), %d node class(es) over %d node(s)@."
+    (Symmetry.n_orbits t.sym) (Symmetry.n_nontrivial t.sym)
+    (Symmetry.largest_orbit t.sym)
+    (Array.length t.node_cls) t.machine.Machine.nodes;
+  Format.fprintf ppf
+    "space: log2 = %.6g bits after domain+dominance pruning, symmetry quotient saves %.6g bits@."
+    (log2_space t) (log2_symmetry_reduction t);
+  Format.fprintf ppf "dominance: %d dominated value(s)@." (n_dominated t.dmn);
+  Array.iteri
+    (fun tid prs ->
+      List.iter
+        (fun (b, a) ->
+          Format.fprintf ppf "  %s: %s dominated by %s@."
+            (task_subject (Graph.task t.graph tid))
+            (Kinds.proc_kind_to_string b) (Kinds.proc_kind_to_string a))
+        prs)
+    t.dmn.dm_proc;
+  Array.iteri
+    (fun cid prs ->
+      List.iter
+        (fun (k, b, a) ->
+          Format.fprintf ppf "  %s under %s: %s dominated by %s@."
+            (col_subject (Graph.collection t.graph cid))
+            (Kinds.proc_kind_to_string k) (Kinds.mem_kind_to_string b)
+            (Kinds.mem_kind_to_string a))
+        prs)
+    t.dmn.dm_mem;
   List.iteri
     (fun i rot ->
       Format.fprintf ppf "colocation rotation %d: %d group(s)%s@." (i + 1)
@@ -619,6 +896,51 @@ let to_json t =
                               g.fitting_kinds)))
                     rot)))
           t.grps));
+  add
+    "  \"symmetry\": {\"task_orbits\": %d, \"nontrivial_orbits\": %d, \"largest_orbit\": %d, \"node_classes\": %d, \"log2_space\": %.6g, \"log2_symmetry_reduction\": %.6g, \"orbits\": [%s]},\n"
+    (Symmetry.n_orbits t.sym) (Symmetry.n_nontrivial t.sym)
+    (Symmetry.largest_orbit t.sym) (Array.length t.node_cls) (log2_space t)
+    (log2_symmetry_reduction t)
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun ms ->
+               Printf.sprintf "[%s]"
+                 (String.concat ", "
+                    (Array.to_list (Array.map string_of_int ms))))
+             (Symmetry.orbits t.sym))));
+  let proc_doms =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun tid prs ->
+              List.map
+                (fun (b, a) ->
+                  Printf.sprintf
+                    "{\"task\": %d, \"dominated\": \"%s\", \"dominator\": \"%s\"}"
+                    tid (Kinds.proc_kind_to_string b)
+                    (Kinds.proc_kind_to_string a))
+                prs)
+            t.dmn.dm_proc))
+  and mem_doms =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun cid prs ->
+              List.map
+                (fun (k, b, a) ->
+                  Printf.sprintf
+                    "{\"collection\": %d, \"kind\": \"%s\", \"dominated\": \"%s\", \"dominator\": \"%s\"}"
+                    cid (Kinds.proc_kind_to_string k)
+                    (Kinds.mem_kind_to_string b) (Kinds.mem_kind_to_string a))
+                prs)
+            t.dmn.dm_mem))
+  in
+  add
+    "  \"dominance\": {\"pruned_values\": %d, \"proc\": [%s], \"mem\": [%s]},\n"
+    (n_dominated t.dmn)
+    (String.concat ", " proc_doms)
+    (String.concat ", " mem_doms);
   add "  \"diagnostics\": [%s]\n"
     (String.concat ", "
        (List.map

@@ -76,6 +76,47 @@ val mem_feasible : domains -> cid:int -> Kinds.mem_kind -> bool
 (** Whether [m] is capacity-feasible for [cid] (ignoring owner-kind
     accessibility). *)
 
+(** {1 Dominance} *)
+
+type dominance
+(** Per-coordinate value dominance beyond capacity pruning: a value is
+    recorded as dominated when replacing it by its dominator in {e any}
+    completion of the partial assignment yields an equal-or-better
+    noise-free cost.  Two conservative certificates are used (see
+    DESIGN.md §14): memory kinds of communication-free collections
+    whose dominator has >= execution bandwidth, fits directly and
+    cannot be crowded past capacity by any co-resident placement; and
+    processor kinds of tasks whose arguments are forced to Zero-copy
+    under the dominated kind, where the swap keeps every memory
+    instance (hence every copy and capacity charge) identical and the
+    dominator has an exclusive processor pool, no more launch overhead,
+    no slower all-Zero-copy duration and at least as many processors
+    per node. *)
+
+val compute_dominance : Machine.t -> Graph.t -> domains -> dominance
+
+val dominated_procs :
+  dominance -> int -> (Kinds.proc_kind * Kinds.proc_kind) list
+(** [(dominated, dominator)] pairs for task [tid]; dominators always
+    survive the pruning themselves. *)
+
+val dominated_mems :
+  dominance -> cid:int -> Kinds.proc_kind -> (Kinds.mem_kind * Kinds.mem_kind) list
+(** [(dominated, dominator)] pairs for collection [cid] under owner
+    kind [k]. *)
+
+val proc_surviving :
+  dominance -> int -> Kinds.proc_kind list -> Kinds.proc_kind list
+(** Filter a processor choice list of task [tid] down to undominated
+    values, order preserved; never empties a list that contains a
+    dominator. *)
+
+val mem_surviving :
+  dominance -> cid:int -> Kinds.proc_kind -> Kinds.mem_kind list -> Kinds.mem_kind list
+
+val n_dominated : dominance -> int
+(** Total dominated values over both coordinate families. *)
+
 (** {1 Co-location groups} *)
 
 type group = {
@@ -128,6 +169,22 @@ val feasible : t -> bool
 (** No error-level diagnostic: some mapping may validate and place. *)
 
 val domains : t -> domains
+val dominance : t -> dominance
+val symmetry : t -> Symmetry.t
+(** Task orbits of the graph (see {!Symmetry}). *)
+
+val node_classes : t -> int array array
+(** Machine-node equivalence classes by kind-signature
+    ({!Symmetry.node_classes} of the analyzed machine). *)
+
+val log2_space : t -> float
+(** log₂ of the search-space size after domain and dominance pruning
+    (paper space: distribution bit × kinds × argument memories). *)
+
+val log2_symmetry_reduction : t -> float
+(** Bits saved by quotienting the space by the task orbits
+    ({!Symmetry.log2_reduction} with this analysis' pruned domains). *)
+
 val groups : t -> group list list
 (** Constraint groups per rotation (head = rotation 1 = full C); only
     groups of >= 2 members are listed.  The final rotation's list is

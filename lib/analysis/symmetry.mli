@@ -1,0 +1,81 @@
+(** Symmetry (orbit) analysis of a task graph and a machine (§4.2 of
+    the paper, extended): equivalence classes of coordinates whose
+    values can be exchanged without changing any noise-free cost.
+
+    Two tasks are in the same {e orbit} when the transposition that
+    exchanges them (and their collection arguments, positionally) is an
+    automorphism of the graph: same group size, variants, flops,
+    efficiencies, per-argument footprints and modes, and the same
+    dependence/overlap structure up to the relabelling.  Orbits are
+    computed in two stages:
+
+    + {b 1-WL colour refinement}: tasks start with a colour derived
+      from every statically observable attribute and are iteratively
+      split by the multiset of (argument position, neighbour colour,
+      bytes, pattern, carried) signatures of their incident dependence
+      and overlap edges, to a fixed point.  Refinement over-approximates
+      the orbit partition (equal colour is necessary, not sufficient).
+    + {b verified transpositions}: within each colour class, candidate
+      pairs are checked exactly — the pair swap (with positional
+      argument alignment) must leave the edge and overlap multisets
+      invariant.  Verified pairs are merged with union-find.  Because
+      a set of transpositions whose swap-graph is connected generates
+      the full symmetric group on the component, every permutation
+      within a reported orbit is a graph automorphism.
+
+    Exchanging the full mapping blocks (distribute, strategy, processor
+    kind, per-argument memory kinds) of two orbit members therefore
+    yields a mapping with the same noise-free static cost:
+    {!Placement} assigns shards per task round-robin from a local
+    counter, so same-group-size tasks with exchanged blocks land on
+    exactly each other's processors and memories.  The simulated
+    makespan agrees up to dispatch-serialization tie order (see
+    DESIGN.md §14); the exact certificate tested is
+    [Exec.static_lower_bound] equality.
+
+    The machine side is reported for completeness: node equivalence
+    classes by kind-signature (processor-kind multiset and
+    (memory kind, capacity) multiset; channel structure is per-kind and
+    thus determined by the signature).  Presets build nodes
+    replicated, so all nodes of a preset machine form one class. *)
+
+type t
+
+val build : Graph.t -> t
+(** Compute the task orbits of a graph.  Cost is a few refinement
+    sweeps over the edge lists plus an exact check per candidate pair;
+    negligible next to one simulation. *)
+
+val n_tasks : t -> int
+
+val orbits : t -> int array array
+(** All orbits, each member list ascending by tid, orbits ordered by
+    their smallest member.  Every task appears in exactly one orbit;
+    singleton orbits are included. *)
+
+val orbit_of : t -> int -> int
+(** Index into {!orbits} of the orbit containing task [tid]. *)
+
+val same_orbit : t -> int -> int -> bool
+
+val n_orbits : t -> int
+val n_nontrivial : t -> int
+(** Orbits with at least two members. *)
+
+val largest_orbit : t -> int
+(** Size of the largest orbit (0 on an empty graph). *)
+
+val node_classes : Machine.t -> int array array
+(** Machine-node equivalence classes by kind-signature: two nodes are
+    equivalent when they host the same multiset of processor kinds and
+    the same multiset of (memory kind, capacity) pairs.  Channel
+    bandwidth/latency is a function of the endpoint kinds, so the
+    incident-channel multiset is implied.  Classes ordered by their
+    smallest node id, members ascending. *)
+
+val log2_reduction : t -> combos:(int -> float) -> float
+(** Bits of search space removed by quotienting each orbit: with [k]
+    members each having [combos tid] per-task assignment choices [c]
+    (identical across an orbit), ordered assignments collapse to
+    multisets, saving [k*log2 c - log2 (C (c+k-1) k)] bits per orbit.
+    [combos] is queried on each orbit's representative (smallest tid). *)

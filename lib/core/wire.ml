@@ -344,6 +344,8 @@ let cfg_fields (c : Slice.cfg) =
         Num (float_of_int v))
   @ if_ne "surrogate" c.Slice.surrogate d.Slice.surrogate (fun v -> Bool v)
   @ opt_field "surrogate_skim" (fun v -> Num (float_of_int v)) c.Slice.surrogate_skim
+  @ if_ne "symmetry" c.Slice.symmetry d.Slice.symmetry (fun v -> Bool v)
+  @ if_ne "dominance" c.Slice.dominance d.Slice.dominance (fun v -> Bool v)
   @ if_ne "heft_seed" c.Slice.heft_seed d.Slice.heft_seed (fun v -> Bool v)
   @ if_ne "final_top" c.Slice.final_top d.Slice.final_top (fun v ->
         Num (float_of_int v))
@@ -385,6 +387,8 @@ let cfg_of_fields fields =
       min_batch = int_def fields "min_batch" d.Slice.min_batch;
       surrogate = bool_def fields "surrogate" d.Slice.surrogate;
       surrogate_skim = int_opt fields "surrogate_skim";
+      symmetry = bool_def fields "symmetry" d.Slice.symmetry;
+      dominance = bool_def fields "dominance" d.Slice.dominance;
       heft_seed = bool_def fields "heft_seed" d.Slice.heft_seed;
       final_top = int_def fields "final_top" d.Slice.final_top;
       final_runs = int_def fields "final_runs" d.Slice.final_runs;

@@ -1,14 +1,31 @@
 type dim = Distribution of int | Strategy of int | Processor of int | Memory of int
 
-type t = { g : Graph.t; m : Machine.t; ext : bool; dom : Analysis.domains option }
+type t = {
+  g : Graph.t;
+  m : Machine.t;
+  ext : bool;
+  dom : Analysis.domains option;
+  dmn : Analysis.dominance option;
+  sym : Symmetry.t option;
+}
 
-let make ?(extended = false) ?(domains = true) g m =
-  { g; m; ext = extended; dom = (if domains then Some (Analysis.compute_domains m g) else None) }
+let make ?(extended = false) ?(domains = true) ?(dominance = false)
+    ?(symmetry = false) g m =
+  let dom = if domains then Some (Analysis.compute_domains m g) else None in
+  let dmn =
+    match dom with
+    | Some d when dominance -> Some (Analysis.compute_dominance m g d)
+    | _ -> None
+  in
+  let sym = if symmetry then Some (Symmetry.build g) else None in
+  { g; m; ext = extended; dom; dmn; sym }
 
 let graph t = t.g
 let machine t = t.m
 let extended t = t.ext
 let pruned t = t.dom <> None
+let dominance t = t.dmn <> None
+let symmetry t = t.sym <> None
 
 let dims t =
   let task_dims =
@@ -32,24 +49,36 @@ let proc_choices_all t tid =
 (* Domain-pruned choice lists fall back to the unpruned ones when a
    domain is empty: on a certifiably infeasible input the search still
    needs non-empty lists to enumerate (every candidate then earns its
-   penalty from the evaluator, exactly as before domains existed). *)
+   penalty from the evaluator, exactly as before domains existed).
+   Dominance pruning applies on top and never empties a list: the
+   dominator of every pruned value survives by construction. *)
 let proc_choices t tid =
-  match t.dom with
-  | None -> proc_choices_all t tid
-  | Some d -> (
-      match Analysis.proc_domain d tid with
-      | [] -> proc_choices_all t tid
-      | l -> l)
+  let base =
+    match t.dom with
+    | None -> proc_choices_all t tid
+    | Some d -> (
+        match Analysis.proc_domain d tid with
+        | [] -> proc_choices_all t tid
+        | l -> l)
+  in
+  match t.dmn with
+  | None -> base
+  | Some d -> Analysis.proc_surviving d tid base
 
 let mem_choices _t k = Kinds.accessible_mem_kinds k
 
 let mem_choices_for t ~cid k =
-  match t.dom with
-  | None -> Kinds.accessible_mem_kinds k
-  | Some d -> (
-      match Analysis.mem_domain d ~cid k with
-      | [] -> Kinds.accessible_mem_kinds k
-      | l -> l)
+  let base =
+    match t.dom with
+    | None -> Kinds.accessible_mem_kinds k
+    | Some d -> (
+        match Analysis.mem_domain d ~cid k with
+        | [] -> Kinds.accessible_mem_kinds k
+        | l -> l)
+  in
+  match t.dmn with
+  | None -> base
+  | Some d -> Analysis.mem_surviving d ~cid k base
 
 let distribution_choices t =
   (true, Mapping.Blocked) :: (false, Mapping.Blocked)
@@ -74,6 +103,79 @@ let log2_size t =
       acc +. log2 (dist *. combos))
     0.0 t.g.tasks
 
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Relabel within task orbits to the lexicographic representative: the
+   multiset of per-task blocks (distribution, strategy, processor kind,
+   argument memory kinds in argument order) of each orbit is reassigned
+   to its members in ascending tid order, blocks sorted.  Placement
+   assigns shards per task from a task-local round-robin counter, so
+   orbit members (same group size by construction) with exchanged
+   blocks land on exactly each other's processors and memories — the
+   noise-free static cost is unchanged (see Symmetry and DESIGN.md
+   §14). *)
+let canonicalize t m =
+  match t.sym with
+  | None -> m
+  | Some sym ->
+      let nt = Graph.n_tasks t.g in
+      let dist = Array.init nt (Mapping.distribute_of m) in
+      let strat = Array.init nt (Mapping.strategy_of m) in
+      let proc = Array.init nt (Mapping.proc_of m) in
+      let mem =
+        Array.map (fun (c : Graph.collection) -> Mapping.mem_of m c.cid)
+          t.g.Graph.cols
+      in
+      let changed = ref false in
+      Array.iter
+        (fun members ->
+          if Array.length members >= 2 then begin
+            let block tid =
+              let task = Graph.task t.g tid in
+              (if dist.(tid) then 0 else 1)
+              :: (match strat.(tid) with Mapping.Blocked -> 0 | Mapping.Cyclic -> 1)
+              :: Kinds.rank_proc proc.(tid)
+              :: List.map
+                   (fun (c : Graph.collection) -> Kinds.rank_mem mem.(c.cid))
+                   task.args
+            in
+            let blocks = Array.map block members in
+            let sorted = Array.copy blocks in
+            Array.sort compare sorted;
+            if sorted <> blocks then begin
+              changed := true;
+              Array.iteri
+                (fun i tid ->
+                  match sorted.(i) with
+                  | d :: s :: p :: ms ->
+                      dist.(tid) <- d = 0;
+                      strat.(tid) <-
+                        (if s = 0 then Mapping.Blocked else Mapping.Cyclic);
+                      proc.(tid) <-
+                        (if p = 0 then Kinds.Cpu else Kinds.Gpu);
+                      List.iteri
+                        (fun j (c : Graph.collection) ->
+                          mem.(c.cid) <-
+                            (match List.nth ms j with
+                            | 0 -> Kinds.System
+                            | 1 -> Kinds.Zero_copy
+                            | _ -> Kinds.Frame_buffer))
+                        (Graph.task t.g tid).args
+                  | _ -> assert false)
+                members
+            end
+          end)
+        (Symmetry.orbits sym);
+      if not !changed then m
+      else
+        Mapping.make t.g
+          ~strategy:(fun (task : Graph.task) -> strat.(task.tid))
+          ~distribute:(fun (task : Graph.task) -> dist.(task.tid))
+          ~proc:(fun (task : Graph.task) -> proc.(task.tid))
+          ~mem:(fun (c : Graph.collection) -> mem.(c.cid))
+
 let random_strategy t rng =
   if t.ext && Rng.bool rng then Mapping.Cyclic else Mapping.Blocked
 
@@ -83,11 +185,14 @@ let random_mapping t rng =
     (fun (task : Graph.task) ->
       proc_for.(task.tid) <- Rng.choose_list rng (proc_choices t task.tid))
     t.g.tasks;
-  Mapping.make t.g
-    ~strategy:(fun _ -> random_strategy t rng)
-    ~distribute:(fun _ -> Rng.bool rng)
-    ~proc:(fun task -> proc_for.(task.tid))
-    ~mem:(fun c -> Rng.choose_list rng (mem_choices_for t ~cid:c.cid proc_for.(c.owner)))
+  let m =
+    Mapping.make t.g
+      ~strategy:(fun _ -> random_strategy t rng)
+      ~distribute:(fun _ -> Rng.bool rng)
+      ~proc:(fun task -> proc_for.(task.tid))
+      ~mem:(fun c -> Rng.choose_list rng (mem_choices_for t ~cid:c.cid proc_for.(c.owner)))
+  in
+  canonicalize t m
 
 let random_unconstrained t rng =
   Mapping.make t.g

@@ -18,7 +18,9 @@ type dim =
 
 type t
 
-val make : ?extended:bool -> ?domains:bool -> Graph.t -> Machine.t -> t
+val make :
+  ?extended:bool -> ?domains:bool -> ?dominance:bool -> ?symmetry:bool ->
+  Graph.t -> Machine.t -> t
 (** [extended] (default false) additionally opens the group-task
     distribution-strategy dimension (blocked vs. cyclic across nodes)
     that the paper fixes to blocked and names as future work (§3.2).
@@ -28,12 +30,28 @@ val make : ?extended:bool -> ?domains:bool -> Graph.t -> Machine.t -> t
     the analyzer proves can never validate + place strictly are not
     sampled or enumerated.  Pruned lists fall back to the unpruned
     ones when a domain is empty, so choice lists are always non-empty
-    on any machine/graph the unpruned space accepted. *)
+    on any machine/graph the unpruned space accepted.
+
+    [dominance] (default false; requires [domains]) further removes
+    values {!Analysis.compute_dominance} certifies are dominated —
+    replacing them by their surviving dominator in any candidate never
+    worsens the noise-free cost.  Order-preserving, never empties a
+    list.
+
+    [symmetry] (default false) activates {!canonicalize}: random
+    samples are canonicalized, and callers (the engine's seen-set) can
+    canonicalize candidates to detect symmetric duplicates. *)
 
 val extended : t -> bool
 
 val pruned : t -> bool
 (** Whether coordinate domains are active. *)
+
+val dominance : t -> bool
+(** Whether dominance pruning is active. *)
+
+val symmetry : t -> bool
+(** Whether orbit canonicalization is active. *)
 
 val graph : t -> Graph.t
 val machine : t -> Machine.t
@@ -75,11 +93,23 @@ val log2_size : t -> float
     the per-kind choice — the memory domains of its arguments (the
     estimate of §3.2). *)
 
+val canonicalize : t -> Mapping.t -> Mapping.t
+(** Orbit-canonical representative of a mapping: within every task
+    orbit ({!Symmetry}), the members' blocks (distribution, strategy,
+    processor kind, argument memory kinds) are sorted lexicographically
+    and reassigned to the members in ascending tid order.  Idempotent;
+    invariant under within-orbit relabelings; the result has the same
+    noise-free static cost ([Exec.static_lower_bound]) because shard
+    placement is per-task round-robin.  The identity when [symmetry]
+    was not requested at {!make}; returns the input physically
+    unchanged when it is already canonical. *)
+
 val random_mapping : t -> Rng.t -> Mapping.t
 (** Uniform sample of a *valid* mapping: pick a processor kind from the
     task's domain, then each argument's memory uniformly among the
     kinds that processor can address.  Used by the ensemble tuner's
-    seeding and by property tests. *)
+    seeding and by property tests.  Canonicalized when [symmetry] is
+    active. *)
 
 val random_unconstrained : t -> Rng.t -> Mapping.t
 (** Uniform sample ignoring accessibility — processor and memory kinds

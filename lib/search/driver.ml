@@ -57,6 +57,7 @@ type result = {
   checkpoints_written : int;
   batch_calls : int;
   batch_short_circuits : int;
+  symmetry_skips : int;
   surrogate_trained : int;
   surrogate_reranks : int;
   surrogate_skips : int;
@@ -124,6 +125,7 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
     ?(seed = 0) ?budget ?max_trials ?max_wall ?start ?(heft_seed = false)
     ?objective ?extended ?incremental ?domain_prune ?(batch = false)
     ?(min_batch = Descent.default_min_batch) ?(surrogate = true) ?surrogate_skim
+    ?(symmetry = true) ?(dominance = true)
     ?db ?on_event ?checkpoint ?(checkpoint_every = 25) ?resume_from algo machine
     graph =
   let fail fmt = Printf.ksprintf failwith fmt in
@@ -149,7 +151,16 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
   in
   let ev =
     Evaluator.create ?runs ?noise_sigma ?iterations ~seed ?objective ?extended
-      ?incremental ?domain_prune ?db machine graph
+      ?incremental ?domain_prune ~symmetry ~dominance ?db machine graph
+  in
+  (* The seen-set memoizes evaluated orbits so symmetric duplicates are
+     skipped; keyed by the space's canonicalizer, it exists exactly when
+     the evaluator's space canonicalizes (symmetry is part of the
+     fingerprint, so resume cannot silently flip it). *)
+  let seen =
+    if Space.symmetry (Evaluator.space ev) then
+      Some (Engine.seen_create (Space.canonicalize (Evaluator.space ev)))
+    else None
   in
   let checkpoint =
     Option.map (fun path -> { Engine.every = checkpoint_every; path }) checkpoint
@@ -183,7 +194,8 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
           let max_virtual = if algo = Portfolio then None else budget in
           Budget.make ?max_trials ?max_virtual ?max_wall ()
         in
-        Engine.run ~budget ?on_event ?checkpoint ?surrogate:sg ~start ev strat
+        Engine.run ~budget ?on_event ?checkpoint ?surrogate:sg ?seen ~start ev
+          strat
     | Some (path, s) ->
         if Evaluator.fingerprint ev <> s.Engine.s_fingerprint then
           fail
@@ -208,6 +220,18 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
           end
         in
         Option.iter (Evaluator.attach_surrogate ev) sg;
+        (* the fingerprint check above guarantees the snapshot was
+           written with the same symmetry flag, so [seen] exists exactly
+           when the snapshot has entries to restore *)
+        (match seen with
+        | Some sn -> (
+            match Engine.seen_restore sn s.Engine.s_symmetry with
+            | Ok () -> ()
+            | Error e -> fail "%s: symmetry section: %s" path e)
+        | None ->
+            if s.Engine.s_symmetry <> [] then
+              fail "%s: checkpoint has a symmetry section but symmetry is off"
+                path);
         let rank_sg = if batch then sg else None in
         let strat =
           match
@@ -234,8 +258,8 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
           let max_virtual = if s.Engine.s_algo = "portfolio" then None else budget in
           Budget.make ?max_trials ?max_virtual ?max_wall ()
         in
-        Engine.run ~budget ?on_event ?checkpoint ~carry ?surrogate:sg ~start:best_m
-          ev strat
+        Engine.run ~budget ?on_event ?checkpoint ~carry ?surrogate:sg ?seen
+          ~start:best_m ev strat
   in
   let search_best, search_perf = (o.Engine.best, o.Engine.perf) in
   let best, best_runs =
@@ -262,6 +286,7 @@ let run ?runs ?(final_top = 5) ?(final_runs = 30) ?noise_sigma ?iterations
     checkpoints_written = o.Engine.checkpoints_written;
     batch_calls = Evaluator.batch_calls ev;
     batch_short_circuits = Evaluator.batch_short_circuits ev;
+    symmetry_skips = st.Evaluator.s_symmetry_skips;
     surrogate_trained = st.Evaluator.s_surrogate_trained;
     surrogate_reranks = st.Evaluator.s_surrogate_reranks;
     surrogate_skips = st.Evaluator.s_surrogate_skips;

@@ -46,6 +46,7 @@ type result = {
   checkpoints_written : int;
   batch_calls : int;           (** {!Evaluator.batch_calls} *)
   batch_short_circuits : int;  (** {!Evaluator.batch_short_circuits} *)
+  symmetry_skips : int;        (** symmetric duplicates never re-evaluated *)
   surrogate_trained : int;     (** SGD observations absorbed (0 without model) *)
   surrogate_reranks : int;     (** batches reordered by the model *)
   surrogate_skips : int;       (** candidates never simulated (skim mode) *)
@@ -116,6 +117,8 @@ val run :
   ?min_batch:int ->
   ?surrogate:bool ->
   ?surrogate_skim:int ->
+  ?symmetry:bool ->
+  ?dominance:bool ->
   ?db:Profiles_db.t ->
   ?on_event:(Engine.event -> unit) ->
   ?checkpoint:string ->
@@ -154,6 +157,17 @@ val run :
     bench gate rather than an identity proof.  Resume note: the
     checkpoint decides — a snapshot with a surrogate section restores
     it (skim config must match), one without runs surrogate-free.
+
+    [symmetry] (default true) quotients the search by the task-orbit
+    symmetries {!Symmetry} certifies: random samples are canonicalized
+    and an engine seen-set rejects symmetric duplicates of evaluated
+    orbits without re-simulating ([symmetry_skips] counts them;
+    checkpoints carry the seen-set so resume stays
+    decision-identical).  [dominance] (default true; requires
+    [domain_prune]) drops values {!Analysis.compute_dominance} proves
+    dominated from the choice lists.  Both change the search
+    trajectory, so they are part of the evaluator fingerprint — a
+    checkpoint resumes only under the same flags.
 
     [heft_seed] starts the search from {!Heft.mapping} instead of
     {!Mapping.default_start} (ignored when [start] is given).

@@ -55,11 +55,73 @@ type snapshot = {
   s_evaluator : string list;
   s_profiles : string;
   s_surrogate : string list;  (* empty: no surrogate ran (or pre-section envelope) *)
+  s_symmetry : string list;   (* empty: no seen-set ran (or pre-section envelope) *)
 }
 
 let magic = "automap-checkpoint 1"
 
-let checkpoint_string ?surrogate ev strat ~trials ~steps ~wall ~best =
+(* ---- canonical seen-set -------------------------------------------------
+   One entry per orbit-canonical mapping key.  An entry [(v, be)] means
+   the canonical representative was evaluated under bound [be]
+   (infinity when unbounded):
+
+   - [v < be]: the evaluation completed, [v] is the exact value;
+   - [v >= be]: the evaluation was cut, [v] only certifies "no better
+     than [be]".
+
+   A candidate proposed under bound [b] is answered from the memo only
+   when the entry certifies rejection — exact with [v >= b], or cut
+   with [b <= be].  A twin whose memoized value could win (or whose
+   cut certificate is too weak for the current bound) evaluates
+   normally, so skips never substitute a twin's value for an
+   acceptance: twins share the noise-free static cost bit-for-bit, but
+   the simulated makespan can differ by dispatch tie order, and the
+   engine's best must only ever point at truly evaluated mappings. *)
+
+type seen = {
+  canon : Mapping.t -> Mapping.t;
+  tbl : (string, float * float) Hashtbl.t;
+}
+
+let seen_create canon = { canon; tbl = Hashtbl.create 256 }
+let seen_size sn = Hashtbl.length sn.tbl
+let seen_key sn m = Mapping.canonical_key (sn.canon m)
+
+let seen_record sn key v be =
+  match Hashtbl.find_opt sn.tbl key with
+  | Some (v0, be0) when v0 < be0 -> ()            (* exact entry: keep *)
+  | Some (_, be0) when v >= be && be <= be0 -> () (* no stronger a cut *)
+  | _ -> Hashtbl.replace sn.tbl key (v, be)
+
+let seen_skippable sn key b =
+  match Hashtbl.find_opt sn.tbl key with
+  | Some (v, be) when (if v < be then v >= b else b <= be) -> Some v
+  | _ -> None
+
+let seen_save sn =
+  Hashtbl.fold
+    (fun k (v, be) acc -> Printf.sprintf "%s %h %h" k v be :: acc)
+    sn.tbl []
+  |> List.sort compare
+
+let seen_restore sn lines =
+  let err = Error "Engine.seen_restore: bad seen line" in
+  List.fold_left
+    (fun acc l ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+          match String.split_on_char ' ' l |> List.filter (( <> ) "") with
+          | [ k; v; be ] -> (
+              match (float_of_string_opt v, float_of_string_opt be) with
+              | Some v, Some be ->
+                  Hashtbl.replace sn.tbl k (v, be);
+                  Ok ()
+              | _ -> err)
+          | _ -> err))
+    (Ok ()) lines
+
+let checkpoint_string ?surrogate ?seen ev strat ~trials ~steps ~wall ~best =
   let bm, bp = best in
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
@@ -77,12 +139,15 @@ let checkpoint_string ?surrogate ev strat ~trials ~steps ~wall ~best =
   section "profiles"
     (String.split_on_char '\n' (Profiles_db.save (Evaluator.db ev))
     |> List.filter (( <> ) ""));
-  (* optional trailing section: absent when no surrogate ran, so
-     surrogate-free checkpoints stay byte-compatible with readers and
-     writers that predate the model *)
+  (* optional trailing sections: absent when no surrogate/seen-set ran,
+     so plain checkpoints stay byte-compatible with readers and writers
+     that predate them *)
   (match surrogate with
   | None -> ()
   | Some sg -> section "surrogate" (Surrogate.save sg));
+  (match seen with
+  | None -> ()
+  | Some sn -> section "symmetry" (seen_save sn));
   line "end";
   Buffer.contents buf
 
@@ -146,11 +211,15 @@ let snapshot_of_string s =
       let* s_strategy, rest = take_section "strategy" rest in
       let* s_evaluator, rest = take_section "evaluator" rest in
       let* s_profiles_lines, rest = take_section "profiles" rest in
-      let* s_surrogate, rest =
+      (* optional sections, recognized by their header word *)
+      let take_optional tag rest =
         match rest with
-        | [ "end" ] -> Ok ([], rest)
-        | _ -> take_section "surrogate" rest
+        | l :: _ when (match words l with [ w; _ ] -> w = tag | _ -> false) ->
+            take_section tag rest
+        | _ -> Ok ([], rest)
       in
+      let* s_surrogate, rest = take_optional "surrogate" rest in
+      let* s_symmetry, rest = take_optional "symmetry" rest in
       match rest with
       | [ "end" ] ->
           Ok
@@ -166,6 +235,7 @@ let snapshot_of_string s =
               s_evaluator;
               s_profiles = String.concat "\n" s_profiles_lines;
               s_surrogate;
+              s_symmetry;
             }
       | _ -> fail "missing end marker")
   | _ -> fail "bad magic"
@@ -192,7 +262,7 @@ let load_snapshot path =
 (* ---- the one trial loop ------------------------------------------------- *)
 
 let run ?(budget = Budget.unlimited) ?(on_event = fun _ -> ()) ?checkpoint ?carry
-    ?surrogate ~start ev strat =
+    ?surrogate ?seen ~start ev strat =
   (match checkpoint with
   | Some { every; _ } when every <= 0 ->
       invalid_arg "Engine.run: checkpoint interval must be positive"
@@ -218,11 +288,17 @@ let run ?(budget = Budget.unlimited) ?(on_event = fun _ -> ()) ?checkpoint ?carr
   let checkpoints = ref 0 in
   let wall0 = ref 0.0 in
   let best = ref (start, infinity) in
+  let record_seen key v be =
+    match (seen, key) with
+    | Some sn, Some k -> seen_record sn k v be
+    | _ -> ()
+  in
   (match carry with
   | None ->
       (* the start point is trial 1: evaluated unbounded and pinned as
          the first incumbent, exactly as every legacy loop opened *)
       let p0 = Evaluator.evaluate ev start in
+      record_seen (Option.map (fun sn -> seen_key sn start) seen) p0 infinity;
       Evaluator.note_incumbent ev start;
       strat.init (start, p0);
       best := (start, p0);
@@ -242,8 +318,8 @@ let run ?(budget = Budget.unlimited) ?(on_event = fun _ -> ()) ?checkpoint ?carr
     match checkpoint with
     | Some { every; path } when !trials mod every = 0 ->
         write_file path
-          (checkpoint_string ?surrogate ev strat ~trials:!trials ~steps:!steps
-             ~wall:(wall ()) ~best:!best);
+          (checkpoint_string ?surrogate ?seen ev strat ~trials:!trials
+             ~steps:!steps ~wall:(wall ()) ~best:!best);
         incr checkpoints;
         on_event (Checkpointed { trial = !trials; path })
     | _ -> ()
@@ -258,71 +334,153 @@ let run ?(budget = Budget.unlimited) ?(on_event = fun _ -> ()) ?checkpoint ?carr
     match strat.step { trials = !trials; vt = Evaluator.virtual_time ev; best = !best } with
     | Stop -> stop := true
     | Phase name -> on_event (Phase_change { name })
-    | Propose (candidate, hint) ->
-        if hint.overhead > 0.0 then Evaluator.note_suggestion_overhead ev hint.overhead;
-        let perf = Evaluator.evaluate ?bound:hint.bound ev candidate in
-        incr trials;
-        let accepted = strat.receive candidate perf in
-        if accepted then Evaluator.note_incumbent ev candidate;
-        let vt = Evaluator.virtual_time ev in
-        let improved = perf < snd !best in
-        if improved then best := (candidate, perf);
-        on_event (Eval { trial = !trials; mapping = candidate; perf; vt; accepted });
-        if improved then on_event (Improve { trial = !trials; mapping = candidate; perf; vt });
-        maybe_checkpoint ()
-    | Propose_batch (cands, hint) ->
-        (* Never evaluate past the trial cap: the sequential loop would
-           have stopped there, and extra evaluations would leak into the
-           db/partials/clocks and change later decisions. *)
-        let cands =
-          match budget.Budget.max_trials with
-          | Some cap when Array.length cands > cap - !trials ->
-              Array.sub cands 0 (max 0 (cap - !trials))
-          | _ -> cands
+    | Propose (candidate, hint) -> (
+        let key = Option.map (fun sn -> seen_key sn candidate) seen in
+        let memo =
+          match (seen, key, hint.bound) with
+          | Some sn, Some k, Some b -> seen_skippable sn k b
+          | _ -> None
         in
-        if Array.length cands > 0 then begin
-          let before = !trials in
-          let outcomes =
-            Evaluator.evaluate_batch ?bound:hint.bound ~overhead:hint.overhead ev
-              cands
-          in
-          (* Deliver verdicts in original order, stopping at the first
-             acceptance (the contract: the strategy accepts exactly
-             when perf < hint bound, so everything past it was skipped
-             or rolled back by the evaluator) — the trial counter,
-             receive sequence and incumbent pinning match the
-             sequential loop exactly. *)
-          (try
-             for i = 0 to Array.length cands - 1 do
-               match outcomes.(i) with
-               | Evaluator.Skipped -> raise Exit
-               | Evaluator.Evaluated perf ->
-                   let candidate = cands.(i) in
-                   incr trials;
-                   let accepted = strat.receive candidate perf in
-                   if accepted then Evaluator.note_incumbent ev candidate;
-                   let vt = Evaluator.virtual_time ev in
-                   let improved = perf < snd !best in
-                   if improved then best := (candidate, perf);
-                   on_event
-                     (Eval { trial = !trials; mapping = candidate; perf; vt; accepted });
-                   if improved then
-                     on_event (Improve { trial = !trials; mapping = candidate; perf; vt });
-                   if accepted then raise Exit
-             done
-           with Exit -> ());
-          (* at most one checkpoint per batch, at the first interval
-             boundary the batch crossed — mid-batch writes would pair a
-             mid-batch trial count with post-batch evaluator state *)
+        match memo with
+        | Some v ->
+            (* a symmetric twin's recorded value certifies rejection at
+               this bound: answer from the memo — no evaluation, no
+               trial, no event, no clock charge.  [receive] is expected
+               to reject (v >= bound); a strategy that still accepts
+               (e.g. a Metropolis draw) gets its incumbent pinned, but
+               the engine's best never moves on a memoized value. *)
+            Evaluator.note_symmetry_skip ev;
+            if strat.receive candidate v then Evaluator.note_incumbent ev candidate
+        | None ->
+            if hint.overhead > 0.0 then Evaluator.note_suggestion_overhead ev hint.overhead;
+            let perf = Evaluator.evaluate ?bound:hint.bound ev candidate in
+            record_seen key perf
+              (match hint.bound with Some b -> b | None -> infinity);
+            incr trials;
+            let accepted = strat.receive candidate perf in
+            if accepted then Evaluator.note_incumbent ev candidate;
+            let vt = Evaluator.virtual_time ev in
+            let improved = perf < snd !best in
+            if improved then best := (candidate, perf);
+            on_event (Eval { trial = !trials; mapping = candidate; perf; vt; accepted });
+            if improved then on_event (Improve { trial = !trials; mapping = candidate; perf; vt });
+            maybe_checkpoint ())
+    | Propose_batch (cands, hint) -> (
+        let before = !trials in
+        (* Verdict delivery in original order — the trial counter,
+           receive sequence, incumbent pinning and events match the
+           sequential loop exactly; returns whether the strategy
+           accepted (the batch contract: it accepts exactly when
+           perf < hint bound, so everything past an acceptance was
+           skipped or rolled back by the evaluator). *)
+        let deliver candidate perf =
+          incr trials;
+          let accepted = strat.receive candidate perf in
+          if accepted then Evaluator.note_incumbent ev candidate;
+          let vt = Evaluator.virtual_time ev in
+          let improved = perf < snd !best in
+          if improved then best := (candidate, perf);
+          on_event (Eval { trial = !trials; mapping = candidate; perf; vt; accepted });
+          if improved then
+            on_event (Improve { trial = !trials; mapping = candidate; perf; vt });
+          accepted
+        in
+        (* at most one checkpoint per batch, at the first interval
+           boundary the batch crossed — mid-batch writes would pair a
+           mid-batch trial count with post-batch evaluator state *)
+        let batch_checkpoint () =
           match checkpoint with
           | Some { every; path } when !trials / every > before / every ->
               write_file path
-                (checkpoint_string ?surrogate ev strat ~trials:!trials ~steps:!steps
-                   ~wall:(wall ()) ~best:!best);
+                (checkpoint_string ?surrogate ?seen ev strat ~trials:!trials
+                   ~steps:!steps ~wall:(wall ()) ~best:!best);
               incr checkpoints;
               on_event (Checkpointed { trial = !trials; path })
           | _ -> ()
-        end
+        in
+        match (seen, hint.bound) with
+        | Some sn, Some b ->
+            (* Memo-interleaved delivery: skippable candidates are
+               answered inline from the seen-set (no trial, no clock
+               charge), maximal runs of the rest are batch-evaluated.
+               Stops at the first acceptance, and never evaluates past
+               the trial cap: the sequential loop would have stopped
+               there, and extra evaluations would leak into the
+               db/partials/clocks and change later decisions. *)
+            let n = Array.length cands in
+            let keys = Array.map (fun c -> seen_key sn c) cands in
+            let cap_left () =
+              match budget.Budget.max_trials with
+              | Some cap -> cap - !trials
+              | None -> max_int
+            in
+            let stop_batch = ref false in
+            let i = ref 0 in
+            while (not !stop_batch) && !i < n && cap_left () > 0 do
+              match seen_skippable sn keys.(!i) b with
+              | Some v ->
+                  Evaluator.note_symmetry_skip ev;
+                  if strat.receive cands.(!i) v then begin
+                    Evaluator.note_incumbent ev cands.(!i);
+                    stop_batch := true
+                  end;
+                  incr i
+              | None ->
+                  let j = ref (!i + 1) in
+                  while !j < n && seen_skippable sn keys.(!j) b = None do
+                    incr j
+                  done;
+                  let seg_len = min (!j - !i) (cap_left ()) in
+                  let seg = Array.sub cands !i seg_len in
+                  let outcomes =
+                    Evaluator.evaluate_batch ~bound:b ~overhead:hint.overhead ev
+                      seg
+                  in
+                  (try
+                     for k = 0 to seg_len - 1 do
+                       match outcomes.(k) with
+                       | Evaluator.Skipped -> raise Exit
+                       | Evaluator.Evaluated perf ->
+                           seen_record sn keys.(!i + k) perf b;
+                           if deliver seg.(k) perf then raise Exit
+                     done
+                   with Exit -> stop_batch := true);
+                  i := !i + seg_len
+            done;
+            batch_checkpoint ()
+        | _ ->
+            (* Never evaluate past the trial cap (see above). *)
+            let cands =
+              match budget.Budget.max_trials with
+              | Some cap when Array.length cands > cap - !trials ->
+                  Array.sub cands 0 (max 0 (cap - !trials))
+              | _ -> cands
+            in
+            if Array.length cands > 0 then begin
+              let keys =
+                Option.map
+                  (fun sn -> Array.map (fun c -> seen_key sn c) cands)
+                  seen
+              in
+              let outcomes =
+                Evaluator.evaluate_batch ?bound:hint.bound ~overhead:hint.overhead
+                  ev cands
+              in
+              (try
+                 for i = 0 to Array.length cands - 1 do
+                   match outcomes.(i) with
+                   | Evaluator.Skipped -> raise Exit
+                   | Evaluator.Evaluated perf ->
+                       (match (seen, keys) with
+                       | Some sn, Some ks ->
+                           seen_record sn ks.(i) perf
+                             (match hint.bound with Some b -> b | None -> infinity)
+                       | _ -> ());
+                       if deliver cands.(i) perf then raise Exit
+                 done
+               with Exit -> ());
+              batch_checkpoint ()
+            end)
   done;
   let bm, bp = !best in
   {

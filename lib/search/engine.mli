@@ -107,12 +107,44 @@ type outcome = {
   checkpoints_written : int;
 }
 
+(** {2 Symmetry seen-set}
+
+    A memo of already-evaluated orbits: candidates are keyed by the
+    canonical key of their orbit representative ({!Space.canonicalize}),
+    so symmetric duplicates of an evaluated mapping can be {e rejected}
+    without re-evaluating.  Skipping is rejection-only and
+    bound-justified: a memoized entry [(v, be)] answers a proposal with
+    bound [b] only when it proves [perf >= b] — either the stored value
+    is exact ([v] was evaluated un-truncated, [v < be]) and [v >= b], or
+    it is a cut certificate ([v >= be]) and [b <= be].  Memoized answers
+    charge no virtual time, count no trial, and never update the
+    engine's best (the incumbent is only pinned if the strategy
+    unexpectedly accepts); the per-run tally is
+    {!Evaluator.symmetry_skips}.  Skips change which candidates get
+    evaluated, so runs with and without a seen-set (or with different
+    seen contents) are different decision sequences — the seen-set is
+    checkpointed and must be restored on resume. *)
+
+type seen
+
+val seen_create : (Mapping.t -> Mapping.t) -> seen
+(** [seen_create canon] — [canon] maps a candidate to its orbit
+    representative (pass [Space.canonicalize space]). *)
+
+val seen_size : seen -> int
+(** Number of memoized orbits. *)
+
+val seen_restore : seen -> string list -> (unit, string) result
+(** Load the entries of a checkpoint's [s_symmetry] section (each line
+    [<canonical key> <v %h> <bound %h>]) into a fresh seen-set. *)
+
 val run :
   ?budget:Budget.t ->
   ?on_event:(event -> unit) ->
   ?checkpoint:checkpoint_cfg ->
   ?carry:carry ->
   ?surrogate:Surrogate.t ->
+  ?seen:seen ->
   start:Mapping.t ->
   Evaluator.t ->
   strategy ->
@@ -144,12 +176,14 @@ val run :
     evaluator <n>  ... n Evaluator.save_state lines ...
     profiles <n>   ... n Profiles_db.save lines ...
     surrogate <n>  ... n Surrogate.save lines ...   (only when one ran)
+    symmetry <n>   ... n seen-set lines ...         (only when one ran)
     end
     v}
-    Floats are hex ([%h]) so restore is bit-exact.  The surrogate
-    section is optional and trailing: envelopes without one parse as
-    before ([s_surrogate = []]), so pre-surrogate checkpoints remain
-    loadable. *)
+    Floats are hex ([%h]) so restore is bit-exact.  The surrogate and
+    symmetry sections are optional and trailing (recognized by their
+    header word): envelopes without them parse as before
+    ([s_surrogate = []], [s_symmetry = []]), so older checkpoints
+    remain loadable.  Symmetry lines are sorted for determinism. *)
 
 type snapshot = {
   s_algo : string;
@@ -164,10 +198,13 @@ type snapshot = {
   s_profiles : string;
   s_surrogate : string list;
       (** empty when the checkpointed run had no surrogate *)
+  s_symmetry : string list;
+      (** seen-set entries; empty when the run had no seen-set *)
 }
 
 val checkpoint_string :
   ?surrogate:Surrogate.t ->
+  ?seen:seen ->
   Evaluator.t ->
   strategy ->
   trials:int ->

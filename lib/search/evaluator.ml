@@ -25,6 +25,8 @@ type t = {
   eval_overhead : float;
   objective : Machine.t -> Exec.result -> float;
   prune : bool;
+  symmetry : bool;   (* effective flags, as applied to [space] *)
+  dominance : bool;
   db : Profiles_db.t;
   partials : (string, partial) Hashtbl.t;
   (* Common random numbers: run k of *every* evaluation uses seed
@@ -46,6 +48,7 @@ type t = {
   mutable cut_sims : int;
   mutable noop_skips : int;
   mutable dead_coord_skips : int;
+  mutable symmetry_skips : int;
   mutable batch_calls : int;
   mutable batch_short_circuits : int;
   (* Serve-daemon cache telemetry.  The evaluator doesn't own the
@@ -91,6 +94,7 @@ type stats = {
   s_cut_sims : int;
   s_noop_skips : int;
   s_dead_coord_skips : int;
+  s_symmetry_skips : int;
   s_batch_calls : int;
   s_batch_short_circuits : int;
   s_compile_cache_hits : int;
@@ -118,8 +122,12 @@ let default_objective _machine (r : Exec.result) = r.Exec.per_iteration
 let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     ?(penalty = infinity) ?(seed = 0) ?(eval_overhead = 0.0002)
     ?(objective = default_objective) ?(extended = false) ?(prune = true)
-    ?(incremental = true) ?(domain_prune = true) ?db ?scratch machine graph =
+    ?(incremental = true) ?(domain_prune = true) ?(symmetry = false)
+    ?(dominance = false) ?db ?scratch machine graph =
   if runs <= 0 then invalid_arg "Evaluator.create: runs must be positive";
+  (* dominance certificates build on the capacity domains and, like
+     them, are proved against strict placement only *)
+  let dominance = dominance && domain_prune && not fallback in
   let shared_compile = scratch <> None in
   let scratch =
     match scratch with
@@ -135,7 +143,9 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
        fallback mode can demote an over-capacity instance into another
        kind and succeed, so domains only restrict the space when
        fallback is off. *)
-    space = Space.make ~extended ~domains:(domain_prune && not fallback) graph machine;
+    space =
+      Space.make ~extended ~domains:(domain_prune && not fallback) ~dominance
+        ~symmetry graph machine;
     runs;
     noise_sigma;
     fallback;
@@ -145,6 +155,8 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     eval_overhead;
     objective;
     prune;
+    symmetry;
+    dominance;
     db = (match db with Some db -> db | None -> Profiles_db.create ());
     partials = Hashtbl.create 64;
     crn_base = seed * 1_000_003;
@@ -161,6 +173,7 @@ let create ?(runs = 7) ?(noise_sigma = 0.03) ?(fallback = false) ?iterations
     cut_sims = 0;
     noop_skips = 0;
     dead_coord_skips = 0;
+    symmetry_skips = 0;
     batch_calls = 0;
     batch_short_circuits = 0;
     compile_cache_hits = (if shared_compile then 1 else 0);
@@ -688,6 +701,7 @@ let note_suggestion_overhead t dt =
   t.virtual_time <- t.virtual_time +. dt
 
 let note_noop_neighbor t = t.noop_skips <- t.noop_skips + 1
+let note_symmetry_skip t = t.symmetry_skips <- t.symmetry_skips + 1
 
 let note_dead_coords t n =
   if n < 0 then invalid_arg "Evaluator.note_dead_coords: negative";
@@ -720,6 +734,7 @@ let cut_runs t = t.cut_runs
 let cut_sims t = t.cut_sims
 let noop_skips t = t.noop_skips
 let dead_coord_skips t = t.dead_coord_skips
+let symmetry_skips t = t.symmetry_skips
 let batch_calls t = t.batch_calls
 let batch_short_circuits t = t.batch_short_circuits
 let eval_time t = t.eval_time
@@ -737,6 +752,7 @@ let stats t =
     s_cut_sims = t.cut_sims;
     s_noop_skips = t.noop_skips;
     s_dead_coord_skips = t.dead_coord_skips;
+    s_symmetry_skips = t.symmetry_skips;
     s_batch_calls = t.batch_calls;
     s_batch_short_circuits = t.batch_short_circuits;
     s_compile_cache_hits = t.compile_cache_hits;
@@ -772,17 +788,23 @@ let stats t =
    deliberately not persisted (the format predates them). *)
 
 let fingerprint t =
-  Printf.sprintf "%s|%s|r%d|n%h|f%b|i%s|p%h|o%h|pr%b|c%d"
+  (* [symmetry] changes what Space.random_mapping returns and which
+     candidates the engine's seen-set skips; [dominance] changes the
+     choice lists every strategy enumerates.  Both are decision state,
+     so — unlike the surrogate, whose presence the snapshot itself
+     records — they must match between the checkpointing and the
+     resuming evaluator. *)
+  Printf.sprintf "%s|%s|r%d|n%h|f%b|i%s|p%h|o%h|pr%b|c%d|sy%b|do%b"
     t.machine.Machine.name t.graph.Graph.gname t.runs t.noise_sigma t.fallback
     (match t.iterations with None -> "-" | Some i -> string_of_int i)
-    t.penalty t.eval_overhead t.prune t.crn_base
+    t.penalty t.eval_overhead t.prune t.crn_base t.symmetry t.dominance
 
 let save_state t =
   let fl = Printf.sprintf "%h" in
   let counters =
-    Printf.sprintf "counters %d %d %d %d %d %d %d %d %d %d" t.suggested
+    Printf.sprintf "counters %d %d %d %d %d %d %d %d %d %d %d" t.suggested
       t.evaluated t.cache_hits t.invalid t.oom t.cut_evals t.cut_runs t.cut_sims
-      t.noop_skips t.dead_coord_skips
+      t.noop_skips t.dead_coord_skips t.symmetry_skips
   in
   let clocks = Printf.sprintf "clocks %s %s" (fl t.virtual_time) (fl t.eval_time) in
   let seed = Printf.sprintf "seed_counter %d" t.seed_counter in
@@ -826,7 +848,9 @@ let restore_state t lines =
     match lines with
     | counters :: clocks :: seed :: best :: rest -> (
         (match words counters with
-        | [ "counters"; a; b; c; d; e; f; g; h; i; j ] ->
+        (* pre-symmetry checkpoints carry 10 counters; current ones 11 *)
+        | [ "counters"; a; b; c; d; e; f; g; h; i; j ]
+        | [ "counters"; a; b; c; d; e; f; g; h; i; j; _ ] as w ->
             t.suggested <- int_of a;
             t.evaluated <- int_of b;
             t.cache_hits <- int_of c;
@@ -836,7 +860,9 @@ let restore_state t lines =
             t.cut_runs <- int_of g;
             t.cut_sims <- int_of h;
             t.noop_skips <- int_of i;
-            t.dead_coord_skips <- int_of j
+            t.dead_coord_skips <- int_of j;
+            t.symmetry_skips <-
+              (match w with [ _; _; _; _; _; _; _; _; _; _; _; k ] -> int_of k | _ -> 0)
         | _ -> failwith "Evaluator.restore_state: bad counters line");
         (match words clocks with
         | [ "clocks"; vt; et ] ->

@@ -45,6 +45,8 @@ val create :
   ?prune:bool ->
   ?incremental:bool ->
   ?domain_prune:bool ->
+  ?symmetry:bool ->
+  ?dominance:bool ->
   ?db:Profiles_db.t ->
   ?scratch:Exec.scratch ->
   Machine.t ->
@@ -72,6 +74,16 @@ val create :
     evaluator's scratch.  Replay is bit-identical to full simulation,
     so decisions never change; disable it only for debugging or to
     measure its effect.
+    [symmetry] (default false) activates orbit canonicalization on the
+    evaluator's {!Space} (canonical random samples; the engine's
+    seen-set uses {!Space.canonicalize} to skip symmetric duplicates,
+    counted by {!symmetry_skips}).  [dominance] (default false)
+    additionally prunes dominated values from the space's choice lists
+    ({!Analysis.compute_dominance}); it requires [domain_prune] and is
+    ignored under [fallback], whose demotions invalidate the
+    certificates.  Both flags are part of {!fingerprint}: unlike the
+    surrogate, they change the decision stream, so a resume must use
+    the same settings as the checkpointing run.
 
     Seeding uses common random numbers: run [k] of every evaluation
     draws seed [seed * 1_000_003 + k], so all candidates face the same
@@ -214,6 +226,16 @@ val note_noop_neighbor : t -> unit
 (** Record that a search skipped a candidate identical to its
     incumbent without suggesting it. *)
 
+val symmetry_skips : t -> int
+(** Candidates the engine rejected from its canonical seen-set — a
+    symmetric twin had already been evaluated and its recorded value
+    certifies rejection — without evaluating
+    (see {!note_symmetry_skip}). *)
+
+val note_symmetry_skip : t -> unit
+(** Record that the engine skipped a candidate whose orbit-canonical
+    representative was already evaluated. *)
+
 val note_incumbent : t -> Mapping.t -> unit
 (** Tell the evaluator which mapping the search currently holds as its
     incumbent ({!Exec.prefer_timeline}): its committed timelines are
@@ -252,6 +274,7 @@ type stats = {
   s_cut_sims : int;
   s_noop_skips : int;
   s_dead_coord_skips : int;
+  s_symmetry_skips : int;        (** {!symmetry_skips} *)
   s_batch_calls : int;           (** {!batch_calls} *)
   s_batch_short_circuits : int;  (** {!batch_short_circuits} *)
   s_compile_cache_hits : int;

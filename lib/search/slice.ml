@@ -24,6 +24,8 @@ type cfg = {
   min_batch : int;
   surrogate : bool;
   surrogate_skim : int option;
+  symmetry : bool;
+  dominance : bool;
   heft_seed : bool;
   final_top : int;
   final_runs : int;
@@ -42,6 +44,8 @@ let default_cfg =
     min_batch = Descent.default_min_batch;
     surrogate = true;
     surrogate_skim = None;
+    symmetry = true;
+    dominance = true;
     heft_seed = false;
     final_top = 5;
     final_runs = 30;
@@ -78,10 +82,11 @@ let fingerprint cfg =
     (Digest.string
        (Printf.sprintf
           "algo=%s %s budget=%s trials=%s batch=%b min_batch=%d surrogate=%b \
-           skim=%s heft=%b top=%d final_runs=%d"
+           skim=%s symmetry=%b dominance=%b heft=%b top=%d final_runs=%d"
           (algo_spec cfg.algo) (eval_identity cfg) (opt_f cfg.budget)
           (opt_i cfg.max_trials) cfg.batch cfg.min_batch cfg.surrogate
-          (opt_i cfg.surrogate_skim) cfg.heft_seed cfg.final_top cfg.final_runs))
+          (opt_i cfg.surrogate_skim) cfg.symmetry cfg.dominance cfg.heft_seed
+          cfg.final_top cfg.final_runs))
 
 type finished = {
   best : Mapping.t;
@@ -100,7 +105,16 @@ let eff_batch cfg = cfg.batch || cfg.surrogate_skim <> None
 
 let make_evaluator ?scratch ?db cfg machine graph =
   Evaluator.create ~runs:cfg.runs ?noise_sigma:cfg.noise_sigma
-    ?iterations:cfg.iterations ~seed:cfg.seed ?db ?scratch machine graph
+    ?iterations:cfg.iterations ~seed:cfg.seed ~symmetry:cfg.symmetry
+    ~dominance:cfg.dominance ?db ?scratch machine graph
+
+(* mirrors Driver.run: the seen-set exists exactly when the evaluator's
+   space canonicalizes; symmetry is part of the fingerprint so resumed
+   slices cannot silently flip it *)
+let make_seen ev =
+  if Space.symmetry (Evaluator.space ev) then
+    Some (Engine.seen_create (Space.canonicalize (Evaluator.space ev)))
+  else None
 
 let slice_budget cfg ~done_trials ~slice_trials =
   let cap =
@@ -143,11 +157,11 @@ let conclude cfg ev (o : Engine.outcome) =
       trials = o.Engine.trials;
     }
 
-let pause ?surrogate ev strat (o : Engine.outcome) ~wall =
+let pause ?surrogate ?seen ev strat (o : Engine.outcome) ~wall =
   Paused
     {
       ckpt =
-        Engine.checkpoint_string ?surrogate ev strat ~trials:o.Engine.trials
+        Engine.checkpoint_string ?surrogate ?seen ev strat ~trials:o.Engine.trials
           ~steps:o.Engine.steps ~wall ~best:(o.Engine.best, o.Engine.perf);
       p_trials = o.Engine.trials;
       p_best_perf = o.Engine.perf;
@@ -173,12 +187,15 @@ let start ?scratch ?db ?warm_start ?on_event ~slice_trials cfg machine graph =
     Driver.make_strategy ~seed:cfg.seed ?budget:cfg.budget ~batch
       ~min_batch:cfg.min_batch ?surrogate:rank_sg cfg.algo ev
   in
+  let seen = make_seen ev in
   let cap, budget = slice_budget cfg ~done_trials:0 ~slice_trials in
   let t0 = Unix.gettimeofday () in
-  let o = Engine.run ~budget ?on_event ?surrogate:sg ~start:start_m ev strat in
+  let o =
+    Engine.run ~budget ?on_event ?surrogate:sg ?seen ~start:start_m ev strat
+  in
   let status =
     if is_finished cfg ev o ~cap then conclude cfg ev o
-    else pause ?surrogate:sg ev strat o ~wall:(Unix.gettimeofday () -. t0)
+    else pause ?surrogate:sg ?seen ev strat o ~wall:(Unix.gettimeofday () -. t0)
   in
   (status, ev)
 
@@ -225,13 +242,25 @@ let resume ?scratch ?on_event ~slice_trials cfg machine graph ~ckpt =
       c_best = (best_m, s.Engine.s_best_perf);
     }
   in
+  let seen = make_seen ev in
+  let* () =
+    match seen with
+    | Some sn -> Engine.seen_restore sn s.Engine.s_symmetry
+    | None ->
+        if s.Engine.s_symmetry = [] then Ok ()
+        else
+          Error
+            "Slice.resume: checkpoint has a symmetry section but symmetry is off"
+  in
   let cap, budget = slice_budget cfg ~done_trials:s.Engine.s_trials ~slice_trials in
   let t0 = Unix.gettimeofday () in
-  let o = Engine.run ~budget ?on_event ~carry ?surrogate:sg ~start:best_m ev strat in
+  let o =
+    Engine.run ~budget ?on_event ~carry ?surrogate:sg ?seen ~start:best_m ev strat
+  in
   let status =
     if is_finished cfg ev o ~cap then conclude cfg ev o
     else
-      pause ?surrogate:sg ev strat o
+      pause ?surrogate:sg ?seen ev strat o
         ~wall:(s.Engine.s_wall +. (Unix.gettimeofday () -. t0))
   in
   Ok (status, ev)

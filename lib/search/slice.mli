@@ -23,6 +23,8 @@ type cfg = {
   min_batch : int;
   surrogate : bool;
   surrogate_skim : int option;
+  symmetry : bool;   (** orbit canonicalization + seen-set skipping *)
+  dominance : bool;  (** dominance-pruned choice lists *)
   heft_seed : bool;
   final_top : int;
   final_runs : int;
@@ -33,8 +35,8 @@ type cfg = {
 
 val default_cfg : cfg
 (** CCD(5), 7 runs, seed 0, no caps, gated batching with
-    {!Descent.default_min_batch}, surrogate on — the serve daemon's
-    per-request defaults. *)
+    {!Descent.default_min_batch}, surrogate on, symmetry and dominance
+    reduction on — the serve daemon's per-request defaults. *)
 
 val algo_spec : Driver.algo -> string
 (** Compact wire spelling of an algorithm, e.g. ["ccd:5"],

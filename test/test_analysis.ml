@@ -253,6 +253,116 @@ let test_pruned_search_no_worse () =
         (st_on.Evaluator.s_dead_coord_skips > 0))
     small_apps
 
+(* Dominance soundness: substituting a dominator for a dominated value
+   in any mapping keeps the mapping feasible and never slows its
+   noise-free simulation.  Swaps keep every other coordinate fixed, so
+   any regression is attributable to the claimed dominance. *)
+
+let set_proc g m tid k =
+  Mapping.make g
+    ~strategy:(fun (t : Graph.task) -> Mapping.strategy_of m t.Graph.tid)
+    ~distribute:(fun (t : Graph.task) -> Mapping.distribute_of m t.Graph.tid)
+    ~proc:(fun (t : Graph.task) ->
+      if t.Graph.tid = tid then k else Mapping.proc_of m t.Graph.tid)
+    ~mem:(fun (c : Graph.collection) -> Mapping.mem_of m c.Graph.cid)
+
+let set_mem g m cid k =
+  Mapping.make g
+    ~strategy:(fun (t : Graph.task) -> Mapping.strategy_of m t.Graph.tid)
+    ~distribute:(fun (t : Graph.task) -> Mapping.distribute_of m t.Graph.tid)
+    ~proc:(fun (t : Graph.task) -> Mapping.proc_of m t.Graph.tid)
+    ~mem:(fun (c : Graph.collection) ->
+      if c.Graph.cid = cid then k else Mapping.mem_of m c.Graph.cid)
+
+(* Checks every dominated value reachable from [samples] random
+   mappings; returns how many substitution pairs were exercised. *)
+let check_dominance_sound ?(samples = 12) ~seed machine g =
+  let a = Analysis.analyze machine g in
+  let dom = Analysis.dominance a in
+  if Analysis.n_dominated dom = 0 then 0
+  else begin
+    let space = Space.make ~domains:false g machine in
+    let sc = Exec.scratch (Exec.compile machine g) in
+    let rng = Rng.create seed in
+    let exercised = ref 0 in
+    let check name orig subst =
+      match Exec.simulate ~noise_sigma:0.0 ~seed:0 sc orig with
+      | Error _ -> ()
+      | Ok r_b -> (
+          incr exercised;
+          match Exec.simulate ~noise_sigma:0.0 ~seed:0 sc subst with
+          | Error e ->
+              Alcotest.fail
+                (Printf.sprintf "%s: dominator substitution became infeasible: %s"
+                   name
+                   (Placement.error_to_string e))
+          | Ok r_a ->
+              if
+                r_a.Exec.makespan
+                > r_b.Exec.makespan *. (1.0 +. 1e-9) +. 1e-15
+              then
+                Alcotest.fail
+                  (Printf.sprintf "%s: dominator slower: %.17g vs %.17g" name
+                     r_a.Exec.makespan r_b.Exec.makespan))
+    in
+    for _ = 1 to samples do
+      let m = Space.random_unconstrained space rng in
+      for tid = 0 to Graph.n_tasks g - 1 do
+        List.iter
+          (fun (dominated, dominator) ->
+            check
+              (Printf.sprintf "%s task %d: %s > %s" g.Graph.gname tid
+                 (Kinds.proc_kind_to_string dominator)
+                 (Kinds.proc_kind_to_string dominated))
+              (set_proc g m tid dominated)
+              (set_proc g m tid dominator))
+          (Analysis.dominated_procs dom tid)
+      done;
+      List.iter
+        (fun (c : Graph.collection) ->
+          let owner_kind = Mapping.proc_of m c.Graph.owner in
+          List.iter
+            (fun (dominated, dominator) ->
+              check
+                (Printf.sprintf "%s c%d under %s: %s > %s" g.Graph.gname
+                   c.Graph.cid
+                   (Kinds.proc_kind_to_string owner_kind)
+                   (Kinds.mem_kind_to_string dominator)
+                   (Kinds.mem_kind_to_string dominated))
+                (set_mem g m c.Graph.cid dominated)
+                (set_mem g m c.Graph.cid dominator))
+            (Analysis.dominated_mems dom ~cid:c.Graph.cid owner_kind))
+        (Graph.collections g)
+    done;
+    !exercised
+  end
+
+let test_dominance_sound_apps () =
+  let exercised = ref 0 in
+  List.iter
+    (fun ((app : App.t), input) ->
+      let g = app.App.graph ~nodes:2 ~input in
+      List.iter
+        (fun machine ->
+          exercised := !exercised + check_dominance_sound ~seed:29 machine g)
+        [ Presets.shepard ~nodes:2; tight_shepard ~nodes:2 ])
+    small_apps;
+  (* the bundled apps must make this test non-vacuous *)
+  Alcotest.(check bool) "dominated substitutions exercised" true (!exercised > 0)
+
+let prop_dominance_sound =
+  QCheck.Test.make ~count:30
+    ~name:"dominator substitution is feasible and never slower"
+    Gen.arbitrary_spec
+    (fun spec ->
+      let g = Gen.graph_of_spec spec in
+      List.iter
+        (fun machine ->
+          ignore
+            (check_dominance_sound ~samples:6 ~seed:(spec.Gen.seed + 31) machine g))
+        [ Presets.shepard ~nodes:2; tight_shepard ~nodes:2 ];
+      true)
+
 let suite =
   [
     Alcotest.test_case "headless unreachable memory" `Quick test_headless_error;
@@ -261,6 +371,8 @@ let suite =
     Alcotest.test_case "tight machine prunes" `Quick test_tight_machine_prunes;
     QCheck_alcotest.to_alcotest prop_domains_sound;
     QCheck_alcotest.to_alcotest prop_static_floor_sound;
+    Alcotest.test_case "dominance sound on apps" `Quick test_dominance_sound_apps;
+    QCheck_alcotest.to_alcotest prop_dominance_sound;
     Alcotest.test_case "floor covers critical path" `Quick test_floor_covers_critical_path;
     Alcotest.test_case "pruned search acceptance" `Quick test_pruned_search_no_worse;
   ]

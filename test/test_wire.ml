@@ -63,6 +63,7 @@ let cfg_gen =
     and* max_trials = opt (int_range 1 100000) in
     let* batch = bool and* min_batch = int_range 1 64 in
     let* surrogate = bool and* surrogate_skim = opt (int_range 1 32) in
+    let* symmetry = bool and* dominance = bool in
     let* heft_seed = bool in
     let* final_top = int_range 1 10 and* final_runs = int_range 1 50 in
     return
@@ -78,6 +79,8 @@ let cfg_gen =
         min_batch;
         surrogate;
         surrogate_skim;
+        symmetry;
+        dominance;
         heft_seed;
         final_top;
         final_runs;
