@@ -100,7 +100,7 @@ let parameter_sensitivity () =
       let machine =
         Machine.make ~name:"Shepard-sweep" ~nodes:1 ~node:base.Machine.node
           ~exec_bw:{ base.Machine.exec_bw with Machine.gpu_zc = zc_gbs *. 1e9 }
-          ~compute:base.Machine.compute ~copy:base.Machine.copy
+          ~compute:base.Machine.compute ~copy:base.Machine.copy ()
       in
       let g = App.htr.App.graph ~nodes:1 ~input:"16x16y18z" in
       let r = tune machine g in

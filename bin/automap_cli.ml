@@ -37,16 +37,15 @@ let write_file path contents =
   close_out oc
 
 let machine_preset ~cluster ~nodes =
-  match String.lowercase_ascii cluster with
-  | "shepard" -> Presets.shepard ~nodes
-  | "lassen" -> Presets.lassen ~nodes
-  | "testbed" -> Presets.testbed ~nodes
-  | "cpu_only" | "cpu-only" -> Presets.cpu_only ~nodes
-  | "headless" -> Presets.headless ~nodes
-  | other ->
+  match Presets.of_spec cluster ~nodes with
+  | Ok m -> m
+  | Error e ->
       failwith
-        (Printf.sprintf "unknown cluster %S (shepard|lassen|testbed|cpu_only|headless)"
-           other)
+        (Printf.sprintf
+           "%s (presets: shepard|lassen|testbed|cpu_only|headless, topologies: \
+            grid:WxH, torus:WxH, fattree:LEVELS:ARITY, direct:N, each with an \
+            optional :free suffix)"
+           e)
 
 let app_of name =
   match App.find name with
@@ -109,7 +108,7 @@ let nodes_arg =
   Arg.(value & opt int 1 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Machine nodes (ignored with --machine).")
 
 let cluster_arg =
-  Arg.(value & opt string "shepard" & info [ "c"; "cluster" ] ~docv:"CLUSTER" ~doc:"Machine preset: shepard, lassen, testbed, cpu_only or headless.")
+  Arg.(value & opt string "shepard" & info [ "c"; "cluster" ] ~docv:"CLUSTER" ~doc:"Machine preset (shepard, lassen, testbed, cpu_only, headless) or a topology spec (grid:WxH, torus:WxH, fattree:LEVELS:ARITY, direct:N; append :free to disable link contention), e.g. grid:16x16. Topology specs fix the node count, so -n must be 1 (default) or match.")
 
 let graph_file_arg =
   Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"FILE" ~doc:"Task-graph description file (Graph_codec format).")

@@ -42,6 +42,7 @@ let my_machine =
         net_bandwidth = 25e9;
         net_latency = 2e-6;
       }
+    ()
 
 (* A small graph-analytics-style pipeline: gather is scatter-heavy
    (poor GPU efficiency), apply is dense (great on GPU), and the

@@ -567,6 +567,26 @@ let machine_lint (machine : Machine.t) =
           end)
         mems)
     mems;
+  (* interconnect lint: a disconnected topology silently falls back to
+     the kind-level Network charge for the unreachable pairs, and a
+     zero-bandwidth link makes every route through it infinitely slow *)
+  (match machine.Machine.topology with
+  | None -> ()
+  | Some topo ->
+      let unreachable = Topology.unreachable_pairs topo in
+      if unreachable > 0 then
+        add Error "topology-disconnected"
+          (Printf.sprintf "topology %s" (Topology.name topo))
+          "%d ordered node pair(s) have no route; their copies fall back to the flat network charge"
+          unreachable;
+      List.iter
+        (fun lid ->
+          let l = (Topology.links topo).(lid) in
+          add Error "topology-zero-bandwidth"
+            (Printf.sprintf "topology %s" (Topology.name topo))
+            "link %d (%d->%d) has non-positive bandwidth %g" lid l.Topology.lsrc
+            l.Topology.ldst l.Topology.lbw)
+        (Topology.zero_bw_links topo));
   List.rev !diags
 
 let domain_lint (machine : Machine.t) (g : Graph.t) dom =
@@ -766,6 +786,15 @@ let report ppf t =
   let s = t.summ in
   Format.fprintf ppf "analyze: %s on %s@." t.graph.Graph.gname t.machine.Machine.name;
   Format.fprintf ppf "machine: %a@." Machine.pp t.machine;
+  (match t.machine.Machine.topology with
+  | None -> ()
+  | Some topo ->
+      Format.fprintf ppf
+        "topology: %s, %d node(s), %d link(s), diameter %d, bisection %.6g B/s, %s@."
+        (Topology.name topo) (Topology.n_nodes topo) (Topology.n_links topo)
+        (Topology.diameter topo) (Topology.bisection_bw topo)
+        (if Topology.contended topo then "contended links"
+         else "contention-free links"));
   Format.fprintf ppf
     "graph: %d tasks, %d collections, %d edges, %d overlaps, %d instances/iteration, %d iterations@."
     s.n_tasks s.n_collections s.n_edges s.n_overlaps s.instances_per_iteration
@@ -853,6 +882,14 @@ let to_json t =
   add "{\n";
   add "  \"graph\": \"%s\",\n" (json_escape t.graph.Graph.gname);
   add "  \"machine\": \"%s\",\n" (json_escape t.machine.Machine.name);
+  (match t.machine.Machine.topology with
+  | None -> ()
+  | Some topo ->
+      add
+        "  \"topology\": {\"name\": \"%s\", \"nodes\": %d, \"links\": %d, \"diameter\": %d, \"bisection_bw\": %.6g, \"contended\": %b},\n"
+        (json_escape (Topology.name topo))
+        (Topology.n_nodes topo) (Topology.n_links topo) (Topology.diameter topo)
+        (Topology.bisection_bw topo) (Topology.contended topo));
   add "  \"feasible\": %b,\n" (feasible t);
   add "  \"summary\": {\"tasks\": %d, \"collections\": %d, \"edges\": %d, \"overlaps\": %d, \"instances_per_iteration\": %d, \"iterations\": %d, \"total_flops\": %.6g, \"total_bytes\": %.6g, \"depth\": %d, \"dispatch_floor\": %.6g, \"forced_tasks\": %d, \"forced_collections\": %d},\n"
     s.n_tasks s.n_collections s.n_edges s.n_overlaps s.instances_per_iteration

@@ -105,14 +105,7 @@ let read_file_opt path =
 
 (* ---- workload resolution ---------------------------------------------- *)
 
-let machine_of_preset ~cluster ~nodes =
-  match String.lowercase_ascii cluster with
-  | "shepard" -> Ok (Presets.shepard ~nodes)
-  | "lassen" -> Ok (Presets.lassen ~nodes)
-  | "testbed" -> Ok (Presets.testbed ~nodes)
-  | "cpu_only" | "cpu-only" -> Ok (Presets.cpu_only ~nodes)
-  | "headless" -> Ok (Presets.headless ~nodes)
-  | other -> Error (Printf.sprintf "unknown cluster %S" other)
+let machine_of_preset ~cluster ~nodes = Presets.of_spec cluster ~nodes
 
 let resolve (w : Wire.workload) =
   let ( let* ) = Result.bind in

@@ -58,6 +58,7 @@ type t = {
   copy : copy_perf;
   processors : processor array;
   memories : memory array;
+  topology : Topology.t option;
 }
 
 let check_positive name v =
@@ -144,8 +145,14 @@ let build_memories ~nodes ~node =
   done;
   a
 
-let make ~name ~nodes ~node ~exec_bw ~compute ~copy =
+let make ~name ~nodes ~node ~exec_bw ~compute ~copy ?topology () =
   check_positive_int "nodes" nodes;
+  (match topology with
+  | Some topo when Topology.n_nodes topo <> nodes ->
+      invalid_arg
+        (Printf.sprintf "Machine.make: topology has %d nodes, machine has %d"
+           (Topology.n_nodes topo) nodes)
+  | _ -> ());
   check_positive_int "sockets" node.sockets;
   (* cores_per_socket = 0 describes a headless (GPU-only) node: legal
      to construct — the feasibility analyzer is what flags its
@@ -194,6 +201,7 @@ let make ~name ~nodes ~node ~exec_bw ~compute ~copy =
     copy;
     processors = build_processors ~nodes ~node;
     memories = build_memories ~nodes ~node;
+    topology;
   }
 
 let procs_of_kind_per_node t = function
@@ -308,7 +316,7 @@ let copy_cost t ~src ~dst ~bytes =
   let ch = channel_between t src dst in
   match ch with
   | Same_memory -> 0.0
-  | Network ->
+  | Network -> (
       (* Cross-node transfers whose endpoint is a Frame-Buffer stage
          through the host over PCIe (no GPUDirect), one extra hop per
          FB endpoint — this is why Zero-Copy placement pays off for
@@ -317,9 +325,31 @@ let copy_cost t ~src ~dst ~bytes =
         (if src.mkind = Kinds.Frame_buffer then 1 else 0)
         + if dst.mkind = Kinds.Frame_buffer then 1 else 0
       in
-      channel_latency t ch
-      +. (bytes /. channel_bandwidth t ch)
-      +. (float_of_int fb_hops *. (t.copy.local_latency +. (bytes /. t.copy.pcie_bw)))
+      match t.topology with
+      | Some topo
+        when Topology.family topo <> Topology.Direct
+             && Topology.distance topo ~src:src.mnode ~dst:dst.mnode >= 0 ->
+          (* routed: sum per-link serialization along the deterministic
+             path, plus the same PCIe staging (guarded so FB-free
+             machines with pcie_bw = 0 stay finite).  The Direct family
+             (and unreachable pairs on a Custom topology) fall through
+             to the kind-level expression below, which Direct
+             reproduces hop-for-hop — the bit-identity hinge of
+             DESIGN.md §15. *)
+          let acc =
+            ref
+              (if fb_hops = 0 then 0.0
+               else
+                 float_of_int fb_hops
+                 *. (t.copy.local_latency +. (bytes /. t.copy.pcie_bw)))
+          in
+          Topology.route_iter topo ~src:src.mnode ~dst:dst.mnode ~f:(fun l ->
+              acc := !acc +. (l.Topology.llat +. (bytes /. l.Topology.lbw)));
+          !acc
+      | _ ->
+          channel_latency t ch
+          +. (bytes /. channel_bandwidth t ch)
+          +. (float_of_int fb_hops *. (t.copy.local_latency +. (bytes /. t.copy.pcie_bw))))
   | Host_local | Cross_socket | Pcie | Gpu_peer ->
       channel_latency t ch +. (bytes /. channel_bandwidth t ch)
 

@@ -84,6 +84,9 @@ type t = private {
   copy : copy_perf;
   processors : processor array;
   memories : memory array;
+  topology : Topology.t option;
+      (** explicit interconnect; [None] = kind-level network channel
+          (all pre-topology presets), preserving their exact costs *)
 }
 
 val make :
@@ -93,9 +96,12 @@ val make :
   exec_bw:exec_bandwidth ->
   compute:compute_perf ->
   copy:copy_perf ->
+  ?topology:Topology.t ->
+  unit ->
   t
 (** Builds the explicit graph.  Raises [Invalid_argument] if any count
-    or rate is non-positive. *)
+    or rate is non-positive, or if [topology] disagrees with [nodes]
+    on the node count. *)
 
 (** {1 Graph queries} *)
 
@@ -132,11 +138,27 @@ val launch_overhead : t -> Kinds.proc_kind -> float
 val compute_rate : t -> Kinds.proc_kind -> float
 val exec_bandwidth : t -> Kinds.proc_kind -> Kinds.mem_kind -> float
 
-(** Classification of the channel a copy travels on. *)
+(** Classification of the channel a copy travels on.  The full
+    classification table implemented by {!channel_between} (and pinned
+    by the [machine] test suite):
+
+    - same memory id → [Same_memory];
+    - different nodes → [Network], whatever the endpoint kinds;
+    - same node: FB↔FB → [Gpu_peer]; FB↔anything-else → [Pcie];
+      SYS↔SYS → [Cross_socket] when the sockets differ, else
+      [Host_local]; every pair involving ZC (ZC↔SYS either direction,
+      ZC↔ZC) → [Host_local].
+
+    Note [Cross_socket] is {e only} produced for SYS↔SYS pairs on
+    different sockets: the Zero-Copy pool is node-wide
+    ([msocket = -1]), so ZC-endpoint copies are socket-agnostic and
+    always classify as [Host_local], never [Cross_socket]. *)
 type channel =
   | Same_memory                 (** no copy needed *)
-  | Host_local                  (** same-socket host copy (SYS/ZC) *)
-  | Cross_socket                (** SYS↔SYS across sockets *)
+  | Host_local                  (** same-node host copy: same-socket
+                                    SYS↔SYS, or any pair with a ZC
+                                    endpoint (ZC is socket-agnostic) *)
+  | Cross_socket                (** SYS↔SYS across sockets (only) *)
   | Pcie                        (** host ↔ FB *)
   | Gpu_peer                    (** FB ↔ FB same node *)
   | Network                     (** any cross-node pair *)
@@ -148,7 +170,12 @@ val copy_cost : t -> src:memory -> dst:memory -> bytes:float -> float
     otherwise channel latency + bytes / channel bandwidth.  Network
     copies touching a Frame-Buffer additionally pay one PCIe staging
     hop per FB endpoint (no GPUDirect), which is what makes Zero-Copy
-    placement attractive for cross-node-shared collections. *)
+    placement attractive for cross-node-shared collections.  On a
+    machine with a routed topology (other than the degenerate
+    [Direct] family), a Network copy instead pays the sum of per-link
+    latency + serialization along its deterministic route, plus the
+    same PCIe staging — the uncontended total the simulator's
+    link-FIFO model reduces to when no copies queue. *)
 
 val channel_bandwidth : t -> channel -> float
 (** Bandwidth of a channel class ([Same_memory] is [infinity]). *)

@@ -1,10 +1,36 @@
+(* topology stanzas: route tables are never serialized — generated
+   families round-trip through their spec, custom topologies through
+   their link list, and decoding regenerates the routes
+   deterministically. *)
+let topology_lines topo =
+  match Topology.to_spec topo with
+  | Some spec ->
+      (* base rates travel with the spec so non-default-rate
+         topologies round-trip exactly (linkless degenerate shapes,
+         e.g. grid:1x1, have no rates to preserve) *)
+      let bw, lat =
+        if Topology.n_links topo = 0 then (1.0, 0.0)
+        else
+          let l = (Topology.links topo).(0) in
+          (l.Topology.lbw, l.Topology.llat)
+      in
+      [ Printf.sprintf "topology spec=%s bw=%.17g lat=%.17g" spec bw lat ]
+  | None ->
+      Printf.sprintf "topology custom=%s nodes=%d vertices=%d contended=%b"
+        (Topology.name topo) (Topology.n_nodes topo) (Topology.n_vertices topo)
+        (Topology.contended topo)
+      :: (Array.to_list (Topology.links topo)
+         |> List.map (fun l ->
+                Printf.sprintf "topolink src=%d dst=%d bw=%.17g lat=%.17g"
+                  l.Topology.lsrc l.Topology.ldst l.Topology.lbw l.Topology.llat))
+
 let to_string (m : Machine.t) =
   let n = m.Machine.node in
   let e = m.Machine.exec_bw in
   let c = m.Machine.compute in
   let y = m.Machine.copy in
   String.concat "\n"
-    [
+    ([
       Printf.sprintf "machine %s nodes=%d" m.Machine.name m.Machine.nodes;
       Printf.sprintf
         "node sockets=%d cores_per_socket=%d gpus=%d sysmem=%.17g zc=%.17g fb=%.17g"
@@ -21,8 +47,11 @@ let to_string (m : Machine.t) =
         y.Machine.memcpy_bw y.Machine.cross_socket_bw y.Machine.pcie_bw
         y.Machine.gpu_peer_bw y.Machine.local_latency y.Machine.net_bandwidth
         y.Machine.net_latency;
-      "";
     ]
+    @ (match m.Machine.topology with
+      | None -> []
+      | Some topo -> topology_lines topo)
+    @ [ "" ])
 
 type fields = (string * string) list
 
@@ -61,10 +90,24 @@ type stanzas = {
   mutable exec_bw : Machine.exec_bandwidth option;
   mutable compute : Machine.compute_perf option;
   mutable copy : Machine.copy_perf option;
+  mutable topo_spec : (string * float * float) option;
+  mutable topo_custom : (string * int * int * bool) option;
+  mutable topo_links : (int * int * float * float) list; (* reversed *)
 }
 
 let of_string s =
-  let st = { header = None; node = None; exec_bw = None; compute = None; copy = None } in
+  let st =
+    {
+      header = None;
+      node = None;
+      exec_bw = None;
+      compute = None;
+      copy = None;
+      topo_spec = None;
+      topo_custom = None;
+      topo_links = [];
+    }
+  in
   let once lineno what current =
     if Option.is_some current then fail "line %d: duplicate %s stanza" lineno what
   in
@@ -130,16 +173,66 @@ let of_string s =
                     net_bandwidth = get_float lineno f "net_bw";
                     net_latency = get_float lineno f "net_latency";
                   }
+          | "topology" :: rest -> (
+              if Option.is_some st.topo_spec || Option.is_some st.topo_custom then
+                fail "line %d: duplicate topology stanza" lineno;
+              let f = parse_fields lineno rest in
+              match List.assoc_opt "spec" f with
+              | Some spec ->
+                  st.topo_spec <-
+                    Some (spec, get_float lineno f "bw", get_float lineno f "lat")
+              | None -> (
+                  match List.assoc_opt "custom" f with
+                  | Some name ->
+                      let contended =
+                        match List.assoc_opt "contended" f with
+                        | Some "true" | None -> true
+                        | Some "false" -> false
+                        | Some v -> fail "line %d: contended: bad boolean %S" lineno v
+                      in
+                      st.topo_custom <-
+                        Some
+                          ( name,
+                            get_int lineno f "nodes",
+                            get_int lineno f "vertices",
+                            contended )
+                  | None -> fail "line %d: topology needs spec= or custom=" lineno))
+          | "topolink" :: rest ->
+              if Option.is_none st.topo_custom then
+                fail "line %d: topolink before a custom topology stanza" lineno;
+              let f = parse_fields lineno rest in
+              st.topo_links <-
+                ( get_int lineno f "src",
+                  get_int lineno f "dst",
+                  get_float lineno f "bw",
+                  get_float lineno f "lat" )
+                :: st.topo_links
           | other :: _ -> fail "line %d: unknown stanza %S" lineno other
           | [] -> ())
       (String.split_on_char '\n' s);
     let req what = function Some v -> v | None -> fail "missing %s stanza" what in
     let name, nodes = req "machine" st.header in
+    let topology =
+      (* routes are regenerated here, never read from the file *)
+      match (st.topo_spec, st.topo_custom) with
+      | Some (spec, bw, lat), _ -> (
+          match Topology.of_spec spec ~link_bw:bw ~link_latency:lat with
+          | Ok topo -> Some topo
+          | Error e -> fail "topology: %s" e)
+      | None, Some (tname, n_nodes, n_vertices, contended) ->
+          let topo =
+            Topology.custom ~name:tname ~n_nodes ~n_vertices
+              ~links:(List.rev st.topo_links) ()
+          in
+          Some (Topology.with_contention topo contended)
+      | None, None -> None
+    in
     let machine =
       Machine.make ~name ~nodes ~node:(req "node" st.node)
         ~exec_bw:(req "exec_bw" st.exec_bw)
         ~compute:(req "compute" st.compute)
         ~copy:(req "copy" st.copy)
+        ?topology ()
     in
     Ok machine
   with

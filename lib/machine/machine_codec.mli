@@ -13,7 +13,22 @@
     v}
 
     '#' starts a comment; the four stanza lines may appear in any
-    order but each exactly once. *)
+    order but each exactly once.
+
+    An optional [topology] stanza attaches an explicit interconnect.
+    Generated families serialize as their spec plus base link rates —
+    {v
+    topology spec=grid:8x8 bw=4e9 lat=2e-6
+    v}
+    — and custom topologies as a header plus one [topolink] line per
+    directed link:
+    {v
+    topology custom=ring3 nodes=3 vertices=3 contended=true
+    topolink src=0 dst=1 bw=1e9 lat=1e-6
+    v}
+    Route tables are {e never} serialized: decoding regenerates them
+    deterministically, so a decoded machine is structurally equal and
+    route-identical to the encoded one. *)
 
 val to_string : Machine.t -> string
 

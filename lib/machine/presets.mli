@@ -38,3 +38,21 @@ val headless : nodes:int -> Machine.t
     processor kind.  Constructible (so codecs and tests can exercise
     it) but {!Analysis.analyze} reports an error-level
     [unreachable-memory] diagnostic for it. *)
+
+val of_topology : Topology.t -> Machine.t
+(** A machine built around an explicit interconnect, with per-family
+    node flavors: grids/tori get a manycore-style CPU tile (one
+    schedulable core, small memories) so [grid:32x32] reaches 10^3
+    processors cheaply; fat-trees get a testbed-like GPU leaf node;
+    [direct:N] gets the Shepard node and rates, making it the
+    degenerate routed twin of [shepard ~nodes:N] (decision- and
+    bit-identical searches — the toporate bench gate). *)
+
+val of_spec : string -> nodes:int -> (Machine.t, string) result
+(** Resolve a machine spec: one of the legacy preset names ([shepard],
+    [lassen], [testbed], [cpu_only]/[cpu-only], [headless], scaled by
+    [nodes]) or a topology spec ([grid:WxH], [torus:WxH],
+    [fattree:LEVELS:ARITY], [direct:N], each optionally suffixed
+    [:free] for the contention-free counterfactual).  Topology specs
+    fix their own node count: [nodes] must be 1 (the CLI default,
+    meaning "let the spec decide") or match it exactly. *)

@@ -84,6 +84,47 @@ let distribution_choices t =
   (true, Mapping.Blocked) :: (false, Mapping.Blocked)
   :: (if t.ext then [ (true, Mapping.Cyclic) ] else [])
 
+(* Distance-aware ordering of the distribution choices on topology
+   machines: choices whose adjacent shards (the halo-exchange partners)
+   land on nodes at most one hop apart come first, so coordinate
+   descent tries locality-preserving distributions before ones that
+   scatter neighbours across the interconnect.  The candidate set is
+   unchanged — only the order moves — and machines without a topology
+   get the historical list verbatim.  The shard->node arithmetic
+   mirrors Placement.node_of_shard (the mapping layer sits below sim,
+   so it cannot call it). *)
+let distribution_choices_for t tid =
+  let base = distribution_choices t in
+  match t.m.Machine.topology with
+  | None -> base
+  | Some topo ->
+      let nodes = t.m.Machine.nodes in
+      if nodes <= 1 then base
+      else begin
+        let shards = (Graph.task t.g tid).group_size in
+        let node_of distribute strategy s =
+          if not distribute then 0
+          else
+            match (strategy : Mapping.dist_strategy) with
+            | Mapping.Cyclic -> s mod nodes
+            | Mapping.Blocked -> if shards >= nodes then s * nodes / shards else s
+        in
+        let local (distribute, strategy) =
+          let ok = ref true in
+          for s = 0 to shards - 2 do
+            let a = node_of distribute strategy s
+            and b = node_of distribute strategy (s + 1) in
+            if a <> b then begin
+              let d = Topology.distance topo ~src:a ~dst:b in
+              if d < 0 || d > 1 then ok := false
+            end
+          done;
+          !ok
+        in
+        let locals, scattered = List.partition local base in
+        locals @ scattered
+      end
+
 let log2_size t =
   let log2 x = log x /. log 2.0 in
   Array.fold_left

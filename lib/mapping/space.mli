@@ -87,6 +87,14 @@ val distribution_choices : t -> (bool * Mapping.dist_strategy) list
     task: {[(true, Blocked); (false, Blocked)]} in the paper's space,
     plus [(true, Cyclic)] when extended. *)
 
+val distribution_choices_for : t -> int -> (bool * Mapping.dist_strategy) list
+(** {!distribution_choices} reordered for task [tid] on a topology
+    machine: choices whose adjacent shards land at most one routing hop
+    apart come first, so descent probes locality-preserving
+    distributions before scattering ones.  Same elements as
+    {!distribution_choices} (only the order changes); identical to it
+    on machines without a topology. *)
+
 val log2_size : t -> float
 (** log₂ of the number of candidate mappings, counting for each task
     the distribution bit, its processor-kind domain, and — summed over

@@ -54,7 +54,7 @@ type t = {
 }
 
 let specs_for space (task : Graph.task) =
-  List.map (fun (d, s) -> Dist (d, s)) (Space.distribution_choices space)
+  List.map (fun (d, s) -> Dist (d, s)) (Space.distribution_choices_for space task.tid)
   @ List.concat_map
       (fun k ->
         List.concat_map

@@ -44,6 +44,39 @@ let channel_class_index = function
   | Machine.Network -> 4
   | Machine.Same_memory -> invalid_arg "channel_class_index: Same_memory"
 
+(* Routed copies (machines with an explicit topology).  [dep_chan]
+   encodes three regimes: -1 = same memory (no copy); >= 0 = the
+   pre-topology kind-level channel slot, kept byte-identical for every
+   machine without a topology; <= -2 = routed, with (-2 - dep_chan)
+   hops in the fixed-stride hop tables.  Per-link busy-until clocks
+   live after the kind-level plane of [chan_free]:
+   slot = nodes * n_channel_classes + link id. *)
+let link_slot_base ~nodes = nodes * n_channel_classes
+
+let n_chan_slots machine =
+  (machine.Machine.nodes * n_channel_classes)
+  +
+  match machine.Machine.topology with
+  | Some topo -> Topology.n_links topo
+  | None -> 0
+
+(* Fixed stride of the per-dep hop tables: the longest route plus one
+   PCIe staging hop per FB endpoint.  Fixed-width rows keep
+   [bind_delta]'s in-place dep rebinding sound. *)
+let dep_hop_stride machine =
+  match machine.Machine.topology with
+  | Some topo -> Topology.max_hops topo + 2
+  | None -> 0
+
+(* Does the machine serialize copies on busy-until clocks?  True for
+   every machine without a topology (kind-level channel FIFOs) and for
+   contended topologies; false only for the [:free] counterfactual,
+   where every copy costs its full path time but never queues. *)
+let clocks_contended machine =
+  match machine.Machine.topology with
+  | Some topo -> Topology.contended topo
+  | None -> true
+
 let proc_resource_name (p : Machine.processor) =
   Printf.sprintf "node%d/%s%d" p.Machine.pnode
     (Kinds.proc_kind_to_string p.Machine.pkind)
@@ -144,7 +177,7 @@ let run_reference ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterati
       done;
       let ready_time = Array.make n_instances 0.0 in
       let proc_free = Array.make (Array.length machine.Machine.processors) 0.0 in
-      let chan_free = Array.make (machine.Machine.nodes * n_channel_classes) 0.0 in
+      let chan_free = Array.make (n_chan_slots machine) 0.0 in
       (* per-node runtime utility processor: every instance pays the
          mapping-independent dependence-analysis/dispatch cost here *)
       let dispatch_free = Array.make machine.Machine.nodes 0.0 in
@@ -192,37 +225,123 @@ let run_reference ?(noise_sigma = 0.03) ?(seed = 0) ?(fallback = false) ?iterati
               let dst_mem = Placement.arg_memory pl ~cid:d.dst_cid ~shard:consumer_shard in
               if src_mem.Machine.mid = dst_mem.Machine.mid then dep_arrived ci t_done
               else begin
-                let cost =
-                  Cost.copy_seconds machine ~src:src_mem ~dst:dst_mem ~bytes:d.bytes
-                in
                 let ch = Machine.channel_between machine src_mem dst_mem in
-                let slot =
-                  channel_slot ~nodes:machine.Machine.nodes src_mem.Machine.mnode ch
+                let routed_topo =
+                  match machine.Machine.topology with
+                  | Some topo when ch = Machine.Network -> (
+                      match Topology.family topo with
+                      | Topology.Direct -> Some topo
+                      | _ ->
+                          if
+                            Topology.distance topo ~src:src_mem.Machine.mnode
+                              ~dst:dst_mem.Machine.mnode
+                            >= 0
+                          then Some topo
+                          else None)
+                  | _ -> None
                 in
-                let start = Float.max t_done chan_free.(slot) in
-                let arrival = start +. cost in
-                chan_free.(slot) <- arrival;
-                bytes_moved := !bytes_moved +. d.bytes;
-                channel_bytes.(channel_class_index ch) <-
-                  channel_bytes.(channel_class_index ch) +. d.bytes;
-                incr n_copies;
-                (match trace with
-                | Some collector ->
-                    Trace.add collector
-                      {
-                        Trace.label =
-                          Printf.sprintf "%s -> %s"
-                            (Graph.collection g d.src_cid).Graph.cname
-                            (Graph.collection g d.dst_cid).Graph.cname;
-                        kind = Trace.Copy;
-                        resource =
-                          Printf.sprintf "node%d/%s" src_mem.Machine.mnode
-                            channel_class_names.(channel_class_index ch);
-                        start_time = start;
-                        duration = cost;
-                      }
-                | None -> ());
-                dep_arrived ci arrival
+                match routed_topo with
+                | Some topo ->
+                    (* Routed copy: charge every hop of the compiled
+                       route in order — optional PCIe staging on FB
+                       endpoints, then each link.  The Direct family
+                       folds the whole legacy cost into its single
+                       node link. *)
+                    let bytes = d.bytes in
+                    let total =
+                      Cost.copy_seconds machine ~src:src_mem ~dst:dst_mem ~bytes
+                    in
+                    let arrival =
+                      if not (Topology.contended topo) then t_done +. total
+                      else begin
+                        let t = ref t_done in
+                        let charge slot cost =
+                          let free = chan_free.(slot) in
+                          let start = if !t > free then !t else free in
+                          let arr = start +. cost in
+                          chan_free.(slot) <- arr;
+                          t := arr
+                        in
+                        let base = link_slot_base ~nodes:machine.Machine.nodes in
+                        (match Topology.family topo with
+                        | Topology.Direct ->
+                            charge (base + src_mem.Machine.mnode) total
+                        | _ ->
+                            let staging =
+                              machine.Machine.copy.Machine.local_latency
+                              +. (bytes /. machine.Machine.copy.Machine.pcie_bw)
+                            in
+                            if src_mem.Machine.mkind = Kinds.Frame_buffer then
+                              charge
+                                ((src_mem.Machine.mnode * n_channel_classes) + 2)
+                                staging;
+                            Topology.route_iter topo ~src:src_mem.Machine.mnode
+                              ~dst:dst_mem.Machine.mnode ~f:(fun l ->
+                                charge
+                                  (base + l.Topology.lid)
+                                  (l.Topology.llat +. (bytes /. l.Topology.lbw)));
+                            if dst_mem.Machine.mkind = Kinds.Frame_buffer then
+                              charge
+                                ((dst_mem.Machine.mnode * n_channel_classes) + 2)
+                                staging);
+                        !t
+                      end
+                    in
+                    bytes_moved := !bytes_moved +. bytes;
+                    channel_bytes.(channel_class_index ch) <-
+                      channel_bytes.(channel_class_index ch) +. bytes;
+                    incr n_copies;
+                    (match trace with
+                    | Some collector ->
+                        Trace.add collector
+                          {
+                            Trace.label =
+                              Printf.sprintf "%s -> %s"
+                                (Graph.collection g d.src_cid).Graph.cname
+                                (Graph.collection g d.dst_cid).Graph.cname;
+                            kind = Trace.Copy;
+                            resource =
+                              Printf.sprintf "node%d/%s" src_mem.Machine.mnode
+                                channel_class_names.(channel_class_index ch);
+                            start_time = t_done;
+                            duration = arrival -. t_done;
+                          }
+                    | None -> ());
+                    dep_arrived ci arrival
+                | None ->
+                    let cost =
+                      Cost.copy_seconds machine ~src:src_mem ~dst:dst_mem ~bytes:d.bytes
+                    in
+                    let slot =
+                      channel_slot ~nodes:machine.Machine.nodes src_mem.Machine.mnode ch
+                    in
+                    let start =
+                      if clocks_contended machine then Float.max t_done chan_free.(slot)
+                      else t_done
+                    in
+                    let arrival = start +. cost in
+                    if clocks_contended machine then chan_free.(slot) <- arrival;
+                    bytes_moved := !bytes_moved +. d.bytes;
+                    channel_bytes.(channel_class_index ch) <-
+                      channel_bytes.(channel_class_index ch) +. d.bytes;
+                    incr n_copies;
+                    (match trace with
+                    | Some collector ->
+                        Trace.add collector
+                          {
+                            Trace.label =
+                              Printf.sprintf "%s -> %s"
+                                (Graph.collection g d.src_cid).Graph.cname
+                                (Graph.collection g d.dst_cid).Graph.cname;
+                            kind = Trace.Copy;
+                            resource =
+                              Printf.sprintf "node%d/%s" src_mem.Machine.mnode
+                                channel_class_names.(channel_class_index ch);
+                            start_time = start;
+                            duration = cost;
+                          }
+                    | None -> ());
+                    dep_arrived ci arrival
               end
             end)
           out_deps_with_consumer.(offset.(tid) + s)
@@ -391,9 +510,21 @@ type scratch = {
   slot_pid : int array;
   slot_node : int array;
   cp : float array;            (* static_floors' critical-path accumulator *)
-  dep_chan : int array;        (* channel slot, or -1 for same-memory *)
+  dep_chan : int array;        (* -1 same-memory | >= 0 channel slot
+                                  | <= -2 routed with (-2 - v) hops *)
   dep_class : int array;
   dep_cost : float array;
+  (* routed-copy hop tables: dep [k]'s hops live at [k * hop_stride];
+     each hop is a (busy-until slot, seconds) pair.  Empty (stride 0)
+     on machines without a topology. *)
+  hop_stride : int;
+  hop_slot : int array;
+  hop_cost : float array;
+  dep_cross : bool array;      (* routed dep crosses the bisection cut *)
+  (* false only for [:free] (uncontended) topologies: copies still pay
+     full path cost but never serialize on the busy-until clocks *)
+  contended : bool;
+  mutable hop_t : float;       (* running clock of the hop walk *)
   events : Fheap.t;
   (* cache of the last successful bind: the evaluator's §5 protocol
      simulates the same mapping [runs] times in a row with different
@@ -599,6 +730,7 @@ let compile machine (g : Graph.t) =
 let scratch prob =
   let machine = prob.cmachine in
   let n_deps = Array.length prob.dep_bytes in
+  let stride = dep_hop_stride machine in
   let dummy_noise = { nbuf = [||]; nfilled = 0; nrng = Rng.create 0; nsigma = 0.0 } in
   {
     prob;
@@ -609,7 +741,7 @@ let scratch prob =
     inst_slot = [||];
     inst_iter = [||];
     proc_free = Array.make (Array.length machine.Machine.processors) 0.0;
-    chan_free = Array.make (machine.Machine.nodes * n_channel_classes) 0.0;
+    chan_free = Array.make (n_chan_slots machine) 0.0;
     dispatch_free = Array.make machine.Machine.nodes 0.0;
     slot_dur = Array.make (max prob.spi 1) 0.0;
     slot_pid = Array.make (max prob.spi 1) 0;
@@ -618,6 +750,12 @@ let scratch prob =
     dep_chan = Array.make (max n_deps 1) 0;
     dep_class = Array.make (max n_deps 1) 0;
     dep_cost = Array.make (max n_deps 1) 0.0;
+    hop_stride = stride;
+    hop_slot = Array.make (max (n_deps * stride) 1) 0;
+    hop_cost = Array.make (max (n_deps * stride) 1) 0.0;
+    dep_cross = Array.make (max n_deps 1) false;
+    contended = clocks_contended machine;
+    hop_t = 0.0;
     events = Fheap.create ();
     bound_mapping = None;
     bound_fallback = false;
@@ -880,10 +1018,64 @@ let bind_dep sc pl k =
   if src_mem.Machine.mid = dst_mem.Machine.mid then sc.dep_chan.(k) <- -1
   else begin
     let ch = Machine.channel_between machine src_mem dst_mem in
-    sc.dep_chan.(k) <- channel_slot ~nodes:machine.Machine.nodes src_mem.Machine.mnode ch;
-    sc.dep_class.(k) <- channel_class_index ch;
-    sc.dep_cost.(k) <-
-      Cost.copy_seconds machine ~src:src_mem ~dst:dst_mem ~bytes:prob.dep_bytes.(k)
+    let routed_topo =
+      match machine.Machine.topology with
+      | Some topo when ch = Machine.Network -> (
+          match Topology.family topo with
+          | Topology.Direct -> Some topo
+          | _ ->
+              if
+                Topology.distance topo ~src:src_mem.Machine.mnode
+                  ~dst:dst_mem.Machine.mnode
+                >= 0
+              then Some topo
+              else None)
+      | _ -> None
+    in
+    match routed_topo with
+    | None ->
+        sc.dep_chan.(k) <-
+          channel_slot ~nodes:machine.Machine.nodes src_mem.Machine.mnode ch;
+        sc.dep_class.(k) <- channel_class_index ch;
+        sc.dep_cost.(k) <-
+          Cost.copy_seconds machine ~src:src_mem ~dst:dst_mem ~bytes:prob.dep_bytes.(k)
+    | Some topo ->
+        (* Compile the copy's route once per binding: optional PCIe
+           staging hop per FB endpoint, then one hop per link.  The
+           Direct family folds the full legacy cost into the source
+           node's single link, a slot bijection with the pre-topology
+           Network plane. *)
+        let bytes = prob.dep_bytes.(k) in
+        let base = k * sc.hop_stride in
+        let link_base = link_slot_base ~nodes:machine.Machine.nodes in
+        let nh = ref 0 in
+        let add slot cost =
+          sc.hop_slot.(base + !nh) <- slot;
+          sc.hop_cost.(base + !nh) <- cost;
+          incr nh
+        in
+        let total = Cost.copy_seconds machine ~src:src_mem ~dst:dst_mem ~bytes in
+        (match Topology.family topo with
+        | Topology.Direct -> add (link_base + src_mem.Machine.mnode) total
+        | _ ->
+            let staging =
+              machine.Machine.copy.Machine.local_latency
+              +. (bytes /. machine.Machine.copy.Machine.pcie_bw)
+            in
+            if src_mem.Machine.mkind = Kinds.Frame_buffer then
+              add ((src_mem.Machine.mnode * n_channel_classes) + 2) staging;
+            Topology.route_iter topo ~src:src_mem.Machine.mnode
+              ~dst:dst_mem.Machine.mnode ~f:(fun l ->
+                add (link_base + l.Topology.lid)
+                  (l.Topology.llat +. (bytes /. l.Topology.lbw)));
+            if dst_mem.Machine.mkind = Kinds.Frame_buffer then
+              add ((dst_mem.Machine.mnode * n_channel_classes) + 2) staging);
+        sc.dep_chan.(k) <- -2 - !nh;
+        sc.dep_class.(k) <- channel_class_index ch;
+        sc.dep_cost.(k) <- total;
+        sc.dep_cross.(k) <-
+          Topology.side topo src_mem.Machine.mnode
+          <> Topology.side topo dst_mem.Machine.mnode
   end
 
 let bind sc pl mapping =
@@ -1133,13 +1325,18 @@ let[@inline] do_done sc i t_done =
     if target_iter < iterations then begin
       let ci = (target_iter * spi) + prob.dep_dst_slot.(k) in
       let chan = sc.dep_chan.(k) in
-      if chan < 0 then dep_arrived sc ci t_done
-      else begin
+      if chan = -1 then dep_arrived sc ci t_done
+      else if chan >= 0 then begin
         let cost = sc.dep_cost.(k) in
-        let cfree = sc.chan_free.(chan) in
-        let start = if t_done > cfree then t_done else cfree in
+        let start =
+          if sc.contended then begin
+            let cfree = sc.chan_free.(chan) in
+            if t_done > cfree then t_done else cfree
+          end
+          else t_done
+        in
         let arrival = start +. cost in
-        sc.chan_free.(chan) <- arrival;
+        if sc.contended then sc.chan_free.(chan) <- arrival;
         let bytes = prob.dep_bytes.(k) in
         acc.(acc_bytes) <- acc.(acc_bytes) +. bytes;
         let cls = sc.dep_class.(k) in
@@ -1147,6 +1344,40 @@ let[@inline] do_done sc i t_done =
         sc.r_n_copies <- sc.r_n_copies + 1;
         (match sc.sim_trace with
         | Some collector -> trace_copy_event sc collector slot k start cost
+        | None -> ());
+        dep_arrived sc ci arrival
+      end
+      else begin
+        (* routed copy: walk the compiled hop row, charging each
+           busy-until clock in path order (store-and-forward).  The
+           uncontended model pays the same total without queueing. *)
+        let arrival =
+          if not sc.contended then t_done +. sc.dep_cost.(k)
+          else begin
+            let nh = -2 - chan in
+            let base = k * sc.hop_stride in
+            sc.hop_t <- t_done;
+            for h = 0 to nh - 1 do
+              let hslot = sc.hop_slot.(base + h) in
+              let cost = sc.hop_cost.(base + h) in
+              let free = sc.chan_free.(hslot) in
+              let t = sc.hop_t in
+              let start = if t > free then t else free in
+              let arr = start +. cost in
+              sc.chan_free.(hslot) <- arr;
+              sc.hop_t <- arr
+            done;
+            sc.hop_t
+          end
+        in
+        let bytes = prob.dep_bytes.(k) in
+        acc.(acc_bytes) <- acc.(acc_bytes) +. bytes;
+        let cls = sc.dep_class.(k) in
+        sc.r_channel_bytes.(cls) <- sc.r_channel_bytes.(cls) +. bytes;
+        sc.r_n_copies <- sc.r_n_copies + 1;
+        (match sc.sim_trace with
+        | Some collector ->
+            trace_copy_event sc collector slot k t_done (arrival -. t_done)
         | None -> ());
         dep_arrived sc ci arrival
       end
@@ -1491,16 +1722,39 @@ let static_floors sc iterations =
      multi-node machines. *)
   let chan_busy = sc.chan_free in
   Array.fill chan_busy 0 (Array.length chan_busy) 0.0;
-  for slot = 0 to spi - 1 do
-    for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
-      let chan = sc.dep_chan.(k) in
-      if chan >= 0 then begin
-        let times = if prob.dep_carried.(k) then iterations - 1 else iterations in
-        chan_busy.(chan) <- chan_busy.(chan) +. (sc.dep_cost.(k) *. float_of_int times)
-      end
-    done
-  done;
+  let cross_bytes = ref 0.0 in
+  if sc.contended then
+    for slot = 0 to spi - 1 do
+      for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
+        let chan = sc.dep_chan.(k) in
+        if chan >= 0 then begin
+          let times = if prob.dep_carried.(k) then iterations - 1 else iterations in
+          chan_busy.(chan) <- chan_busy.(chan) +. (sc.dep_cost.(k) *. float_of_int times)
+        end
+        else if chan < -1 then begin
+          (* routed: each hop serializes on its own link/staging clock *)
+          let times = if prob.dep_carried.(k) then iterations - 1 else iterations in
+          let tf = float_of_int times in
+          let nh = -2 - chan in
+          let base = k * sc.hop_stride in
+          for h = 0 to nh - 1 do
+            let hslot = sc.hop_slot.(base + h) in
+            chan_busy.(hslot) <- chan_busy.(hslot) +. (sc.hop_cost.(base + h) *. tf)
+          done;
+          if sc.dep_cross.(k) then
+            cross_bytes := !cross_bytes +. (prob.dep_bytes.(k) *. tf)
+        end
+      done
+    done;
   Array.iter (fun b -> if b > !lb then lb := b) chan_busy;
+  (* Bisection floor: every byte crossing the canonical cut transits
+     some cut link, so total cross traffic over total cut bandwidth
+     bounds the busiest cut link's serial time (weighted mean <= max). *)
+  (match prob.cmachine.Machine.topology with
+  | Some topo when sc.contended && Topology.bisection_bw topo > 0.0 ->
+      let floor = !cross_bytes /. Topology.bisection_bw topo in
+      if floor > !lb then lb := floor
+  | _ -> ());
   (* A node's runtime issues its instances one dispatch_cost apart, so
      the last instance dispatched on the busiest node cannot finish
      before count * dispatch_cost — a noise-free second floor that
@@ -1542,7 +1796,9 @@ let static_floors sc iterations =
         for k = prob.dep_off.(slot) to prob.dep_off.(slot + 1) - 1 do
           if not prob.dep_carried.(k) then begin
             let arrival =
-              if sc.dep_chan.(k) >= 0 then done_floor +. sc.dep_cost.(k)
+              (* any copy (kind-level or routed) delays its consumer by
+                 at least its full noise-free cost *)
+              if sc.dep_chan.(k) <> -1 then done_floor +. sc.dep_cost.(k)
               else done_floor
             in
             let dst = prob.dep_dst_slot.(k) in

@@ -20,7 +20,7 @@ let tight_shepard ~nodes =
   let s = Presets.shepard ~nodes in
   Machine.make ~name:"TightShepard" ~nodes
     ~node:{ s.Machine.node with Machine.fb_capacity = 8192.0 }
-    ~exec_bw:s.Machine.exec_bw ~compute:s.Machine.compute ~copy:s.Machine.copy
+    ~exec_bw:s.Machine.exec_bw ~compute:s.Machine.compute ~copy:s.Machine.copy ()
 
 let test_headless_error () =
   let machine = Presets.headless ~nodes:1 in
@@ -220,7 +220,7 @@ let test_pruned_search_no_worse () =
           }
     in
     Machine.make ~name:"Tight" ~nodes ~node ~exec_bw:s.Machine.exec_bw
-      ~compute:s.Machine.compute ~copy:s.Machine.copy
+      ~compute:s.Machine.compute ~copy:s.Machine.copy ()
   in
   List.iter
     (fun ((app : App.t), input) ->

@@ -44,6 +44,84 @@ let qcheck_machine_round_trip =
       let m = mk ~nodes in
       Machine_codec.round_trip_exn m = m)
 
+(* Topology presets: the codec serializes the topology as its spec (or
+   custom link list) and *regenerates* the route tables at decode time,
+   so the decoded machine must be structurally equal and route-identical
+   — same distances and same link sequence for every sampled pair. *)
+let topo_specs =
+  [|
+    "grid:4x4"; "grid:8x8"; "grid:1x6"; "torus:4x4"; "torus:3x5"; "fattree:2:3";
+    "fattree:3:2"; "direct:4"; "direct:9"; "grid:4x4:free"; "torus:4x4:free";
+    "fattree:2:2:free";
+  |]
+
+let routes_identical t t' ~src ~dst =
+  Topology.distance t ~src ~dst = Topology.distance t' ~src ~dst
+  &&
+  let path topo =
+    let l = ref [] in
+    Topology.route_iter topo ~src ~dst ~f:(fun lk -> l := lk.Topology.lid :: !l);
+    List.rev !l
+  in
+  path t = path t'
+
+let qcheck_topology_machine_round_trip =
+  QCheck.Test.make ~count:80
+    ~name:"machine codec round-trips topology presets (routes regenerated)"
+    QCheck.(triple (int_bound (Array.length topo_specs - 1)) small_nat small_nat)
+    (fun (i, a, b) ->
+      let spec = topo_specs.(i) in
+      let m =
+        match Presets.of_spec spec ~nodes:1 with
+        | Ok m -> m
+        | Error e -> QCheck.Test.fail_reportf "of_spec %s: %s" spec e
+      in
+      let m' = Machine_codec.round_trip_exn m in
+      machines_equal m m'
+      &&
+      match (m.Machine.topology, m'.Machine.topology) with
+      | Some t, Some t' ->
+          Topology.equal_structure t t'
+          &&
+          let n = Topology.n_nodes t in
+          routes_identical t t' ~src:(a mod n) ~dst:(b mod n)
+      | _ -> false)
+
+let test_custom_topology_round_trip () =
+  (* Custom topologies serialize their explicit link list (topolink
+     stanzas); the per-destination next-hop tables are rebuilt, so a
+     decode must reproduce every route. *)
+  let topo =
+    Topology.custom ~name:"ring4" ~n_nodes:4
+      ~links:
+        [ (0, 1, 2e9, 1e-6); (1, 2, 2e9, 1e-6); (2, 3, 2e9, 1e-6); (3, 0, 2e9, 1e-6) ]
+      ()
+  in
+  let m =
+    let base = Presets.testbed ~nodes:4 in
+    Machine.make ~name:"ring-machine" ~nodes:4 ~node:base.Machine.node
+      ~exec_bw:base.Machine.exec_bw ~compute:base.Machine.compute
+      ~copy:base.Machine.copy ~topology:topo ()
+  in
+  let text = Machine_codec.to_string m in
+  Alcotest.(check bool)
+    "route tables are not serialized" false
+    (Str_helpers.contains text "route");
+  let m' = Machine_codec.round_trip_exn m in
+  Alcotest.(check bool) "machine fields survive" true (machines_equal m m');
+  match (m.Machine.topology, m'.Machine.topology) with
+  | Some t, Some t' ->
+      Alcotest.(check bool) "structure survives" true (Topology.equal_structure t t');
+      for src = 0 to 3 do
+        for dst = 0 to 3 do
+          Alcotest.(check bool)
+            (Printf.sprintf "route %d->%d identical" src dst)
+            true
+            (routes_identical t t' ~src ~dst)
+        done
+      done
+  | _ -> Alcotest.fail "topology lost in round trip"
+
 let test_machine_parse_errors () =
   let check_error input frag =
     match Machine_codec.of_string input with
@@ -179,6 +257,9 @@ let suite =
   [
     Alcotest.test_case "machine round trip" `Quick test_machine_round_trip;
     QCheck_alcotest.to_alcotest qcheck_machine_round_trip;
+    QCheck_alcotest.to_alcotest qcheck_topology_machine_round_trip;
+    Alcotest.test_case "custom topology round trip" `Quick
+      test_custom_topology_round_trip;
     Alcotest.test_case "machine parse errors" `Quick test_machine_parse_errors;
     Alcotest.test_case "machine comments" `Quick test_machine_comments;
     Alcotest.test_case "machine validation" `Quick test_machine_validation_propagates;

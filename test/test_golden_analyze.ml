@@ -35,6 +35,40 @@ let first_diff a b =
   in
   go 1 (la, lb)
 
+(* Topology presets: text and strict-JSON reports for a mesh and a
+   fat-tree, pinning the topology summary line / object and the routed
+   machine stanza.  Regenerate with:
+     for c in grid:8x8 fattree:3:4; do
+       f=$(echo $c | tr -d ':' | sed 's/fattree34/fattree3_4/'); \
+       dune exec bin/automap_cli.exe -- analyze -a stencil -i 500x500 \
+         -c $c -o test/golden/analyze_stencil_${f}.txt; \
+       dune exec bin/automap_cli.exe -- analyze -a stencil -i 500x500 \
+         -c $c --json -o test/golden/analyze_stencil_${f}.json; done
+   (grid:8x8 -> grid8x8, fattree:3:4 -> fattree3_4) *)
+let topo_cases = [ ("grid:8x8", "grid8x8"); ("fattree:3:4", "fattree3_4") ]
+
+let test_golden_topology () =
+  List.iter
+    (fun (spec, fname) ->
+      let machine =
+        match Presets.of_spec spec ~nodes:1 with
+        | Ok m -> m
+        | Error e -> Alcotest.fail e
+      in
+      let g = App.stencil.App.graph ~nodes:machine.Machine.nodes ~input:"500x500" in
+      let t = Analysis.analyze machine g in
+      let check_kind ext render =
+        let path = Printf.sprintf "golden/analyze_stencil_%s.%s" fname ext in
+        let golden = read_file path in
+        let actual = render t in
+        if actual <> golden then
+          Alcotest.fail
+            (Printf.sprintf "%s differs; %s" path (first_diff golden actual))
+      in
+      check_kind "txt" (Format.asprintf "%a" Analysis.report);
+      check_kind "json" Analysis.to_json)
+    topo_cases
+
 let test_golden () =
   List.iter
     (fun (pname, mk) ->
@@ -54,4 +88,9 @@ let test_golden () =
         cases)
     presets
 
-let suite = [ Alcotest.test_case "analyze reports match golden" `Quick test_golden ]
+let suite =
+  [
+    Alcotest.test_case "analyze reports match golden" `Quick test_golden;
+    Alcotest.test_case "topology analyze reports match golden" `Quick
+      test_golden_topology;
+  ]

@@ -142,6 +142,106 @@ let test_mem_kind_capacity () =
   Alcotest.(check (float 1.0)) "fb capacity" 1e9 (Machine.mem_kind_capacity m Kinds.Frame_buffer);
   Alcotest.(check (float 1.0)) "zc capacity" 2e9 (Machine.mem_kind_capacity m Kinds.Zero_copy)
 
+(* Pin the channel classification table documented on
+   [Machine.channel]: Cross_socket is *only* SYS<->SYS across sockets
+   of one node — FB pairs are Gpu_peer regardless of socket, and ZC is
+   socket-agnostic (msocket = -1), so every same-node ZC pairing is
+   Host_local. *)
+let test_channel_classification_table () =
+  let m =
+    Machine.make ~name:"chan-table" ~nodes:2
+      ~node:
+        {
+          sockets = 2;
+          cores_per_socket = 1;
+          gpus = 2;
+          sysmem_per_socket = 16e9;
+          zc_capacity = 4e9;
+          fb_capacity = 8e9;
+        }
+      ~exec_bw:{ cpu_sys = 50e9; cpu_zc = 30e9; gpu_fb = 400e9; gpu_zc = 20e9 }
+      ~compute:
+        {
+          cpu_flops = 500e9;
+          gpu_flops = 4000e9;
+          cpu_launch_overhead = 1e-6;
+          gpu_launch_overhead = 2e-6;
+          runtime_dispatch = 1e-6;
+        }
+      ~copy:
+        {
+          memcpy_bw = 20e9;
+          cross_socket_bw = 10e9;
+          pcie_bw = 12e9;
+          gpu_peer_bw = 40e9;
+          local_latency = 1e-6;
+          net_bandwidth = 10e9;
+          net_latency = 3e-6;
+        }
+      ()
+  in
+  let mem node kind idx =
+    let found = ref [] in
+    Array.iter
+      (fun (mm : Machine.memory) ->
+        if mm.Machine.mnode = node && mm.Machine.mkind = kind then
+          found := mm :: !found)
+      m.Machine.memories;
+    List.nth (List.rev !found) idx
+  in
+  let sys00 = mem 0 Kinds.System 0
+  and sys01 = mem 0 Kinds.System 1
+  and sys10 = mem 1 Kinds.System 0
+  and zc0 = mem 0 Kinds.Zero_copy 0
+  and zc1 = mem 1 Kinds.Zero_copy 0
+  and fb00 = mem 0 Kinds.Frame_buffer 0
+  and fb01 = mem 0 Kinds.Frame_buffer 1
+  and fb10 = mem 1 Kinds.Frame_buffer 0 in
+  (* GPUs land on alternating sockets (g mod sockets) *)
+  Alcotest.(check int) "fb0 socket" 0 fb00.Machine.msocket;
+  Alcotest.(check int) "fb1 socket" 1 fb01.Machine.msocket;
+  Alcotest.(check int) "zc socket-agnostic" (-1) zc0.Machine.msocket;
+  let chan_name = function
+    | Machine.Same_memory -> "same-memory"
+    | Machine.Host_local -> "host-local"
+    | Machine.Cross_socket -> "cross-socket"
+    | Machine.Pcie -> "pcie"
+    | Machine.Gpu_peer -> "gpu-peer"
+    | Machine.Network -> "network"
+  in
+  let check name a b want =
+    let got = Machine.channel_between m a b in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s is %s" name (chan_name want))
+      true (got = want)
+  in
+  check "same memory" sys00 sys00 Machine.Same_memory;
+  check "SYS<->SYS same node across sockets" sys00 sys01 Machine.Cross_socket;
+  check "SYS<->ZC same node" sys00 zc0 Machine.Host_local;
+  check "ZC<->SYS other socket" zc0 sys01 Machine.Host_local;
+  check "ZC<->FB same node" zc0 fb00 Machine.Pcie;
+  check "FB<->SYS same node" fb00 sys00 Machine.Pcie;
+  check "FB<->FB same node (across sockets)" fb00 fb01 Machine.Gpu_peer;
+  check "SYS<->SYS cross node" sys00 sys10 Machine.Network;
+  check "ZC<->ZC cross node" zc0 zc1 Machine.Network;
+  check "FB<->FB cross node" fb00 fb10 Machine.Network;
+  (* exhaustive: Cross_socket arises for SYS<->SYS pairs only *)
+  Array.iter
+    (fun (a : Machine.memory) ->
+      Array.iter
+        (fun (b : Machine.memory) ->
+          if Machine.channel_between m a b = Machine.Cross_socket then begin
+            Alcotest.(check bool)
+              "Cross_socket implies SYS<->SYS" true
+              (a.Machine.mkind = Kinds.System && b.Machine.mkind = Kinds.System);
+            Alcotest.(check bool)
+              "Cross_socket implies same node, different sockets" true
+              (a.Machine.mnode = b.Machine.mnode
+              && a.Machine.msocket <> b.Machine.msocket)
+          end)
+        m.Machine.memories)
+    m.Machine.memories
+
 let suite =
   [
     Alcotest.test_case "kind accessibility" `Quick test_kinds_accessibility;
@@ -153,6 +253,8 @@ let suite =
     Alcotest.test_case "addressable" `Quick test_addressable;
     Alcotest.test_case "channels" `Quick test_channels;
     Alcotest.test_case "cross-socket" `Quick test_cross_socket_channel;
+    Alcotest.test_case "channel classification table" `Quick
+      test_channel_classification_table;
     Alcotest.test_case "copy cost" `Quick test_copy_cost_monotone;
     Alcotest.test_case "network FB staging" `Quick test_network_fb_staging;
     Alcotest.test_case "make validation" `Quick test_make_validation;
